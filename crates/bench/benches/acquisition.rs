@@ -1,0 +1,61 @@
+//! Acquisition-emulation throughput: the emulated instrumented run is
+//! the most expensive stage of the experiment pipeline; this tracks its
+//! ops/second and the extraction's records/second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpi_emul::acquisition::{acquire, run_uninstrumented, AcquisitionMode};
+use mpi_emul::runtime::EmulConfig;
+use npb::{Class, LuConfig};
+use std::hint::black_box;
+use tit_extract::tau2ti;
+
+fn emulate_lu(c: &mut Criterion) {
+    let nproc = 8;
+    let lu = LuConfig::new(Class::S, nproc).with_itmax(3);
+    let ops: u64 = (0..nproc).map(|r| lu.count_actions(r)).sum();
+    let mut g = c.benchmark_group("emulation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("lu_S_8procs_uninstrumented", |b| {
+        b.iter(|| {
+            black_box(
+                run_uninstrumented(
+                    &lu.program(),
+                    nproc,
+                    AcquisitionMode::Regular,
+                    &EmulConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn extract_lu(c: &mut Criterion) {
+    let nproc = 8;
+    let lu = LuConfig::new(Class::S, nproc).with_itmax(3);
+    let dir = std::env::temp_dir().join(format!("titr-bench-acq-{}", std::process::id()));
+    let tau = dir.join("tau");
+    let acq = acquire(&lu.program(), nproc, AcquisitionMode::Regular, &EmulConfig::default(), &tau)
+        .unwrap();
+    let records = acq.tau_bytes / tau_sim::records::RECORD_BYTES as u64;
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(records));
+    g.bench_function("tau2ti_lu_S_8procs", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let out = dir.join(format!("ti{i}"));
+            let stats = tau2ti(&tau, nproc, &out, 1).unwrap();
+            let _ = std::fs::remove_dir_all(&out);
+            black_box(stats.actions_written)
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, emulate_lu, extract_lu);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Trace codec throughput: parsing and formatting bound the extraction
+//! and replay pipelines; compression speed bounds the §6.5 experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tit_core::codec::{format_action_into, parse_line};
+use tit_core::compress;
+use tit_core::Action;
+
+fn sample_lines() -> Vec<String> {
+    let mut v = Vec::new();
+    for i in 0..1000 {
+        v.push(format!("p{} compute {}", i % 64, 100_000 + i));
+        v.push(format!("p{} send p{} 163840", i % 64, (i + 1) % 64));
+        v.push(format!("p{} recv p{}", (i + 1) % 64, i % 64));
+        v.push(format!("p{} Irecv p{}", i % 64, (i + 7) % 64));
+        v.push(format!("p{} wait", i % 64));
+        v.push(format!("p{} allReduce 40 {}", i % 64, 1000 + i));
+    }
+    v
+}
+
+fn parse_throughput(c: &mut Criterion) {
+    let lines = sample_lines();
+    let bytes: usize = lines.iter().map(|l| l.len() + 1).sum();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("parse_6000_actions", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for (i, l) in lines.iter().enumerate() {
+                if parse_line(l, i + 1).unwrap().is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn format_throughput(c: &mut Criterion) {
+    let actions: Vec<(usize, Action)> = (0..6000)
+        .map(|i| match i % 3 {
+            0 => (i % 64, Action::Compute { flops: 1e5 + i as f64 }),
+            1 => (i % 64, Action::Send { dst: (i + 1) % 64, bytes: 163840.0 }),
+            _ => (i % 64, Action::Recv { src: (i + 1) % 64, bytes: None }),
+        })
+        .collect();
+    c.bench_function("format_6000_actions", |b| {
+        let mut buf = String::with_capacity(64);
+        b.iter(|| {
+            let mut total = 0;
+            for (pid, a) in &actions {
+                buf.clear();
+                format_action_into(&mut buf, *pid, a);
+                total += buf.len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn compress_throughput(c: &mut Criterion) {
+    let text: String = sample_lines().join("\n");
+    let data = text.as_bytes();
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("lz_trace_text", |b| b.iter(|| black_box(compress::compress(data).len())));
+    let compressed = compress::compress(data);
+    g.bench_function("unlz_trace_text", |b| {
+        b.iter(|| black_box(compress::decompress(&compressed).unwrap().len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, parse_throughput, format_throughput, compress_throughput);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the simulation kernel: the max-min solver and
+//! the event engine, whose throughput bounds the replay times Figure 9
+//! measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkern::actor::FnActor;
+use simkern::engine::MailboxKey;
+use simkern::lmm::System;
+use simkern::resource::PlatformBuilder;
+use simkern::{Ctx, Engine, Step, Wake};
+use std::hint::black_box;
+
+/// Max-min solve of a cluster-shaped system: `n` flows, each crossing
+/// two NIC constraints.
+fn lmm_cluster_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lmm_solve");
+    for n in [8usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("cluster_flows", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut s = System::new();
+                    let nics: Vec<_> = (0..n).map(|_| s.new_constraint(1.25e8)).collect();
+                    for i in 0..n {
+                        s.new_variable(1.25e9, vec![nics[i], nics[(i + 1) % n]]);
+                    }
+                    s
+                },
+                |mut s| {
+                    s.solve();
+                    black_box(s.num_variables())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end engine throughput: a ping-pong of small messages.
+fn engine_pingpong(c: &mut Criterion) {
+    c.bench_function("engine_pingpong_1000_msgs", |b| {
+        b.iter(|| {
+            let mut pb = PlatformBuilder::new();
+            let h0 = pb.add_host("a", 1e9, 1);
+            let h1 = pb.add_host("b", 1e9, 1);
+            let l = pb.add_link("l", 1.25e8, 1e-5);
+            pb.add_route(h0, h1, vec![l]);
+            let mut eng = Engine::new(pb.build());
+            const K: u64 = 500;
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| {
+                    let k = ctx.phase();
+                    match wake {
+                        Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1e5)),
+                        Wake::Op(_) if k < K => {
+                            ctx.set_phase(k + 1);
+                            if k % 2 == 0 {
+                                Step::Wait(ctx.irecv(MailboxKey::p2p(1, 0)))
+                            } else {
+                                Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1e5))
+                            }
+                        }
+                        _ => Step::Done,
+                    }
+                })),
+                h0,
+            );
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| {
+                    let k = ctx.phase();
+                    match wake {
+                        Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
+                        Wake::Op(_) if k < K => {
+                            ctx.set_phase(k + 1);
+                            if k % 2 == 0 {
+                                Step::Wait(ctx.isend(MailboxKey::p2p(1, 0), 1e5))
+                            } else {
+                                Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1)))
+                            }
+                        }
+                        _ => Step::Done,
+                    }
+                })),
+                h1,
+            );
+            black_box(eng.run())
+        })
+    });
+}
+
+/// Compute-activity churn: many short executions on one host.
+fn engine_exec_churn(c: &mut Criterion) {
+    c.bench_function("engine_1000_execs", |b| {
+        b.iter(|| {
+            let mut pb = PlatformBuilder::new();
+            let h = pb.add_host("h", 1e9, 1);
+            let mut eng = Engine::new(pb.build());
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| {
+                    let k = ctx.phase();
+                    match wake {
+                        Wake::Start => Step::Wait(ctx.execute(1e4)),
+                        Wake::Op(_) if k < 1000 => {
+                            ctx.set_phase(k + 1);
+                            Step::Wait(ctx.execute(1e4))
+                        }
+                        _ => Step::Done,
+                    }
+                })),
+                h,
+            );
+            black_box(eng.run())
+        })
+    });
+}
+
+criterion_group!(benches, lmm_cluster_solve, engine_pingpong, engine_exec_churn);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Replay throughput (the quantity behind Figure 9): actions replayed
+//! per second on LU instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use npb::{Class, LuConfig};
+use simkern::resource::HostId;
+use std::hint::black_box;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::presets;
+use tit_replay::{replay_memory, ReplayConfig};
+
+fn replay_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay_lu_classS");
+    g.sample_size(10);
+    for nproc in [4usize, 16] {
+        let lu = LuConfig::new(Class::S, nproc).with_itmax(5);
+        let trace = npb::program_trace(&lu.program(), nproc);
+        g.throughput(Throughput::Elements(trace.num_actions() as u64));
+        g.bench_with_input(BenchmarkId::new("procs", nproc), &nproc, |b, &nproc| {
+            b.iter(|| {
+                let platform =
+                    PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
+                let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+                let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default());
+                black_box(out.simulated_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn replay_ring(c: &mut Criterion) {
+    let ring = npb::ring::RingConfig { nproc: 4, iters: 200, ..Default::default() };
+    let trace = ring.trace();
+    let mut g = c.benchmark_group("replay_ring");
+    g.throughput(Throughput::Elements(trace.num_actions() as u64));
+    g.bench_function("4procs_200iters", |b| {
+        b.iter(|| {
+            let platform = PlatformDesc::single(presets::bordereau_one_core(4)).build();
+            let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+            black_box(replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).simulated_time)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, replay_lu, replay_ring);
+criterion_main!(benches);

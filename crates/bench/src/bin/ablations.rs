@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablations exhibit. `--scale S` rescales itmax.
+fn main() {
+    let scale = tit_bench::scale_from_args(0.2);
+    print!("{}", tit_bench::experiments::ablations::run(scale));
+}

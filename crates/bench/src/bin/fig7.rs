@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 exhibit. `--scale S` rescales itmax.
+fn main() {
+    let scale = tit_bench::scale_from_args(0.1);
+    print!("{}", tit_bench::experiments::fig7::run(scale));
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let scale = tit_bench::scale_from_args(0.1);
+    print!("{}", tit_bench::experiments::fig9::run(scale));
+}

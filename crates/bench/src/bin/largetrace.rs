@@ -1,0 +1,5 @@
+//! Regenerates the paper's largetrace exhibit. `--scale S` rescales itmax.
+fn main() {
+    let scale = tit_bench::scale_from_args(0.00667);
+    print!("{}", tit_bench::experiments::largetrace::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 exhibit. `--scale S` rescales itmax.
+fn main() {
+    let scale = tit_bench::scale_from_args(0.1);
+    print!("{}", tit_bench::experiments::table3::run(scale));
+}

@@ -1,0 +1,128 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Not part of the paper's exhibits, but each corresponds to a claim in
+//! its text:
+//!
+//! 1. **Network model** (Section 2/5): most off-line simulators ignore
+//!    contention or use affine delays; the paper's kernel shares
+//!    bandwidth analytically and refines MPI transfers piece-wise.
+//! 2. **Collectives as point-to-point** (Section 2): versus monolithic
+//!    models / flat trees.
+//! 3. **Eager/rendezvous switch** (Section 5): `MPI_Send` switches from
+//!    buffered to synchronous above a threshold.
+//! 4. **Calibration** (Section 6.4): a single averaged flop rate versus
+//!    the platform's nominal power.
+
+use crate::table::{ratio, secs, Table};
+use npb::cg::CgConfig;
+use npb::Class;
+use simkern::netmodel::NetworkConfig;
+use simkern::resource::HostId;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::presets;
+use tit_replay::collectives::CollectiveAlgo;
+use tit_replay::{replay_memory, ReplayConfig};
+
+fn replay_trace(
+    trace: &tit_core::TiTrace,
+    nproc: usize,
+    cfg: &ReplayConfig,
+    power: Option<f64>,
+) -> f64 {
+    let mut spec = presets::bordereau_one_core(nproc);
+    if let Some(p) = power {
+        spec.power = p;
+    }
+    let platform = PlatformDesc::single(spec).build();
+    let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+    replay_memory(trace, platform, &hosts, cfg).simulated_time
+}
+
+fn replay_lu(nproc: usize, scale: f64, cfg: &ReplayConfig, power: Option<f64>) -> f64 {
+    let lu = crate::lu_instance(Class::B, nproc, scale);
+    let trace = npb::program_trace(&lu.program(), nproc);
+    replay_trace(&trace, nproc, cfg, power)
+}
+
+/// Runs all ablations: network models and eager threshold on the
+/// communication-sensitive LU B × 64 instance, collective decomposition
+/// on the allreduce-heavy CG benchmark (LU barely uses collectives).
+pub fn run(scale: f64) -> String {
+    let nproc = 64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablations (scale {scale})\n\nLU class B x {nproc}, itmax {} — network models:\n",
+        crate::scaled_itmax(Class::B, scale)
+    ));
+
+    // 1. Network models.
+    let base = ReplayConfig::default();
+    let t_mpi = replay_lu(nproc, scale, &base, None);
+    let t_flow = replay_lu(
+        nproc,
+        scale,
+        &ReplayConfig { network: NetworkConfig::default(), ..base.clone() },
+        None,
+    );
+    let t_const = replay_lu(
+        nproc,
+        scale,
+        &ReplayConfig { network: NetworkConfig::constant(), ..base.clone() },
+        None,
+    );
+    let mut t = Table::new(&["network model", "simulated (s)", "vs piecewise"]);
+    t.row(&["piecewise MPI (paper)".into(), secs(t_mpi), ratio(1.0)]);
+    t.row(&["flow, no MPI factors".into(), secs(t_flow), ratio(t_flow / t_mpi)]);
+    t.row(&["constant (no contention)".into(), secs(t_const), ratio(t_const / t_mpi)]);
+    out.push_str(&t.render());
+
+    // 2. Collective decomposition, on the allreduce-heavy CG benchmark
+    // (two reductions per inner iteration).
+    let cg = CgConfig::new(Class::A, nproc).with_niter(3);
+    let cg_trace = npb::program_trace(&cg.program(), nproc);
+    let t_bino = replay_trace(&cg_trace, nproc, &base, None);
+    let t_flat = replay_trace(
+        &cg_trace,
+        nproc,
+        &ReplayConfig { algo: CollectiveAlgo::Flat, ..base.clone() },
+        None,
+    );
+    let mut t = Table::new(&["collectives (CG A x 64)", "simulated (s)", "vs binomial"]);
+    t.row(&["binomial tree".into(), secs(t_bino), ratio(1.0)]);
+    t.row(&["flat tree".into(), secs(t_flat), ratio(t_flat / t_bino)]);
+    out.push('\n');
+    out.push_str(&t.render());
+
+    // 3. Eager threshold.
+    let mut t = Table::new(&["eager threshold", "simulated (s)", "vs 64KiB"]);
+    let variants = [
+        ("0 (all rendezvous)", 0.0),
+        ("64 KiB (default)", 65536.0),
+        ("inf (all buffered)", f64::INFINITY),
+    ];
+    let times: Vec<f64> = variants
+        .iter()
+        .map(|&(_, thresh)| {
+            let mut net = NetworkConfig::mpi_cluster();
+            net.eager_threshold = thresh;
+            replay_lu(nproc, scale, &ReplayConfig { network: net, ..base.clone() }, None)
+        })
+        .collect();
+    let t64 = times[1];
+    for ((label, _), time) in variants.iter().zip(&times) {
+        t.row(&[(*label).into(), secs(*time), ratio(time / t64)]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    // 4. Calibrated rate vs nominal power.
+    let calibrated = crate::experiments::fig8::calibrate(nproc);
+    let t_cal = replay_lu(nproc, scale, &base, Some(calibrated));
+    let t_nom = replay_lu(nproc, scale, &base, None);
+    let mut t = Table::new(&["flop rate", "value", "simulated (s)"]);
+    t.row(&["calibrated (paper's procedure)".into(), format!("{calibrated:.3e}"), secs(t_cal)]);
+    t.row(&["nominal platform power".into(), format!("{:.3e}", presets::BORDEREAU_POWER), secs(t_nom)]);
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}

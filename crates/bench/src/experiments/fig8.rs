@@ -1,0 +1,121 @@
+//! Figure 8: accuracy of the time-independent trace replay — simulated
+//! vs actual execution time for LU classes B and C on the bordereau
+//! cluster (8–64 processes).
+//!
+//! "Actual" is the emulated (uninstrumented) run on the bordereau host
+//! model — the stand-in for the real cluster. "Simulated" follows the
+//! paper's procedure: calibrate a *single average flop rate* from a
+//! small instrumented instance (Section 5), instantiate the platform
+//! file with it, and replay the time-independent trace.
+//!
+//! Reproduced claims (Section 6.4): the replay predicts the correct
+//! trend of the execution time, but the local relative error is not
+//! constant and can be large (the paper reports up to 51.5 % for class
+//! B on 64 processes), principally because the application's flop rate
+//! is not constant while the calibration averages it — and because MPI
+//! software costs are not part of the replay's network model.
+
+use crate::table::{ratio, secs, Table};
+use mpi_emul::acquisition::{run_uninstrumented, AcquisitionMode};
+use mpi_emul::runtime::EmulConfig;
+use npb::{Class, LuConfig};
+use simkern::resource::HostId;
+use tit_calibrate::floprate::calibrate_flop_rate;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::presets;
+use tit_replay::{replay_memory, ReplayConfig};
+
+/// One accuracy point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    pub class: Class,
+    pub nproc: usize,
+    pub actual: f64,
+    pub simulated: f64,
+}
+
+impl Point {
+    pub fn error_pct(&self) -> f64 {
+        100.0 * (self.simulated - self.actual).abs() / self.actual
+    }
+}
+
+/// Calibrates the average LU flop rate the paper's way: a small
+/// instrumented instance (class W, 2 iterations) on the target
+/// platform, five runs averaged.
+pub fn calibrate(nproc: usize) -> f64 {
+    let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
+    let small = LuConfig::new(Class::W, nproc).with_itmax(2);
+    let cal = calibrate_flop_rate(&small.program(), nproc, &desc, &EmulConfig::default(), 5)
+        .expect("calibration failed");
+    cal.rate
+}
+
+/// Measures one (class, nproc) accuracy point at `scale`.
+pub fn measure(class: Class, nproc: usize, scale: f64, calibrated_rate: f64) -> Point {
+    let lu = crate::lu_instance(class, nproc, scale);
+    // Actual: emulated run on the real-platform model (per-kernel rates,
+    // MPI software costs).
+    let actual = run_uninstrumented(
+        &lu.program(),
+        nproc,
+        AcquisitionMode::Regular,
+        &EmulConfig::default(),
+    )
+    .expect("emulated run failed");
+    // Simulated: replay the time-independent trace on the calibrated
+    // platform (single average rate, pure network model).
+    let trace = npb::program_trace(&lu.program(), nproc);
+    let mut spec = presets::bordereau_one_core(nproc);
+    spec.power = calibrated_rate;
+    let platform = PlatformDesc::single(spec).build();
+    let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+    let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default());
+    Point { class, nproc, actual, simulated: out.simulated_time }
+}
+
+/// Runs the full Figure 8 sweep.
+pub fn run(scale: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 8 — simulated vs actual LU execution time on bordereau (scale {scale})\n"
+    ));
+    out.push_str("(seconds extrapolated to the full itmax; error is scale-invariant)\n\n");
+    let mut t = Table::new(&[
+        "class/procs",
+        "calibrated rate",
+        "actual (s)",
+        "simulated (s)",
+        "error %",
+    ]);
+    let mut worst: f64 = 0.0;
+    let mut trend_ok = true;
+    for class in [Class::B, Class::C] {
+        let mut last_actual = f64::INFINITY;
+        let extra = crate::extrapolation(class, scale);
+        for nproc in [8usize, 16, 32, 64] {
+            let rate = calibrate(nproc);
+            let p = measure(class, nproc, scale, rate);
+            worst = worst.max(p.error_pct());
+            // Trend: both series must decrease with more processes.
+            trend_ok &= p.actual < last_actual;
+            last_actual = p.actual;
+            t.row(&[
+                format!("{} / {}", class, nproc),
+                format!("{rate:.3e}"),
+                secs(p.actual * extra),
+                secs(p.simulated * extra),
+                ratio(p.error_pct()),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\ncorrect trend (times fall as processes grow): {}\n",
+        if trend_ok { "yes" } else { "NO" }
+    ));
+    out.push_str(&format!(
+        "largest relative error: {worst:.1}% (paper: up to 51.5%, class B / 64)\n"
+    ));
+    out
+}

@@ -1,0 +1,85 @@
+//! Figure 9: evolution of the trace replay time with the number of
+//! processes (LU classes B and C).
+//!
+//! The paper replays on one bordereau node and observes that the replay
+//! time is "directly related to the number of actions in the traces"
+//! (Table 3's counts) — i.e. wall time grows roughly linearly in actions.
+//! Their MSG-based prototype pays a context switch per action; our
+//! state-machine actors avoid that (one of the two fixes the paper's
+//! Section 6.6 proposes), so absolute times are far smaller, but the
+//! linear-in-actions shape is the reproduced claim.
+
+use crate::table::{millions, Table};
+use npb::Class;
+use simkern::resource::HostId;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::presets;
+use tit_replay::{replay_memory, ReplayConfig};
+
+/// One measurement point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    pub class: Class,
+    pub nproc: usize,
+    pub actions: u64,
+    /// Replay wall-clock, seconds.
+    pub wall: f64,
+    /// Simulated time produced (sanity).
+    pub simulated: f64,
+}
+
+/// Replays LU `class`×`nproc` at `scale` and measures the wall time.
+pub fn measure(class: Class, nproc: usize, scale: f64) -> Point {
+    let lu = crate::lu_instance(class, nproc, scale);
+    let trace = npb::program_trace(&lu.program(), nproc);
+    let platform = PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
+    let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+    let cfg = ReplayConfig::default();
+    let out = replay_memory(&trace, platform, &hosts, &cfg);
+    Point {
+        class,
+        nproc,
+        actions: out.actions_replayed,
+        wall: out.wall_time.as_secs_f64(),
+        simulated: out.simulated_time,
+    }
+}
+
+/// Runs the full Figure 9 sweep.
+pub fn run(scale: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 9 — replay time vs number of processes (scale {scale}, itmax B/C = {}/{})\n\n",
+        crate::scaled_itmax(Class::B, scale),
+        crate::scaled_itmax(Class::C, scale)
+    ));
+    let mut t = Table::new(&[
+        "class", "procs", "actions(M)", "replay wall (s)", "wall/action (us)", "simulated (s)",
+    ]);
+    let mut points = Vec::new();
+    for class in [Class::B, Class::C] {
+        for nproc in [8usize, 16, 32, 64] {
+            let p = measure(class, nproc, scale);
+            t.row(&[
+                class.name().into(),
+                nproc.to_string(),
+                millions(p.actions as f64),
+                format!("{:.2}", p.wall),
+                format!("{:.2}", p.wall / p.actions as f64 * 1e6),
+                format!("{:.2}", p.simulated),
+            ]);
+            points.push(p);
+        }
+    }
+    out.push_str(&t.render());
+    // The reproduced claim: wall time ~ linear in action count.
+    let per_action: Vec<f64> =
+        points.iter().map(|p| p.wall / p.actions as f64).collect();
+    let min = per_action.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_action.iter().copied().fold(0.0, f64::max);
+    out.push_str(&format!(
+        "\nper-action cost spread: {:.2}x (linear-in-actions holds when small)\n",
+        max / min
+    ));
+    out
+}

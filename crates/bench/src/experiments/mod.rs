@@ -1,0 +1,9 @@
+//! One module per exhibit of the paper's evaluation.
+
+pub mod ablations;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod largetrace;
+pub mod table2;
+pub mod table3;

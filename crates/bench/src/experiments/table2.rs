@@ -1,0 +1,130 @@
+//! Table 2: execution time of the instrumented LU benchmark (64
+//! processes) under each acquisition mode, and the ratio to Regular
+//! mode.
+//!
+//! The paper's measured ratios (bordereau + gdx, one core per node):
+//!
+//! ```text
+//! mode     R    F-2   F-4   F-8   F-16   F-32   S-2  SF-(2,2) SF-(2,4) SF-(2,8) SF-(2,16)
+//! B     1.00   2.55  4.28  8.64  16.75  33.25  1.81      3.82     6.47    13.37     24.39
+//! C     1.00   2.22  4.13  7.79  15.14  31.79  1.48      3.67     7.30    13.37     24.97
+//! ```
+//!
+//! Shape to reproduce: folding costs ≈ the folding factor (slightly
+//! more, because the wavefront pipeline also serialises); scattering
+//! costs well under 2× (WAN latency + the slower gdx cluster); the
+//! combined modes multiply both effects.
+
+use crate::table::{ratio, secs, Table};
+use mpi_emul::acquisition::{run_instrumented_discard, AcquisitionMode};
+use mpi_emul::runtime::EmulConfig;
+use npb::Class;
+
+/// The Table 2 mode list.
+pub fn modes() -> Vec<AcquisitionMode> {
+    use AcquisitionMode as M;
+    vec![
+        M::Regular,
+        M::Folding(2),
+        M::Folding(4),
+        M::Folding(8),
+        M::Folding(16),
+        M::Folding(32),
+        M::Scattering(2),
+        M::ScatterFold(2, 2),
+        M::ScatterFold(2, 4),
+        M::ScatterFold(2, 8),
+        M::ScatterFold(2, 16),
+    ]
+}
+
+/// Paper ratios for side-by-side comparison, keyed by mode label.
+pub fn paper_ratios(class: Class) -> Vec<(&'static str, f64)> {
+    match class {
+        Class::B => vec![
+            ("R", 1.0),
+            ("F-2", 2.55),
+            ("F-4", 4.28),
+            ("F-8", 8.64),
+            ("F-16", 16.75),
+            ("F-32", 33.25),
+            ("S-2", 1.81),
+            ("SF-(2,2)", 3.82),
+            ("SF-(2,4)", 6.47),
+            ("SF-(2,8)", 13.37),
+            ("SF-(2,16)", 24.39),
+        ],
+        Class::C => vec![
+            ("R", 1.0),
+            ("F-2", 2.22),
+            ("F-4", 4.13),
+            ("F-8", 7.79),
+            ("F-16", 15.14),
+            ("F-32", 31.79),
+            ("S-2", 1.48),
+            ("SF-(2,2)", 3.67),
+            ("SF-(2,4)", 7.30),
+            ("SF-(2,8)", 13.37),
+            ("SF-(2,16)", 24.97),
+        ],
+        _ => vec![],
+    }
+}
+
+/// One class's sweep: (mode, exec time, ratio to Regular).
+pub fn sweep(class: Class, nproc: usize, scale: f64) -> Vec<(AcquisitionMode, f64, f64)> {
+    let lu = crate::lu_instance(class, nproc, scale);
+    let cfg = EmulConfig::default();
+    let mut rows = Vec::new();
+    let mut regular = 0.0;
+    for mode in modes() {
+        let t = run_instrumented_discard(&lu.program(), nproc, mode, &cfg)
+            .expect("emulated acquisition failed");
+        if mode == AcquisitionMode::Regular {
+            regular = t;
+        }
+        rows.push((mode, t, t / regular));
+    }
+    rows
+}
+
+/// Runs the full Table 2 reproduction.
+pub fn run(scale: f64) -> String {
+    let nproc = 64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 2 — instrumented LU execution time by acquisition mode (64 processes, scale {scale})\n"
+    ));
+    out.push_str("(execution times are simulated host-platform seconds at the scaled itmax;\n");
+    out.push_str(" 'x itmax' extrapolates to the full iteration count; ratios are scale-invariant)\n");
+    for class in [Class::B, Class::C] {
+        let extra = crate::extrapolation(class, scale);
+        let rows = sweep(class, nproc, scale);
+        let paper = paper_ratios(class);
+        let mut t = Table::new(&[
+            "mode",
+            "nodes",
+            "exec (s)",
+            "exec x itmax (s)",
+            "ratio",
+            "paper ratio",
+        ]);
+        for ((mode, time, r), (plabel, pratio)) in rows.iter().zip(paper.iter()) {
+            assert_eq!(&mode.label(), plabel);
+            t.row(&[
+                mode.label(),
+                mode.nodes_needed(nproc).to_string(),
+                secs(*time),
+                secs(*time * extra),
+                ratio(*r),
+                ratio(*pratio),
+            ]);
+        }
+        out.push_str(&format!(
+            "\nClass {class} (itmax {}):\n",
+            crate::scaled_itmax(class, scale)
+        ));
+        out.push_str(&t.render());
+    }
+    out
+}

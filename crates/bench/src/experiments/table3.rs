@@ -1,0 +1,113 @@
+//! Table 3: sizes of TAU and time-independent traces, and action counts,
+//! for LU classes B and C on 8–64 processes.
+//!
+//! Paper values (full itmax):
+//!
+//! ```text
+//! class procs  TAU(MiB)  TI(MiB)  ratio  actions(M)
+//! B     8         320.2     29.9  10.71        2.03
+//! B     16        716.5     72.6   9.87        4.87
+//! B     32       1509.0    161.3   9.36       10.55
+//! B     64       3166.1    344.9   9.18       22.73
+//! C     8         508.2     48.4  10.50        3.23
+//! C     16       1136.5    117.0   9.71        7.75
+//! C     32       2393.0    256.8   9.32       16.79
+//! C     64       5026.1    552.5   9.10       36.17
+//! ```
+//!
+//! Shapes to reproduce: the TI trace ≈ 10× smaller than TAU's, a ratio
+//! slightly decreasing with the process count; both sizes linear in the
+//! process count and in the class's action count.
+
+use crate::table::{millions, ratio, Table};
+use mpi_emul::acquisition::{acquire, AcquisitionMode};
+use mpi_emul::runtime::EmulConfig;
+use npb::Class;
+use tit_extract::tau2ti;
+
+/// One instance's measured sizes (bytes, at the scaled itmax).
+#[derive(Debug, Clone, Copy)]
+pub struct Sizes {
+    pub class: Class,
+    pub nproc: usize,
+    pub tau_bytes: u64,
+    pub ti_bytes: u64,
+    pub actions: u64,
+}
+
+/// Paper rows for side-by-side printing: (class, procs, tau, ti, actions).
+pub fn paper_rows() -> Vec<(Class, usize, f64, f64, f64)> {
+    vec![
+        (Class::B, 8, 320.2, 29.9, 2.03),
+        (Class::B, 16, 716.5, 72.6, 4.87),
+        (Class::B, 32, 1509.0, 161.3, 10.55),
+        (Class::B, 64, 3166.1, 344.9, 22.73),
+        (Class::C, 8, 508.2, 48.4, 3.23),
+        (Class::C, 16, 1136.5, 117.0, 7.75),
+        (Class::C, 32, 2393.0, 256.8, 16.79),
+        (Class::C, 64, 5026.1, 552.5, 36.17),
+    ]
+}
+
+/// Acquires + extracts one instance, measuring real file sizes, then
+/// removes the work files.
+pub fn measure(class: Class, nproc: usize, scale: f64) -> Sizes {
+    let dir = crate::scratch_dir(&format!("table3-{}-{}", class.name(), nproc));
+    let tau_dir = dir.join("tau");
+    let ti_dir = dir.join("ti");
+    let lu = crate::lu_instance(class, nproc, scale);
+    let cfg = EmulConfig::default();
+    let acq = acquire(&lu.program(), nproc, AcquisitionMode::Regular, &cfg, &tau_dir)
+        .expect("acquisition failed");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let stats = tau2ti(&tau_dir, nproc, &ti_dir, threads).expect("extraction failed");
+    let sizes = Sizes {
+        class,
+        nproc,
+        tau_bytes: acq.tau_bytes,
+        ti_bytes: stats.ti_bytes,
+        actions: stats.actions_written,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    sizes
+}
+
+/// Runs the full Table 3 reproduction.
+pub fn run(scale: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 3 — TAU vs time-independent trace sizes and action counts (scale {scale})\n"
+    ));
+    out.push_str("(sizes measured on disk at the scaled itmax, extrapolated linearly to full itmax;\n");
+    out.push_str(" the TAU/TI ratio is scale-invariant)\n\n");
+    let mut t = Table::new(&[
+        "class/procs",
+        "TAU (MiB)",
+        "TI (MiB)",
+        "ratio",
+        "actions (M)",
+        "paper TAU",
+        "paper TI",
+        "paper ratio",
+        "paper actions",
+    ]);
+    for (class, nproc, p_tau, p_ti, p_act) in paper_rows() {
+        let s = measure(class, nproc, scale);
+        let extra = crate::extrapolation(class, scale);
+        let tau = s.tau_bytes as f64 * extra;
+        let ti = s.ti_bytes as f64 * extra;
+        t.row(&[
+            format!("{} / {}", class, nproc),
+            crate::table::mib(tau),
+            crate::table::mib(ti),
+            ratio(s.tau_bytes as f64 / s.ti_bytes as f64),
+            millions(s.actions as f64 * extra),
+            format!("{p_tau:.1}"),
+            format!("{p_ti:.1}"),
+            ratio(p_tau / p_ti),
+            format!("{p_act:.2}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}

@@ -1,0 +1,88 @@
+//! `tit-bench` — experiment harness regenerating every table and figure
+//! of the paper's evaluation (Section 6), plus ablations.
+//!
+//! One module per exhibit; the `src/bin/*` binaries are thin wrappers.
+//! Every experiment takes a `scale` in `(0, 1]` multiplying the LU
+//! iteration count (`itmax`): trace sizes, action counts and execution
+//! times are linear in `itmax`, so results are reported both at scale
+//! and extrapolated to the paper's full iteration counts. The defaults
+//! keep a full run tractable on one core.
+//!
+//! | Module | Exhibit |
+//! |--------|---------|
+//! | [`experiments::table2`] | acquisition-mode overhead |
+//! | [`experiments::table3`] | trace sizes and action counts |
+//! | [`experiments::fig7`]   | acquisition-time breakdown |
+//! | [`experiments::fig8`]   | replay accuracy |
+//! | [`experiments::fig9`]   | replay (simulation) time |
+//! | [`experiments::largetrace`] | §6.5 class D × 1024 |
+//! | [`experiments::ablations`]  | design-choice ablations |
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+use npb::{Class, LuConfig};
+
+/// Scales a class's iteration count; minimum 2 so start-up effects do
+/// not dominate.
+pub fn scaled_itmax(class: Class, scale: f64) -> usize {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    ((class.itmax() as f64 * scale).round() as usize).max(2)
+}
+
+/// An LU instance at the given scale.
+pub fn lu_instance(class: Class, nproc: usize, scale: f64) -> LuConfig {
+    LuConfig::new(class, nproc).with_itmax(scaled_itmax(class, scale))
+}
+
+/// Extrapolation factor from a scaled run to the paper's full run.
+pub fn extrapolation(class: Class, scale: f64) -> f64 {
+    class.itmax() as f64 / scaled_itmax(class, scale) as f64
+}
+
+/// A scratch directory under the target dir (so `cargo clean` removes
+/// experiment residue), cleaned on creation.
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("experiments")
+    .join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Reads `--scale` (default `default`) from raw program args.
+pub fn scale_from_args(default: f64) -> f64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next() {
+                return v.parse().expect("bad --scale value");
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_linear_with_floor() {
+        assert_eq!(scaled_itmax(Class::B, 1.0), 250);
+        assert_eq!(scaled_itmax(Class::B, 0.1), 25);
+        assert_eq!(scaled_itmax(Class::B, 0.001), 2);
+        assert!((extrapolation(Class::B, 0.1) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        scaled_itmax(Class::B, 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple right-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                if i == 0 {
+                    // First column left-aligned.
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with 2 decimals.
+pub fn secs(t: f64) -> String {
+    format!("{t:.2}")
+}
+
+/// Formats a ratio with 2 decimals.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Formats MiB with 1 decimal.
+pub fn mib(bytes: f64) -> String {
+    format!("{:.1}", bytes / (1024.0 * 1024.0))
+}
+
+/// Formats an action count in millions.
+pub fn millions(n: f64) -> String {
+    format!("{:.2}", n / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["mode", "time", "ratio"]);
+        t.row(&["R".into(), "20.73".into(), "1.00".into()]);
+        t.row(&["F-32".into(), "689.18".into(), "33.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("mode"));
+        assert!(lines[2].ends_with("1.00"));
+        // All rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn wrong_row_width_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.005), "1.00");
+        assert_eq!(mib(1024.0 * 1024.0 * 3.0), "3.0");
+        assert_eq!(millions(2.03e6), "2.03");
+    }
+}

@@ -1,0 +1,137 @@
+//! Flop-rate calibration (Section 5, last paragraphs).
+//!
+//! The procedure the paper describes, applied to the emulated platform:
+//! run a *small instrumented instance* of the target application,
+//! measure per compute action the number of flops and the time spent,
+//! derive per-action rates, take a work-weighted average per process,
+//! average across the process set, and repeat five times to smooth
+//! run-to-run variation. The resulting single rate instantiates the
+//! `power` attribute of the platform file — and its averaging is exactly
+//! why replay accuracy suffers when the application's rate is not
+//! constant (Section 6.4).
+
+use mpi_emul::ops::OpStream;
+use mpi_emul::runtime::{obs_tags, run_emulation_with_records, EmulConfig};
+use simkern::resource::HostId;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::Deployment;
+
+/// Result of the five-run calibration.
+#[derive(Debug, Clone)]
+pub struct FlopRateCalibration {
+    /// Weighted-average rate of each run, flop/s.
+    pub per_run: Vec<f64>,
+    /// Final calibrated rate (mean of the runs).
+    pub rate: f64,
+}
+
+/// Calibrates the application flop rate on `desc` using the (small)
+/// instance produced by `program`. Performs `runs` runs with distinct
+/// seeds, as the paper repeats the procedure five times.
+pub fn calibrate_flop_rate(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+    desc: &PlatformDesc,
+    cfg: &EmulConfig,
+    runs: usize,
+) -> std::io::Result<FlopRateCalibration> {
+    assert!(runs >= 1);
+    let mut per_run = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let platform = desc.build();
+        let dep = Deployment::round_robin(&desc.host_names(), nproc);
+        let hosts: Vec<HostId> = dep.host_ids(&platform);
+        let streams: Vec<Box<dyn OpStream>> =
+            (0..nproc).map(|r| program(r, nproc)).collect();
+        let mut cfg = cfg.clone();
+        cfg.instrument = false;
+        cfg.seed = cfg.seed.wrapping_add(run as u64 + 1);
+        let (_, records) =
+            run_emulation_with_records(streams, platform, &hosts, &cfg, None)?;
+        // Work-weighted average per process: total flops / total time.
+        let mut per_proc: std::collections::HashMap<usize, (f64, f64)> =
+            std::collections::HashMap::new();
+        for r in records.iter().filter(|r| r.tag == obs_tags::COMPUTE) {
+            let dt = r.end - r.start;
+            if dt > 0.0 && r.volume > 0.0 {
+                let e = per_proc.entry(r.actor).or_insert((0.0, 0.0));
+                e.0 += r.volume;
+                e.1 += dt;
+            }
+        }
+        if per_proc.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "calibration run produced no compute actions",
+            ));
+        }
+        let mean_rate = per_proc.values().map(|&(v, t)| v / t).sum::<f64>()
+            / per_proc.len() as f64;
+        per_run.push(mean_rate);
+    }
+    let rate = per_run.iter().sum::<f64>() / per_run.len() as f64;
+    Ok(FlopRateCalibration { per_run, rate })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_emul::ops::{MpiOp, VecOpStream};
+    use npb::{Class, LuConfig};
+    use tit_platform::presets;
+
+    #[test]
+    fn uniform_program_recovers_platform_power() {
+        // A program running at full efficiency calibrates to the host
+        // speed.
+        let prog = |_r: usize, _n: usize| -> Box<dyn OpStream> {
+            Box::new(VecOpStream::new(vec![MpiOp::compute(1e8), MpiOp::compute(2e8)]))
+        };
+        let desc = PlatformDesc::single(presets::bordereau_one_core(2));
+        let cal =
+            calibrate_flop_rate(&prog, 2, &desc, &EmulConfig::default(), 5).unwrap();
+        assert_eq!(cal.per_run.len(), 5);
+        let rel = (cal.rate - presets::BORDEREAU_POWER).abs() / presets::BORDEREAU_POWER;
+        assert!(rel < 1e-6, "rate {} vs power {}", cal.rate, presets::BORDEREAU_POWER);
+    }
+
+    #[test]
+    fn mixed_efficiency_lands_between_kernel_rates() {
+        let prog = |_r: usize, _n: usize| -> Box<dyn OpStream> {
+            Box::new(VecOpStream::new(vec![
+                MpiOp::Compute { flops: 1e8, efficiency: 1.0 },
+                MpiOp::Compute { flops: 1e8, efficiency: 0.5 },
+            ]))
+        };
+        let desc = PlatformDesc::single(presets::bordereau_one_core(1));
+        let cal =
+            calibrate_flop_rate(&prog, 1, &desc, &EmulConfig::default(), 1).unwrap();
+        let p = presets::BORDEREAU_POWER;
+        assert!(cal.rate < p && cal.rate > 0.5 * p, "rate {}", cal.rate);
+    }
+
+    #[test]
+    fn lu_small_instance_calibrates_below_nominal() {
+        // LU's kernels run below the calibrated core speed, so the
+        // calibrated application rate is below the platform power.
+        let lu = LuConfig::new(Class::S, 4).with_itmax(2);
+        let desc = PlatformDesc::single(presets::bordereau_one_core(4));
+        let cal = calibrate_flop_rate(&lu.program(), 4, &desc, &EmulConfig::default(), 3)
+            .unwrap();
+        assert!(cal.rate < presets::BORDEREAU_POWER);
+        assert!(cal.rate > 0.5 * presets::BORDEREAU_POWER);
+    }
+
+    #[test]
+    fn pure_communication_program_errors() {
+        let prog = |r: usize, _n: usize| -> Box<dyn OpStream> {
+            Box::new(VecOpStream::new(if r == 0 {
+                vec![MpiOp::Send { dst: 1, bytes: 8.0 }]
+            } else {
+                vec![MpiOp::Recv { src: 0, bytes: 8.0 }]
+            }))
+        };
+        let desc = PlatformDesc::single(presets::bordereau_one_core(2));
+        assert!(calibrate_flop_rate(&prog, 2, &desc, &EmulConfig::default(), 1).is_err());
+    }
+}

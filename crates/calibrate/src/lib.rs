@@ -1,0 +1,27 @@
+//! `tit-calibrate` — instantiating the platform file with pertinent
+//! values.
+//!
+//! "An essential step to make accurate performance predictions through
+//! trace replay is the calibration of the simulation framework"
+//! (Section 5). Three procedures, matching the paper's:
+//!
+//! * [`floprate`] — the CPU power: a small instrumented instance of the
+//!   target application is run on the platform to describe, the flop
+//!   rate of each compute action is derived, a weighted average is taken
+//!   per process and over the process set, and the result is averaged
+//!   over five runs;
+//! * [`pingpong`] — the link latency: a SKaMPI-style
+//!   `Pingpong_Send_Recv` experiment; the 1-byte round-trip time is
+//!   divided by six (two for the one-way trip, three for the two links
+//!   plus switch of a cluster path);
+//! * [`piecewise`] — the MPI model: least-squares fit of the per-segment
+//!   latency/bandwidth correction factors of the 3-segment
+//!   piece-wise-linear model against the ping-pong data.
+
+pub mod floprate;
+pub mod pingpong;
+pub mod piecewise;
+
+pub use floprate::{calibrate_flop_rate, FlopRateCalibration};
+pub use pingpong::{pingpong_samples, PingPongSample};
+pub use piecewise::{fit_piecewise, FitReport};

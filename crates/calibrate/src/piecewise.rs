@@ -1,0 +1,186 @@
+//! Fitting the 3-segment piece-wise-linear MPI model.
+//!
+//! "SimGrid provides a Python script that takes as input the latency and
+//! bandwidth [...], the output of the SKaMPI run, and the number of links
+//! connecting the two nodes [...]. Then this script determines the
+//! latency and bandwidth correction factors that lead to a best-fit of
+//! the experimental data for each segment of this piece-wise linear
+//! model." (Section 5.)
+//!
+//! For each candidate pair of segment boundaries, a least-squares line
+//! `t(s) = a + b·s` is fitted on the one-way times of each segment;
+//! `a = lat_factor × L` and `b = 1 / (bw_factor × B)` give the factors.
+//! The boundary pair minimising the total squared error wins.
+
+use crate::pingpong::PingPongSample;
+use simkern::netmodel::{PiecewiseModel, Segment};
+
+/// Outcome of the fit.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    pub model: PiecewiseModel,
+    /// Sum of squared residuals of the winning fit.
+    pub sse: f64,
+    /// The boundaries that won the grid search.
+    pub boundaries: (f64, f64),
+}
+
+/// Least squares on `(s, t)` points → `(intercept, slope, sse)`.
+fn linfit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        // Degenerate segment: horizontal line through the single point.
+        let t = points.first().map(|p| p.1).unwrap_or(0.0);
+        return (t, 0.0, 0.0);
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let slope = if denom.abs() < 1e-30 { 0.0 } else { (n * sxy - sx * sy) / denom };
+    let intercept = (sy - slope * sx) / n;
+    let sse = points
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    (intercept, slope, sse)
+}
+
+fn factors_from_line(intercept: f64, slope: f64, base_lat: f64, base_bw: f64) -> (f64, f64) {
+    let lat_factor = (intercept / base_lat).clamp(1e-3, 1e3);
+    let bw_factor = if slope > 0.0 { (1.0 / (slope * base_bw)).clamp(1e-3, 10.0) } else { 1.0 };
+    (lat_factor, bw_factor)
+}
+
+/// Fits a 3-segment model to one-way ping-pong times.
+///
+/// * `base_lat` — the route's physical one-way latency (sum of hops,
+///   i.e. `hops × link latency`);
+/// * `base_bw` — the route's bottleneck bandwidth.
+pub fn fit_piecewise(samples: &[PingPongSample], base_lat: f64, base_bw: f64) -> FitReport {
+    assert!(samples.len() >= 6, "need enough samples to fit 3 segments");
+    assert!(base_lat > 0.0 && base_bw > 0.0);
+    let pts: Vec<(f64, f64)> = samples.iter().map(|s| (s.bytes, s.one_way)).collect();
+
+    // Candidate boundaries: the sample sizes themselves.
+    let mut sizes: Vec<f64> = pts.iter().map(|p| p.0).collect();
+    sizes.sort_by(f64::total_cmp);
+    sizes.dedup();
+
+    let mut best: Option<(f64, (f64, f64), PiecewiseModel)> = None;
+    for (i, &b1) in sizes.iter().enumerate().skip(2) {
+        for &b2 in sizes.iter().skip(i + 2) {
+            if b2 <= b1 {
+                continue;
+            }
+            let seg1: Vec<_> = pts.iter().copied().filter(|p| p.0 < b1).collect();
+            let seg2: Vec<_> =
+                pts.iter().copied().filter(|p| p.0 >= b1 && p.0 < b2).collect();
+            let seg3: Vec<_> = pts.iter().copied().filter(|p| p.0 >= b2).collect();
+            if seg1.len() < 2 || seg2.len() < 2 || seg3.len() < 2 {
+                continue;
+            }
+            let mut sse = 0.0;
+            let mut segs = Vec::with_capacity(3);
+            for (points, max_size) in
+                [(&seg1, b1), (&seg2, b2), (&seg3, f64::INFINITY)]
+            {
+                let (a, b, e) = linfit(points);
+                sse += e;
+                let (lat_factor, bw_factor) = factors_from_line(a, b, base_lat, base_bw);
+                segs.push(Segment { max_size, lat_factor, bw_factor });
+            }
+            if best.as_ref().map(|(s, _, _)| sse < *s).unwrap_or(true) {
+                best = Some((sse, (b1, b2), PiecewiseModel::new(segs)));
+            }
+        }
+    }
+    let (sse, boundaries, model) = best.expect("no admissible boundary pair");
+    FitReport { model, sse, boundaries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesises one-way times from a known piecewise ground truth.
+    fn synth(model: &PiecewiseModel, base_lat: f64, base_bw: f64, sizes: &[f64]) -> Vec<PingPongSample> {
+        sizes
+            .iter()
+            .map(|&bytes| {
+                let (lf, bf) = model.factors(bytes);
+                let one_way = lf * base_lat + bytes / (bf * base_bw);
+                PingPongSample { bytes, rtt: 2.0 * one_way, one_way }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linfit_recovers_a_line() {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b, sse) = linfit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!(sse < 1e-12);
+    }
+
+    #[test]
+    fn fit_recovers_known_factors() {
+        let truth = PiecewiseModel::new(vec![
+            Segment { max_size: 1420.0, lat_factor: 1.0, bw_factor: 0.42 },
+            Segment { max_size: 65536.0, lat_factor: 1.9, bw_factor: 0.90 },
+            Segment { max_size: f64::INFINITY, lat_factor: 2.2, bw_factor: 0.975 },
+        ]);
+        let base_lat = 3.0 * 16.67e-6;
+        let base_bw = 1.25e8;
+        let sizes = crate::pingpong::default_sizes();
+        let samples = synth(&truth, base_lat, base_bw, &sizes);
+        let fit = fit_piecewise(&samples, base_lat, base_bw);
+        // Bandwidth factors of the two large segments must be recovered
+        // tightly (they dominate the fit); the small-message latency
+        // factor within a factor of ~2 (few points, tiny values).
+        let got = fit.model.segments();
+        let want = truth.segments();
+        for (g, w) in got.iter().zip(want.iter()).skip(1) {
+            let rel_bw = (g.bw_factor - w.bw_factor).abs() / w.bw_factor;
+            assert!(rel_bw < 0.1, "bw factor {g:?} vs {w:?}");
+        }
+        // The fitted model predicts the data well overall.
+        for s in &samples {
+            let (lf, bf) = fit.model.factors(s.bytes);
+            let pred = lf * base_lat + s.bytes / (bf * base_bw);
+            let rel = (pred - s.one_way).abs() / s.one_way;
+            assert!(rel < 0.25, "size {}: pred {pred}, got {}", s.bytes, s.one_way);
+        }
+        assert_eq!(fit.model.num_parameters(), 8);
+    }
+
+    #[test]
+    fn fit_on_affine_data_is_near_identity() {
+        // Data from a plain affine model: factors should come out ≈ 1.
+        let truth = PiecewiseModel::identity();
+        let base_lat = 5e-5;
+        let base_bw = 1.25e8;
+        let sizes = crate::pingpong::default_sizes();
+        let samples = synth(&truth, base_lat, base_bw, &sizes);
+        let fit = fit_piecewise(&samples, base_lat, base_bw);
+        for seg in fit.model.segments() {
+            assert!((seg.bw_factor - 1.0).abs() < 0.1, "{seg:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enough samples")]
+    fn too_few_samples_panics() {
+        fit_piecewise(
+            &[PingPongSample { bytes: 1.0, rtt: 1.0, one_way: 0.5 }],
+            1e-5,
+            1e8,
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! SKaMPI-style `Pingpong_Send_Recv` (Section 5).
+//!
+//! Two processes on distinct nodes exchange messages of increasing sizes;
+//! for each size the round-trip time is measured. The paper derives the
+//! platform-file latency from the 1-byte ping-pong divided by **six**:
+//! ÷2 for the one-way trip, ÷3 because a cluster path crosses two links
+//! and one switch.
+
+use mpi_emul::ops::{MpiOp, OpStream, VecOpStream};
+use mpi_emul::runtime::{run_emulation_with_records, EmulConfig};
+use simkern::resource::HostId;
+use tit_platform::desc::PlatformDesc;
+
+/// One ping-pong measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingPongSample {
+    pub bytes: f64,
+    /// Round-trip time, seconds.
+    pub rtt: f64,
+    /// One-way time (`rtt / 2`).
+    pub one_way: f64,
+}
+
+/// The default SKaMPI-like size sweep: 1 B to 4 MiB, powers of two plus
+/// off-boundary probes.
+pub fn default_sizes() -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut s = 1.0f64;
+    while s <= 4.0 * 1024.0 * 1024.0 {
+        v.push(s);
+        v.push(s * 1.5);
+        s *= 2.0;
+    }
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// Runs the ping-pong between hosts 0 and 1 of `desc` for every size,
+/// `reps` exchanges per size (averaged).
+pub fn pingpong_samples(
+    desc: &PlatformDesc,
+    cfg: &EmulConfig,
+    sizes: &[f64],
+    reps: usize,
+) -> std::io::Result<Vec<PingPongSample>> {
+    assert!(desc.num_hosts() >= 2, "ping-pong needs two nodes");
+    assert!(reps >= 1);
+    let mut out = Vec::with_capacity(sizes.len());
+    for &bytes in sizes {
+        // One emulation per size: `reps` ping-pongs back to back.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..reps {
+            a.push(MpiOp::Send { dst: 1, bytes });
+            a.push(MpiOp::Recv { src: 1, bytes });
+            b.push(MpiOp::Recv { src: 0, bytes });
+            b.push(MpiOp::Send { dst: 0, bytes });
+        }
+        let streams: Vec<Box<dyn OpStream>> =
+            vec![Box::new(VecOpStream::new(a)), Box::new(VecOpStream::new(b))];
+        let platform = desc.build();
+        let hosts = [HostId(0), HostId(1)];
+        let mut cfg = cfg.clone();
+        cfg.instrument = false;
+        let (res, _) = run_emulation_with_records(streams, platform, &hosts, &cfg, None)?;
+        let rtt = res.exec_time / reps as f64;
+        out.push(PingPongSample { bytes, rtt, one_way: rtt / 2.0 });
+    }
+    Ok(out)
+}
+
+/// The paper's latency rule: 1-byte ping-pong time divided by `2 × hops`
+/// (6 for a flat cluster: two links + one switch).
+pub fn derive_link_latency(samples: &[PingPongSample], hops: usize) -> f64 {
+    let one_byte = samples
+        .iter()
+        .min_by(|x, y| x.bytes.total_cmp(&y.bytes))
+        .expect("no ping-pong samples");
+    one_byte.rtt / (2.0 * hops as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tit_platform::presets;
+
+    fn no_overhead() -> EmulConfig {
+        EmulConfig {
+            mpi_per_call: 0.0,
+            mpi_per_byte: 0.0,
+            network: simkern::netmodel::NetworkConfig::default(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn divide_by_six_recovers_the_link_latency() {
+        let desc = PlatformDesc::single(presets::bordereau_one_core(2));
+        let samples = pingpong_samples(&desc, &no_overhead(), &[1.0], 3).unwrap();
+        let lat = derive_link_latency(&samples, 3);
+        let expect = 16.67e-6;
+        let rel = (lat - expect).abs() / expect;
+        assert!(rel < 0.05, "derived {lat}, expected {expect}");
+    }
+
+    #[test]
+    fn rtt_grows_with_size() {
+        let desc = PlatformDesc::single(presets::bordereau_one_core(2));
+        let samples =
+            pingpong_samples(&desc, &no_overhead(), &[1.0, 1e4, 1e6], 1).unwrap();
+        assert!(samples[0].rtt < samples[1].rtt);
+        assert!(samples[1].rtt < samples[2].rtt);
+        // Large messages approach the bandwidth bound: 2×size/bw.
+        let asymptote = 2.0 * 1e6 / 1.25e8;
+        assert!(samples[2].rtt > asymptote * 0.95);
+    }
+
+    #[test]
+    fn default_sizes_cover_the_segments() {
+        let sizes = default_sizes();
+        assert!(sizes.iter().any(|&s| s < 1420.0));
+        assert!(sizes.iter().any(|&s| (1420.0..65536.0).contains(&s)));
+        assert!(sizes.iter().any(|&s| s > 65536.0));
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn reps_average_consistently() {
+        let desc = PlatformDesc::single(presets::bordereau_one_core(2));
+        let one = pingpong_samples(&desc, &no_overhead(), &[1024.0], 1).unwrap();
+        let many = pingpong_samples(&desc, &no_overhead(), &[1024.0], 5).unwrap();
+        let rel = (one[0].rtt - many[0].rtt).abs() / one[0].rtt;
+        assert!(rel < 1e-9, "deterministic kernel: {rel}");
+    }
+}

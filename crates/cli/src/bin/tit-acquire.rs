@@ -1,0 +1,84 @@
+//! Acquire TAU traces by running the emulated, instrumented application
+//! under an acquisition mode (Figure 2, steps 1-2).
+//!
+//! ```text
+//! tit-acquire --workload lu --class B --np 8 --mode F-4 --out tau_dir
+//!             [--itmax N] [--iters N (ring/stencil)] [--seed S]
+//! ```
+
+use mpi_emul::acquisition::acquire;
+use mpi_emul::runtime::EmulConfig;
+use npb::ring::RingConfig;
+use npb::stencil::StencilConfig;
+use npb::{Class, LuConfig};
+use std::path::PathBuf;
+use tit_cli::{parse_mode, Args};
+
+const USAGE: &str =
+    "tit-acquire --workload lu|ring|stencil --np N --out DIR [--class S..E] [--mode R|F-x|S-2|SF-2,v] [--itmax N] [--iters N] [--seed S]";
+
+fn main() {
+    let args = Args::from_env();
+    let workload = args.get_or("workload", "lu".to_string());
+    let np: usize = args.get_or("np", 4);
+    let out = PathBuf::from(args.require("out", USAGE));
+    let mode = match parse_mode(&args.get_or("mode", "R".to_string())) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = EmulConfig { seed: args.get_or("seed", 0xDE5Bu64), ..Default::default() };
+
+    let program: Box<dyn Fn(usize, usize) -> Box<dyn mpi_emul::OpStream>> =
+        match workload.as_str() {
+            "lu" => {
+                let class: Class = args.get_or("class", Class::S);
+                let mut lu = LuConfig::new(class, np);
+                if let Some(it) = args.get(&"itmax"[..]) {
+                    lu = lu.with_itmax(it.parse().expect("bad --itmax"));
+                }
+                Box::new(lu.program())
+            }
+            "ring" => {
+                let ring = RingConfig {
+                    nproc: np,
+                    iters: args.get_or("iters", 4),
+                    ..Default::default()
+                };
+                Box::new(ring.program())
+            }
+            "stencil" => {
+                let px = (np as f64).sqrt() as usize;
+                assert_eq!(px * px, np, "stencil needs a square process count");
+                let st = StencilConfig {
+                    px,
+                    py: px,
+                    iters: args.get_or("iters", 50),
+                    ..Default::default()
+                };
+                Box::new(st.program())
+            }
+            other => {
+                eprintln!("unknown workload {other:?}\nusage: {USAGE}");
+                std::process::exit(2);
+            }
+        };
+
+    match acquire(&program, np, mode, &cfg, &out) {
+        Ok(r) => {
+            println!("mode:            {}", r.mode.label());
+            println!("processes:       {}", r.nproc);
+            println!("nodes used:      {}", r.mode.nodes_needed(np));
+            println!("exec time (sim): {:.3} s", r.exec_time);
+            println!("program ops:     {}", r.ops);
+            println!("tau bytes:       {} ({:.2} MiB)", r.tau_bytes, r.tau_bytes as f64 / (1 << 20) as f64);
+            println!("tau dir:         {}", r.tau_dir.display());
+        }
+        Err(e) => {
+            eprintln!("acquisition failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! `tau2simgrid`: extract time-independent traces from TAU traces and
+//! gather them (Figure 2, steps 3-4).
+//!
+//! ```text
+//! tit-extract --tau TAU_DIR --np N --out TI_DIR [--threads T] [--bundle FILE] [--arity K]
+//! ```
+
+use std::path::PathBuf;
+use tit_cli::Args;
+use tit_extract::gather::{bundle, gather_plan};
+use tit_extract::tau2ti;
+
+const USAGE: &str =
+    "tit-extract --tau DIR --np N --out DIR [--threads T] [--bundle FILE] [--arity K] [--binary]";
+
+fn main() {
+    let args = Args::from_env();
+    let tau = PathBuf::from(args.require("tau", USAGE));
+    let np: usize = args.get_or("np", 0);
+    if np == 0 {
+        eprintln!("missing --np\nusage: {USAGE}");
+        std::process::exit(2);
+    }
+    let out = PathBuf::from(args.require("out", USAGE));
+    let threads: usize = args.get_or(
+        "threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+
+    let t0 = std::time::Instant::now();
+    let stats = match tau2ti(&tau, np, &out, threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("extraction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall = t0.elapsed();
+    println!("records read:     {}", stats.records_read);
+    println!("actions written:  {}", stats.actions_written);
+    println!("ti bytes:         {} ({:.2} MiB)", stats.ti_bytes, stats.ti_bytes as f64 / (1 << 20) as f64);
+    println!("extraction wall:  {:.3} s", wall.as_secs_f64());
+
+    // Optional binary form of the traces (the paper's future work).
+    if args.has_flag("binary") {
+        let bin_dir = out.join("binary");
+        match tit_core::binfmt::convert_dir(&out, &bin_dir, np) {
+            Ok((text_bytes, bin_bytes)) => println!(
+                "binary form:      {} bytes ({:.1}x smaller), in {}",
+                bin_bytes,
+                text_bytes as f64 / bin_bytes as f64,
+                bin_dir.display()
+            ),
+            Err(e) => {
+                eprintln!("binary conversion failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Gathering: physical bundle + modelled K-nomial schedule.
+    let arity: usize = args.get_or("arity", 4);
+    let files: Vec<PathBuf> =
+        (0..np).map(|r| out.join(tit_core::trace::process_trace_filename(r))).collect();
+    let sizes: Vec<f64> = files
+        .iter()
+        .map(|f| std::fs::metadata(f).map(|m| m.len() as f64).unwrap_or(0.0))
+        .collect();
+    let plan = gather_plan(&sizes, arity, 1.25e8, 5e-5);
+    println!("gather steps:     {} ({}-nomial tree)", plan.steps, arity);
+    println!("gather time (model): {:.3} s", plan.time);
+    if let Some(b) = args.get("bundle") {
+        let bpath = PathBuf::from(b);
+        match bundle(&files, &bpath) {
+            Ok(total) => println!("bundled {total} bytes into {}", bpath.display()),
+            Err(e) => {
+                eprintln!("bundling failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The trace replay tool: time-independent traces + platform +
+//! deployment → simulated execution time (Figure 4 of the paper).
+//!
+//! ```text
+//! tit-replay --trace-dir DIR --np N
+//!            [--platform platform.xml] [--deploy deploy.xml] [--nodes N]
+//!            [--collectives binomial|flat] [--network mpi|flow|constant]
+//!            [--timed-trace out.csv] [--profile]
+//! ```
+//!
+//! Without `--platform`, a bordereau-like cluster of `--nodes` (default
+//! `N`) single-core nodes is used; without `--deploy`, ranks map
+//! round-robin.
+
+use std::path::PathBuf;
+use tit_cli::Args;
+use tit_platform::deployment::Deployment;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::presets;
+use tit_replay::collectives::CollectiveAlgo;
+use tit_replay::{replay_files, ReplayConfig};
+
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--profile]";
+
+fn main() {
+    let args = Args::from_env();
+    let dir = PathBuf::from(args.require("trace-dir", USAGE));
+    let np: usize = args.get_or("np", 0);
+    if np == 0 {
+        eprintln!("missing --np\nusage: {USAGE}");
+        std::process::exit(2);
+    }
+
+    let desc = match args.get("platform") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read platform file {path:?}: {e}");
+                std::process::exit(1);
+            });
+            PlatformDesc::from_xml_str(&text).unwrap_or_else(|e| {
+                eprintln!("bad platform file: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => PlatformDesc::single(presets::bordereau_one_core(args.get_or("nodes", np))),
+    };
+    let platform = desc.build();
+    let deployment = match args.get("deploy") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read deployment file {path:?}: {e}");
+                std::process::exit(1);
+            });
+            Deployment::from_xml_str(&text).unwrap_or_else(|e| {
+                eprintln!("bad deployment file: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => Deployment::round_robin(&desc.host_names(), np),
+    };
+    let hosts = deployment.host_ids(&platform);
+
+    let algo = match args.get_or("collectives", "binomial".to_string()).as_str() {
+        "binomial" => CollectiveAlgo::Binomial,
+        "flat" => CollectiveAlgo::Flat,
+        other => {
+            eprintln!("unknown collective algorithm {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let network = match args.get_or("network", "mpi".to_string()).as_str() {
+        "mpi" => simkern::NetworkConfig::mpi_cluster(),
+        "flow" => simkern::NetworkConfig::default(),
+        "constant" => simkern::NetworkConfig::constant(),
+        other => {
+            eprintln!("unknown network model {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let want_records = args.get("timed-trace").is_some()
+        || args.get("paje").is_some()
+        || args.has_flag("profile");
+    let cfg = ReplayConfig { network, algo, collect_records: want_records };
+
+    let out = match replay_files(&dir, np, platform, &hosts, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("simulated time:   {:.6} s", out.simulated_time);
+    println!("actions replayed: {}", out.actions_replayed);
+    println!("simulation wall:  {:.3} s", out.wall_time.as_secs_f64());
+
+    if let Some(records) = &out.records {
+        if let Some(path) = args.get("timed-trace") {
+            let mut w = std::io::BufWriter::new(
+                std::fs::File::create(path).expect("cannot create timed-trace file"),
+            );
+            tit_replay::output::write_timed_trace(records, &mut w).expect("write timed trace");
+            println!("timed trace:      {path}");
+        }
+        if let Some(path) = args.get("paje") {
+            let mut w = std::io::BufWriter::new(
+                std::fs::File::create(path).expect("cannot create paje file"),
+            );
+            tit_replay::output::write_paje(records, np, out.simulated_time, &mut w)
+                .expect("write paje trace");
+            println!("paje trace:       {path}");
+        }
+        if args.has_flag("profile") {
+            let rows = tit_replay::output::profile(records, np);
+            print!("{}", tit_replay::output::format_profile(&rows));
+        }
+    }
+}

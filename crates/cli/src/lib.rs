@@ -1,0 +1,153 @@
+//! `tit-cli` — command-line front ends.
+//!
+//! * `tit-acquire` — run the emulated instrumented application under an
+//!   acquisition mode, producing TAU traces (Figure 2, steps 1-2).
+//! * `tit-extract` — `tau2simgrid`: TAU traces → time-independent traces
+//!   (step 3), plus the K-nomial gathering bundle (step 4).
+//! * `tit-replay` — the trace replay tool: traces + platform +
+//!   deployment → simulated time (Figure 4).
+//! * `tit-stats` — trace statistics and validation (Table 3's columns).
+//! * `tit-calibrate` — flop rate, ping-pong latency, piecewise fit
+//!   (Section 5's calibration).
+//!
+//! Argument parsing is a deliberately small `--key value` convention
+//! (no external dependency): [`Args`].
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` parser.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name). `--key value`
+    /// pairs, bare `--flag`s (followed by another `--` or end), and
+    /// positional values.
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().unwrap();
+                        out.values.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        out
+    }
+
+    /// From the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required string value or exit with a message.
+    pub fn require(&self, key: &str, usage: &str) -> String {
+        match self.get(key) {
+            Some(v) => v.to_string(),
+            None => {
+                eprintln!("missing --{key}\nusage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parsed value with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{key}: {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Parses a Table 2 mode label (`R`, `F-8`, `S-2`, `SF-2,8` or
+/// `SF-(2,8)`).
+pub fn parse_mode(s: &str) -> Result<mpi_emul::AcquisitionMode, String> {
+    use mpi_emul::AcquisitionMode as M;
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("r") {
+        return Ok(M::Regular);
+    }
+    if let Some(x) = s.strip_prefix("F-").or_else(|| s.strip_prefix("f-")) {
+        return x.parse().map(M::Folding).map_err(|_| format!("bad folding factor in {s:?}"));
+    }
+    if let Some(y) = s.strip_prefix("S-").or_else(|| s.strip_prefix("s-")) {
+        return y.parse().map(M::Scattering).map_err(|_| format!("bad site count in {s:?}"));
+    }
+    if let Some(rest) = s.strip_prefix("SF-").or_else(|| s.strip_prefix("sf-")) {
+        let rest = rest.trim_start_matches('(').trim_end_matches(')');
+        let (u, v) = rest.split_once(',').ok_or_else(|| format!("bad SF mode {s:?}"))?;
+        let u = u.trim().parse().map_err(|_| format!("bad site count in {s:?}"))?;
+        let v = v.trim().parse().map_err(|_| format!("bad folding factor in {s:?}"))?;
+        return Ok(M::ScatterFold(u, v));
+    }
+    Err(format!("unknown acquisition mode {s:?} (expected R, F-x, S-y, SF-u,v)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_emul::AcquisitionMode as M;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_pairs_flags_positionals() {
+        // A bare flag is one followed by another `--` option or the end;
+        // `--key value` pairs are greedy.
+        let a = args("file.trace --np 8 --validate --out dir");
+        assert_eq!(a.get("np"), Some("8"));
+        assert!(a.has_flag("validate"));
+        assert_eq!(a.get("out"), Some("dir"));
+        assert_eq!(a.positional(), &["file.trace".to_string()]);
+        assert_eq!(a.get_or("np", 0usize), 8);
+        assert_eq!(a.get_or("missing", 3usize), 3);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = args("--np 4 --profile");
+        assert!(a.has_flag("profile"));
+    }
+
+    #[test]
+    fn mode_labels_roundtrip() {
+        assert_eq!(parse_mode("R").unwrap(), M::Regular);
+        assert_eq!(parse_mode("F-8").unwrap(), M::Folding(8));
+        assert_eq!(parse_mode("S-2").unwrap(), M::Scattering(2));
+        assert_eq!(parse_mode("SF-2,16").unwrap(), M::ScatterFold(2, 16));
+        assert_eq!(parse_mode("SF-(2,4)").unwrap(), M::ScatterFold(2, 4));
+        assert!(parse_mode("Q-9").is_err());
+        for m in [M::Regular, M::Folding(2), M::Scattering(2), M::ScatterFold(2, 8)] {
+            assert_eq!(parse_mode(&m.label()).unwrap(), m);
+        }
+    }
+}

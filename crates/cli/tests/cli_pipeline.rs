@@ -1,0 +1,120 @@
+//! Drives the real command-line binaries through the full pipeline:
+//! acquire → extract → stats → replay → calibrate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin).args(args).output().expect("spawn binary");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn full_pipeline_through_the_binaries() {
+    let dir = std::env::temp_dir().join(format!("titr-clitest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let tau = dir.join("tau");
+    let ti = dir.join("ti");
+    let bundle = dir.join("traces.bundle");
+
+    // Acquire a small LU instance, folded.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-acquire"),
+        &[
+            "--workload", "lu", "--class", "S", "--np", "4", "--mode", "F-2",
+            "--itmax", "2", "--out", tau.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "tit-acquire failed:\n{text}");
+    assert!(text.contains("mode:            F-2"), "{text}");
+    assert!(tau.join("tautrace.3.0.0.trc").exists());
+
+    // Extract + bundle.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-extract"),
+        &[
+            "--tau", tau.to_str().unwrap(), "--np", "4",
+            "--out", ti.to_str().unwrap(), "--bundle", bundle.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "tit-extract failed:\n{text}");
+    assert!(text.contains("actions written"), "{text}");
+    assert!(ti.join("SG_process0.trace").exists());
+    assert!(bundle.exists());
+
+    // Stats + validation.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-stats"),
+        &["--trace-dir", ti.to_str().unwrap(), "--np", "4", "--compress", "--validate"],
+    );
+    assert!(ok, "tit-stats failed:\n{text}");
+    assert!(text.contains("validation:       OK"), "{text}");
+    assert!(text.contains("compressed:"), "{text}");
+
+    // Replay with profile, timed-trace and Paje outputs.
+    let timed = dir.join("timed.csv");
+    let paje = dir.join("trace.paje");
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-replay"),
+        &[
+            "--trace-dir", ti.to_str().unwrap(), "--np", "4", "--nodes", "4",
+            "--timed-trace", timed.to_str().unwrap(),
+            "--paje", paje.to_str().unwrap(), "--profile",
+        ],
+    );
+    assert!(ok, "tit-replay failed:\n{text}");
+    assert!(text.contains("simulated time:"), "{text}");
+    assert!(timed.exists());
+    let csv = std::fs::read_to_string(&timed).unwrap();
+    assert!(csv.starts_with("rank,action,start,end,volume"));
+    let paje_text = std::fs::read_to_string(&paje).unwrap();
+    assert!(paje_text.starts_with("%EventDef"));
+    assert!(paje_text.contains("PajeSetState"));
+
+    // tit-diff: the trace set equals itself.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-diff"),
+        &["--a", ti.to_str().unwrap(), "--b", ti.to_str().unwrap()],
+    );
+    assert!(ok, "tit-diff failed:\n{text}");
+    assert!(text.contains("IDENTICAL"), "{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replay_rejects_missing_traces() {
+    let missing = PathBuf::from("/definitely/not/here");
+    let (ok, _) = run(
+        env!("CARGO_BIN_EXE_tit-replay"),
+        &["--trace-dir", missing.to_str().unwrap(), "--np", "2"],
+    );
+    assert!(!ok, "missing traces must fail");
+}
+
+#[test]
+fn calibrate_prints_a_platform_snippet() {
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-calibrate"),
+        &["--np", "4", "--class", "S", "--runs", "2"],
+    );
+    assert!(ok, "tit-calibrate failed:\n{text}");
+    assert!(text.contains("calibrated power"), "{text}");
+    assert!(text.contains("<cluster"), "{text}");
+    assert!(text.contains("segment 3"), "{text}");
+}
+
+#[test]
+fn acquire_rejects_unknown_mode() {
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-acquire"),
+        &["--workload", "lu", "--np", "4", "--mode", "Q-3", "--out", "/tmp/x"],
+    );
+    assert!(!ok);
+    assert!(text.contains("unknown acquisition mode"), "{text}");
+}

@@ -1,0 +1,142 @@
+//! The time-independent action vocabulary (Table 1 of the paper).
+//!
+//! Each action is performed by one process and carries volumes instead of
+//! durations: flops for computations, bytes for communications. Collective
+//! operations are rooted at process 0 and involve the whole communicator
+//! whose size a prior `comm_size` action declared (the paper's prototype
+//! does not implement `MPI_Comm_split`).
+
+/// An MPI process rank (the `pN` ids of the trace format).
+pub type Pid = usize;
+
+/// One entry of a time-independent trace.
+///
+/// Volumes are `f64`, matching the paper's use of scientific notation
+/// (`1e6`) alongside exact byte counts (`163840`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// CPU burst of `flops` floating-point operations.
+    Compute { flops: f64 },
+    /// Blocking send of `bytes` to `dst` (`MPI_Send`).
+    Send { dst: Pid, bytes: f64 },
+    /// Non-blocking send of `bytes` to `dst` (`MPI_Isend`).
+    Isend { dst: Pid, bytes: f64 },
+    /// Blocking receive from `src` (`MPI_Recv`). The byte volume is
+    /// optional in the on-disk format: Figure 1 of the paper omits it
+    /// (the matching send carries the size), while Table 1 lists it.
+    Recv { src: Pid, bytes: Option<f64> },
+    /// Non-blocking receive from `src` (`MPI_Irecv`).
+    Irecv { src: Pid, bytes: Option<f64> },
+    /// Broadcast of `bytes` rooted at process 0 (`MPI_Broadcast`).
+    Bcast { bytes: f64 },
+    /// Reduction to process 0: `vcomm` bytes communicated, `vcomp` flops
+    /// of local combining (`MPI_Reduce`).
+    Reduce { vcomm: f64, vcomp: f64 },
+    /// Reduction + broadcast (`MPI_Allreduce`).
+    AllReduce { vcomm: f64, vcomp: f64 },
+    /// Synchronisation barrier (`MPI_Barrier`).
+    Barrier,
+    /// Declares the communicator size; must precede any collective
+    /// (`MPI_Comm_size`).
+    CommSize { nproc: usize },
+    /// Completes the oldest pending non-blocking request (`MPI_Wait`).
+    Wait,
+}
+
+impl Action {
+    /// The trace keyword for this action (`compute`, `send`, ...).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Action::Compute { .. } => "compute",
+            Action::Send { .. } => "send",
+            Action::Isend { .. } => "Isend",
+            Action::Recv { .. } => "recv",
+            Action::Irecv { .. } => "Irecv",
+            Action::Bcast { .. } => "bcast",
+            Action::Reduce { .. } => "reduce",
+            Action::AllReduce { .. } => "allReduce",
+            Action::Barrier => "barrier",
+            Action::CommSize { .. } => "comm_size",
+            Action::Wait => "wait",
+        }
+    }
+
+    /// Flops this action computes (0 for pure communications).
+    pub fn flops(&self) -> f64 {
+        match self {
+            Action::Compute { flops } => *flops,
+            Action::Reduce { vcomp, .. } | Action::AllReduce { vcomp, .. } => *vcomp,
+            _ => 0.0,
+        }
+    }
+
+    /// Bytes this action communicates from this process's perspective
+    /// (receives report the declared volume when present).
+    pub fn bytes(&self) -> f64 {
+        match self {
+            Action::Send { bytes, .. } | Action::Isend { bytes, .. } => *bytes,
+            Action::Recv { bytes, .. } | Action::Irecv { bytes, .. } => bytes.unwrap_or(0.0),
+            Action::Bcast { bytes } => *bytes,
+            Action::Reduce { vcomm, .. } | Action::AllReduce { vcomm, .. } => *vcomm,
+            _ => 0.0,
+        }
+    }
+
+    /// True for collective operations (need a prior `comm_size`).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            Action::Bcast { .. }
+                | Action::Reduce { .. }
+                | Action::AllReduce { .. }
+                | Action::Barrier
+        )
+    }
+
+    /// True for non-blocking operations that enqueue a request a later
+    /// `wait` completes.
+    pub fn is_nonblocking(&self) -> bool {
+        matches!(self, Action::Isend { .. } | Action::Irecv { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_match_table_1() {
+        assert_eq!(Action::Compute { flops: 1.0 }.keyword(), "compute");
+        assert_eq!(Action::Send { dst: 0, bytes: 1.0 }.keyword(), "send");
+        assert_eq!(Action::Isend { dst: 0, bytes: 1.0 }.keyword(), "Isend");
+        assert_eq!(Action::Recv { src: 0, bytes: None }.keyword(), "recv");
+        assert_eq!(Action::Irecv { src: 0, bytes: None }.keyword(), "Irecv");
+        assert_eq!(Action::Bcast { bytes: 1.0 }.keyword(), "bcast");
+        assert_eq!(Action::Reduce { vcomm: 1.0, vcomp: 1.0 }.keyword(), "reduce");
+        assert_eq!(Action::AllReduce { vcomm: 1.0, vcomp: 1.0 }.keyword(), "allReduce");
+        assert_eq!(Action::Barrier.keyword(), "barrier");
+        assert_eq!(Action::CommSize { nproc: 4 }.keyword(), "comm_size");
+        assert_eq!(Action::Wait.keyword(), "wait");
+    }
+
+    #[test]
+    fn volume_accessors() {
+        let a = Action::AllReduce { vcomm: 8.0, vcomp: 16.0 };
+        assert_eq!(a.bytes(), 8.0);
+        assert_eq!(a.flops(), 16.0);
+        assert_eq!(Action::Compute { flops: 3.0 }.flops(), 3.0);
+        assert_eq!(Action::Wait.bytes(), 0.0);
+        assert_eq!(Action::Recv { src: 1, bytes: Some(7.0) }.bytes(), 7.0);
+        assert_eq!(Action::Recv { src: 1, bytes: None }.bytes(), 0.0);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Action::Barrier.is_collective());
+        assert!(Action::Bcast { bytes: 1.0 }.is_collective());
+        assert!(!Action::Send { dst: 0, bytes: 1.0 }.is_collective());
+        assert!(Action::Isend { dst: 0, bytes: 1.0 }.is_nonblocking());
+        assert!(Action::Irecv { src: 0, bytes: None }.is_nonblocking());
+        assert!(!Action::Wait.is_nonblocking());
+    }
+}

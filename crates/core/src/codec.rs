@@ -1,0 +1,270 @@
+//! Text codec for time-independent traces.
+//!
+//! One action per line, whitespace separated:
+//!
+//! ```text
+//! <pid> <keyword> <args...>
+//! ```
+//!
+//! where `<pid>` is `p` + rank. Volumes accept both integer (`163840`)
+//! and scientific (`1e6`) notation, as in the paper's Figure 1. Writing
+//! uses integer form whenever the volume is integral — the compact form
+//! dominates the trace-size measurements of Table 3.
+
+use crate::action::{Action, Pid};
+use std::fmt::Write as _;
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number when known (0 otherwise).
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_pid(tok: &str, line: usize) -> Result<Pid, ParseError> {
+    let digits = tok.strip_prefix('p').unwrap_or(tok);
+    digits
+        .parse::<usize>()
+        .map_err(|_| err(line, format!("invalid process id {tok:?}")))
+}
+
+fn parse_vol(tok: &str, line: usize) -> Result<f64, ParseError> {
+    let v: f64 =
+        tok.parse().map_err(|_| err(line, format!("invalid volume {tok:?}")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(err(line, format!("volume must be finite and >= 0, got {tok:?}")));
+    }
+    Ok(v)
+}
+
+/// Parses one trace line into `(pid, action)`.
+///
+/// Empty lines and `#` comments yield `Ok(None)`.
+pub fn parse_line(raw: &str, line_no: usize) -> Result<Option<(Pid, Action)>, ParseError> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.starts_with('#') {
+        return Ok(None);
+    }
+    let mut it = it_fields(raw);
+    let pid_tok = it.next().ok_or_else(|| err(line_no, "empty line"))?;
+    let pid = parse_pid(pid_tok, line_no)?;
+    let kw = it.next().ok_or_else(|| err(line_no, "missing action keyword"))?;
+    let mut arg = |what: &str| {
+        it.next().ok_or_else(|| err(line_no, format!("{kw}: missing {what}")))
+    };
+    let action = match kw {
+        "compute" => Action::Compute { flops: parse_vol(arg("volume")?, line_no)? },
+        "send" => Action::Send {
+            dst: parse_pid(arg("destination")?, line_no)?,
+            bytes: parse_vol(arg("volume")?, line_no)?,
+        },
+        "Isend" | "isend" => Action::Isend {
+            dst: parse_pid(arg("destination")?, line_no)?,
+            bytes: parse_vol(arg("volume")?, line_no)?,
+        },
+        "recv" => {
+            let src = parse_pid(arg("source")?, line_no)?;
+            let bytes = match it_next_opt(&mut it) {
+                Some(tok) => Some(parse_vol(tok, line_no)?),
+                None => None,
+            };
+            Action::Recv { src, bytes }
+        }
+        "Irecv" | "irecv" => {
+            let src = parse_pid(arg("source")?, line_no)?;
+            let bytes = match it_next_opt(&mut it) {
+                Some(tok) => Some(parse_vol(tok, line_no)?),
+                None => None,
+            };
+            Action::Irecv { src, bytes }
+        }
+        "bcast" => Action::Bcast { bytes: parse_vol(arg("volume")?, line_no)? },
+        "reduce" => Action::Reduce {
+            vcomm: parse_vol(arg("vcomm")?, line_no)?,
+            vcomp: parse_vol(arg("vcomp")?, line_no)?,
+        },
+        "allReduce" | "allreduce" => Action::AllReduce {
+            vcomm: parse_vol(arg("vcomm")?, line_no)?,
+            vcomp: parse_vol(arg("vcomp")?, line_no)?,
+        },
+        "barrier" => Action::Barrier,
+        "comm_size" => Action::CommSize {
+            nproc: arg("#proc")?
+                .parse()
+                .map_err(|_| err(line_no, "comm_size: invalid process count"))?,
+        },
+        "wait" => Action::Wait,
+        other => return Err(err(line_no, format!("unknown action keyword {other:?}"))),
+    };
+    if it.next().is_some() {
+        return Err(err(line_no, format!("{kw}: trailing garbage")));
+    }
+    Ok(Some((pid, action)))
+}
+
+fn it_fields(s: &str) -> std::str::SplitWhitespace<'_> {
+    s.split_whitespace()
+}
+
+fn it_next_opt<'a>(it: &mut std::str::SplitWhitespace<'a>) -> Option<&'a str> {
+    it.next()
+}
+
+/// Appends a volume in its most compact form (integer when integral).
+fn push_vol(out: &mut String, v: f64) {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Appends the canonical line for `(pid, action)` (no trailing newline).
+pub fn format_action_into(out: &mut String, pid: Pid, action: &Action) {
+    let _ = write!(out, "p{pid} {}", action.keyword());
+    match action {
+        Action::Compute { flops } => {
+            out.push(' ');
+            push_vol(out, *flops);
+        }
+        Action::Send { dst, bytes } | Action::Isend { dst, bytes } => {
+            let _ = write!(out, " p{dst} ");
+            push_vol(out, *bytes);
+        }
+        Action::Recv { src, bytes } | Action::Irecv { src, bytes } => {
+            let _ = write!(out, " p{src}");
+            if let Some(b) = bytes {
+                out.push(' ');
+                push_vol(out, *b);
+            }
+        }
+        Action::Bcast { bytes } => {
+            out.push(' ');
+            push_vol(out, *bytes);
+        }
+        Action::Reduce { vcomm, vcomp } | Action::AllReduce { vcomm, vcomp } => {
+            out.push(' ');
+            push_vol(out, *vcomm);
+            out.push(' ');
+            push_vol(out, *vcomp);
+        }
+        Action::CommSize { nproc } => {
+            let _ = write!(out, " {nproc}");
+        }
+        Action::Barrier | Action::Wait => {}
+    }
+}
+
+/// Formats the canonical line for `(pid, action)`.
+pub fn format_action(pid: Pid, action: &Action) -> String {
+    let mut s = String::with_capacity(24);
+    format_action_into(&mut s, pid, action);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(pid: Pid, a: Action) {
+        let line = format_action(pid, &a);
+        let (p2, a2) = parse_line(&line, 1).unwrap().unwrap();
+        assert_eq!(p2, pid, "pid roundtrip for {line:?}");
+        assert_eq!(a2, a, "action roundtrip for {line:?}");
+    }
+
+    #[test]
+    fn figure_1_lines_parse() {
+        // The exact trace of the paper's Figure 1 (right-hand side).
+        let lines = [
+            "p0 compute 1e6",
+            "p0 send p1 1e6",
+            "p0 recv p3",
+            "p1 recv p0",
+            "p1 compute 1e6",
+            "p1 send p2 1e6",
+        ];
+        for (i, l) in lines.iter().enumerate() {
+            let (pid, _) = parse_line(l, i + 1).unwrap().unwrap();
+            assert_eq!(pid, if i < 3 { 0 } else { 1 });
+        }
+        let (_, a) = parse_line("p0 compute 1e6", 1).unwrap().unwrap();
+        assert_eq!(a, Action::Compute { flops: 1e6 });
+        let (_, a) = parse_line("p0 send p1 1e6", 1).unwrap().unwrap();
+        assert_eq!(a, Action::Send { dst: 1, bytes: 1e6 });
+        let (_, a) = parse_line("p0 recv p3", 1).unwrap().unwrap();
+        assert_eq!(a, Action::Recv { src: 3, bytes: None });
+    }
+
+    #[test]
+    fn all_actions_roundtrip() {
+        roundtrip(0, Action::Compute { flops: 1e6 });
+        roundtrip(1, Action::Send { dst: 0, bytes: 163840.0 });
+        roundtrip(2, Action::Isend { dst: 5, bytes: 1.5 });
+        roundtrip(3, Action::Recv { src: 2, bytes: None });
+        roundtrip(3, Action::Recv { src: 2, bytes: Some(64.0) });
+        roundtrip(4, Action::Irecv { src: 1, bytes: None });
+        roundtrip(5, Action::Bcast { bytes: 4096.0 });
+        roundtrip(6, Action::Reduce { vcomm: 8.0, vcomp: 16.0 });
+        roundtrip(7, Action::AllReduce { vcomm: 40.0, vcomp: 80.0 });
+        roundtrip(8, Action::Barrier);
+        roundtrip(9, Action::CommSize { nproc: 64 });
+        roundtrip(10, Action::Wait);
+    }
+
+    #[test]
+    fn integral_volumes_written_compactly() {
+        assert_eq!(
+            format_action(1, &Action::Send { dst: 0, bytes: 163840.0 }),
+            "p1 send p0 163840"
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        assert_eq!(parse_line("", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 2).unwrap(), None);
+        assert_eq!(parse_line("# header", 3).unwrap(), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_line("p0 fly 12", 7).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("fly"));
+    }
+
+    #[test]
+    fn rejects_negative_and_nan_volumes() {
+        assert!(parse_line("p0 compute -5", 1).is_err());
+        assert!(parse_line("p0 compute NaN", 1).is_err());
+        assert!(parse_line("p0 compute inf", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_missing_args() {
+        assert!(parse_line("p0 barrier extra", 1).is_err());
+        assert!(parse_line("p0 send p1", 1).is_err());
+        assert!(parse_line("p0 send", 1).is_err());
+        assert!(parse_line("p0", 1).is_err());
+    }
+
+    #[test]
+    fn scientific_notation_accepted() {
+        let (_, a) = parse_line("p0 compute 2.5e9", 1).unwrap().unwrap();
+        assert_eq!(a, Action::Compute { flops: 2.5e9 });
+    }
+}

@@ -1,0 +1,39 @@
+//! `tit-core` — the time-independent trace format.
+//!
+//! The paper's first contribution (Section 3) is an execution-log format
+//! that is **independent of time**: instead of time-stamped events, each
+//! trace line records the *volume* of an action — a number of floating
+//! point operations for a CPU burst, a number of bytes for a
+//! communication. Volumes do not depend on the host platform, so a trace
+//! acquired anywhere (folded onto few CPUs, scattered across clusters)
+//! replays identically.
+//!
+//! A trace is a list of actions per MPI process:
+//!
+//! ```text
+//! p0 compute 1e6
+//! p0 send p1 1e6
+//! p0 recv p3
+//! ```
+//!
+//! This crate provides the action vocabulary ([`Action`], Table 1 of the
+//! paper), parsing and serialisation ([`codec`]), whole-trace containers
+//! and streaming per-process readers/writers ([`trace`]), statistics
+//! ([`stats`]), structural validation ([`validate()`]) and the block
+//! compressor used for the paper's Section 6.5 compressed-size figure
+//! ([`compress`]).
+
+pub mod action;
+pub mod binfmt;
+pub mod codec;
+pub mod compress;
+pub mod stats;
+pub mod trace;
+pub mod validate;
+
+pub use action::{Action, Pid};
+pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};
+pub use codec::{format_action, parse_line, ParseError};
+pub use stats::TraceStats;
+pub use trace::{ProcessTraceReader, ProcessTraceWriter, TiTrace};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,145 @@
+//! Trace statistics: action counts, volumes, byte sizes.
+//!
+//! Table 3 of the paper reports, per benchmark instance, the
+//! time-independent trace size in MiB and the number of actions in
+//! millions; this module computes both (and more) from in-memory traces or
+//! trace files.
+
+use crate::action::Action;
+use crate::codec::format_action_into;
+use crate::trace::TiTrace;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Aggregate statistics over a time-independent trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    pub num_processes: usize,
+    pub num_actions: u64,
+    /// Actions per keyword (`compute`, `send`, ...).
+    pub per_keyword: BTreeMap<&'static str, u64>,
+    /// Total computation volume, flops.
+    pub total_flops: f64,
+    /// Total communication volume, bytes (send-side + collectives).
+    pub total_bytes: f64,
+    /// Size of the canonical text encoding, bytes.
+    pub encoded_bytes: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics for an in-memory trace.
+    pub fn of(trace: &TiTrace) -> Self {
+        let mut s = TraceStats { num_processes: trace.num_processes(), ..Default::default() };
+        let mut line = String::with_capacity(64);
+        for (rank, actions) in trace.actions.iter().enumerate() {
+            for a in actions {
+                s.add(rank, a, &mut line);
+            }
+        }
+        s
+    }
+
+    /// Streams statistics from trace files without loading them.
+    pub fn of_files(paths: &[std::path::PathBuf]) -> std::io::Result<Self> {
+        let mut s = TraceStats::default();
+        let mut line = String::with_capacity(64);
+        let mut max_pid = 0usize;
+        let mut any = false;
+        for p in paths {
+            let mut r = crate::trace::ProcessTraceReader::open(p)?;
+            while let Some((pid, a)) = r.next_action()? {
+                any = true;
+                max_pid = max_pid.max(pid);
+                s.add(pid, &a, &mut line);
+            }
+        }
+        s.num_processes = if any { max_pid + 1 } else { 0 };
+        Ok(s)
+    }
+
+    fn add(&mut self, rank: usize, a: &Action, scratch: &mut String) {
+        self.num_actions += 1;
+        *self.per_keyword.entry(a.keyword()).or_insert(0) += 1;
+        self.total_flops += a.flops();
+        self.total_bytes += match a {
+            // Count transfers once, on the sender side.
+            Action::Recv { .. } | Action::Irecv { .. } => 0.0,
+            other => other.bytes(),
+        };
+        scratch.clear();
+        format_action_into(scratch, rank, a);
+        self.encoded_bytes += scratch.len() as u64 + 1; // + newline
+    }
+
+    /// Encoded size in MiB (the unit of Table 3).
+    pub fn encoded_mib(&self) -> f64 {
+        self.encoded_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Actions in millions (the unit of Table 3).
+    pub fn actions_millions(&self) -> f64 {
+        self.num_actions as f64 / 1e6
+    }
+}
+
+/// Size of a file in MiB, for comparing on-disk trace formats.
+pub fn file_size_mib(path: &Path) -> std::io::Result<f64> {
+    Ok(std::fs::metadata(path)?.len() as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TiTrace {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::CommSize { nproc: 2 });
+        t.push(0, Action::Compute { flops: 100.0 });
+        t.push(0, Action::Send { dst: 1, bytes: 50.0 });
+        t.push(0, Action::AllReduce { vcomm: 8.0, vcomp: 4.0 });
+        t.push(1, Action::CommSize { nproc: 2 });
+        t.push(1, Action::Recv { src: 0, bytes: None });
+        t.push(1, Action::AllReduce { vcomm: 8.0, vcomp: 4.0 });
+        t
+    }
+
+    #[test]
+    fn counts_and_volumes() {
+        let s = TraceStats::of(&sample());
+        assert_eq!(s.num_processes, 2);
+        assert_eq!(s.num_actions, 7);
+        assert_eq!(s.per_keyword["comm_size"], 2);
+        assert_eq!(s.per_keyword["allReduce"], 2);
+        assert_eq!(s.per_keyword["send"], 1);
+        assert!((s.total_flops - 108.0).abs() < 1e-12);
+        // 50 (send) + 8 + 8 (allReduce on both ranks); recv not counted.
+        assert!((s.total_bytes - 66.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encoded_size_matches_serialization() {
+        let t = sample();
+        let s = TraceStats::of(&t);
+        let mut buf = Vec::new();
+        t.write_merged(&mut buf).unwrap();
+        assert_eq!(s.encoded_bytes, buf.len() as u64);
+    }
+
+    #[test]
+    fn stream_and_memory_agree() {
+        let t = sample();
+        let dir = std::env::temp_dir().join(format!("titr-stats-{}", std::process::id()));
+        let paths = t.save_per_process(&dir).unwrap();
+        let s1 = TraceStats::of(&t);
+        let s2 = TraceStats::of_files(&paths).unwrap();
+        assert_eq!(s1, s2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unit_helpers() {
+        let s = TraceStats { encoded_bytes: 2 * 1024 * 1024, num_actions: 3_000_000, ..Default::default() };
+        assert!((s.encoded_mib() - 2.0).abs() < 1e-12);
+        assert!((s.actions_millions() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,361 @@
+//! Trace containers and file IO.
+//!
+//! The paper stores one trace file per process
+//! (`SG_process<N>.trace`, Figure 2) or, for small runs, a single merged
+//! file (Figure 1). Both layouts are supported, in-memory and streaming.
+//! Streaming matters: Section 6.5 acquires a 32.5 GiB trace, far beyond
+//! what should be resident during replay.
+
+use crate::action::{Action, Pid};
+use crate::codec::{format_action_into, parse_line, ParseError};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Conventional per-process trace file name (`SG_process<N>.trace`).
+pub fn process_trace_filename(rank: Pid) -> String {
+    format!("SG_process{rank}.trace")
+}
+
+/// An in-memory time-independent trace: one action list per process.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TiTrace {
+    /// `actions[rank]` is the ordered action list of process `rank`.
+    pub actions: Vec<Vec<Action>>,
+}
+
+impl TiTrace {
+    /// An empty trace for `nproc` processes.
+    pub fn new(nproc: usize) -> Self {
+        TiTrace { actions: vec![Vec::new(); nproc] }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Total number of actions across all processes.
+    pub fn num_actions(&self) -> usize {
+        self.actions.iter().map(Vec::len).sum()
+    }
+
+    /// Appends an action to `rank`'s list, growing the process set if
+    /// needed.
+    pub fn push(&mut self, rank: Pid, action: Action) {
+        if rank >= self.actions.len() {
+            self.actions.resize(rank + 1, Vec::new());
+        }
+        self.actions[rank].push(action);
+    }
+
+    /// Parses a merged trace (one file, lines of all processes).
+    pub fn from_reader<R: BufRead>(r: R) -> Result<Self, ParseError> {
+        let mut t = TiTrace::default();
+        for (i, line) in r.lines().enumerate() {
+            let line = line.map_err(|e| ParseError {
+                line: i + 1,
+                message: format!("io error: {e}"),
+            })?;
+            if let Some((pid, a)) = parse_line(&line, i + 1)? {
+                t.push(pid, a);
+            }
+        }
+        Ok(t)
+    }
+
+    /// Parses a merged trace from a string.
+    pub fn from_str_merged(s: &str) -> Result<Self, ParseError> {
+        Self::from_reader(s.as_bytes())
+    }
+
+    /// Loads a merged trace file.
+    pub fn load_merged(path: &Path) -> std::io::Result<Self> {
+        let f = File::open(path)?;
+        Self::from_reader(BufReader::with_capacity(1 << 20, f))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads per-process trace files `SG_process*.trace` from `dir`,
+    /// stopping at the first missing rank.
+    pub fn load_per_process(dir: &Path) -> std::io::Result<Self> {
+        let mut t = TiTrace::default();
+        let mut rank = 0;
+        loop {
+            let path = dir.join(process_trace_filename(rank));
+            if !path.exists() {
+                break;
+            }
+            let sub = Self::load_merged(&path)?;
+            for (pid, actions) in sub.actions.into_iter().enumerate() {
+                for a in actions {
+                    t.push(pid, a);
+                }
+            }
+            rank += 1;
+        }
+        if rank == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no SG_process0.trace in {}", dir.display()),
+            ));
+        }
+        Ok(t)
+    }
+
+    /// Writes the merged single-file layout.
+    pub fn write_merged<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf = String::with_capacity(64);
+        for (rank, actions) in self.actions.iter().enumerate() {
+            for a in actions {
+                buf.clear();
+                format_action_into(&mut buf, rank, a);
+                buf.push('\n');
+                w.write_all(buf.as_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Saves the merged layout to `path`.
+    pub fn save_merged(&self, path: &Path) -> std::io::Result<()> {
+        let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+        self.write_merged(&mut w)?;
+        w.flush()
+    }
+
+    /// Merges adjacent `compute` actions per process (summing volumes).
+    ///
+    /// Extraction from TAU traces cannot distinguish two back-to-back
+    /// CPU bursts — the `PAPI_FP_OPS` counter is only sampled at MPI
+    /// boundaries — so extracted traces are always in this coalesced
+    /// form; replay timing is unaffected (durations add).
+    pub fn coalesce_computes(&mut self) {
+        for actions in &mut self.actions {
+            let mut out: Vec<Action> = Vec::with_capacity(actions.len());
+            for a in actions.drain(..) {
+                match (out.last_mut(), a) {
+                    (
+                        Some(Action::Compute { flops: acc }),
+                        Action::Compute { flops },
+                    ) => *acc += flops,
+                    (_, a) => out.push(a),
+                }
+            }
+            *actions = out;
+        }
+    }
+
+    /// Saves one `SG_process<N>.trace` per process under `dir`; returns
+    /// the paths.
+    pub fn save_per_process(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.actions.len());
+        for (rank, actions) in self.actions.iter().enumerate() {
+            let path = dir.join(process_trace_filename(rank));
+            let mut w = BufWriter::with_capacity(1 << 20, File::create(&path)?);
+            let mut buf = String::with_capacity(64);
+            for a in actions {
+                buf.clear();
+                format_action_into(&mut buf, rank, a);
+                buf.push('\n');
+                w.write_all(buf.as_bytes())?;
+            }
+            w.flush()?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// Streaming writer for one process's trace file.
+///
+/// Used by the extraction stage so multi-GiB traces never live in memory.
+pub struct ProcessTraceWriter {
+    rank: Pid,
+    w: BufWriter<File>,
+    buf: String,
+    actions_written: u64,
+}
+
+impl ProcessTraceWriter {
+    /// Creates `dir/SG_process<rank>.trace`.
+    pub fn create(dir: &Path, rank: Pid) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let f = File::create(dir.join(process_trace_filename(rank)))?;
+        Ok(ProcessTraceWriter {
+            rank,
+            w: BufWriter::with_capacity(1 << 20, f),
+            buf: String::with_capacity(64),
+            actions_written: 0,
+        })
+    }
+
+    /// Appends one action.
+    pub fn write(&mut self, action: &Action) -> std::io::Result<()> {
+        self.buf.clear();
+        format_action_into(&mut self.buf, self.rank, action);
+        self.buf.push('\n');
+        self.actions_written += 1;
+        self.w.write_all(self.buf.as_bytes())
+    }
+
+    /// Number of actions written so far.
+    pub fn actions_written(&self) -> u64 {
+        self.actions_written
+    }
+
+    /// Flushes and closes the file.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// Streaming reader over one process's trace file.
+pub struct ProcessTraceReader {
+    r: BufReader<File>,
+    line: String,
+    line_no: usize,
+}
+
+impl ProcessTraceReader {
+    /// Opens `path` (a per-process or merged trace file).
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(ProcessTraceReader {
+            r: BufReader::with_capacity(1 << 20, File::open(path)?),
+            line: String::with_capacity(64),
+            line_no: 0,
+        })
+    }
+
+    /// Reads the next `(pid, action)`; `Ok(None)` at end of file.
+    pub fn next_action(&mut self) -> std::io::Result<Option<(Pid, Action)>> {
+        loop {
+            self.line.clear();
+            let n = self.r.read_line(&mut self.line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            match parse_line(&self.line, self.line_no) {
+                Ok(Some(pa)) => return Ok(Some(pa)),
+                Ok(None) => continue,
+                Err(e) => {
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_trace() -> TiTrace {
+        // Figure 1's ring, one loop iteration.
+        let mut t = TiTrace::new(4);
+        t.push(0, Action::Compute { flops: 1e6 });
+        t.push(0, Action::Send { dst: 1, bytes: 1e6 });
+        t.push(0, Action::Recv { src: 3, bytes: None });
+        for p in 1..4 {
+            t.push(p, Action::Recv { src: p - 1, bytes: None });
+            t.push(p, Action::Compute { flops: 1e6 });
+            t.push(p, Action::Send { dst: (p + 1) % 4, bytes: 1e6 });
+        }
+        t
+    }
+
+    #[test]
+    fn merged_roundtrip() {
+        let t = ring_trace();
+        let mut buf = Vec::new();
+        t.write_merged(&mut buf).unwrap();
+        let t2 = TiTrace::from_reader(&buf[..]).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn merged_matches_figure_1_text() {
+        let t = ring_trace();
+        let mut buf = Vec::new();
+        t.write_merged(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("p0 compute 1000000\n"));
+        assert!(text.contains("p0 send p1 1000000\n"));
+        assert!(text.contains("p0 recv p3\n"));
+        assert!(text.contains("p3 send p0 1000000\n"));
+    }
+
+    #[test]
+    fn per_process_files_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("titr-test-{}", std::process::id()));
+        let t = ring_trace();
+        let paths = t.save_per_process(&dir).unwrap();
+        assert_eq!(paths.len(), 4);
+        assert!(paths[2].file_name().unwrap().to_str().unwrap() == "SG_process2.trace");
+        let t2 = TiTrace::load_per_process(&dir).unwrap();
+        assert_eq!(t, t2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_writer_reader_roundtrip() {
+        let dir =
+            std::env::temp_dir().join(format!("titr-stream-{}", std::process::id()));
+        let mut w = ProcessTraceWriter::create(&dir, 3).unwrap();
+        let actions = [
+            Action::CommSize { nproc: 8 },
+            Action::Compute { flops: 5e8 },
+            Action::Isend { dst: 0, bytes: 1024.0 },
+            Action::Wait,
+        ];
+        for a in &actions {
+            w.write(a).unwrap();
+        }
+        assert_eq!(w.actions_written(), 4);
+        w.finish().unwrap();
+        let mut r =
+            ProcessTraceReader::open(&dir.join(process_trace_filename(3))).unwrap();
+        let mut got = Vec::new();
+        while let Some((pid, a)) = r.next_action().unwrap() {
+            assert_eq!(pid, 3);
+            got.push(a);
+        }
+        assert_eq!(got, actions);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_computes_only() {
+        let mut t = TiTrace::new(1);
+        t.push(0, Action::Compute { flops: 10.0 });
+        t.push(0, Action::Compute { flops: 5.0 });
+        t.push(0, Action::Barrier);
+        t.push(0, Action::Compute { flops: 1.0 });
+        t.push(0, Action::Compute { flops: 2.0 });
+        t.coalesce_computes();
+        assert_eq!(
+            t.actions[0],
+            vec![
+                Action::Compute { flops: 15.0 },
+                Action::Barrier,
+                Action::Compute { flops: 3.0 }
+            ]
+        );
+    }
+
+    #[test]
+    fn push_grows_process_set() {
+        let mut t = TiTrace::default();
+        t.push(5, Action::Barrier);
+        assert_eq!(t.num_processes(), 6);
+        assert_eq!(t.num_actions(), 1);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let dir = std::env::temp_dir().join("titr-definitely-missing-xyz");
+        assert!(TiTrace::load_per_process(&dir).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Gathering the per-process traces onto a single node.
+//!
+//! "A common and efficient approach is to rely on a K-nomial tree
+//! reduction allowing for `log_{K+1} N` steps, where `N` is the total
+//! number of files, and `K` is the arity of the tree." (Section 4.3.)
+//!
+//! [`gather_plan`] builds the transfer schedule and its cost model (the
+//! "Gathering" slice of Figure 7); [`bundle`]/[`unbundle`] physically
+//! concatenate the trace files with a manifest, standing in for the
+//! paper's gathering script.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// One transfer of the gathering schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Gathering step (0-based); transfers in a step run concurrently.
+    pub step: usize,
+    pub from: usize,
+    pub to: usize,
+    /// Bytes moved (the sender's accumulated subtree).
+    pub bytes: f64,
+}
+
+/// A full gathering schedule with its modelled duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherPlan {
+    pub arity: usize,
+    pub steps: usize,
+    pub transfers: Vec<Transfer>,
+    /// Modelled wall time: per step, the slowest receiver (its NIC
+    /// serialises its children), summed over steps.
+    pub time: f64,
+}
+
+/// Builds the K-nomial gathering of `sizes[i]` bytes from node `i` to
+/// node 0, over links of `bw` bytes/s and `lat` seconds per transfer.
+pub fn gather_plan(sizes: &[f64], arity: usize, bw: f64, lat: f64) -> GatherPlan {
+    assert!(arity >= 1 && bw > 0.0);
+    let n = sizes.len();
+    let mut acc: Vec<f64> = sizes.to_vec();
+    let mut transfers = Vec::new();
+    let mut steps = 0;
+    let mut stride = 1usize;
+    let radix = arity + 1;
+    while stride < n {
+        let mut any = false;
+        for leader in (0..n).step_by(stride * radix) {
+            for j in 1..=arity {
+                let child = leader + j * stride;
+                if child < n {
+                    transfers.push(Transfer {
+                        step: steps,
+                        from: child,
+                        to: leader,
+                        bytes: acc[child],
+                    });
+                    acc[leader] += acc[child];
+                    acc[child] = 0.0;
+                    any = true;
+                }
+            }
+        }
+        if any {
+            steps += 1;
+        }
+        stride *= radix;
+    }
+    // Cost: receivers serialise their incoming children per step.
+    let mut time = 0.0;
+    for s in 0..steps {
+        let mut per_recv: std::collections::HashMap<usize, (f64, usize)> =
+            std::collections::HashMap::new();
+        for t in transfers.iter().filter(|t| t.step == s) {
+            let e = per_recv.entry(t.to).or_insert((0.0, 0));
+            e.0 += t.bytes;
+            e.1 += 1;
+        }
+        let step_time = per_recv
+            .values()
+            .map(|&(bytes, k)| bytes / bw + k as f64 * lat)
+            .fold(0.0, f64::max);
+        time += step_time;
+    }
+    GatherPlan { arity, steps, transfers, time }
+}
+
+/// Concatenates files into one bundle: a text manifest line
+/// (`name size\n`) before each file's raw bytes, ending with `END`.
+pub fn bundle(files: &[PathBuf], out: &Path) -> std::io::Result<u64> {
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, std::fs::File::create(out)?);
+    let mut total = 0u64;
+    for f in files {
+        let name = f
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad file name"))?;
+        let size = std::fs::metadata(f)?.len();
+        writeln!(w, "{name} {size}")?;
+        let mut r = std::io::BufReader::with_capacity(1 << 20, std::fs::File::open(f)?);
+        let copied = std::io::copy(&mut r, &mut w)?;
+        debug_assert_eq!(copied, size);
+        total += size;
+    }
+    writeln!(w, "END")?;
+    w.flush()?;
+    Ok(total)
+}
+
+/// Splits a bundle back into its files under `dir`.
+pub fn unbundle(bundle_path: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut r = std::io::BufReader::with_capacity(1 << 20, std::fs::File::open(bundle_path)?);
+    let mut out = Vec::new();
+    loop {
+        let mut header = Vec::new();
+        // Read one manifest line byte-by-byte (payload follows exactly).
+        let mut b = [0u8; 1];
+        loop {
+            let k = r.read(&mut b)?;
+            if k == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "bundle without END marker",
+                ));
+            }
+            if b[0] == b'\n' {
+                break;
+            }
+            header.push(b[0]);
+        }
+        let header = String::from_utf8_lossy(&header).into_owned();
+        if header.trim() == "END" {
+            return Ok(out);
+        }
+        let (name, size) = header
+            .rsplit_once(' ')
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad manifest"))?;
+        let size: u64 = size
+            .parse()
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad size"))?;
+        if name.contains('/') || name.contains("..") {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "unsafe name"));
+        }
+        let path = dir.join(name);
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let copied = {
+            let mut taken = (&mut r).take(size);
+            std::io::copy(&mut taken, &mut w)?
+        };
+        if copied != size {
+            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated entry"));
+        }
+        w.flush()?;
+        out.push(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_steps_follow_log_radix() {
+        // 4-nomial (K=4): log5(N) steps.
+        for (n, expect) in [(1usize, 0usize), (5, 1), (25, 2), (64, 3), (125, 3)] {
+            let plan = gather_plan(&vec![100.0; n], 4, 1e8, 1e-5);
+            assert_eq!(plan.steps, expect, "N={n}");
+        }
+    }
+
+    #[test]
+    fn all_bytes_reach_node_zero() {
+        let sizes: Vec<f64> = (0..23).map(|i| (i + 1) as f64 * 10.0).collect();
+        let total: f64 = sizes.iter().sum();
+        let plan = gather_plan(&sizes, 4, 1e8, 1e-5);
+        // Every non-root node sends its subtree exactly once.
+        let senders: std::collections::HashSet<usize> =
+            plan.transfers.iter().map(|t| t.from).collect();
+        assert_eq!(senders.len(), 22);
+        assert!(!senders.contains(&0));
+        // Bytes received at 0 across all steps equal the non-root total.
+        let to_zero: f64 =
+            plan.transfers.iter().filter(|t| t.to == 0).map(|t| t.bytes).sum();
+        assert!((to_zero - (total - 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_time_grows_with_process_count() {
+        let t8 = gather_plan(&vec![1e6; 8], 4, 1.25e8, 5e-5).time;
+        let t64 = gather_plan(&vec![1e6; 64], 4, 1.25e8, 5e-5).time;
+        assert!(t64 > t8, "deeper tree costs more: {t64} vs {t8}");
+    }
+
+    #[test]
+    fn binomial_vs_flat_tradeoff() {
+        // Higher arity = fewer steps but more serialisation per step.
+        let sizes = vec![1e7; 64];
+        let k1 = gather_plan(&sizes, 1, 1.25e8, 5e-5);
+        let k4 = gather_plan(&sizes, 4, 1.25e8, 5e-5);
+        let k63 = gather_plan(&sizes, 63, 1.25e8, 5e-5);
+        assert!(k1.steps > k4.steps);
+        assert_eq!(k63.steps, 1);
+        assert!(k63.time >= k4.time * 0.9, "flat gather serialises at the root");
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("titr-bundle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for i in 0..3 {
+            let p = dir.join(format!("SG_process{i}.trace"));
+            std::fs::write(&p, format!("p{i} compute {}\n", i * 100)).unwrap();
+            files.push(p);
+        }
+        let bpath = dir.join("traces.bundle");
+        let total = bundle(&files, &bpath).unwrap();
+        assert!(total > 0);
+        let outdir = dir.join("restored");
+        let restored = unbundle(&bpath, &outdir).unwrap();
+        assert_eq!(restored.len(), 3);
+        for (orig, rest) in files.iter().zip(&restored) {
+            assert_eq!(std::fs::read(orig).unwrap(), std::fs::read(rest).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbundle_rejects_unsafe_names() {
+        let dir = std::env::temp_dir().join(format!("titr-unsafe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bpath = dir.join("evil.bundle");
+        std::fs::write(&bpath, "../evil 4\nhackEND\n").unwrap();
+        assert!(unbundle(&bpath, &dir.join("out")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

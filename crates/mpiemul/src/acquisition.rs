@@ -1,0 +1,285 @@
+//! Acquisition modes and the acquisition driver (Section 4.2).
+//!
+//! A time-independent trace only needs the right *number of processes*,
+//! not the right machine, so the application can be executed:
+//!
+//! * in **Regular** mode — one process per CPU, the only mode timed
+//!   traces support;
+//! * in **Folding** mode (`F-x`) — `x` processes per CPU, enabling
+//!   acquisition of instances larger than the host cluster;
+//! * in **Scattering** mode (`S-y`) — processes spread over `y` sites;
+//! * in **Scattering + Folding** (`SF-(u,v)`).
+//!
+//! Table 2 of the paper measures the execution-time cost of each mode;
+//! [`acquire`] reproduces the measurement by emulating the instrumented
+//! run on a model of the bordereau/gdx clusters.
+
+use crate::ops::OpStream;
+use crate::runtime::{run_emulation, EmulConfig, EmulationResult};
+use std::path::{Path, PathBuf};
+use tit_platform::deployment::Deployment;
+use tit_platform::desc::PlatformDesc;
+use tit_platform::presets;
+
+/// How the acquisition run maps processes onto the host platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquisitionMode {
+    /// One process per CPU (the related-work baseline).
+    Regular,
+    /// `x` processes per CPU.
+    Folding(usize),
+    /// Processes spread over `y` sites (2 supported: bordereau + gdx).
+    Scattering(usize),
+    /// Scattered over `.0` sites, `.1` processes per CPU.
+    ScatterFold(usize, usize),
+}
+
+impl AcquisitionMode {
+    /// Table 2's row label (`R`, `F-8`, `S-2`, `SF-(2,8)`).
+    pub fn label(&self) -> String {
+        match self {
+            AcquisitionMode::Regular => "R".into(),
+            AcquisitionMode::Folding(x) => format!("F-{x}"),
+            AcquisitionMode::Scattering(y) => format!("S-{y}"),
+            AcquisitionMode::ScatterFold(u, v) => format!("SF-({u},{v})"),
+        }
+    }
+
+    /// Number of nodes this mode needs for `nproc` processes
+    /// (per site for the scattered modes).
+    pub fn nodes_needed(&self, nproc: usize) -> usize {
+        match self {
+            AcquisitionMode::Regular => nproc,
+            AcquisitionMode::Folding(x) => nproc.div_ceil(*x),
+            AcquisitionMode::Scattering(y) => nproc.div_ceil(*y),
+            AcquisitionMode::ScatterFold(u, v) => nproc.div_ceil(*u).div_ceil(*v),
+        }
+    }
+
+    /// Builds the host platform and deployment for `nproc` processes.
+    ///
+    /// Single-site modes use the bordereau cluster; scattered modes add
+    /// gdx behind the dedicated WAN (as in the paper's Table 2 runs, one
+    /// core per node).
+    pub fn scenario(&self, nproc: usize) -> (PlatformDesc, Deployment) {
+        match *self {
+            AcquisitionMode::Regular => {
+                let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
+                let dep = Deployment::round_robin(&desc.host_names(), nproc);
+                (desc, dep)
+            }
+            AcquisitionMode::Folding(x) => {
+                assert!(x >= 1);
+                let nodes = nproc.div_ceil(x);
+                let desc = PlatformDesc::single(presets::bordereau_one_core(nodes));
+                let dep = Deployment::folded(&desc.host_names(), nproc, x);
+                (desc, dep)
+            }
+            AcquisitionMode::Scattering(y) => {
+                assert_eq!(y, 2, "only the 2-site bordereau+gdx scenario is modelled");
+                let per = nproc.div_ceil(2);
+                let desc = presets::grid5000_two_sites(per, per);
+                let sites = site_hosts(&desc);
+                let dep = Deployment::scattered(&sites, nproc);
+                (desc, dep)
+            }
+            AcquisitionMode::ScatterFold(u, v) => {
+                assert_eq!(u, 2, "only the 2-site bordereau+gdx scenario is modelled");
+                assert!(v >= 1);
+                let per = nproc.div_ceil(2).div_ceil(v);
+                let desc = presets::grid5000_two_sites(per, per);
+                let sites = site_hosts(&desc);
+                let dep = Deployment::scattered_folded(&sites, nproc, v);
+                (desc, dep)
+            }
+        }
+    }
+}
+
+fn site_hosts(desc: &PlatformDesc) -> Vec<Vec<String>> {
+    desc.clusters
+        .iter()
+        .map(|c| (0..c.count).map(|i| c.host_name(i)).collect())
+        .collect()
+}
+
+/// One acquired trace set.
+#[derive(Debug)]
+pub struct AcquisitionResult {
+    pub mode: AcquisitionMode,
+    pub nproc: usize,
+    /// Simulated execution time of the instrumented run (Table 2).
+    pub exec_time: f64,
+    /// Total size of TAU trace + event files.
+    pub tau_bytes: u64,
+    /// Where the TAU files were written.
+    pub tau_dir: PathBuf,
+    /// Program ops executed.
+    pub ops: u64,
+}
+
+/// Runs the instrumented application under `mode` and leaves TAU traces
+/// in `tau_dir`. `program(rank, nproc)` yields each rank's op stream.
+pub fn acquire(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+    mode: AcquisitionMode,
+    cfg: &EmulConfig,
+    tau_dir: &Path,
+) -> std::io::Result<AcquisitionResult> {
+    let (desc, dep) = mode.scenario(nproc);
+    let platform = desc.build();
+    let hosts = dep.host_ids(&platform);
+    let streams: Vec<Box<dyn OpStream>> = (0..nproc).map(|r| program(r, nproc)).collect();
+    let mut cfg = cfg.clone();
+    cfg.instrument = true;
+    std::fs::create_dir_all(tau_dir)?;
+    let EmulationResult { exec_time, tau_bytes, ops_executed, .. } =
+        run_emulation(streams, platform, &hosts, &cfg, Some(tau_dir))?;
+    Ok(AcquisitionResult {
+        mode,
+        nproc,
+        exec_time,
+        tau_bytes,
+        tau_dir: tau_dir.to_path_buf(),
+        ops: ops_executed,
+    })
+}
+
+/// Runs the *instrumented* application under `mode` without persisting
+/// the TAU traces: the tracing cost is paid (Table 2's execution times)
+/// but nothing reaches disk.
+pub fn run_instrumented_discard(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+    mode: AcquisitionMode,
+    cfg: &EmulConfig,
+) -> std::io::Result<f64> {
+    let (desc, dep) = mode.scenario(nproc);
+    let platform = desc.build();
+    let hosts = dep.host_ids(&platform);
+    let streams: Vec<Box<dyn OpStream>> = (0..nproc).map(|r| program(r, nproc)).collect();
+    let mut cfg = cfg.clone();
+    cfg.instrument = true;
+    Ok(run_emulation(streams, platform, &hosts, &cfg, None)?.exec_time)
+}
+
+/// Runs the *uninstrumented* application under `mode` (used to separate
+/// the tracing overhead in Figure 7 and for Figure 8's "actual" times).
+pub fn run_uninstrumented(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+    mode: AcquisitionMode,
+    cfg: &EmulConfig,
+) -> std::io::Result<f64> {
+    let (desc, dep) = mode.scenario(nproc);
+    let platform = desc.build();
+    let hosts = dep.host_ids(&platform);
+    let streams: Vec<Box<dyn OpStream>> = (0..nproc).map(|r| program(r, nproc)).collect();
+    let mut cfg = cfg.clone();
+    cfg.instrument = false;
+    Ok(run_emulation(streams, platform, &hosts, &cfg, None)?.exec_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{MpiOp, VecOpStream};
+
+    fn ring(rank: usize, nproc: usize) -> Box<dyn OpStream> {
+        let mut ops = vec![MpiOp::CommSize];
+        for _ in 0..2 {
+            if rank == 0 {
+                ops.push(MpiOp::compute(1e7));
+                ops.push(MpiOp::Send { dst: 1, bytes: 1e5 });
+                ops.push(MpiOp::Recv { src: nproc - 1, bytes: 1e5 });
+            } else {
+                ops.push(MpiOp::Recv { src: rank - 1, bytes: 1e5 });
+                ops.push(MpiOp::compute(1e7));
+                ops.push(MpiOp::Send { dst: (rank + 1) % nproc, bytes: 1e5 });
+            }
+        }
+        Box::new(VecOpStream::new(ops))
+    }
+
+    #[test]
+    fn labels_match_table_2() {
+        assert_eq!(AcquisitionMode::Regular.label(), "R");
+        assert_eq!(AcquisitionMode::Folding(8).label(), "F-8");
+        assert_eq!(AcquisitionMode::Scattering(2).label(), "S-2");
+        assert_eq!(AcquisitionMode::ScatterFold(2, 16).label(), "SF-(2,16)");
+    }
+
+    #[test]
+    fn nodes_needed() {
+        assert_eq!(AcquisitionMode::Regular.nodes_needed(64), 64);
+        assert_eq!(AcquisitionMode::Folding(8).nodes_needed(64), 8);
+        assert_eq!(AcquisitionMode::Scattering(2).nodes_needed(64), 32);
+        assert_eq!(AcquisitionMode::ScatterFold(2, 16).nodes_needed(64), 2);
+    }
+
+    #[test]
+    fn scenarios_build_and_deploy() {
+        for mode in [
+            AcquisitionMode::Regular,
+            AcquisitionMode::Folding(4),
+            AcquisitionMode::Scattering(2),
+            AcquisitionMode::ScatterFold(2, 2),
+        ] {
+            let (desc, dep) = mode.scenario(8);
+            let platform = desc.build();
+            let hosts = dep.host_ids(&platform);
+            assert_eq!(hosts.len(), 8, "{mode:?}");
+        }
+    }
+
+    /// A data-parallel phaseed workload: all ranks compute concurrently,
+    /// then synchronise. Folding serialises the concurrent computes.
+    fn parallel(rank: usize, _nproc: usize) -> Box<dyn OpStream> {
+        let _ = rank;
+        let mut ops = vec![MpiOp::CommSize];
+        for _ in 0..3 {
+            ops.push(MpiOp::compute(1e8));
+            ops.push(MpiOp::Barrier);
+        }
+        Box::new(VecOpStream::new(ops))
+    }
+
+    #[test]
+    fn folding_is_slower_than_regular() {
+        let cfg = EmulConfig::default();
+        let regular =
+            run_uninstrumented(&parallel, 8, AcquisitionMode::Regular, &cfg).unwrap();
+        let folded =
+            run_uninstrumented(&parallel, 8, AcquisitionMode::Folding(4), &cfg).unwrap();
+        let ratio = folded / regular;
+        assert!(
+            ratio > 3.0 && ratio < 5.0,
+            "F-4 should be ~4x slower than regular: ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn scattering_is_slower_than_regular_but_less_than_folding() {
+        let cfg = EmulConfig::default();
+        let regular =
+            run_uninstrumented(&ring, 8, AcquisitionMode::Regular, &cfg).unwrap();
+        let scattered =
+            run_uninstrumented(&ring, 8, AcquisitionMode::Scattering(2), &cfg).unwrap();
+        assert!(
+            scattered > regular,
+            "WAN hops and the slower gdx must cost time: {scattered} vs {regular}"
+        );
+    }
+
+    #[test]
+    fn acquire_writes_tau_traces() {
+        let dir = std::env::temp_dir().join(format!("titr-acq-{}", std::process::id()));
+        let cfg = EmulConfig::default();
+        let r = acquire(&ring, 4, AcquisitionMode::Regular, &cfg, &dir).unwrap();
+        assert!(r.exec_time > 0.0);
+        assert!(r.tau_bytes > 0);
+        assert!(r.tau_dir.join("tautrace.2.0.0.trc").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

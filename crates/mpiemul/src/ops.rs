@@ -1,0 +1,95 @@
+//! MPI programs as per-process operation streams.
+//!
+//! A program is, per rank, a lazily-generated sequence of [`MpiOp`]s.
+//! Streams are state machines, not materialised lists: a class-C LU run
+//! emits hundreds of thousands of ops per rank (Table 3), and Section 6.5
+//! scales to 1024 ranks, so bounded memory matters.
+
+/// One operation of an emulated MPI process.
+///
+/// Volumes are the *true* values the program would exhibit (bytes of its
+/// messages, flops of its loops); they are what the time-independent
+/// trace ultimately records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MpiOp {
+    /// A CPU burst of `flops`, running at `efficiency`×(core speed) —
+    /// kernels differ in cache behaviour, so their effective flop rates
+    /// differ (the paper's Section 6.4 observes LU's rate "is not
+    /// constant over the computation").
+    Compute { flops: f64, efficiency: f64 },
+    /// Blocking `MPI_Send`.
+    Send { dst: usize, bytes: f64 },
+    /// Non-blocking `MPI_Isend`.
+    Isend { dst: usize, bytes: f64 },
+    /// Blocking `MPI_Recv`. `bytes` is the posted buffer size (the
+    /// runtime knows it; the extractor does not use it for `recv`).
+    Recv { src: usize, bytes: f64 },
+    /// Non-blocking `MPI_Irecv`.
+    Irecv { src: usize, bytes: f64 },
+    /// `MPI_Wait` on the oldest pending request.
+    Wait,
+    /// `MPI_Bcast` rooted at 0.
+    Bcast { bytes: f64 },
+    /// `MPI_Reduce` to 0: `vcomm` bytes per hop, `vcomp` flops of local
+    /// combining.
+    Reduce { vcomm: f64, vcomp: f64 },
+    /// `MPI_Allreduce`.
+    Allreduce { vcomm: f64, vcomp: f64 },
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Comm_size` (declares the communicator size to the tracer).
+    CommSize,
+}
+
+impl MpiOp {
+    /// A full-speed compute burst.
+    pub fn compute(flops: f64) -> Self {
+        MpiOp::Compute { flops, efficiency: 1.0 }
+    }
+
+    /// True for MPI calls (everything except CPU bursts).
+    pub fn is_mpi_call(&self) -> bool {
+        !matches!(self, MpiOp::Compute { .. })
+    }
+}
+
+/// Lazily yields one rank's operations.
+pub trait OpStream: Send {
+    /// Next op, or `None` when the process is done.
+    fn next_op(&mut self) -> Option<MpiOp>;
+}
+
+/// Stream over a pre-built list (tests, tiny programs).
+pub struct VecOpStream(std::vec::IntoIter<MpiOp>);
+
+impl VecOpStream {
+    pub fn new(ops: Vec<MpiOp>) -> Self {
+        VecOpStream(ops.into_iter())
+    }
+}
+
+impl OpStream for VecOpStream {
+    fn next_op(&mut self) -> Option<MpiOp> {
+        self.0.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_in_order() {
+        let mut s = VecOpStream::new(vec![MpiOp::compute(1.0), MpiOp::Barrier]);
+        assert_eq!(s.next_op(), Some(MpiOp::Compute { flops: 1.0, efficiency: 1.0 }));
+        assert_eq!(s.next_op(), Some(MpiOp::Barrier));
+        assert_eq!(s.next_op(), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!MpiOp::compute(1.0).is_mpi_call());
+        assert!(MpiOp::Wait.is_mpi_call());
+        assert!(MpiOp::Send { dst: 0, bytes: 1.0 }.is_mpi_call());
+    }
+}

@@ -1,0 +1,125 @@
+//! NPB problem classes.
+//!
+//! "Each benchmark can be executed for 7 different classes, denoting
+//! different problem sizes: S (the smallest), W, A, B, C, D, and E (the
+//! largest). For instance, a class D instance corresponds to
+//! approximately 20 times as much work and a data set almost 16 \[times\]
+//! as large as a class C problem." (Section 6.1.)
+//!
+//! LU solves on an `n × n × n` grid for `itmax` SSOR iterations; the
+//! dimensions below are the official NPB 3.3 LU values.
+
+/// An NPB problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    S,
+    W,
+    A,
+    B,
+    C,
+    D,
+    E,
+}
+
+impl Class {
+    /// Cube edge of the LU grid (`isiz01 = isiz02 = isiz03`).
+    pub fn problem_size(self) -> usize {
+        match self {
+            Class::S => 12,
+            Class::W => 33,
+            Class::A => 64,
+            Class::B => 102,
+            Class::C => 162,
+            Class::D => 408,
+            Class::E => 1020,
+        }
+    }
+
+    /// SSOR iteration count (`itmax`).
+    pub fn itmax(self) -> usize {
+        match self {
+            Class::S => 50,
+            Class::W => 300,
+            Class::A | Class::B | Class::C => 250,
+            Class::D | Class::E => 300,
+        }
+    }
+
+    /// Norm-check period (`inorm`); LU checks at `inorm` boundaries.
+    pub fn inorm(self) -> usize {
+        self.itmax()
+    }
+
+    /// Grid points in the cube.
+    pub fn points(self) -> u64 {
+        let n = self.problem_size() as u64;
+        n * n * n
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::W => "W",
+            Class::A => "A",
+            Class::B => "B",
+            Class::C => "C",
+            Class::D => "D",
+            Class::E => "E",
+        }
+    }
+}
+
+impl std::str::FromStr for Class {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S" => Ok(Class::S),
+            "W" => Ok(Class::W),
+            "A" => Ok(Class::A),
+            "B" => Ok(Class::B),
+            "C" => Ok(Class::C),
+            "D" => Ok(Class::D),
+            "E" => Ok(Class::E),
+            other => Err(format!("unknown NPB class {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_the_npb_lu_values() {
+        assert_eq!(Class::S.problem_size(), 12);
+        assert_eq!(Class::B.problem_size(), 102);
+        assert_eq!(Class::C.problem_size(), 162);
+        assert_eq!(Class::D.problem_size(), 408);
+        assert_eq!(Class::B.itmax(), 250);
+        assert_eq!(Class::D.itmax(), 300);
+    }
+
+    #[test]
+    fn d_is_roughly_16x_c_in_data_20x_in_work() {
+        // The paper's Section 6.1 sanity numbers.
+        let data_ratio = Class::D.points() as f64 / Class::C.points() as f64;
+        assert!((15.0..17.5).contains(&data_ratio), "data ratio {data_ratio:.1}");
+        let work_ratio = data_ratio * Class::D.itmax() as f64 / Class::C.itmax() as f64;
+        assert!((18.0..22.0).contains(&work_ratio), "work ratio {work_ratio:.1}");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in [Class::S, Class::W, Class::A, Class::B, Class::C, Class::D, Class::E] {
+            assert_eq!(c.name().parse::<Class>().unwrap(), c);
+        }
+        assert!("x".parse::<Class>().is_err());
+        assert_eq!("b".parse::<Class>().unwrap(), Class::B);
+    }
+}

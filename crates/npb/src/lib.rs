@@ -1,0 +1,99 @@
+//! `npb` — workload models: the NAS Parallel Benchmark LU skeleton and
+//! smaller example programs.
+//!
+//! The paper's entire evaluation (Section 6) runs the **LU factorisation**
+//! benchmark of the NPB suite, "because it mixes computations and
+//! communications and is a building block of many scientific
+//! applications". We reimplement LU's communication/computation
+//! *skeleton*: the same process grid, the same per-k-plane pipelined SSOR
+//! sweeps with their exchanges, the same face exchanges and norm
+//! reductions, with message sizes and flop volumes derived from the class
+//! dimensions. The actual numerics are not executed — exactly the
+//! trade-off the off-line approach makes (Section 2: computed data is not
+//! needed for regular applications).
+//!
+//! Also here: the paper's Figure 1 ring example ([`ring`]) and a 2-D
+//! Jacobi stencil ([`stencil`]) used by the examples.
+
+pub mod cg;
+pub mod classes;
+pub mod lu;
+pub mod ring;
+pub mod stencil;
+
+pub use classes::Class;
+pub use cg::CgConfig;
+pub use lu::{LuConfig, LuStream};
+
+use mpi_emul::ops::{MpiOp, OpStream};
+use tit_core::{Action, TiTrace};
+
+/// Maps one program op to its time-independent action (the ground truth
+/// an extraction of an instrumented run should recover, up to counter
+/// jitter on compute volumes).
+pub fn op_to_action(op: &MpiOp) -> Action {
+    match *op {
+        MpiOp::Compute { flops, .. } => Action::Compute { flops },
+        MpiOp::Send { dst, bytes } => Action::Send { dst, bytes },
+        MpiOp::Isend { dst, bytes } => Action::Isend { dst, bytes },
+        MpiOp::Recv { src, .. } => Action::Recv { src, bytes: None },
+        MpiOp::Irecv { src, .. } => Action::Irecv { src, bytes: None },
+        MpiOp::Wait => Action::Wait,
+        MpiOp::Bcast { bytes } => Action::Bcast { bytes },
+        MpiOp::Reduce { vcomm, vcomp } => Action::Reduce { vcomm, vcomp },
+        MpiOp::Allreduce { vcomm, vcomp } => Action::AllReduce { vcomm, vcomp },
+        MpiOp::Barrier => Action::Barrier,
+        MpiOp::CommSize => Action::CommSize { nproc: 0 }, // filled by caller
+    }
+}
+
+/// Generates the exact time-independent trace of a program, bypassing
+/// acquisition (used for tests and for replay-only experiments).
+pub fn program_trace(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+) -> TiTrace {
+    let mut t = TiTrace::new(nproc);
+    for rank in 0..nproc {
+        let mut s = program(rank, nproc);
+        while let Some(op) = s.next_op() {
+            let mut a = op_to_action(&op);
+            if let Action::CommSize { nproc: n } = &mut a {
+                *n = nproc;
+            }
+            t.push(rank, a);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_action_mapping_covers_all() {
+        assert_eq!(
+            op_to_action(&MpiOp::compute(2.0)),
+            Action::Compute { flops: 2.0 }
+        );
+        assert_eq!(
+            op_to_action(&MpiOp::Recv { src: 3, bytes: 9.0 }),
+            Action::Recv { src: 3, bytes: None }
+        );
+        assert_eq!(op_to_action(&MpiOp::Wait), Action::Wait);
+        assert_eq!(
+            op_to_action(&MpiOp::Allreduce { vcomm: 1.0, vcomp: 2.0 }),
+            Action::AllReduce { vcomm: 1.0, vcomp: 2.0 }
+        );
+    }
+
+    #[test]
+    fn program_trace_fills_comm_size() {
+        let prog = |_r: usize, _n: usize| -> Box<dyn OpStream> {
+            Box::new(mpi_emul::ops::VecOpStream::new(vec![MpiOp::CommSize, MpiOp::Barrier]))
+        };
+        let t = program_trace(&prog, 3);
+        assert_eq!(t.actions[1][0], Action::CommSize { nproc: 3 });
+    }
+}

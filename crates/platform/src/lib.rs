@@ -1,0 +1,26 @@
+//! `tit-platform` — platform and deployment descriptions.
+//!
+//! The replay tool takes three inputs (Figure 4 of the paper): the
+//! time-independent trace(s), a description of the **target platform**
+//! (Figure 5), and a **deployment** mapping processes onto processors
+//! (Figure 6). This crate implements:
+//!
+//! * a small dependency-free XML parser ([`xml`]) for the SimGrid-style
+//!   description files;
+//! * platform models ([`desc`]): flat switched clusters (bordereau-like),
+//!   hierarchical cabinet clusters (gdx-like), and multi-site assemblies
+//!   interconnected by wide-area links, all compiled into a
+//!   [`simkern::Platform`] with the appropriate routing;
+//! * deployment descriptions ([`deployment`]): parse/emit the XML form
+//!   and programmatic builders for the paper's acquisition modes (regular,
+//!   folded, scattered);
+//! * presets ([`presets`]) describing the two Grid'5000 clusters of the
+//!   evaluation section and their interconnection.
+
+pub mod deployment;
+pub mod desc;
+pub mod presets;
+pub mod xml;
+
+pub use deployment::Deployment;
+pub use desc::{ClusterSpec, ClusterTopology, PlatformDesc, WanLink};

@@ -1,0 +1,141 @@
+//! Models of the evaluation platforms (Section 6.1 of the paper).
+//!
+//! Two Grid'5000 clusters:
+//!
+//! * **bordereau** — 93 nodes, 2.6 GHz dual-proc dual-core AMD Opteron
+//!   2218 (4 cores/node), all on a single 10 Gbit switch; GigE NICs.
+//! * **gdx** — 186 nodes, 2.0 GHz dual-proc AMD Opteron 246 (2 cores),
+//!   spread over 18 cabinets, two cabinets per switch, switches joined to
+//!   one second-level switch by 1 Gbit Ethernet links.
+//!
+//! They are interconnected by a dedicated 10 Gbit wide-area network
+//! (millisecond-scale latency between the two sites).
+//!
+//! `power` is the *calibrated application flop rate* per core, not the
+//! CPU's peak: the paper calibrates it by timing an instrumented run
+//! (Section 5). The defaults below were fixed with that procedure against
+//! this repository's LU emulator; `tit-calibrate` recomputes them.
+
+use crate::desc::{ClusterSpec, ClusterTopology, PlatformDesc, WanLink};
+
+/// Calibrated per-core LU flop rate on bordereau (2.6 GHz Opteron 2218).
+pub const BORDEREAU_POWER: f64 = 1.17e9;
+/// Calibrated per-core LU flop rate on gdx (2.0 GHz Opteron 246),
+/// scaled by clock ratio from bordereau.
+pub const GDX_POWER: f64 = 0.90e9;
+
+/// The bordereau cluster, truncated to `nodes` (≤ 93 in reality).
+pub fn bordereau(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        id: "bordereau".into(),
+        prefix: "bordereau-".into(),
+        suffix: ".bordeaux.grid5000.fr".into(),
+        count: nodes,
+        power: BORDEREAU_POWER,
+        cores: 4,
+        bw: 1.25e8,      // GigE NIC: 1 Gbit/s
+        lat: 16.67e-6,   // per-hop latency (ping-pong / 6)
+        bb_bw: 1.25e9,   // 10 Gbit backbone switch
+        bb_lat: 16.67e-6,
+        topology: ClusterTopology::Flat,
+    }
+}
+
+/// bordereau with one core per node, as used for Table 2
+/// ("we use only one core per node").
+pub fn bordereau_one_core(nodes: usize) -> ClusterSpec {
+    ClusterSpec { cores: 1, ..bordereau(nodes) }
+}
+
+/// The gdx cluster, truncated to `nodes` (≤ 186 in reality). 18 cabinets
+/// of ~10-11 nodes, two cabinets behind each switch → groups of ~21.
+pub fn gdx(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        id: "gdx".into(),
+        prefix: "gdx-".into(),
+        suffix: ".orsay.grid5000.fr".into(),
+        count: nodes,
+        power: GDX_POWER,
+        cores: 2,
+        bw: 1.25e8,
+        lat: 16.67e-6,
+        bb_bw: 1.25e9, // the second-level switch itself is not a bottleneck
+        bb_lat: 16.67e-6,
+        topology: ClusterTopology::Cabinets { group_size: 21 },
+    }
+}
+
+/// gdx with one core per node (Table 2 setting).
+pub fn gdx_one_core(nodes: usize) -> ClusterSpec {
+    ClusterSpec { cores: 1, ..gdx(nodes) }
+}
+
+/// Dedicated 10 Gbit inter-site network between Bordeaux and Orsay.
+pub fn g5k_wan() -> WanLink {
+    WanLink {
+        from: "bordereau".into(),
+        to: "gdx".into(),
+        bw: 1.25e9,
+        lat: 5.0e-3, // ~10 ms RTT between the two Grid'5000 sites
+    }
+}
+
+/// Two-site platform for the scattering experiments: `b` bordereau nodes
+/// plus `g` gdx nodes over the dedicated WAN, one core per node.
+pub fn grid5000_two_sites(b: usize, g: usize) -> PlatformDesc {
+    PlatformDesc {
+        clusters: vec![bordereau_one_core(b), gdx_one_core(g)],
+        wan: vec![g5k_wan()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkern::resource::HostId;
+
+    #[test]
+    fn bordereau_builds_with_full_size() {
+        let p = PlatformDesc::single(bordereau(93)).build();
+        assert_eq!(p.num_hosts(), 93);
+        let r = p.resolve_route(HostId(0), HostId(92));
+        assert_eq!(r.shared.len(), 2);
+        assert_eq!(r.bound, 1.25e9);
+    }
+
+    #[test]
+    fn gdx_builds_with_cabinet_topology() {
+        let p = PlatformDesc::single(gdx(186)).build();
+        assert_eq!(p.num_hosts(), 186);
+        // Hosts 0 and 1 share a cabinet group; 0 and 185 do not.
+        let near = p.resolve_route(HostId(0), HostId(1));
+        let far = p.resolve_route(HostId(0), HostId(185));
+        assert!(far.latency > near.latency);
+        assert_eq!(near.shared.len(), 2);
+        assert_eq!(far.shared.len(), 4);
+    }
+
+    #[test]
+    fn two_site_platform_routes_across_wan() {
+        let desc = grid5000_two_sites(32, 32);
+        let p = desc.build();
+        assert_eq!(p.num_hosts(), 64);
+        let cross = p.resolve_route(HostId(0), HostId(40));
+        assert!(cross.latency > 5e-3);
+    }
+
+    #[test]
+    fn gdx_is_slower_than_bordereau() {
+        assert!(GDX_POWER < BORDEREAU_POWER);
+        // Roughly the 2.0/2.6 clock ratio.
+        let ratio = GDX_POWER / BORDEREAU_POWER;
+        assert!(ratio > 0.7 && ratio < 0.85, "ratio {ratio}");
+    }
+
+    #[test]
+    fn one_core_variants() {
+        assert_eq!(bordereau_one_core(8).cores, 1);
+        assert_eq!(gdx_one_core(8).cores, 1);
+        assert_eq!(bordereau(8).cores, 4);
+    }
+}

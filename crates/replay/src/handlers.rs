@@ -1,0 +1,239 @@
+//! Action handlers: the replay-tool analogue of `MSG_action_register`.
+//!
+//! The paper's simulator binds every trace keyword to a function that
+//! "corresponds to the expected behavior of a given action" (Section 5,
+//! step 1-2). Here a handler expands one [`Action`] into kernel
+//! [`MicroOp`]s; the default [`Registry`] covers all of Table 1, and
+//! callers may re-register keywords to explore alternative semantics
+//! (e.g. a flat-tree broadcast) without touching the replayer, which is
+//! precisely the flexibility the paper claims for the decoupled design.
+
+use crate::collectives::{self, CollectiveAlgo};
+use crate::tags;
+use std::collections::HashMap;
+use tit_core::Action;
+
+/// A kernel-level step produced by expanding one action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MicroOp {
+    /// Compute `flops` on the local host (blocking).
+    Exec { flops: f64, tag: u32 },
+    /// Blocking point-to-point send on the application channel.
+    Send { dst: usize, bytes: f64, tag: u32 },
+    /// Blocking point-to-point receive on the application channel.
+    Recv { src: usize, tag: u32 },
+    /// Blocking send on the collective channel.
+    CollSend { dst: usize, bytes: f64, tag: u32 },
+    /// Blocking receive on the collective channel.
+    CollRecv { src: usize, tag: u32 },
+    /// Non-blocking send: enqueue a request for a later `wait`.
+    IsendReq { dst: usize, bytes: f64, tag: u32 },
+    /// Non-blocking receive: enqueue a request for a later `wait`.
+    IrecvReq { src: usize, tag: u32 },
+    /// Complete the oldest pending request.
+    WaitReq { tag: u32 },
+    /// Update the communicator size.
+    SetCommSize { nproc: usize },
+}
+
+/// Context a handler sees when expanding an action.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpandCtx {
+    /// This process's rank.
+    pub rank: usize,
+    /// Current communicator size (0 before any `comm_size`).
+    pub nproc: usize,
+    /// Collective decomposition shape.
+    pub algo: CollectiveAlgo,
+}
+
+/// Handler: expands `action` into micro-ops.
+pub type Handler = Box<dyn Fn(&ExpandCtx, &Action, &mut Vec<MicroOp>) + Send + Sync>;
+
+/// Keyword → handler table.
+pub struct Registry {
+    handlers: HashMap<&'static str, Handler>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl Registry {
+    /// Empty registry (no keyword bound).
+    pub fn empty() -> Self {
+        Registry { handlers: HashMap::new() }
+    }
+
+    /// Registry with the paper's Table 1 semantics bound.
+    pub fn with_defaults() -> Self {
+        let mut r = Registry::empty();
+        r.register("compute", |_ctx, a, out| {
+            if let Action::Compute { flops } = a {
+                out.push(MicroOp::Exec { flops: *flops, tag: tags::COMPUTE });
+            }
+        });
+        r.register("send", |_ctx, a, out| {
+            if let Action::Send { dst, bytes } = a {
+                out.push(MicroOp::Send { dst: *dst, bytes: *bytes, tag: tags::SEND });
+            }
+        });
+        r.register("Isend", |_ctx, a, out| {
+            if let Action::Isend { dst, bytes } = a {
+                out.push(MicroOp::IsendReq { dst: *dst, bytes: *bytes, tag: tags::ISEND });
+            }
+        });
+        r.register("recv", |_ctx, a, out| {
+            if let Action::Recv { src, .. } = a {
+                out.push(MicroOp::Recv { src: *src, tag: tags::RECV });
+            }
+        });
+        r.register("Irecv", |_ctx, a, out| {
+            if let Action::Irecv { src, .. } = a {
+                out.push(MicroOp::IrecvReq { src: *src, tag: tags::IRECV });
+            }
+        });
+        r.register("bcast", |ctx, a, out| {
+            if let Action::Bcast { bytes } = a {
+                ctx.require_comm_size("bcast");
+                collectives::bcast(ctx.algo, ctx.rank, ctx.nproc, *bytes, tags::BCAST, out);
+            }
+        });
+        r.register("reduce", |ctx, a, out| {
+            if let Action::Reduce { vcomm, vcomp } = a {
+                ctx.require_comm_size("reduce");
+                collectives::reduce(
+                    ctx.algo, ctx.rank, ctx.nproc, *vcomm, *vcomp, tags::REDUCE, out,
+                );
+            }
+        });
+        r.register("allReduce", |ctx, a, out| {
+            if let Action::AllReduce { vcomm, vcomp } = a {
+                ctx.require_comm_size("allReduce");
+                collectives::allreduce(
+                    ctx.algo, ctx.rank, ctx.nproc, *vcomm, *vcomp, tags::ALLREDUCE, out,
+                );
+            }
+        });
+        r.register("barrier", |ctx, _a, out| {
+            ctx.require_comm_size("barrier");
+            collectives::barrier(ctx.algo, ctx.rank, ctx.nproc, tags::BARRIER, out);
+        });
+        r.register("comm_size", |_ctx, a, out| {
+            if let Action::CommSize { nproc } = a {
+                out.push(MicroOp::SetCommSize { nproc: *nproc });
+            }
+        });
+        r.register("wait", |_ctx, _a, out| {
+            out.push(MicroOp::WaitReq { tag: tags::WAIT });
+        });
+        r
+    }
+
+    /// Binds (or rebinds) `keyword` — the `MSG_action_register` analogue.
+    pub fn register(
+        &mut self,
+        keyword: &'static str,
+        f: impl Fn(&ExpandCtx, &Action, &mut Vec<MicroOp>) + Send + Sync + 'static,
+    ) {
+        self.handlers.insert(keyword, Box::new(f));
+    }
+
+    /// Expands `action`; panics on an unbound keyword (a trace/keyword
+    /// mismatch is a programming error, as in the MSG prototype).
+    pub fn expand(&self, ctx: &ExpandCtx, action: &Action, out: &mut Vec<MicroOp>) {
+        let kw = action.keyword();
+        let h = self
+            .handlers
+            .get(kw)
+            .unwrap_or_else(|| panic!("no handler registered for action {kw:?}"));
+        h(ctx, action, out);
+    }
+}
+
+impl ExpandCtx {
+    fn require_comm_size(&self, what: &str) {
+        assert!(
+            self.nproc > 0,
+            "p{}: {what} before comm_size (the trace is malformed)",
+            self.rank
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rank: usize, nproc: usize) -> ExpandCtx {
+        ExpandCtx { rank, nproc, algo: CollectiveAlgo::Binomial }
+    }
+
+    fn expand1(ctx_: &ExpandCtx, a: Action) -> Vec<MicroOp> {
+        let r = Registry::with_defaults();
+        let mut out = Vec::new();
+        r.expand(ctx_, &a, &mut out);
+        out
+    }
+
+    #[test]
+    fn default_registry_covers_table_1() {
+        let c = ctx(1, 4);
+        assert_eq!(
+            expand1(&c, Action::Compute { flops: 5.0 }),
+            vec![MicroOp::Exec { flops: 5.0, tag: tags::COMPUTE }]
+        );
+        assert_eq!(
+            expand1(&c, Action::Send { dst: 2, bytes: 7.0 }),
+            vec![MicroOp::Send { dst: 2, bytes: 7.0, tag: tags::SEND }]
+        );
+        assert_eq!(
+            expand1(&c, Action::Isend { dst: 2, bytes: 7.0 }),
+            vec![MicroOp::IsendReq { dst: 2, bytes: 7.0, tag: tags::ISEND }]
+        );
+        assert_eq!(
+            expand1(&c, Action::Recv { src: 0, bytes: None }),
+            vec![MicroOp::Recv { src: 0, tag: tags::RECV }]
+        );
+        assert_eq!(
+            expand1(&c, Action::Irecv { src: 0, bytes: Some(4.0) }),
+            vec![MicroOp::IrecvReq { src: 0, tag: tags::IRECV }]
+        );
+        assert_eq!(
+            expand1(&c, Action::CommSize { nproc: 4 }),
+            vec![MicroOp::SetCommSize { nproc: 4 }]
+        );
+        assert_eq!(expand1(&c, Action::Wait), vec![MicroOp::WaitReq { tag: tags::WAIT }]);
+        assert!(!expand1(&c, Action::Bcast { bytes: 64.0 }).is_empty());
+        assert!(!expand1(&c, Action::Barrier).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before comm_size")]
+    fn collective_without_comm_size_panics() {
+        expand1(&ctx(0, 0), Action::Barrier);
+    }
+
+    #[test]
+    fn rebinding_overrides_semantics() {
+        let mut r = Registry::with_defaults();
+        r.register("bcast", |ctx, a, out| {
+            if let Action::Bcast { bytes } = a {
+                collectives::bcast(CollectiveAlgo::Flat, ctx.rank, ctx.nproc, *bytes, 0, out);
+            }
+        });
+        let mut out = Vec::new();
+        r.expand(&ctx(0, 8), &Action::Bcast { bytes: 1.0 }, &mut out);
+        assert_eq!(out.len(), 7, "flat bcast from root sends to all 7 peers");
+    }
+
+    #[test]
+    #[should_panic(expected = "no handler")]
+    fn unbound_keyword_panics() {
+        let r = Registry::empty();
+        let mut out = Vec::new();
+        r.expand(&ctx(0, 1), &Action::Wait, &mut out);
+    }
+}

@@ -1,0 +1,25 @@
+//! `tit-replay` — the time-independent trace replay tool.
+//!
+//! This is the paper's simulator (Section 5): it takes a time-independent
+//! trace, a platform description and a deployment, and replays the trace
+//! on top of the simulation kernel, producing the simulated execution
+//! time (plus optional timed-trace and profile outputs, Figure 4).
+//!
+//! Mirroring the MSG-based prototype, every action keyword is bound to a
+//! handler through a [`handlers::Registry`] (the analogue of
+//! `MSG_action_register`); handlers expand an action into a short
+//! sequence of kernel micro-operations executed by the per-process
+//! [`process::ReplayActor`]. Collective operations are decomposed into
+//! point-to-point messages rooted at process 0 ([`collectives`]), and
+//! non-blocking operations feed a FIFO request queue consumed by `wait`
+//! ([`process`]).
+
+pub mod collectives;
+pub mod handlers;
+pub mod output;
+pub mod process;
+pub mod simulator;
+pub mod tags;
+
+pub use handlers::{MicroOp, Registry};
+pub use simulator::{replay_binary_files, replay_files, replay_memory, ReplayConfig, ReplayOutcome};

@@ -1,0 +1,204 @@
+//! Simulation outputs beyond the makespan: timed traces and profiles.
+//!
+//! Figure 4 of the paper lists three possible outputs of an off-line
+//! simulation: the simulated execution time, a *timed trace* (the
+//! time-independent trace re-decorated with simulated time stamps) and an
+//! application *profile*. The replayer's observer records provide both
+//! derived outputs.
+
+use crate::tags;
+use simkern::observer::OpRecord;
+use std::io::Write;
+
+/// Writes a timed trace as CSV: `rank,action,start,end,volume`.
+pub fn write_timed_trace<W: Write>(records: &[OpRecord], w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "rank,action,start,end,volume")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{:.9},{:.9},{}",
+            r.actor,
+            tags::name(r.tag),
+            r.start,
+            r.end,
+            r.volume
+        )?;
+    }
+    Ok(())
+}
+
+/// Per-rank time split between computation and communication.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankProfile {
+    pub compute_time: f64,
+    pub comm_time: f64,
+    pub compute_ops: u64,
+    pub comm_ops: u64,
+}
+
+impl RankProfile {
+    pub fn total_time(&self) -> f64 {
+        self.compute_time + self.comm_time
+    }
+}
+
+/// Aggregates records into per-rank profiles (index = rank).
+pub fn profile(records: &[OpRecord], nproc: usize) -> Vec<RankProfile> {
+    let mut rows = vec![RankProfile::default(); nproc];
+    for r in records {
+        if r.actor >= rows.len() {
+            continue;
+        }
+        let row = &mut rows[r.actor];
+        let dt = r.end - r.start;
+        if tags::is_comm(r.tag) {
+            row.comm_time += dt;
+            row.comm_ops += 1;
+        } else {
+            row.compute_time += dt;
+            row.compute_ops += 1;
+        }
+    }
+    rows
+}
+
+/// Renders the profile as an aligned text table.
+pub fn format_profile(rows: &[RankProfile]) -> String {
+    let mut out = String::new();
+    out.push_str("rank     compute(s)      comm(s)   comp-ops   comm-ops\n");
+    for (rank, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{rank:>4} {:>13.6} {:>12.6} {:>10} {:>10}\n",
+            r.compute_time, r.comm_time, r.compute_ops, r.comm_ops
+        ));
+    }
+    out
+}
+
+/// Writes the timed trace in the Paje format consumed by SimGrid's
+/// visualisation tools (Paje/Vite). One container per MPI process, one
+/// state per replayed action.
+pub fn write_paje<W: Write>(
+    records: &[OpRecord],
+    nproc: usize,
+    end_time: f64,
+    w: &mut W,
+) -> std::io::Result<()> {
+    // Minimal event-definition header (the fixed Paje preamble).
+    w.write_all(
+        b"%EventDef PajeDefineContainerType 0
+%  Alias string
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeDefineStateType 1
+%  Alias string
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeCreateContainer 2
+%  Time date
+%  Alias string
+%  Type string
+%  Container string
+%  Name string
+%EndEventDef
+%EventDef PajeDestroyContainer 3
+%  Time date
+%  Type string
+%  Name string
+%EndEventDef
+%EventDef PajeSetState 4
+%  Time date
+%  Type string
+%  Container string
+%  Value string
+%EndEventDef
+",
+    )?;
+    writeln!(w, "0 CT_Proc 0 \"MPI Process\"")?;
+    writeln!(w, "1 ST_Action CT_Proc \"Action\"")?;
+    for rank in 0..nproc {
+        writeln!(w, "2 0.000000 p{rank} CT_Proc 0 \"p{rank}\"")?;
+    }
+    // States, in start order: enter at start, idle at end.
+    let mut sorted: Vec<&OpRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| a.start.total_cmp(&b.start));
+    for r in sorted {
+        writeln!(
+            w,
+            "4 {:.9} ST_Action p{} \"{}\"",
+            r.start,
+            r.actor,
+            tags::name(r.tag)
+        )?;
+        writeln!(w, "4 {:.9} ST_Action p{} \"idle\"", r.end, r.actor)?;
+    }
+    for rank in 0..nproc {
+        writeln!(w, "3 {end_time:.9} CT_Proc p{rank}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs() -> Vec<OpRecord> {
+        vec![
+            OpRecord { actor: 0, tag: tags::COMPUTE, start: 0.0, end: 1.0, volume: 1e9 },
+            OpRecord { actor: 0, tag: tags::SEND, start: 1.0, end: 1.5, volume: 1e6 },
+            OpRecord { actor: 1, tag: tags::RECV, start: 0.0, end: 1.5, volume: 1e6 },
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_timed_trace(&recs(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("rank,action"));
+        assert!(lines[1].contains("compute"));
+        assert!(lines[2].contains("send"));
+    }
+
+    #[test]
+    fn profile_splits_compute_and_comm() {
+        let rows = profile(&recs(), 2);
+        assert!((rows[0].compute_time - 1.0).abs() < 1e-12);
+        assert!((rows[0].comm_time - 0.5).abs() < 1e-12);
+        assert_eq!(rows[0].compute_ops, 1);
+        assert_eq!(rows[1].comm_ops, 1);
+        assert!((rows[1].total_time() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paje_output_has_preamble_containers_and_states() {
+        let mut buf = Vec::new();
+        write_paje(&recs(), 2, 2.0, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("%EventDef PajeDefineContainerType"));
+        assert!(text.contains("2 0.000000 p0 CT_Proc 0 \"p0\""));
+        assert!(text.contains("4 0.000000000 ST_Action p0 \"compute\""));
+        assert!(text.contains("4 1.000000000 ST_Action p0 \"idle\""));
+        assert!(text.contains("3 2.000000000 CT_Proc p1"));
+        // States sorted by start time.
+        let s_lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with("4 ")).collect();
+        let times: Vec<f64> = s_lines
+            .iter()
+            .step_by(2)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn format_profile_is_aligned() {
+        let text = format_profile(&profile(&recs(), 2));
+        assert!(text.lines().count() == 3);
+        assert!(text.contains("rank"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The per-process replaying actor.
+//!
+//! One [`ReplayActor`] per MPI rank streams actions from its source (an
+//! in-memory list or a per-process trace file), expands them through the
+//! handler [`Registry`] and executes the resulting micro-ops on the
+//! simulation kernel. Non-blocking operations enqueue their kernel op in
+//! a FIFO request queue; `wait` completes the oldest one — the format has
+//! no request identifiers, and the paper's prototype behaves the same
+//! way.
+
+use crate::handlers::{ExpandCtx, MicroOp, Registry};
+use crate::collectives::CollectiveAlgo;
+use simkern::engine::{Ctx, MailboxKey, OpId};
+use simkern::{Actor, Step, Wake};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tit_core::trace::ProcessTraceReader;
+use tit_core::Action;
+
+/// Supplies the action stream of one process.
+pub trait ActionSource: Send {
+    /// Next action, or `None` at end of trace.
+    fn next_action(&mut self) -> std::io::Result<Option<Action>>;
+}
+
+/// In-memory action list.
+pub struct VecSource(std::vec::IntoIter<Action>);
+
+impl VecSource {
+    pub fn new(actions: Vec<Action>) -> Self {
+        VecSource(actions.into_iter())
+    }
+}
+
+impl ActionSource for VecSource {
+    fn next_action(&mut self) -> std::io::Result<Option<Action>> {
+        Ok(self.0.next())
+    }
+}
+
+/// Streaming per-process trace file (`SG_process<N>.trace`).
+pub struct FileSource {
+    reader: ProcessTraceReader,
+    rank: usize,
+}
+
+impl FileSource {
+    /// Opens `path`; every line must belong to `rank`.
+    pub fn open(path: &std::path::Path, rank: usize) -> std::io::Result<Self> {
+        Ok(FileSource { reader: ProcessTraceReader::open(path)?, rank })
+    }
+}
+
+impl ActionSource for FileSource {
+    fn next_action(&mut self) -> std::io::Result<Option<Action>> {
+        match self.reader.next_action()? {
+            None => Ok(None),
+            Some((pid, a)) => {
+                if pid != self.rank {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("trace line for p{pid} in p{}'s file", self.rank),
+                    ));
+                }
+                Ok(Some(a))
+            }
+        }
+    }
+}
+
+/// Streaming binary per-process trace file (`SG_process<N>.btrace`,
+/// the paper's future-work format).
+pub struct BinFileSource {
+    reader: tit_core::binfmt::BinaryTraceReader,
+}
+
+impl BinFileSource {
+    /// Opens `path`; the embedded rank header must match `rank`.
+    pub fn open(path: &std::path::Path, rank: usize) -> std::io::Result<Self> {
+        let reader = tit_core::binfmt::BinaryTraceReader::open(path)?;
+        if reader.rank() != rank {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("binary trace for p{} opened as p{rank}", reader.rank()),
+            ));
+        }
+        Ok(BinFileSource { reader })
+    }
+}
+
+impl ActionSource for BinFileSource {
+    fn next_action(&mut self) -> std::io::Result<Option<Action>> {
+        self.reader.next_action()
+    }
+}
+
+/// The replaying state machine for one rank.
+pub struct ReplayActor {
+    rank: usize,
+    nproc: usize,
+    src: Box<dyn ActionSource>,
+    registry: Arc<Registry>,
+    algo: CollectiveAlgo,
+    micro: VecDeque<MicroOp>,
+    expand_buf: Vec<MicroOp>,
+    requests: VecDeque<OpId>,
+    actions_replayed: Arc<AtomicU64>,
+}
+
+impl ReplayActor {
+    pub fn new(
+        rank: usize,
+        src: Box<dyn ActionSource>,
+        registry: Arc<Registry>,
+        algo: CollectiveAlgo,
+        actions_replayed: Arc<AtomicU64>,
+    ) -> Self {
+        ReplayActor {
+            rank,
+            nproc: 0,
+            src,
+            registry,
+            algo,
+            micro: VecDeque::new(),
+            expand_buf: Vec::new(),
+            requests: VecDeque::new(),
+            actions_replayed,
+        }
+    }
+
+    /// Runs one micro-op; `Some(step)` when it blocks the actor.
+    fn run_micro(&mut self, ctx: &mut Ctx<'_>, op: MicroOp) -> Option<Step> {
+        match op {
+            MicroOp::Exec { flops, tag } => Some(Step::Wait(ctx.execute_tagged(flops, tag))),
+            MicroOp::Send { dst, bytes, tag } => {
+                let mb = MailboxKey::p2p(self.rank, dst);
+                Some(Step::Wait(ctx.isend_tagged(mb, bytes, tag)))
+            }
+            MicroOp::Recv { src, tag } => {
+                let mb = MailboxKey::p2p(src, self.rank);
+                Some(Step::Wait(ctx.irecv_tagged(mb, tag)))
+            }
+            MicroOp::CollSend { dst, bytes, tag } => {
+                let mb = MailboxKey::coll(self.rank, dst);
+                Some(Step::Wait(ctx.isend_tagged(mb, bytes, tag)))
+            }
+            MicroOp::CollRecv { src, tag } => {
+                let mb = MailboxKey::coll(src, self.rank);
+                Some(Step::Wait(ctx.irecv_tagged(mb, tag)))
+            }
+            MicroOp::IsendReq { dst, bytes, tag } => {
+                let mb = MailboxKey::p2p(self.rank, dst);
+                let op = ctx.isend_tagged(mb, bytes, tag);
+                self.requests.push_back(op);
+                None
+            }
+            MicroOp::IrecvReq { src, tag } => {
+                let mb = MailboxKey::p2p(src, self.rank);
+                let op = ctx.irecv_tagged(mb, tag);
+                self.requests.push_back(op);
+                None
+            }
+            MicroOp::WaitReq { .. } => {
+                let op = self.requests.pop_front().unwrap_or_else(|| {
+                    panic!("p{}: wait with no pending request (malformed trace)", self.rank)
+                });
+                Some(Step::Wait(op))
+            }
+            MicroOp::SetCommSize { nproc } => {
+                self.nproc = nproc;
+                None
+            }
+        }
+    }
+}
+
+impl Actor for ReplayActor {
+    fn step(&mut self, ctx: &mut Ctx<'_>, _wake: Wake) -> Step {
+        loop {
+            if let Some(op) = self.micro.pop_front() {
+                if let Some(step) = self.run_micro(ctx, op) {
+                    return step;
+                }
+                continue;
+            }
+            let action = match self.src.next_action() {
+                Ok(Some(a)) => a,
+                Ok(None) => return Step::Done,
+                Err(e) => panic!("p{}: trace read failed: {e}", self.rank),
+            };
+            self.actions_replayed.fetch_add(1, Ordering::Relaxed);
+            let ectx = ExpandCtx { rank: self.rank, nproc: self.nproc, algo: self.algo };
+            self.expand_buf.clear();
+            self.registry.expand(&ectx, &action, &mut self.expand_buf);
+            self.micro.extend(self.expand_buf.drain(..));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_yields_in_order() {
+        let mut s = VecSource::new(vec![Action::Wait, Action::Barrier]);
+        assert_eq!(s.next_action().unwrap(), Some(Action::Wait));
+        assert_eq!(s.next_action().unwrap(), Some(Action::Barrier));
+        assert_eq!(s.next_action().unwrap(), None);
+    }
+
+    #[test]
+    fn file_source_rejects_foreign_ranks() {
+        let dir = std::env::temp_dir().join(format!("titr-fsrc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("SG_process0.trace");
+        std::fs::write(&path, "p1 wait\n").unwrap();
+        let mut s = FileSource::open(&path, 0).unwrap();
+        assert!(s.next_action().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,348 @@
+//! End-to-end replay driver: trace + platform + deployment → simulated
+//! time (Figure 4 of the paper).
+
+use crate::collectives::CollectiveAlgo;
+use crate::handlers::Registry;
+use crate::process::{ActionSource, FileSource, ReplayActor, VecSource};
+use simkern::netmodel::NetworkConfig;
+use simkern::observer::{Observer, OpRecord};
+use simkern::resource::HostId;
+use simkern::{Engine, Platform};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tit_core::trace::process_trace_filename;
+use tit_core::TiTrace;
+
+/// Replay-tool configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Network model (the paper's default is the contention-aware
+    /// piece-wise-linear MPI model).
+    pub network: NetworkConfig,
+    /// Collective decomposition shape.
+    pub algo: CollectiveAlgo,
+    /// Record one timed entry per completed operation (Figure 4's
+    /// "timed trace" output). Costs memory proportional to trace size.
+    pub collect_records: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            network: NetworkConfig::mpi_cluster(),
+            algo: CollectiveAlgo::Binomial,
+            collect_records: false,
+        }
+    }
+}
+
+/// Results of a replay.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Simulated execution time of the application, seconds.
+    pub simulated_time: f64,
+    /// Number of trace actions consumed.
+    pub actions_replayed: u64,
+    /// Wall-clock time of the simulation itself (Figure 9's metric).
+    pub wall_time: std::time::Duration,
+    /// Timed trace when `collect_records` was set.
+    pub records: Option<Vec<OpRecord>>,
+}
+
+/// Observer pushing into a shared vector (so the caller keeps access
+/// after the engine consumes the box).
+struct SharedCollector(Arc<Mutex<Vec<OpRecord>>>);
+
+impl Observer for SharedCollector {
+    fn record(&mut self, rec: OpRecord) {
+        self.0.lock().unwrap().push(rec);
+    }
+}
+
+fn run(
+    sources: Vec<Box<dyn ActionSource>>,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+) -> ReplayOutcome {
+    assert_eq!(
+        sources.len(),
+        hosts.len(),
+        "deployment maps {} hosts but the trace has {} processes",
+        hosts.len(),
+        sources.len()
+    );
+    let mut engine = Engine::new(platform);
+    engine.set_network_config(cfg.network.clone());
+    let records = Arc::new(Mutex::new(Vec::new()));
+    if cfg.collect_records {
+        engine.set_observer(Box::new(SharedCollector(records.clone())));
+    }
+    let registry = Arc::new(Registry::with_defaults());
+    let counter = Arc::new(AtomicU64::new(0));
+    for (rank, src) in sources.into_iter().enumerate() {
+        let actor =
+            ReplayActor::new(rank, src, registry.clone(), cfg.algo, counter.clone());
+        engine.spawn(Box::new(actor), hosts[rank]);
+    }
+    let t0 = std::time::Instant::now();
+    let simulated_time = engine.run();
+    let wall_time = t0.elapsed();
+    let records = if cfg.collect_records {
+        Some(std::mem::take(&mut *records.lock().unwrap()))
+    } else {
+        None
+    };
+    ReplayOutcome {
+        simulated_time,
+        actions_replayed: counter.load(Ordering::Relaxed),
+        wall_time,
+        records,
+    }
+}
+
+/// Replays an in-memory trace. `hosts[rank]` is rank's host.
+pub fn replay_memory(
+    trace: &TiTrace,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+) -> ReplayOutcome {
+    let sources: Vec<Box<dyn ActionSource>> = trace
+        .actions
+        .iter()
+        .map(|a| Box::new(VecSource::new(a.clone())) as Box<dyn ActionSource>)
+        .collect();
+    run(sources, platform, hosts, cfg)
+}
+
+/// Replays per-process trace files `SG_process<rank>.trace` from `dir`,
+/// streaming them (constant memory in trace size).
+pub fn replay_files(
+    dir: &Path,
+    nproc: usize,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+) -> std::io::Result<ReplayOutcome> {
+    let mut sources: Vec<Box<dyn ActionSource>> = Vec::with_capacity(nproc);
+    for rank in 0..nproc {
+        let path = dir.join(process_trace_filename(rank));
+        sources.push(Box::new(FileSource::open(&path, rank)?));
+    }
+    Ok(run(sources, platform, hosts, cfg))
+}
+
+/// Replays binary per-process traces `SG_process<rank>.btrace` from
+/// `dir` (the paper's future-work format; see `tit_core::binfmt`).
+pub fn replay_binary_files(
+    dir: &Path,
+    nproc: usize,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+) -> std::io::Result<ReplayOutcome> {
+    use crate::process::BinFileSource;
+    let mut sources: Vec<Box<dyn ActionSource>> = Vec::with_capacity(nproc);
+    for rank in 0..nproc {
+        let path = dir.join(tit_core::binfmt::binary_trace_filename(rank));
+        sources.push(Box::new(BinFileSource::open(&path, rank)?));
+    }
+    Ok(run(sources, platform, hosts, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tit_core::Action;
+    use tit_platform::desc::{ClusterSpec, ClusterTopology, PlatformDesc};
+
+    fn mycluster(n: usize) -> (Platform, Vec<HostId>) {
+        // The Figure 5 platform, scaled to n nodes.
+        let spec = ClusterSpec {
+            id: "mycluster".into(),
+            prefix: "mycluster-".into(),
+            suffix: ".mysite.fr".into(),
+            count: n,
+            power: 1.17e9,
+            cores: 1,
+            bw: 1.25e8,
+            lat: 16.67e-6,
+            bb_bw: 1.25e9,
+            bb_lat: 16.67e-6,
+            topology: ClusterTopology::Flat,
+        };
+        let p = PlatformDesc::single(spec).build();
+        let hosts = (0..n as u32).map(HostId).collect();
+        (p, hosts)
+    }
+
+    fn plain_cfg() -> ReplayConfig {
+        // Identity network model for analytically-checkable timings.
+        ReplayConfig { network: NetworkConfig::default(), ..Default::default() }
+    }
+
+    /// The paper's Figure 1 ring (single iteration).
+    fn ring_trace() -> TiTrace {
+        let mut t = TiTrace::new(4);
+        t.push(0, Action::Compute { flops: 1e6 });
+        t.push(0, Action::Send { dst: 1, bytes: 1e6 });
+        t.push(0, Action::Recv { src: 3, bytes: None });
+        for p in 1..4usize {
+            t.push(p, Action::Recv { src: p - 1, bytes: None });
+            t.push(p, Action::Compute { flops: 1e6 });
+            t.push(p, Action::Send { dst: (p + 1) % 4, bytes: 1e6 });
+        }
+        t
+    }
+
+    #[test]
+    fn figure_1_ring_replays_to_analytic_time() {
+        let (p, hosts) = mycluster(4);
+        let out = replay_memory(&ring_trace(), p, &hosts, &plain_cfg());
+        // Four sequential hops: compute 1e6/1.17e9 + transfer 1e6/1.25e8
+        // + 3 hop latencies each.
+        let hop = 1e6 / 1.17e9 + 1e6 / 1.25e8 + 3.0 * 16.67e-6;
+        let expect = 4.0 * hop;
+        let rel = (out.simulated_time - expect).abs() / expect;
+        assert!(
+            rel < 1e-9,
+            "ring: expected {expect}, got {} (rel {rel})",
+            out.simulated_time
+        );
+        assert_eq!(out.actions_replayed, 12);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (p1, hosts) = mycluster(4);
+        let (p2, _) = mycluster(4);
+        let a = replay_memory(&ring_trace(), p1, &hosts, &plain_cfg());
+        let b = replay_memory(&ring_trace(), p2, &hosts, &plain_cfg());
+        assert_eq!(a.simulated_time, b.simulated_time);
+    }
+
+    #[test]
+    fn exchange_with_irecv_wait_does_not_deadlock() {
+        // Two ranks post Irecv first, then a (rendezvous) send, then wait:
+        // the LU benchmark's exchange pattern.
+        let mut t = TiTrace::new(2);
+        for (me, other) in [(0usize, 1usize), (1, 0)] {
+            t.push(me, Action::Irecv { src: other, bytes: None });
+            t.push(me, Action::Send { dst: other, bytes: 1e6 });
+            t.push(me, Action::Wait);
+        }
+        let (p, hosts) = mycluster(2);
+        let out = replay_memory(&t, p, &hosts, &plain_cfg());
+        // Both transfers share both NICs; either way it takes at least one
+        // transfer time.
+        assert!(out.simulated_time >= 1e6 / 1.25e8);
+    }
+
+    #[test]
+    fn collectives_replay_on_all_ranks() {
+        let n = 8;
+        let mut t = TiTrace::new(n);
+        for r in 0..n {
+            t.push(r, Action::CommSize { nproc: n });
+            t.push(r, Action::Bcast { bytes: 1e5 });
+            t.push(r, Action::AllReduce { vcomm: 1e4, vcomp: 1e6 });
+            t.push(r, Action::Barrier);
+        }
+        let (p, hosts) = mycluster(n);
+        let out = replay_memory(&t, p, &hosts, &plain_cfg());
+        assert!(out.simulated_time > 0.0);
+        assert_eq!(out.actions_replayed, (n * 4) as u64);
+    }
+
+    #[test]
+    fn binomial_beats_flat_bcast() {
+        let n = 16;
+        let mut t = TiTrace::new(n);
+        for r in 0..n {
+            t.push(r, Action::CommSize { nproc: n });
+            t.push(r, Action::Bcast { bytes: 1e6 });
+        }
+        let (p1, hosts) = mycluster(n);
+        let (p2, _) = mycluster(n);
+        let bino = replay_memory(&t, p1, &hosts, &plain_cfg());
+        let flat_cfg = ReplayConfig { algo: CollectiveAlgo::Flat, ..plain_cfg() };
+        let flat = replay_memory(&t, p2, &hosts, &flat_cfg);
+        assert!(
+            bino.simulated_time < flat.simulated_time,
+            "binomial {} vs flat {}",
+            bino.simulated_time,
+            flat.simulated_time
+        );
+    }
+
+    #[test]
+    fn file_replay_matches_memory_replay() {
+        let dir = std::env::temp_dir().join(format!("titr-replayf-{}", std::process::id()));
+        let t = ring_trace();
+        t.save_per_process(&dir).unwrap();
+        let (p1, hosts) = mycluster(4);
+        let (p2, _) = mycluster(4);
+        let mem = replay_memory(&t, p1, &hosts, &plain_cfg());
+        let fil = replay_files(&dir, 4, p2, &hosts, &plain_cfg()).unwrap();
+        assert_eq!(mem.simulated_time, fil.simulated_time);
+        assert_eq!(mem.actions_replayed, fil.actions_replayed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_and_text_traces_replay_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("titr-binreplay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = ring_trace();
+        t.save_per_process(&dir).unwrap();
+        tit_core::binfmt::convert_dir(&dir, &dir, 4).unwrap();
+        let (p1, hosts) = mycluster(4);
+        let (p2, _) = mycluster(4);
+        let text = replay_files(&dir, 4, p1, &hosts, &plain_cfg()).unwrap();
+        let bin = replay_binary_files(&dir, 4, p2, &hosts, &plain_cfg()).unwrap();
+        assert_eq!(text.simulated_time, bin.simulated_time);
+        assert_eq!(text.actions_replayed, bin.actions_replayed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timed_trace_records_cover_all_ops() {
+        let (p, hosts) = mycluster(4);
+        let cfg = ReplayConfig { collect_records: true, ..plain_cfg() };
+        let out = replay_memory(&ring_trace(), p, &hosts, &cfg);
+        let recs = out.records.unwrap();
+        // 12 actions, each one kernel op.
+        assert_eq!(recs.len(), 12);
+        // Records end no later than the simulated time and are plausible.
+        for r in &recs {
+            assert!(r.start >= 0.0 && r.end <= out.simulated_time + 1e-12);
+            assert!(r.start <= r.end);
+        }
+    }
+
+    #[test]
+    fn unbalanced_trace_deadlocks_with_diagnostic() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Recv { src: 1, bytes: None });
+        let (p, hosts) = mycluster(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            replay_memory(&t, p, &hosts, &plain_cfg())
+        }));
+        assert!(result.is_err(), "missing send must deadlock");
+    }
+
+    #[test]
+    fn mpi_cluster_model_slows_bulk_transfers() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Send { dst: 1, bytes: 1e7 });
+        t.push(1, Action::Recv { src: 0, bytes: None });
+        let (p1, hosts) = mycluster(2);
+        let (p2, _) = mycluster(2);
+        let plain = replay_memory(&t, p1, &hosts, &plain_cfg());
+        let mpi = replay_memory(&t, p2, &hosts, &ReplayConfig::default());
+        assert!(mpi.simulated_time > plain.simulated_time);
+    }
+}

@@ -1,0 +1,56 @@
+//! Observer tags identifying replayed action kinds in timed traces and
+//! profiles.
+
+pub const COMPUTE: u32 = 1;
+pub const SEND: u32 = 2;
+pub const ISEND: u32 = 3;
+pub const RECV: u32 = 4;
+pub const IRECV: u32 = 5;
+pub const BCAST: u32 = 6;
+pub const REDUCE: u32 = 7;
+pub const ALLREDUCE: u32 = 8;
+pub const BARRIER: u32 = 9;
+pub const WAIT: u32 = 10;
+
+/// Human-readable name for a tag.
+pub fn name(tag: u32) -> &'static str {
+    match tag {
+        COMPUTE => "compute",
+        SEND => "send",
+        ISEND => "Isend",
+        RECV => "recv",
+        IRECV => "Irecv",
+        BCAST => "bcast",
+        REDUCE => "reduce",
+        ALLREDUCE => "allReduce",
+        BARRIER => "barrier",
+        WAIT => "wait",
+        _ => "other",
+    }
+}
+
+/// True when the tag denotes communication (for profile aggregation).
+pub fn is_comm(tag: u32) -> bool {
+    matches!(tag, SEND | ISEND | RECV | IRECV | BCAST | REDUCE | ALLREDUCE | BARRIER | WAIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let tags = [COMPUTE, SEND, ISEND, RECV, IRECV, BCAST, REDUCE, ALLREDUCE, BARRIER, WAIT];
+        let mut names: Vec<_> = tags.iter().map(|&t| name(t)).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), tags.len());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!is_comm(COMPUTE));
+        assert!(is_comm(SEND));
+        assert!(is_comm(BARRIER));
+    }
+}

@@ -1,0 +1,1283 @@
+//! The discrete-event engine.
+//!
+//! The engine owns the platform, the bandwidth-sharing solver, the set of
+//! in-flight *activities* (computations and transfers), the rendezvous
+//! *mailboxes*, and the *actors* (simulated processes). Simulation
+//! advances by alternating two phases:
+//!
+//! 1. **Drain the run queue** — every runnable actor is stepped; steps post
+//!    operations (which may create activities or complete instantly) and
+//!    end with the actor blocked on one operation or terminated.
+//! 2. **Advance time** — activity progress is integrated at the rates the
+//!    max-min solver assigned, up to the next event (an activity
+//!    completing, a flow finishing its latency phase, a sleep expiring).
+//!
+//! Rates are recomputed *incrementally* whenever the set of activities
+//! changes: the solver re-solves only the resource islands that were
+//! touched and reports which rates moved; their completion predictions
+//! are updated in place in an indexed heap. Cost per event is therefore
+//! proportional to the affected island, not to the whole platform —
+//! which is what keeps thousand-process replays tractable (the
+//! simulation-time concern of the paper's Section 6.6).
+//!
+//! Point-to-point semantics follow the paper's replay tool: a send and a
+//! matching receive rendezvous through a mailbox keyed by (source,
+//! destination, channel); the flow starts when both sides are present,
+//! first paying the route latency, then transferring at the shared
+//! bandwidth. Sends below the eager threshold complete for the sender at
+//! post time (buffered mode); larger sends complete when the transfer does
+//! (synchronous mode).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::actor::{Actor, Step, Wake};
+use crate::lmm;
+use crate::netmodel::NetworkConfig;
+use crate::observer::{Observer, OpRecord};
+use crate::resource::{HostId, Platform, Route};
+use crate::slab::Slab;
+
+/// Handle to a posted operation (compute, isend, irecv, sleep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(pub(crate) usize);
+
+/// Index of a spawned actor (the replayer spawns rank order, so this is
+/// the MPI rank).
+pub type ActorId = usize;
+
+/// Rendezvous mailbox address.
+///
+/// `chan` separates independent message streams between the same pair of
+/// processes (e.g. application point-to-point traffic vs. the
+/// point-to-point decomposition of collectives); matching is FIFO within a
+/// mailbox, which mirrors MPI's non-overtaking guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MailboxKey {
+    pub src: u32,
+    pub dst: u32,
+    pub chan: u8,
+}
+
+impl MailboxKey {
+    /// Application point-to-point channel.
+    pub fn p2p(src: usize, dst: usize) -> Self {
+        MailboxKey { src: src as u32, dst: dst as u32, chan: 0 }
+    }
+
+    /// Collective-implementation channel.
+    pub fn coll(src: usize, dst: usize) -> Self {
+        MailboxKey { src: src as u32, dst: dst as u32, chan: 1 }
+    }
+}
+
+/// Simulation failed to terminate: some actors are blocked forever.
+#[derive(Debug)]
+pub struct Deadlock {
+    /// (actor id, tag of the operation it waits on, volume).
+    pub blocked: Vec<(ActorId, u32, f64)>,
+    /// Simulated time at which progress stopped.
+    pub time: f64,
+}
+
+impl std::fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadlock at t={}: {} actor(s) blocked: ", self.time, self.blocked.len())?;
+        for (a, tag, vol) in self.blocked.iter().take(8) {
+            write!(f, "[actor {a} on tag {tag} vol {vol}] ")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Deadlock {}
+
+const EPS_REMAINING: f64 = 1e-6;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpState {
+    Pending,
+    Complete,
+}
+
+#[derive(Debug)]
+struct Op {
+    actor: ActorId,
+    tag: u32,
+    t_start: f64,
+    volume: f64,
+    state: OpState,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Owner {
+    Exec { op: OpId },
+    Comm { comm: usize },
+}
+
+#[derive(Debug)]
+struct Activity {
+    var: lmm::VarId,
+    remaining: f64,
+    rate: f64,
+    /// Simulated time at which `remaining` was last integrated.
+    t_last: f64,
+    owner: Owner,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommState {
+    /// Rendezvous send waiting for its receive before the flow starts.
+    Unlaunched,
+    /// Flow in progress (latency phase or transfer).
+    InFlight,
+    /// Eager flow completed before the receive was posted (data buffered
+    /// at the receiver).
+    Arrived,
+}
+
+#[derive(Debug)]
+struct Comm {
+    size: f64,
+    src_host: HostId,
+    dst_host: HostId,
+    send_op: OpId,
+    recv_op: Option<OpId>,
+    /// True when the sender's op was completed eagerly at post time;
+    /// eager flows also start immediately, without waiting for the
+    /// rendezvous (buffered mode), so their latency overlaps with
+    /// whatever the receiver is doing — essential for pipelined
+    /// applications like LU.
+    eager: bool,
+    state: CommState,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    /// Sends not yet claimed by a receive, in post order (MPI's
+    /// non-overtaking rule): unlaunched rendezvous sends, in-flight
+    /// eager flows, and buffered arrivals alike.
+    comms: VecDeque<usize>,
+    /// Receives posted before their matching send: (recv op, recv actor).
+    recvs: VecDeque<(OpId, ActorId)>,
+}
+
+struct ActorSlot {
+    actor: Option<Box<dyn Actor>>,
+    host: HostId,
+    waiting: Option<OpId>,
+    alive: bool,
+    phase: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A flow finished its latency phase.
+    LatencyDone { comm: usize },
+    /// A sleep operation expired.
+    SleepDone { op: OpId },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The simulation engine. See module docs.
+pub struct Engine {
+    platform: Platform,
+    net: NetworkConfig,
+    clock: f64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Event>>,
+    /// Predicted completion time per running activity (indexed heap:
+    /// predictions are updated in place when rates change).
+    completions: crate::idxheap::IndexedHeap,
+    lmm: lmm::System,
+    cpu_cnst: Vec<lmm::CnstId>,
+    link_cnst: Vec<Option<lmm::CnstId>>,
+    activities: Slab<Activity>,
+    ops: Slab<Op>,
+    comms: Slab<Comm>,
+    mailboxes: HashMap<MailboxKey, Mailbox>,
+    actors: Vec<ActorSlot>,
+    runq: VecDeque<(ActorId, Wake)>,
+    route_cache: HashMap<(u32, u32), Route>,
+    /// Activity owning each solver variable (indexed by variable id).
+    var_act: Vec<usize>,
+    /// Scratch for the incremental solver.
+    changed_vars: Vec<lmm::VarId>,
+    observer: Option<Box<dyn Observer>>,
+    /// Count of ops completed, for throughput reporting.
+    ops_completed: u64,
+}
+
+impl Engine {
+    /// Creates an engine over `platform` with the default network config.
+    pub fn new(platform: Platform) -> Self {
+        let mut lmm = lmm::System::new();
+        let cpu_cnst = platform
+            .hosts
+            .iter()
+            .map(|h| lmm.new_constraint(h.speed * h.cores as f64))
+            .collect();
+        let link_cnst = platform
+            .links
+            .iter()
+            .map(|l| match l.sharing {
+                crate::resource::Sharing::Shared => Some(lmm.new_constraint(l.bandwidth)),
+                crate::resource::Sharing::FatPipe => None,
+            })
+            .collect();
+        Engine {
+            platform,
+            net: NetworkConfig::default(),
+            clock: 0.0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            completions: crate::idxheap::IndexedHeap::new(),
+            lmm,
+            cpu_cnst,
+            link_cnst,
+            activities: Slab::new(),
+            ops: Slab::new(),
+            comms: Slab::new(),
+            mailboxes: HashMap::new(),
+            actors: Vec::new(),
+            runq: VecDeque::new(),
+            route_cache: HashMap::new(),
+            var_act: Vec::new(),
+            changed_vars: Vec::new(),
+            observer: None,
+            ops_completed: 0,
+        }
+    }
+
+    /// Replaces the network configuration (before `run`).
+    pub fn set_network_config(&mut self, net: NetworkConfig) {
+        self.net = net;
+    }
+
+    pub fn network_config(&self) -> &NetworkConfig {
+        &self.net
+    }
+
+    /// Installs an observer receiving one record per completed operation.
+    pub fn set_observer(&mut self, obs: Box<dyn Observer>) {
+        self.observer = Some(obs);
+    }
+
+    /// Takes the observer back (after `run`).
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
+    }
+
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current simulated time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Total operations completed so far.
+    pub fn ops_completed(&self) -> u64 {
+        self.ops_completed
+    }
+
+    /// Spawns an actor pinned to `host`; actor ids are assigned
+    /// sequentially from 0.
+    pub fn spawn(&mut self, actor: Box<dyn Actor>, host: HostId) -> ActorId {
+        assert!((host.0 as usize) < self.platform.num_hosts(), "spawn on unknown host");
+        self.actors.push(ActorSlot {
+            actor: Some(actor),
+            host,
+            waiting: None,
+            alive: true,
+            phase: 0,
+        });
+        self.actors.len() - 1
+    }
+
+    /// Runs to completion; panics on deadlock. Returns the simulated
+    /// makespan in seconds.
+    pub fn run(&mut self) -> f64 {
+        match self.run_checked() {
+            Ok(t) => t,
+            Err(d) => panic!("{d}"),
+        }
+    }
+
+    /// Runs to completion, reporting deadlocks as errors.
+    pub fn run_checked(&mut self) -> Result<f64, Deadlock> {
+        for a in 0..self.actors.len() {
+            self.runq.push_back((a, Wake::Start));
+        }
+        loop {
+            self.drain_runq();
+            self.resolve_if_dirty();
+            // Next event: the earlier of the timed-event queue and the
+            // earliest predicted activity completion (ties: timed events
+            // first — they can only start new work, never unfinish it).
+            let t_ev = self.heap.peek().map(|Reverse(e)| e.time);
+            let t_act = self.completions.peek().map(|(t, _)| t);
+            match (t_ev, t_act) {
+                (None, None) => break,
+                (Some(te), ta) if ta.map(|ta| te <= ta).unwrap_or(true) => {
+                    let Reverse(ev) = self.heap.pop().unwrap();
+                    debug_assert!(ev.time >= self.clock - 1e-9);
+                    self.clock = self.clock.max(ev.time);
+                    match ev.kind {
+                        EventKind::LatencyDone { comm } => self.start_transfer(comm),
+                        EventKind::SleepDone { op } => self.complete_op(op),
+                    }
+                }
+                _ => {
+                    let (t, act) = self.completions.pop().unwrap();
+                    debug_assert!(t >= self.clock - 1e-9);
+                    self.clock = self.clock.max(t);
+                    self.finish_activity(act);
+                }
+            }
+        }
+        let blocked: Vec<_> = self
+            .actors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, s)| {
+                let (tag, vol) = s
+                    .waiting
+                    .and_then(|op| self.ops.get(op.0))
+                    .map(|o| (o.tag, o.volume))
+                    .unwrap_or((u32::MAX, 0.0));
+                (i, tag, vol)
+            })
+            .collect();
+        if blocked.is_empty() {
+            Ok(self.clock)
+        } else {
+            Err(Deadlock { blocked, time: self.clock })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event machinery
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    /// Integrates an activity's progress up to the current clock.
+    fn integrate(&mut self, act: usize) {
+        let a = &mut self.activities[act];
+        let dt = self.clock - a.t_last;
+        if dt > 0.0 && a.rate > 0.0 {
+            a.remaining = (a.remaining - a.rate * dt).max(0.0);
+        }
+        a.t_last = self.clock;
+    }
+
+    /// Re-solves the touched resource islands and refreshes the
+    /// completion predictions of the activities whose rate changed.
+    fn resolve_if_dirty(&mut self) {
+        if !self.lmm.is_dirty() {
+            return;
+        }
+        let mut changed = std::mem::take(&mut self.changed_vars);
+        changed.clear();
+        self.lmm.solve_dirty(&mut changed);
+        for v in &changed {
+            let act = *self
+                .var_act
+                .get(v.0)
+                .expect("solver variable without an owning activity");
+            if !self.activities.contains(act) {
+                continue; // variable id reused after removal in this batch
+            }
+            self.integrate(act);
+            let new_rate = self.lmm.rate(*v);
+            let a = &mut self.activities[act];
+            a.rate = new_rate;
+            if new_rate > 0.0 {
+                let t = self.clock + a.remaining / new_rate;
+                self.completions.set(act, t);
+            } else {
+                self.completions.remove(act);
+            }
+        }
+        self.changed_vars = changed;
+    }
+
+    /// An activity's predicted completion has arrived: finish it.
+    fn finish_activity(&mut self, act: usize) {
+        self.integrate(act);
+        debug_assert!(
+            self.activities[act].remaining <= EPS_REMAINING.max(self.activities[act].rate * 1e-9),
+            "activity popped before completion: {} left",
+            self.activities[act].remaining
+        );
+        let a = self.activities.remove(act);
+        self.lmm.remove_variable(a.var);
+        match a.owner {
+            Owner::Exec { op } => self.complete_op(op),
+            Owner::Comm { comm } => self.flow_finished(comm),
+        }
+    }
+
+    /// Registers a new activity (rate assigned at the next resolve).
+    fn add_activity(&mut self, var: lmm::VarId, remaining: f64, owner: Owner) -> usize {
+        let act = self.activities.insert(Activity {
+            var,
+            remaining,
+            rate: 0.0,
+            t_last: self.clock,
+            owner,
+        });
+        if var.0 >= self.var_act.len() {
+            self.var_act.resize(var.0 + 1, usize::MAX);
+        }
+        self.var_act[var.0] = act;
+        act
+    }
+
+    fn drain_runq(&mut self) {
+        while let Some((aid, wake)) = self.runq.pop_front() {
+            self.step_actor(aid, wake);
+        }
+    }
+
+    fn step_actor(&mut self, aid: ActorId, wake: Wake) {
+        if !self.actors[aid].alive {
+            return;
+        }
+        let mut boxed = self.actors[aid].actor.take().expect("actor re-entered");
+        let step = {
+            let mut ctx = Ctx { eng: self, actor: aid };
+            boxed.step(&mut ctx, wake)
+        };
+        self.actors[aid].actor = Some(boxed);
+        match step {
+            Step::Done => {
+                self.actors[aid].alive = false;
+                self.actors[aid].waiting = None;
+            }
+            Step::Wait(op) => {
+                let state = self
+                    .ops
+                    .get(op.0)
+                    .unwrap_or_else(|| panic!("actor {aid} waits unknown op {op:?}"))
+                    .state;
+                debug_assert_eq!(self.ops[op.0].actor, aid, "actor waits another actor's op");
+                if state == OpState::Complete {
+                    self.ops.remove(op.0);
+                    self.runq.push_back((aid, Wake::Op(op)));
+                } else {
+                    self.actors[aid].waiting = Some(op);
+                }
+            }
+        }
+    }
+
+    /// Marks `op` complete, records it, and wakes its actor if blocked on
+    /// it.
+    fn complete_op(&mut self, op: OpId) {
+        let (actor, rec) = {
+            let o = &mut self.ops[op.0];
+            debug_assert_eq!(o.state, OpState::Pending, "op completed twice");
+            o.state = OpState::Complete;
+            (
+                o.actor,
+                OpRecord {
+                    actor: o.actor,
+                    tag: o.tag,
+                    start: o.t_start,
+                    end: self.clock,
+                    volume: o.volume,
+                },
+            )
+        };
+        self.ops_completed += 1;
+        if let Some(obs) = self.observer.as_mut() {
+            obs.record(rec);
+        }
+        if self.actors[actor].waiting == Some(op) {
+            self.actors[actor].waiting = None;
+            self.ops.remove(op.0);
+            self.runq.push_back((actor, Wake::Op(op)));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Communications
+
+    fn route_for(&mut self, src: HostId, dst: HostId) -> Route {
+        if let Some(r) = self.route_cache.get(&(src.0, dst.0)) {
+            return r.clone();
+        }
+        let r = self.platform.resolve_route(src, dst);
+        self.route_cache.insert((src.0, dst.0), r.clone());
+        r
+    }
+
+    /// Posts a send. The mailbox's `dst` field must name the receiving
+    /// actor (the engine resolves its host for eagerly-started flows).
+    fn post_send(&mut self, sender: ActorId, mb: MailboxKey, size: f64, tag: u32) -> OpId {
+        let send_op = OpId(self.ops.insert(Op {
+            actor: sender,
+            tag,
+            t_start: self.clock,
+            volume: size,
+            state: OpState::Pending,
+        }));
+        let eager = size <= self.net.eager_threshold;
+        let src_host = self.actors[sender].host;
+        let dst_host = self
+            .actors
+            .get(mb.dst as usize)
+            .unwrap_or_else(|| panic!("mailbox dst {} is not a spawned actor", mb.dst))
+            .host;
+        let comm = self.comms.insert(Comm {
+            size,
+            src_host,
+            dst_host,
+            send_op,
+            recv_op: None,
+            eager,
+            state: CommState::Unlaunched,
+        });
+        let matched = self
+            .mailboxes
+            .get_mut(&mb)
+            .and_then(|m| m.recvs.pop_front());
+        if let Some((recv_op, _)) = matched {
+            self.comms[comm].recv_op = Some(recv_op);
+            self.ops[recv_op.0].volume = size;
+            self.launch_comm(comm);
+        } else {
+            self.mailboxes.entry(mb).or_default().comms.push_back(comm);
+            if eager {
+                // Buffered mode: the data travels immediately and waits
+                // in the receiver's buffer.
+                self.launch_comm(comm);
+            }
+        }
+        if eager {
+            // The sender's op completes at post time.
+            self.complete_op(send_op);
+        }
+        send_op
+    }
+
+    fn post_recv(&mut self, receiver: ActorId, mb: MailboxKey, tag: u32) -> OpId {
+        let recv_op = OpId(self.ops.insert(Op {
+            actor: receiver,
+            tag,
+            t_start: self.clock,
+            volume: 0.0,
+            state: OpState::Pending,
+        }));
+        let matched = self
+            .mailboxes
+            .get_mut(&mb)
+            .and_then(|m| m.comms.pop_front());
+        if let Some(comm) = matched {
+            self.ops[recv_op.0].volume = self.comms[comm].size;
+            self.comms[comm].recv_op = Some(recv_op);
+            match self.comms[comm].state {
+                // Rendezvous: the flow starts now.
+                CommState::Unlaunched => self.launch_comm(comm),
+                // Eager flow still travelling: the receive completes
+                // with it.
+                CommState::InFlight => {}
+                // Buffered data already here: the receive is immediate.
+                CommState::Arrived => self.finish_comm(comm),
+            }
+        } else {
+            self.mailboxes.entry(mb).or_default().recvs.push_back((recv_op, receiver));
+        }
+        recv_op
+    }
+
+    /// Starts the latency phase of a flow.
+    fn launch_comm(&mut self, comm: usize) {
+        let (size, src, dst) = {
+            let c = &mut self.comms[comm];
+            debug_assert_eq!(c.state, CommState::Unlaunched);
+            c.state = CommState::InFlight;
+            (c.size, c.src_host, c.dst_host)
+        };
+        let route = self.route_for(src, dst);
+        let (lat_factor, _) = self.net.piecewise.factors(size);
+        let latency = route.latency * lat_factor;
+        if latency > 0.0 {
+            let t = self.clock + latency;
+            self.push_event(t, EventKind::LatencyDone { comm });
+        } else {
+            self.start_transfer(comm);
+        }
+    }
+
+    /// Latency paid: create the bandwidth-shared transfer activity.
+    fn start_transfer(&mut self, comm: usize) {
+        let (size, src, dst) = {
+            let c = &self.comms[comm];
+            (c.size, c.src_host, c.dst_host)
+        };
+        if size <= 0.0 {
+            self.flow_finished(comm);
+            return;
+        }
+        let route = self.route_for(src, dst);
+        let (_, bw_factor) = self.net.piecewise.factors(size);
+        let amount = size / bw_factor;
+        let mut bound = route.bound;
+        if let Some(gamma) = self.net.tcp_gamma {
+            if route.latency > 0.0 {
+                bound = bound.min(gamma / (2.0 * route.latency));
+            }
+        }
+        let cnsts: Vec<lmm::CnstId> = if self.net.contention {
+            route
+                .shared
+                .iter()
+                .map(|l| self.link_cnst[l.0 as usize].expect("shared link without constraint"))
+                .collect()
+        } else {
+            // Contention-free: the flow runs at the narrowest link speed.
+            bound = bound.min(route.min_bw);
+            Vec::new()
+        };
+        if cnsts.is_empty() && bound.is_infinite() {
+            bound = route.min_bw;
+        }
+        let var = self.lmm.new_variable(bound, cnsts);
+        self.add_activity(var, amount, Owner::Comm { comm });
+    }
+
+    /// The flow of `comm` completed: release the (rendezvous) sender and
+    /// the receiver if it is already there; otherwise buffer the arrival.
+    fn flow_finished(&mut self, comm: usize) {
+        let (eager, send_op, has_recv) = {
+            let c = &mut self.comms[comm];
+            (c.eager, c.send_op, c.recv_op.is_some())
+        };
+        if !eager {
+            self.complete_op(send_op);
+        }
+        if has_recv {
+            self.finish_comm(comm);
+        } else {
+            self.comms[comm].state = CommState::Arrived;
+        }
+    }
+
+    /// Completes the receive side and retires the comm.
+    fn finish_comm(&mut self, comm: usize) {
+        let c = self.comms.remove(comm);
+        let recv_op = c.recv_op.expect("finish_comm without a receive");
+        self.complete_op(recv_op);
+    }
+
+    /// Number of unmatched sends + receives left in mailboxes (should be 0
+    /// after a well-formed replay).
+    pub fn pending_mailbox_entries(&self) -> usize {
+        self.mailboxes.values().map(|m| m.comms.len() + m.recvs.len()).sum()
+    }
+}
+
+/// Handle actors use to post operations during a step.
+pub struct Ctx<'a> {
+    pub(crate) eng: &'a mut Engine,
+    pub(crate) actor: ActorId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.eng.clock
+    }
+
+    /// This actor's id (== spawn order == MPI rank in the replayer).
+    pub fn id(&self) -> ActorId {
+        self.actor
+    }
+
+    /// The host this actor is pinned to.
+    pub fn host(&self) -> HostId {
+        self.eng.actors[self.actor].host
+    }
+
+    /// Per-core speed (flop/s) of this actor's host.
+    pub fn host_speed(&self) -> f64 {
+        let h = self.eng.actors[self.actor].host;
+        self.eng.platform.hosts[h.0 as usize].speed
+    }
+
+    /// Total number of spawned actors.
+    pub fn num_actors(&self) -> usize {
+        self.eng.actors.len()
+    }
+
+    /// Scratch integer for simple state machines (see crate docs example).
+    pub fn phase(&self) -> u64 {
+        self.eng.actors[self.actor].phase
+    }
+
+    /// Sets the scratch integer.
+    pub fn set_phase(&mut self, phase: u64) {
+        self.eng.actors[self.actor].phase = phase;
+    }
+
+    /// Starts a computation of `flops` on this actor's host. Completes
+    /// immediately when `flops <= 0`.
+    pub fn execute(&mut self, flops: f64) -> OpId {
+        self.execute_tagged(flops, 0)
+    }
+
+    /// [`Ctx::execute`] with an observer tag.
+    pub fn execute_tagged(&mut self, flops: f64, tag: u32) -> OpId {
+        self.execute_bound(flops, f64::INFINITY, tag)
+    }
+
+    /// Computation with an additional rate cap (flop/s), e.g. to model a
+    /// phase running below nominal core speed.
+    pub fn execute_bound(&mut self, flops: f64, rate_cap: f64, tag: u32) -> OpId {
+        let host = self.eng.actors[self.actor].host;
+        let op = OpId(self.eng.ops.insert(Op {
+            actor: self.actor,
+            tag,
+            t_start: self.eng.clock,
+            volume: flops.max(0.0),
+            state: OpState::Pending,
+        }));
+        if flops <= 0.0 {
+            self.eng.complete_op(op);
+            return op;
+        }
+        let h = &self.eng.platform.hosts[host.0 as usize];
+        let bound = h.speed.min(rate_cap);
+        let cnst = self.eng.cpu_cnst[host.0 as usize];
+        let var = self.eng.lmm.new_variable(bound, vec![cnst]);
+        self.eng.add_activity(var, flops, Owner::Exec { op });
+        op
+    }
+
+    /// Posts an asynchronous send of `bytes` to mailbox `mb`.
+    pub fn isend(&mut self, mb: MailboxKey, bytes: f64) -> OpId {
+        self.isend_tagged(mb, bytes, 0)
+    }
+
+    /// [`Ctx::isend`] with an observer tag.
+    pub fn isend_tagged(&mut self, mb: MailboxKey, bytes: f64, tag: u32) -> OpId {
+        self.eng.post_send(self.actor, mb, bytes.max(0.0), tag)
+    }
+
+    /// Posts an asynchronous receive on mailbox `mb`.
+    pub fn irecv(&mut self, mb: MailboxKey) -> OpId {
+        self.irecv_tagged(mb, 0)
+    }
+
+    /// [`Ctx::irecv`] with an observer tag.
+    pub fn irecv_tagged(&mut self, mb: MailboxKey, tag: u32) -> OpId {
+        self.eng.post_recv(self.actor, mb, tag)
+    }
+
+    /// An operation completing after `dt` simulated seconds.
+    pub fn sleep(&mut self, dt: f64) -> OpId {
+        self.sleep_tagged(dt, 0)
+    }
+
+    /// [`Ctx::sleep`] with an observer tag.
+    pub fn sleep_tagged(&mut self, dt: f64, tag: u32) -> OpId {
+        let op = OpId(self.eng.ops.insert(Op {
+            actor: self.actor,
+            tag,
+            t_start: self.eng.clock,
+            volume: 0.0,
+            state: OpState::Pending,
+        }));
+        if dt <= 0.0 {
+            self.eng.complete_op(op);
+        } else {
+            let t = self.eng.clock + dt;
+            self.eng.push_event(t, EventKind::SleepDone { op });
+        }
+        op
+    }
+
+    /// True when `op` has completed (it must still belong to this actor).
+    pub fn is_complete(&self, op: OpId) -> bool {
+        match self.eng.ops.get(op.0) {
+            Some(o) => o.state == OpState::Complete,
+            None => true, // already delivered and freed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::FnActor;
+    use crate::resource::PlatformBuilder;
+
+    fn simple_platform(nhosts: usize) -> (Platform, Vec<HostId>) {
+        let mut pb = PlatformBuilder::new();
+        let hosts: Vec<HostId> =
+            (0..nhosts).map(|i| pb.add_host(&format!("h{i}"), 1e9, 1)).collect();
+        // Full mesh of dedicated links: 125 MB/s, 10 us.
+        for i in 0..nhosts {
+            for j in (i + 1)..nhosts {
+                let l = pb.add_link(&format!("l{i}-{j}"), 1.25e8, 1e-5);
+                pb.add_route(hosts[i], hosts[j], vec![l]);
+            }
+        }
+        (pb.build(), hosts)
+    }
+
+    #[test]
+    fn compute_takes_flops_over_speed() {
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.execute(2e9)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        let t = eng.run();
+        assert!((t - 2.0).abs() < 1e-9, "2 Gflop at 1 Gflop/s = 2 s, got {t}");
+    }
+
+    #[test]
+    fn zero_flops_completes_instantly() {
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.execute(0.0)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        assert_eq!(eng.run(), 0.0);
+    }
+
+    #[test]
+    fn two_computes_share_one_core() {
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        for _ in 0..2 {
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => Step::Wait(ctx.execute(1e9)),
+                    Wake::Op(_) => Step::Done,
+                })),
+                hs[0],
+            );
+        }
+        let t = eng.run();
+        assert!((t - 2.0).abs() < 1e-9, "folded tasks serialize: got {t}");
+    }
+
+    #[test]
+    fn two_computes_on_two_cores_run_parallel() {
+        let mut pb = PlatformBuilder::new();
+        let h = pb.add_host("h", 1e9, 2);
+        let mut eng = Engine::new(pb.build());
+        for _ in 0..2 {
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => Step::Wait(ctx.execute(1e9)),
+                    Wake::Op(_) => Step::Done,
+                })),
+                h,
+            );
+        }
+        let t = eng.run();
+        assert!((t - 1.0).abs() < 1e-9, "2 cores run 2 tasks in parallel: got {t}");
+    }
+
+    #[test]
+    fn message_pays_latency_plus_bandwidth() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1.25e8)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[1],
+        );
+        let t = eng.run();
+        // 125 MB at 125 MB/s + 10 us latency.
+        assert!((t - 1.00001).abs() < 1e-8, "got {t}");
+    }
+
+    #[test]
+    fn send_before_recv_and_recv_before_send_agree() {
+        // Whoever posts first, the transfer only starts at the rendezvous.
+        for recv_first in [false, true] {
+            let (p, hs) = simple_platform(2);
+            let mut eng = Engine::new(p);
+            let delay_sender = if recv_first { 0.5 } else { 0.0 };
+            let delay_recver = if recv_first { 0.0 } else { 0.5 };
+            eng.spawn(
+                Box::new(FnActor(move |ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => Step::Wait(ctx.sleep(delay_sender)),
+                    Wake::Op(_) if ctx.phase() == 0 => {
+                        ctx.set_phase(1);
+                        Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1.25e8))
+                    }
+                    _ => Step::Done,
+                })),
+                hs[0],
+            );
+            eng.spawn(
+                Box::new(FnActor(move |ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => Step::Wait(ctx.sleep(delay_recver)),
+                    Wake::Op(_) if ctx.phase() == 0 => {
+                        ctx.set_phase(1);
+                        Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1)))
+                    }
+                    _ => Step::Done,
+                })),
+                hs[1],
+            );
+            let t = eng.run();
+            assert!((t - 1.50001).abs() < 1e-8, "recv_first={recv_first}: got {t}");
+        }
+    }
+
+    #[test]
+    fn eager_send_unblocks_sender_immediately() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        // 1 KB message is under the eager threshold: the sender finishes
+        // at t=0 even though no receive is ever posted... but then the
+        // message stays buffered at the receiver. Check sender
+        // completion time + pending count.
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => {
+                    let op = ctx.isend(MailboxKey::p2p(0, 1), 1024.0);
+                    assert!(ctx.is_complete(op), "eager send completes at post");
+                    Step::Wait(op)
+                }
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        // The destination actor exists but never receives.
+        eng.spawn(Box::new(FnActor(|_: &mut Ctx, _| Step::Done)), hs[1]);
+        let t = eng.run();
+        // The flow still travels (latency + transfer) even with no recv.
+        assert!(t > 0.0 && t < 0.01, "got {t}");
+        assert_eq!(eng.pending_mailbox_entries(), 1);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_transferred() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        // 1 MB > eager threshold: sender blocks until transfer completes.
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1e6)),
+                Wake::Op(_) => {
+                    assert!(ctx.now() > 0.005, "sender released too early at {}", ctx.now());
+                    Step::Done
+                }
+            })),
+            hs[0],
+        );
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[1],
+        );
+        eng.run();
+    }
+
+    /// Two senders on h0, two receivers on h1; mailbox dst names the
+    /// receiving actor.
+    fn spawn_pairwise_flows(eng: &mut Engine, hs: &[HostId], bytes: f64) {
+        for dst_actor in [2usize, 3] {
+            eng.spawn(
+                Box::new(FnActor(move |ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => {
+                        let mb = MailboxKey::p2p(ctx.id(), dst_actor);
+                        Step::Wait(ctx.isend(mb, bytes))
+                    }
+                    Wake::Op(_) => Step::Done,
+                })),
+                hs[0],
+            );
+        }
+        for src_actor in [0usize, 1] {
+            eng.spawn(
+                Box::new(FnActor(move |ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => {
+                        let mb = MailboxKey::p2p(src_actor, ctx.id());
+                        Step::Wait(ctx.irecv(mb))
+                    }
+                    Wake::Op(_) => Step::Done,
+                })),
+                hs[1],
+            );
+        }
+    }
+
+    #[test]
+    fn two_flows_share_a_link() {
+        // Both flows from h0 to h1 over the same link: each gets half.
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        spawn_pairwise_flows(&mut eng, &hs, 1.25e8);
+        let t = eng.run();
+        // 125 MB each at 62.5 MB/s.
+        assert!((t - 2.00001).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn contention_free_model_ignores_sharing() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.set_network_config(NetworkConfig::constant());
+        spawn_pairwise_flows(&mut eng, &hs, 1.25e8);
+        let t = eng.run();
+        assert!((t - 1.00001).abs() < 1e-6, "no contention: got {t}");
+    }
+
+    #[test]
+    fn eager_flows_overlap_latency_with_receiver_work() {
+        // A pipeline: the sender posts K small messages back to back; the
+        // receiver needs each one before a compute step. With buffered
+        // (eager) delivery the link latency is paid once, not K times.
+        let mut pb = PlatformBuilder::new();
+        let h0 = pb.add_host("a", 1e9, 1);
+        let h1 = pb.add_host("b", 1e9, 1);
+        // High latency, plenty of bandwidth.
+        let l = pb.add_link("l", 1.25e9, 5e-3);
+        pb.add_route(h0, h1, vec![l]);
+        let mut eng = Engine::new(pb.build());
+        const K: u64 = 20;
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| {
+                // Compute 1 ms then send, K times.
+                let k = ctx.phase();
+                match wake {
+                    Wake::Start => Step::Wait(ctx.execute(1e6)),
+                    Wake::Op(_) if k < K => {
+                        ctx.set_phase(k + 1);
+                        ctx.isend(MailboxKey::p2p(0, 1), 512.0);
+                        if k + 1 < K {
+                            Step::Wait(ctx.execute(1e6))
+                        } else {
+                            Step::Done
+                        }
+                    }
+                    _ => Step::Done,
+                }
+            })),
+            h0,
+        );
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| {
+                let k = ctx.phase();
+                match wake {
+                    Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
+                    Wake::Op(_) if k < K - 1 => {
+                        ctx.set_phase(k + 1);
+                        Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1)))
+                    }
+                    _ => Step::Done,
+                }
+            })),
+            h1,
+        );
+        let t = eng.run();
+        // Pipelined: K x 1 ms compute + ONE 5 ms latency (plus epsilon),
+        // not K x 5 ms.
+        let pipelined = K as f64 * 1e-3 + 5e-3;
+        assert!(
+            t < pipelined * 1.2,
+            "latency must be overlapped: got {t}, pipelined bound {pipelined}"
+        );
+        assert!(t >= pipelined * 0.9, "got {t}");
+    }
+
+    #[test]
+    fn fifo_matching_preserves_pair_order() {
+        // Two sends of different sizes from 0 to 1; two receives. The
+        // first receive must match the first (large) send.
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => {
+                    let mb = MailboxKey::p2p(0, 1);
+                    ctx.isend(mb, 1.25e8); // 1 s transfer
+                    Step::Wait(ctx.isend(mb, 1.25e6)) // 10 ms transfer
+                }
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => {
+                    let mb = MailboxKey::p2p(0, 1);
+                    let first = ctx.irecv(mb);
+                    ctx.set_phase(0);
+                    Step::Wait(first)
+                }
+                Wake::Op(_) if ctx.phase() == 0 => {
+                    // First recv completes only after the big transfer.
+                    assert!(ctx.now() >= 0.5, "FIFO violated: t={}", ctx.now());
+                    ctx.set_phase(1);
+                    Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1)))
+                }
+                _ => Step::Done,
+            })),
+            hs[1],
+        );
+        eng.run();
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(1, 0))),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        let err = eng.run_checked().unwrap_err();
+        assert_eq!(err.blocked.len(), 1);
+        assert_eq!(err.blocked[0].0, 0);
+    }
+
+    #[test]
+    fn loopback_is_fast() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        // Both actors on host 0: message crosses loopback, not the link.
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1.25e8)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        let t = eng.run();
+        assert!(t < 0.05, "loopback transfer should beat the 1 s link: {t}");
+    }
+
+    #[test]
+    fn observer_sees_all_ops() {
+        use crate::observer::Collector;
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.set_observer(Box::new(Collector::default()));
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.execute_tagged(1e9, 42)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        eng.run();
+        let obs = eng.take_observer().unwrap();
+        // Downcast through Any is not available on dyn Observer; instead
+        // check the engine's completion counter.
+        drop(obs);
+        assert_eq!(eng.ops_completed(), 1);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.sleep(3.5)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        assert!((eng.run() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_model_slows_large_messages() {
+        let (p1, hs1) = simple_platform(2);
+        let mut eng1 = Engine::new(p1);
+        let (p2, hs2) = simple_platform(2);
+        let mut eng2 = Engine::new(p2);
+        eng2.set_network_config(NetworkConfig::mpi_cluster());
+        for (eng, hs) in [(&mut eng1, &hs1), (&mut eng2, &hs2)] {
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1e8)),
+                    Wake::Op(_) => Step::Done,
+                })),
+                hs[0],
+            );
+            eng.spawn(
+                Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                    Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
+                    Wake::Op(_) => Step::Done,
+                })),
+                hs[1],
+            );
+        }
+        let t_plain = eng1.run();
+        let t_mpi = eng2.run();
+        assert!(
+            t_mpi > t_plain,
+            "bw_factor < 1 must slow the transfer: {t_mpi} vs {t_plain}"
+        );
+    }
+}

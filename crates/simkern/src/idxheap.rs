@@ -1,0 +1,215 @@
+//! Indexed binary min-heap: `usize` keys with `f64` priorities and
+//! O(log n) decrease/increase-key.
+//!
+//! The engine keeps one predicted completion time per running activity;
+//! when the solver changes an activity's rate, its prediction is
+//! *updated in place* instead of pushing a stale duplicate — keeping the
+//! event queue at O(active activities) regardless of how often rates
+//! change.
+
+/// Min-heap over (key → priority) with in-place updates.
+#[derive(Debug, Default)]
+pub struct IndexedHeap {
+    /// Heap array of (priority, key).
+    heap: Vec<(f64, usize)>,
+    /// `pos[key]` = index in `heap`, or `usize::MAX` when absent.
+    pos: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl IndexedHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn contains(&self, key: usize) -> bool {
+        self.pos.get(key).is_some_and(|&p| p != ABSENT)
+    }
+
+    /// Smallest priority and its key, if any.
+    pub fn peek(&self) -> Option<(f64, usize)> {
+        self.heap.first().copied()
+    }
+
+    /// Inserts or updates `key` with `priority`.
+    pub fn set(&mut self, key: usize, priority: f64) {
+        debug_assert!(!priority.is_nan());
+        if key >= self.pos.len() {
+            self.pos.resize(key + 1, ABSENT);
+        }
+        let p = self.pos[key];
+        if p == ABSENT {
+            self.heap.push((priority, key));
+            self.pos[key] = self.heap.len() - 1;
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            let old = self.heap[p].0;
+            self.heap[p].0 = priority;
+            if priority < old {
+                self.sift_up(p);
+            } else {
+                self.sift_down(p);
+            }
+        }
+    }
+
+    /// Removes `key` if present.
+    pub fn remove(&mut self, key: usize) {
+        let Some(&p) = self.pos.get(key) else { return };
+        if p == ABSENT {
+            return;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(p, last);
+        self.pos[self.heap[p].1] = p;
+        self.heap.pop();
+        self.pos[key] = ABSENT;
+        if p < self.heap.len() {
+            // Re-establish the invariant for the element moved into `p`.
+            let moved = self.heap[p].1;
+            self.sift_up(p);
+            self.sift_down(self.pos[moved]);
+        }
+    }
+
+    /// Pops the minimum (priority, key).
+    pub fn pop(&mut self) -> Option<(f64, usize)> {
+        let (prio, key) = *self.heap.first()?;
+        self.remove(key);
+        Some((prio, key))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].0 < self.heap[parent].0 {
+                self.heap.swap(i, parent);
+                self.pos[self.heap[i].1] = i;
+                self.pos[self.heap[parent].1] = parent;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap[l].0 < self.heap[smallest].0 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].0 < self.heap[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            self.pos[self.heap[i].1] = i;
+            self.pos[self.heap[smallest].1] = smallest;
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut h = IndexedHeap::new();
+        for (k, p) in [(3, 5.0), (1, 2.0), (7, 9.0), (2, 1.0)] {
+            h.set(k, p);
+        }
+        assert_eq!(h.pop(), Some((1.0, 2)));
+        assert_eq!(h.pop(), Some((2.0, 1)));
+        assert_eq!(h.pop(), Some((5.0, 3)));
+        assert_eq!(h.pop(), Some((9.0, 7)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn update_moves_both_directions() {
+        let mut h = IndexedHeap::new();
+        h.set(0, 10.0);
+        h.set(1, 20.0);
+        h.set(2, 30.0);
+        h.set(2, 5.0); // decrease
+        assert_eq!(h.peek(), Some((5.0, 2)));
+        h.set(2, 25.0); // increase
+        assert_eq!(h.pop(), Some((10.0, 0)));
+        assert_eq!(h.pop(), Some((20.0, 1)));
+        assert_eq!(h.pop(), Some((25.0, 2)));
+    }
+
+    #[test]
+    fn remove_arbitrary_key() {
+        let mut h = IndexedHeap::new();
+        for k in 0..10usize {
+            h.set(k, k as f64);
+        }
+        h.remove(0);
+        h.remove(5);
+        h.remove(9);
+        assert!(!h.contains(5));
+        assert!(h.contains(4));
+        let mut seen = Vec::new();
+        while let Some((_, k)) = h.pop() {
+            seen.push(k);
+        }
+        assert_eq!(seen, vec![1, 2, 3, 4, 6, 7, 8]);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut h = IndexedHeap::new();
+        h.set(1, 1.0);
+        h.remove(99);
+        h.remove(1);
+        h.remove(1);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut h = IndexedHeap::new();
+        let mut reference: std::collections::HashMap<usize, f64> =
+            std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let key = rng.random_range(0..50usize);
+            match rng.random_range(0..3u8) {
+                0 | 1 => {
+                    let p: f64 = rng.random_range(0.0..100.0);
+                    h.set(key, p);
+                    reference.insert(key, p);
+                }
+                _ => {
+                    h.remove(key);
+                    reference.remove(&key);
+                }
+            }
+            // Heap min equals reference min.
+            let want = reference
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(_, &p)| p);
+            assert_eq!(h.peek().map(|(p, _)| p), want);
+            assert_eq!(h.len(), reference.len());
+        }
+    }
+}

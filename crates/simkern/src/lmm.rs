@@ -1,0 +1,588 @@
+//! Max-min fairness bandwidth-sharing solver ("LMM" in SimGrid parlance).
+//!
+//! At every instant, the simulation kernel must decide the rate of each
+//! active activity (flop/s for computations, bytes/s for flows). The
+//! paper's kernel uses SimGrid's analytical flow-level model: rates are the
+//! **max-min fair** allocation under the capacity constraints of the
+//! resources each activity crosses (Velho & Legrand, SIMUTools'09).
+//!
+//! A *variable* is an activity's rate. It may carry an upper *bound*
+//! (e.g. the per-core speed of a CPU, a fat-pipe backbone, or a TCP-window
+//! cap) and crosses zero or more *constraints* (shared resources with a
+//! finite capacity). The solver performs progressive filling: the common
+//! water level rises until either a variable hits its bound or a
+//! constraint saturates; saturated entities are frozen and filling
+//! continues with the remaining capacity.
+//!
+//! # Incremental solving
+//!
+//! Changing one variable only affects the variables *connected* to it
+//! through shared constraints (its "island"). [`System::solve_dirty`]
+//! re-solves only the islands touched since the last solve and reports
+//! which variables changed rate — on a large platform most of the system
+//! is untouched by any single event, which is what keeps replaying
+//! thousand-process traces tractable (the paper's Section 6.6 concern).
+//! [`System::solve`] remains as the full-system reference implementation;
+//! a property test checks both agree.
+
+use crate::slab::Slab;
+
+/// Identifier of a shared-capacity constraint (resource).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CnstId(pub usize);
+
+/// Identifier of a rate variable (activity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Cnst {
+    capacity: f64,
+    /// Variables currently crossing this constraint.
+    vars: Vec<usize>,
+    /// Scratch: capacity left during a solve.
+    remaining: f64,
+    /// Scratch: number of unfixed variables crossing this constraint.
+    nactive: usize,
+    /// In the dirty queue already?
+    queued_dirty: bool,
+    /// Scratch: visited during island collection.
+    visited: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Var {
+    /// Upper bound on the rate (`f64::INFINITY` when unbounded).
+    bound: f64,
+    /// Constraints this variable crosses.
+    cnsts: Vec<CnstId>,
+    /// Solved rate.
+    value: f64,
+    /// Scratch: fixed during the current solve.
+    fixed: bool,
+    /// Scratch: visited during island collection.
+    visited: bool,
+}
+
+/// The sharing system: a set of constraints and variables.
+#[derive(Debug, Default)]
+pub struct System {
+    cnsts: Slab<Cnst>,
+    vars: Slab<Var>,
+    /// Constraints whose variable set changed since the last solve.
+    dirty_cnsts: Vec<usize>,
+    /// Dirty variables with no constraints (their rate is their bound).
+    dirty_free_vars: Vec<usize>,
+    dirty: bool,
+}
+
+impl System {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a shared resource with the given capacity
+    /// (flop/s or bytes/s). Capacity must be positive and finite.
+    pub fn new_constraint(&mut self, capacity: f64) -> CnstId {
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "constraint capacity must be positive and finite, got {capacity}"
+        );
+        CnstId(self.cnsts.insert(Cnst {
+            capacity,
+            vars: Vec::new(),
+            remaining: capacity,
+            nactive: 0,
+            queued_dirty: false,
+            visited: false,
+        }))
+    }
+
+    /// Removes a constraint. Callers must have removed all variables
+    /// crossing it first.
+    pub fn remove_constraint(&mut self, id: CnstId) {
+        assert!(
+            self.cnsts[id.0].vars.is_empty(),
+            "constraint removed while variables still cross it"
+        );
+        self.cnsts.remove(id.0);
+    }
+
+    fn mark_cnst_dirty(&mut self, c: usize) {
+        let cn = &mut self.cnsts[c];
+        if !cn.queued_dirty {
+            cn.queued_dirty = true;
+            self.dirty_cnsts.push(c);
+        }
+        self.dirty = true;
+    }
+
+    /// Registers an activity's rate variable crossing `cnsts`, capped at
+    /// `bound` (use `f64::INFINITY` for no cap).
+    pub fn new_variable(&mut self, bound: f64, cnsts: Vec<CnstId>) -> VarId {
+        assert!(bound > 0.0, "variable bound must be positive, got {bound}");
+        let id = self.vars.insert(Var {
+            bound,
+            cnsts: cnsts.clone(),
+            value: 0.0,
+            fixed: false,
+            visited: false,
+        });
+        if cnsts.is_empty() {
+            self.dirty_free_vars.push(id);
+            self.dirty = true;
+        } else {
+            for c in &cnsts {
+                self.cnsts[c.0].vars.push(id);
+                self.mark_cnst_dirty(c.0);
+            }
+        }
+        VarId(id)
+    }
+
+    /// Removes a finished activity's variable.
+    pub fn remove_variable(&mut self, id: VarId) {
+        let var = self.vars.remove(id.0);
+        for c in &var.cnsts {
+            let vars = &mut self.cnsts[c.0].vars;
+            if let Some(pos) = vars.iter().position(|&v| v == id.0) {
+                vars.swap_remove(pos);
+            }
+            self.mark_cnst_dirty(c.0);
+        }
+        self.dirty = true;
+    }
+
+    /// Solved rate of a variable (valid after a solve).
+    pub fn rate(&self, id: VarId) -> f64 {
+        self.vars[id.0].value
+    }
+
+    /// Updates a variable's bound (e.g. when a model changes a cap).
+    pub fn set_bound(&mut self, id: VarId, bound: f64) {
+        assert!(bound > 0.0);
+        self.vars[id.0].bound = bound;
+        let cnsts = self.vars[id.0].cnsts.clone();
+        if cnsts.is_empty() {
+            self.dirty_free_vars.push(id.0);
+            self.dirty = true;
+        } else {
+            for c in cnsts {
+                self.mark_cnst_dirty(c.0);
+            }
+        }
+    }
+
+    /// Number of active variables.
+    pub fn num_variables(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.cnsts.len()
+    }
+
+    /// True when the system changed since the last solve.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental solve
+
+    /// Re-solves only the islands touched since the last solve. Appends
+    /// to `changed` every variable whose rate changed (including freshly
+    /// created ones).
+    pub fn solve_dirty(&mut self, changed: &mut Vec<VarId>) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+
+        // Free variables: rate = bound, no sharing.
+        let free = std::mem::take(&mut self.dirty_free_vars);
+        for v in free {
+            if let Some(var) = self.vars.get_mut(v) {
+                if var.cnsts.is_empty() && var.value != var.bound {
+                    var.value = var.bound;
+                    changed.push(VarId(v));
+                }
+            }
+        }
+
+        // Collect the islands reachable from dirty constraints.
+        let seeds = std::mem::take(&mut self.dirty_cnsts);
+        let mut comp_vars: Vec<usize> = Vec::new();
+        let mut comp_cnsts: Vec<usize> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for seed in seeds {
+            let Some(cn) = self.cnsts.get_mut(seed) else { continue };
+            cn.queued_dirty = false;
+            if cn.visited {
+                continue;
+            }
+            cn.visited = true;
+            queue.push(seed);
+            while let Some(c) = queue.pop() {
+                comp_cnsts.push(c);
+                let vars = self.cnsts[c].vars.clone();
+                for v in vars {
+                    let var = &mut self.vars[v];
+                    if var.visited {
+                        continue;
+                    }
+                    var.visited = true;
+                    comp_vars.push(v);
+                    let vcnsts = var.cnsts.clone();
+                    for vc in vcnsts {
+                        let cn = &mut self.cnsts[vc.0];
+                        if !cn.visited {
+                            cn.visited = true;
+                            queue.push(vc.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Solve the collected sub-system.
+        let old: Vec<f64> = comp_vars.iter().map(|&v| self.vars[v].value).collect();
+        self.fill(&comp_vars, &comp_cnsts);
+        for (&v, &before) in comp_vars.iter().zip(&old) {
+            if self.vars[v].value != before {
+                changed.push(VarId(v));
+            }
+        }
+
+        // Clear the scratch marks.
+        for &v in &comp_vars {
+            self.vars[v].visited = false;
+        }
+        for &c in &comp_cnsts {
+            self.cnsts[c].visited = false;
+            self.cnsts[c].queued_dirty = false;
+        }
+    }
+
+    /// Computes the max-min fair allocation of the whole system
+    /// (reference implementation; `solve_dirty` is the incremental one).
+    pub fn solve(&mut self) {
+        self.dirty = false;
+        self.dirty_cnsts.clear();
+        self.dirty_free_vars.clear();
+        for (_, c) in self.cnsts.iter_mut() {
+            c.queued_dirty = false;
+        }
+        let all_vars: Vec<usize> = self.vars.iter().map(|(id, _)| id).collect();
+        let all_cnsts: Vec<usize> = self.cnsts.iter().map(|(id, _)| id).collect();
+        // Free variables take their bound.
+        for &v in &all_vars {
+            if self.vars[v].cnsts.is_empty() {
+                let b = self.vars[v].bound;
+                self.vars[v].value = b;
+            }
+        }
+        self.fill(&all_vars, &all_cnsts);
+    }
+
+    /// Progressive filling over the given sub-system. Variables without
+    /// constraints in the list keep `value = bound` behaviour.
+    fn fill(&mut self, vars: &[usize], cnsts: &[usize]) {
+        // Reset scratch state.
+        for &c in cnsts {
+            let cn = &mut self.cnsts[c];
+            cn.remaining = cn.capacity;
+            cn.nactive = 0;
+        }
+        let mut unfixed = 0usize;
+        for &v in vars {
+            let var = &mut self.vars[v];
+            if var.cnsts.is_empty() {
+                var.value = var.bound;
+                var.fixed = true;
+                continue;
+            }
+            var.fixed = false;
+            var.value = 0.0;
+            unfixed += 1;
+            let vcnsts = var.cnsts.clone();
+            for c in vcnsts {
+                self.cnsts[c.0].nactive += 1;
+            }
+        }
+
+        while unfixed > 0 {
+            // Water level at which the next entity binds.
+            let mut level = f64::INFINITY;
+            for &c in cnsts {
+                let cn = &self.cnsts[c];
+                if cn.nactive > 0 {
+                    level = level.min(cn.remaining / cn.nactive as f64);
+                }
+            }
+            for &v in vars {
+                let var = &self.vars[v];
+                if !var.fixed {
+                    level = level.min(var.bound);
+                }
+            }
+            debug_assert!(level.is_finite(), "no binding entity for unfixed variables");
+
+            // Fix every variable bound at `level`.
+            let mut progressed = false;
+            for &v in vars {
+                let binds = {
+                    let var = &self.vars[v];
+                    if var.fixed {
+                        continue;
+                    }
+                    var.bound <= level * (1.0 + 1e-12)
+                        || var.cnsts.iter().any(|c| {
+                            let cn = &self.cnsts[c.0];
+                            cn.remaining / cn.nactive as f64 <= level * (1.0 + 1e-12)
+                        })
+                };
+                if !binds {
+                    continue;
+                }
+                progressed = true;
+                let value;
+                {
+                    let var = &mut self.vars[v];
+                    value = level.min(var.bound);
+                    var.value = value;
+                    var.fixed = true;
+                }
+                unfixed -= 1;
+                let vcnsts = self.vars[v].cnsts.clone();
+                for c in vcnsts {
+                    let cn = &mut self.cnsts[c.0];
+                    cn.remaining = (cn.remaining - value).max(0.0);
+                    cn.nactive -= 1;
+                }
+            }
+            debug_assert!(progressed, "progressive filling made no progress");
+            if !progressed {
+                break; // defensive: avoid an infinite loop in release
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        a == b || (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn single_variable_gets_full_capacity() {
+        let mut s = System::new();
+        let c = s.new_constraint(100.0);
+        let v = s.new_variable(f64::INFINITY, vec![c]);
+        s.solve();
+        assert!(close(s.rate(v), 100.0));
+    }
+
+    #[test]
+    fn equal_sharing_on_one_link() {
+        let mut s = System::new();
+        let c = s.new_constraint(90.0);
+        let vs: Vec<_> =
+            (0..3).map(|_| s.new_variable(f64::INFINITY, vec![c])).collect();
+        s.solve();
+        for v in vs {
+            assert!(close(s.rate(v), 30.0));
+        }
+    }
+
+    #[test]
+    fn bound_caps_share_and_releases_capacity() {
+        let mut s = System::new();
+        let c = s.new_constraint(100.0);
+        let slow = s.new_variable(10.0, vec![c]);
+        let fast = s.new_variable(f64::INFINITY, vec![c]);
+        s.solve();
+        assert!(close(s.rate(slow), 10.0));
+        // The other flow picks up the slack.
+        assert!(close(s.rate(fast), 90.0));
+    }
+
+    #[test]
+    fn parking_lot_scenario() {
+        // Classic max-min example: one long flow crosses links A and B,
+        // one short flow on A, one short flow on B. All links capacity 1.
+        let mut s = System::new();
+        let a = s.new_constraint(1.0);
+        let b = s.new_constraint(1.0);
+        let long = s.new_variable(f64::INFINITY, vec![a, b]);
+        let sa = s.new_variable(f64::INFINITY, vec![a]);
+        let sb = s.new_variable(f64::INFINITY, vec![b]);
+        s.solve();
+        assert!(close(s.rate(long), 0.5));
+        assert!(close(s.rate(sa), 0.5));
+        assert!(close(s.rate(sb), 0.5));
+    }
+
+    #[test]
+    fn bottleneck_then_refill() {
+        let mut s = System::new();
+        let narrow = s.new_constraint(1.0);
+        let wide = s.new_constraint(10.0);
+        let f1 = s.new_variable(f64::INFINITY, vec![narrow, wide]);
+        let f2 = s.new_variable(f64::INFINITY, vec![narrow, wide]);
+        let f3 = s.new_variable(f64::INFINITY, vec![wide]);
+        s.solve();
+        assert!(close(s.rate(f1), 0.5));
+        assert!(close(s.rate(f2), 0.5));
+        assert!(close(s.rate(f3), 9.0));
+    }
+
+    #[test]
+    fn unconstrained_variable_takes_its_bound() {
+        let mut s = System::new();
+        let v = s.new_variable(42.0, vec![]);
+        s.solve();
+        assert!(close(s.rate(v), 42.0));
+    }
+
+    #[test]
+    fn remove_variable_redistributes() {
+        let mut s = System::new();
+        let c = s.new_constraint(100.0);
+        let v1 = s.new_variable(f64::INFINITY, vec![c]);
+        let v2 = s.new_variable(f64::INFINITY, vec![c]);
+        s.solve();
+        assert!(close(s.rate(v1), 50.0));
+        s.remove_variable(v2);
+        assert!(s.is_dirty());
+        s.solve();
+        assert!(close(s.rate(v1), 100.0));
+    }
+
+    #[test]
+    fn cpu_with_cores_and_per_core_bound() {
+        let mut s = System::new();
+        let cpu = s.new_constraint(4e9);
+        let t: Vec<_> = (0..2).map(|_| s.new_variable(1e9, vec![cpu])).collect();
+        s.solve();
+        for &v in &t {
+            assert!(close(s.rate(v), 1e9));
+        }
+        let more: Vec<_> = (0..4).map(|_| s.new_variable(1e9, vec![cpu])).collect();
+        s.solve();
+        for &v in t.iter().chain(more.iter()) {
+            assert!(close(s.rate(v), 4e9 / 6.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let mut s = System::new();
+        s.new_constraint(0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental solving
+
+    #[test]
+    fn solve_dirty_reports_changed_vars() {
+        let mut s = System::new();
+        let c = s.new_constraint(100.0);
+        let v1 = s.new_variable(f64::INFINITY, vec![c]);
+        let mut changed = Vec::new();
+        s.solve_dirty(&mut changed);
+        assert_eq!(changed, vec![v1]);
+        assert!(close(s.rate(v1), 100.0));
+
+        changed.clear();
+        let v2 = s.new_variable(f64::INFINITY, vec![c]);
+        s.solve_dirty(&mut changed);
+        changed.sort_by_key(|v| v.0);
+        assert_eq!(changed, vec![v1, v2]);
+        assert!(close(s.rate(v1), 50.0));
+        assert!(close(s.rate(v2), 50.0));
+
+        // Nothing dirty: no changes reported.
+        changed.clear();
+        s.solve_dirty(&mut changed);
+        assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn solve_dirty_leaves_other_islands_untouched() {
+        let mut s = System::new();
+        let ca = s.new_constraint(10.0);
+        let cb = s.new_constraint(20.0);
+        let va = s.new_variable(f64::INFINITY, vec![ca]);
+        let vb = s.new_variable(f64::INFINITY, vec![cb]);
+        let mut changed = Vec::new();
+        s.solve_dirty(&mut changed);
+        changed.clear();
+        // Adding a second var on island A must not report island B.
+        let va2 = s.new_variable(f64::INFINITY, vec![ca]);
+        s.solve_dirty(&mut changed);
+        changed.sort_by_key(|v| v.0);
+        assert_eq!(changed, vec![va, va2]);
+        assert!(close(s.rate(vb), 20.0));
+    }
+
+    #[test]
+    fn incremental_matches_full_solve_on_random_systems() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for _ in 0..50 {
+            let ncnst = rng.random_range(1..8usize);
+            let mut inc = System::new();
+            let cnsts: Vec<CnstId> =
+                (0..ncnst).map(|_| inc.new_constraint(rng.random_range(1.0..100.0))).collect();
+            let mut vars = Vec::new();
+            let mut changed = Vec::new();
+            // Interleave adds, removes and incremental solves.
+            for _ in 0..30 {
+                if !vars.is_empty() && rng.random_bool(0.3) {
+                    let idx = rng.random_range(0..vars.len());
+                    let v: VarId = vars.swap_remove(idx);
+                    inc.remove_variable(v);
+                } else {
+                    let k = rng.random_range(0..=cnsts.len().min(3));
+                    let mut cs = Vec::new();
+                    for _ in 0..k {
+                        let c = cnsts[rng.random_range(0..cnsts.len())];
+                        if !cs.contains(&c) {
+                            cs.push(c);
+                        }
+                    }
+                    let bound = if rng.random_bool(0.5) {
+                        f64::INFINITY
+                    } else {
+                        rng.random_range(0.1..50.0)
+                    };
+                    vars.push(inc.new_variable(bound, cs));
+                }
+                if rng.random_bool(0.5) {
+                    changed.clear();
+                    inc.solve_dirty(&mut changed);
+                }
+            }
+            changed.clear();
+            inc.solve_dirty(&mut changed);
+            // Full solve from the same state must agree.
+            let incremental: Vec<f64> = vars.iter().map(|&v| inc.rate(v)).collect();
+            inc.solve();
+            let full: Vec<f64> = vars.iter().map(|&v| inc.rate(v)).collect();
+            for (a, b) in incremental.iter().zip(&full) {
+                assert!(
+                    close(*a, *b),
+                    "incremental {a} vs full {b} (vars {})",
+                    vars.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! A minimal slab allocator: stable `usize` keys, O(1) insert/remove.
+//!
+//! Used by the engine and the LMM solver to keep activity and variable
+//! identifiers stable while entries come and go. Implemented in-tree to
+//! keep the kernel dependency-free.
+
+/// Slot-map with free-list reuse of vacated indices.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Entry<T> {
+    Occupied(T),
+    Vacant,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab { entries: Vec::new(), free: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty slab with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab { entries: Vec::with_capacity(cap), free: Vec::new(), len: 0 }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value, returning its key.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            self.entries[idx] = Entry::Occupied(value);
+            idx
+        } else {
+            self.entries.push(Entry::Occupied(value));
+            self.entries.len() - 1
+        }
+    }
+
+    /// Removes and returns the value at `key`.
+    ///
+    /// # Panics
+    /// Panics if the slot is vacant or out of bounds.
+    pub fn remove(&mut self, key: usize) -> T {
+        match std::mem::replace(&mut self.entries[key], Entry::Vacant) {
+            Entry::Occupied(v) => {
+                self.free.push(key);
+                self.len -= 1;
+                v
+            }
+            Entry::Vacant => panic!("slab: remove of vacant slot {key}"),
+        }
+    }
+
+    /// Returns a reference to the value at `key`, if occupied.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable reference to the value at `key`, if occupied.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when `key` refers to an occupied slot.
+    pub fn contains(&self, key: usize) -> bool {
+        matches!(self.entries.get(key), Some(Entry::Occupied(_)))
+    }
+
+    /// Iterates over `(key, &value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| match e {
+            Entry::Occupied(v) => Some((i, v)),
+            Entry::Vacant => None,
+        })
+    }
+
+    /// Iterates over `(key, &mut value)` pairs in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.entries.iter_mut().enumerate().filter_map(|(i, e)| match e {
+            Entry::Occupied(v) => Some((i, v)),
+            Entry::Vacant => None,
+        })
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+}
+
+impl<T> std::ops::Index<usize> for Slab<T> {
+    type Output = T;
+    fn index(&self, key: usize) -> &T {
+        self.get(key).expect("slab: index of vacant slot")
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Slab<T> {
+    fn index_mut(&mut self, key: usize) -> &mut T {
+        self.get_mut(key).expect("slab: index of vacant slot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[a], "a");
+        assert_eq!(s[b], "b");
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+    }
+
+    #[test]
+    fn reuses_freed_slots() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(s[b], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn remove_vacant_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    fn iter_skips_vacant() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        let _b = s.insert(20);
+        let c = s.insert(30);
+        s.remove(a);
+        let items: Vec<_> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(items, vec![20, 30]);
+        s.remove(c);
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = Slab::new();
+        s.insert(1);
+        s.insert(2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

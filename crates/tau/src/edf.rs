@@ -1,0 +1,219 @@
+//! Event-definition (`.edf`) files.
+//!
+//! TAU stores a unique numeric id per traced event instead of its full
+//! signature; the `events.<node>.edf` file maps ids back to descriptions
+//! (Section 4.3). Each line carries the id, the group (`MPI`,
+//! `TAUEVENT`, ...), a tag, the quoted name, and the event type —
+//! `EntryExit` for functions bracketed by enter/leave records,
+//! `TriggerValue` for monotonically increasing counters such as
+//! `PAPI_FP_OPS`:
+//!
+//! ```text
+//! 49 MPI 0 "MPI_Send() " EntryExit
+//! 1 TAUEVENT 1 "PAPI_FP_OPS" TriggerValue
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// How an event appears in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Bracketed by enter/leave records.
+    EntryExit,
+    /// A counter sampled by trigger records.
+    TriggerValue,
+}
+
+/// One event definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDef {
+    pub id: i32,
+    pub group: String,
+    pub tag: i32,
+    pub name: String,
+    pub kind: EventKind,
+}
+
+/// The id ↔ definition table for one process.
+#[derive(Debug, Clone, Default)]
+pub struct EventRegistry {
+    defs: Vec<EventDef>,
+    by_name: HashMap<String, i32>,
+    next_id: i32,
+}
+
+impl EventRegistry {
+    pub fn new() -> Self {
+        EventRegistry { defs: Vec::new(), by_name: HashMap::new(), next_id: 1 }
+    }
+
+    /// Registers (or finds) an event by name, returning its id.
+    pub fn intern(&mut self, group: &str, name: &str, kind: EventKind) -> i32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.defs.push(EventDef {
+            id,
+            group: group.to_string(),
+            tag: if kind == EventKind::TriggerValue { 1 } else { 0 },
+            name: name.to_string(),
+            kind,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a definition by id.
+    pub fn def(&self, id: i32) -> Option<&EventDef> {
+        self.defs.iter().find(|d| d.id == id)
+    }
+
+    /// Looks up an id by name.
+    pub fn id_of(&self, name: &str) -> Option<i32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// True when `id` is a `TriggerValue` event.
+    pub fn is_trigger(&self, id: i32) -> bool {
+        self.def(id).map(|d| d.kind == EventKind::TriggerValue).unwrap_or(false)
+    }
+
+    pub fn defs(&self) -> &[EventDef] {
+        &self.defs
+    }
+
+    /// Writes the `.edf` text form.
+    pub fn write<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "{} dynamic_trace_events", self.defs.len())?;
+        writeln!(w, "# FunctionId Group Tag \"Name Type\" Parameters")?;
+        for d in &self.defs {
+            let kind = match d.kind {
+                EventKind::EntryExit => "EntryExit",
+                EventKind::TriggerValue => "TriggerValue",
+            };
+            writeln!(w, "{} {} {} \"{}\" {}", d.id, d.group, d.tag, d.name, kind)?;
+        }
+        Ok(())
+    }
+
+    /// Parses the `.edf` text form.
+    pub fn read<R: BufRead>(r: R) -> std::io::Result<Self> {
+        let mut reg = EventRegistry::new();
+        for (no, line) in r.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty()
+                || line.starts_with('#')
+                || line.ends_with("dynamic_trace_events")
+            {
+                continue;
+            }
+            let bad = || {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("events.edf line {}: malformed: {line:?}", no + 1),
+                )
+            };
+            // id group tag "name" kind
+            let (head, rest) = line.split_once('"').ok_or_else(bad)?;
+            let (name, tail) = rest.rsplit_once('"').ok_or_else(bad)?;
+            let mut headf = head.split_whitespace();
+            let id: i32 = headf.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let group = headf.next().ok_or_else(bad)?.to_string();
+            let tag: i32 = headf.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let kind = match tail.trim() {
+                "EntryExit" => EventKind::EntryExit,
+                "TriggerValue" => EventKind::TriggerValue,
+                _ => return Err(bad()),
+            };
+            reg.defs.push(EventDef {
+                id,
+                group,
+                tag,
+                name: name.to_string(),
+                kind,
+            });
+            reg.by_name.insert(name.to_string(), id);
+            reg.next_id = reg.next_id.max(id + 1);
+        }
+        Ok(reg)
+    }
+
+    /// Loads an `.edf` file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::read(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Saves to an `.edf` file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write(&mut w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = EventRegistry::new();
+        let a = r.intern("MPI", "MPI_Send()", EventKind::EntryExit);
+        let b = r.intern("MPI", "MPI_Send()", EventKind::EntryExit);
+        assert_eq!(a, b);
+        let c = r.intern("TAUEVENT", "PAPI_FP_OPS", EventKind::TriggerValue);
+        assert_ne!(a, c);
+        assert!(r.is_trigger(c));
+        assert!(!r.is_trigger(a));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut r = EventRegistry::new();
+        r.intern("TAUEVENT", "PAPI_FP_OPS", EventKind::TriggerValue);
+        r.intern("MPI", "MPI_Send()", EventKind::EntryExit);
+        r.intern("TAUEVENT", "Message size sent to all nodes", EventKind::TriggerValue);
+        let mut buf = Vec::new();
+        r.write(&mut buf).unwrap();
+        let back = EventRegistry::read(&buf[..]).unwrap();
+        assert_eq!(back.defs(), r.defs());
+        assert_eq!(back.id_of("MPI_Send()"), r.id_of("MPI_Send()"));
+    }
+
+    #[test]
+    fn parses_the_paper_example_lines() {
+        let text = "2 dynamic_trace_events\n\
+                    # FunctionId Group Tag \"Name Type\" Parameters\n\
+                    49 MPI 0 \"MPI_Send() \" EntryExit\n\
+                    1 TAUEVENT 1 \"PAPI_FP_OPS\" TriggerValue\n";
+        let r = EventRegistry::read(text.as_bytes()).unwrap();
+        assert_eq!(r.defs().len(), 2);
+        let send = r.def(49).unwrap();
+        assert_eq!(send.group, "MPI");
+        assert_eq!(send.name, "MPI_Send() ");
+        assert_eq!(send.kind, EventKind::EntryExit);
+        assert!(r.is_trigger(1));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(EventRegistry::read(&b"49 MPI EntryExit\n"[..]).is_err());
+        assert!(EventRegistry::read(&b"49 MPI 0 \"X\" Banana\n"[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("titr-edf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = EventRegistry::new();
+        r.intern("MPI", "MPI_Recv()", EventKind::EntryExit);
+        let path = dir.join("events.0.edf");
+        r.save(&path).unwrap();
+        let back = EventRegistry::load(&path).unwrap();
+        assert_eq!(back.defs(), r.defs());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,191 @@
+//! The Trace Format Reader (TFR) callback API.
+//!
+//! TAU trace files are binary, so the paper's `tau2simgrid` extractor
+//! reads them through the TAU Trace Format Reader library: the reader
+//! walks the file and invokes one callback per event kind, whose
+//! implementation is "let to the developer" (Section 4.3). This module
+//! reproduces that interface: implement [`TraceCallbacks`] and hand it to
+//! [`read_trace_file`].
+//!
+//! All callbacks default to no-ops so implementors only write the ones
+//! they need — e.g. the extractor cares about enter/leave, triggers and
+//! message records, not about user-defined events.
+
+use crate::edf::EventRegistry;
+use crate::records::{Record, RecordKind, RECORD_BYTES};
+use std::io::Read;
+use std::path::Path;
+
+/// Callback set invoked while walking a trace file.
+///
+/// Times are seconds (converted back from the stored nanoseconds).
+#[allow(unused_variables)]
+pub trait TraceCallbacks {
+    /// A state (function) was entered.
+    fn enter_state(&mut self, time: f64, nid: u16, tid: u16, ev: i32) {}
+    /// A state (function) was left.
+    fn leave_state(&mut self, time: f64, nid: u16, tid: u16, ev: i32) {}
+    /// A counter trigger fired (e.g. `PAPI_FP_OPS`).
+    fn event_trigger(&mut self, time: f64, nid: u16, tid: u16, ev: i32, value: i64) {}
+    /// A message was sent.
+    fn send_message(
+        &mut self,
+        time: f64,
+        nid: u16,
+        tid: u16,
+        dst_nid: u16,
+        dst_tid: u16,
+        size: u32,
+        tag: u8,
+        comm: u8,
+    ) {
+    }
+    /// A message was received.
+    fn recv_message(
+        &mut self,
+        time: f64,
+        nid: u16,
+        tid: u16,
+        src_nid: u16,
+        src_tid: u16,
+        size: u32,
+        tag: u8,
+        comm: u8,
+    ) {
+    }
+    /// The trace ended.
+    fn end_trace(&mut self, nid: u16, tid: u16) {}
+}
+
+fn to_s(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Walks `path`, dispatching every record to `cb`. The `registry`
+/// distinguishes counter triggers from state events, exactly the role the
+/// `.edf` file plays for TFR.
+pub fn read_trace_file(
+    path: &Path,
+    registry: &EventRegistry,
+    cb: &mut impl TraceCallbacks,
+) -> std::io::Result<u64> {
+    let f = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::with_capacity(1 << 20, f), registry, cb)
+}
+
+/// Same as [`read_trace_file`] over any reader. Returns the number of
+/// records dispatched.
+pub fn read_trace<R: Read>(
+    mut r: R,
+    registry: &EventRegistry,
+    cb: &mut impl TraceCallbacks,
+) -> std::io::Result<u64> {
+    let mut buf = [0u8; RECORD_BYTES];
+    let mut n = 0u64;
+    loop {
+        // Read one full record, tolerating a clean EOF between records.
+        let mut filled = 0;
+        while filled < RECORD_BYTES {
+            let k = r.read(&mut buf[filled..])?;
+            if k == 0 {
+                if filled == 0 {
+                    return Ok(n);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("truncated record after {n} records"),
+                ));
+            }
+            filled += k;
+        }
+        let rec = Record::decode(&buf, |ev| registry.is_trigger(ev))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        n += 1;
+        let t = to_s(rec.time_ns);
+        match rec.kind {
+            RecordKind::EnterState { ev } => cb.enter_state(t, rec.nid, rec.tid, ev),
+            RecordKind::LeaveState { ev } => cb.leave_state(t, rec.nid, rec.tid, ev),
+            RecordKind::EventTrigger { ev, value } => {
+                cb.event_trigger(t, rec.nid, rec.tid, ev, value)
+            }
+            RecordKind::SendMessage { dst_nid, dst_tid, size, tag, comm } => {
+                cb.send_message(t, rec.nid, rec.tid, dst_nid, dst_tid, size, tag, comm)
+            }
+            RecordKind::RecvMessage { src_nid, src_tid, size, tag, comm } => {
+                cb.recv_message(t, rec.nid, rec.tid, src_nid, src_tid, size, tag, comm)
+            }
+            RecordKind::EndTrace => cb.end_trace(rec.nid, rec.tid),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::EventKind;
+
+    struct Nop;
+    impl TraceCallbacks for Nop {}
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let mut reg = EventRegistry::new();
+        reg.intern("MPI", "MPI_Send()", EventKind::EntryExit);
+        let data = vec![0u8; 30]; // not a multiple of 24
+        let err = read_trace(&data[..], &reg, &mut Nop).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn empty_file_is_zero_records() {
+        let reg = EventRegistry::new();
+        assert_eq!(read_trace(&[][..], &reg, &mut Nop).unwrap(), 0);
+    }
+
+    #[test]
+    fn dispatch_order_is_file_order() {
+        use crate::records::{Record, RecordKind, RECORD_BYTES};
+        let mut reg = EventRegistry::new();
+        let ev = reg.intern("MPI", "MPI_Recv()", EventKind::EntryExit);
+        let mut data = Vec::new();
+        for (i, kind) in [
+            RecordKind::EnterState { ev },
+            RecordKind::RecvMessage { src_nid: 2, src_tid: 0, size: 64, tag: 0, comm: 0 },
+            RecordKind::LeaveState { ev },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let rec = Record { time_ns: i as u64 * 1000, nid: 0, tid: 0, kind };
+            let mut buf = [0u8; RECORD_BYTES];
+            rec.encode(&mut buf);
+            data.extend_from_slice(&buf);
+        }
+        #[derive(Default)]
+        struct Order(Vec<&'static str>);
+        impl TraceCallbacks for Order {
+            fn enter_state(&mut self, _t: f64, _n: u16, _i: u16, _e: i32) {
+                self.0.push("enter");
+            }
+            fn leave_state(&mut self, _t: f64, _n: u16, _i: u16, _e: i32) {
+                self.0.push("leave");
+            }
+            fn recv_message(
+                &mut self,
+                _t: f64,
+                _n: u16,
+                _i: u16,
+                _s: u16,
+                _st: u16,
+                _sz: u32,
+                _tg: u8,
+                _c: u8,
+            ) {
+                self.0.push("recv");
+            }
+        }
+        let mut o = Order::default();
+        assert_eq!(read_trace(&data[..], &reg, &mut o).unwrap(), 3);
+        assert_eq!(o.0, vec!["enter", "recv", "leave"]);
+    }
+}

@@ -1,0 +1,195 @@
+//! The binary trace record format.
+//!
+//! Every event is one fixed-size 24-byte record, mirroring TAU's packed
+//! trace layout (the per-event byte cost is what Table 3's TAU-trace
+//! sizes measure):
+//!
+//! ```text
+//! offset size field
+//! 0      4    ev      event id (EDF) or reserved message-record id
+//! 4      2    nid     MPI rank
+//! 6      2    tid     thread id (0 for our single-threaded processes)
+//! 8      8    par     parameter (counter value / packed message info)
+//! 16     8    time    timestamp, nanoseconds
+//! ```
+//!
+//! Message records use reserved negative event ids and pack
+//! `(partner, tag, comm, size)` into `par`, like TAU packs message
+//! parameters.
+
+/// Size of one record on disk.
+pub const RECORD_BYTES: usize = 24;
+
+/// Reserved event id for a message-send record.
+pub const EV_SEND_MESSAGE: i32 = -101;
+/// Reserved event id for a message-receive record.
+pub const EV_RECV_MESSAGE: i32 = -102;
+/// Reserved event id for end-of-trace.
+pub const EV_END_TRACE: i32 = -103;
+
+/// Decoded record kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Enter an `EntryExit` state (function call); `ev` names it.
+    EnterState { ev: i32 },
+    /// Leave an `EntryExit` state.
+    LeaveState { ev: i32 },
+    /// A `TriggerValue` counter sample; `value` is the running counter.
+    EventTrigger { ev: i32, value: i64 },
+    /// A message was sent to `(dst_nid, dst_tid)`.
+    SendMessage { dst_nid: u16, dst_tid: u16, size: u32, tag: u8, comm: u8 },
+    /// A message was received from `(src_nid, src_tid)`.
+    RecvMessage { src_nid: u16, src_tid: u16, size: u32, tag: u8, comm: u8 },
+    /// End of this process's trace.
+    EndTrace,
+}
+
+/// One trace record: when, who, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    pub time_ns: u64,
+    pub nid: u16,
+    pub tid: u16,
+    pub kind: RecordKind,
+}
+
+/// Leave-state records flip the sign bit of the event id, TAU-style; the
+/// id itself stays positive and small.
+const LEAVE_FLAG: i32 = 1 << 30;
+
+fn pack_message(partner_nid: u16, partner_tid: u16, size: u32, tag: u8, comm: u8) -> i64 {
+    ((partner_nid as u64) << 48
+        | (partner_tid as u64) << 44
+        | (tag as u64) << 36
+        | (comm as u64) << 32
+        | size as u64) as i64
+}
+
+fn unpack_message(par: i64) -> (u16, u16, u32, u8, u8) {
+    let p = par as u64;
+    (
+        (p >> 48) as u16,
+        ((p >> 44) & 0xf) as u16,
+        (p & 0xffff_ffff) as u32,
+        ((p >> 36) & 0xff) as u8,
+        ((p >> 32) & 0xf) as u8,
+    )
+}
+
+impl Record {
+    /// Encodes into the 24-byte wire form.
+    pub fn encode(&self, out: &mut [u8; RECORD_BYTES]) {
+        let (ev, par): (i32, i64) = match self.kind {
+            RecordKind::EnterState { ev } => (ev, 0),
+            RecordKind::LeaveState { ev } => (ev | LEAVE_FLAG, 0),
+            RecordKind::EventTrigger { ev, value } => (ev, value),
+            RecordKind::SendMessage { dst_nid, dst_tid, size, tag, comm } => {
+                (EV_SEND_MESSAGE, pack_message(dst_nid, dst_tid, size, tag, comm))
+            }
+            RecordKind::RecvMessage { src_nid, src_tid, size, tag, comm } => {
+                (EV_RECV_MESSAGE, pack_message(src_nid, src_tid, size, tag, comm))
+            }
+            RecordKind::EndTrace => (EV_END_TRACE, 0),
+        };
+        out[0..4].copy_from_slice(&ev.to_le_bytes());
+        out[4..6].copy_from_slice(&self.nid.to_le_bytes());
+        out[6..8].copy_from_slice(&self.tid.to_le_bytes());
+        out[8..16].copy_from_slice(&par.to_le_bytes());
+        out[16..24].copy_from_slice(&self.time_ns.to_le_bytes());
+    }
+
+    /// Decodes a 24-byte wire record. The trigger/state distinction needs
+    /// the event table, so triggers are returned as `EventTrigger` only
+    /// when `is_trigger(ev)` says so.
+    pub fn decode(
+        buf: &[u8; RECORD_BYTES],
+        is_trigger: impl Fn(i32) -> bool,
+    ) -> Result<Record, BadRecord> {
+        let ev = i32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let nid = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        let tid = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+        let par = i64::from_le_bytes(buf[8..16].try_into().unwrap());
+        let time_ns = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let kind = match ev {
+            EV_SEND_MESSAGE => {
+                let (n, t, s, tag, comm) = unpack_message(par);
+                RecordKind::SendMessage { dst_nid: n, dst_tid: t, size: s, tag, comm }
+            }
+            EV_RECV_MESSAGE => {
+                let (n, t, s, tag, comm) = unpack_message(par);
+                RecordKind::RecvMessage { src_nid: n, src_tid: t, size: s, tag, comm }
+            }
+            EV_END_TRACE => RecordKind::EndTrace,
+            e if e < 0 => return Err(BadRecord("unknown reserved event id")),
+            e if e & LEAVE_FLAG != 0 => RecordKind::LeaveState { ev: e & !LEAVE_FLAG },
+            e if is_trigger(e) => RecordKind::EventTrigger { ev: e, value: par },
+            e => RecordKind::EnterState { ev: e },
+        };
+        Ok(Record { time_ns, nid, tid, kind })
+    }
+}
+
+/// A record that cannot be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadRecord(pub &'static str);
+
+impl std::fmt::Display for BadRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad trace record: {}", self.0)
+    }
+}
+
+impl std::error::Error for BadRecord {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: RecordKind, is_trigger: impl Fn(i32) -> bool) {
+        let r = Record { time_ns: 1_429_470_000, nid: 1, tid: 0, kind };
+        let mut buf = [0u8; RECORD_BYTES];
+        r.encode(&mut buf);
+        let back = Record::decode(&buf, is_trigger).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn state_records_roundtrip() {
+        roundtrip(RecordKind::EnterState { ev: 49 }, |_| false);
+        roundtrip(RecordKind::LeaveState { ev: 49 }, |_| false);
+        roundtrip(RecordKind::EndTrace, |_| false);
+    }
+
+    #[test]
+    fn trigger_records_roundtrip() {
+        roundtrip(RecordKind::EventTrigger { ev: 1, value: 164_035_532 }, |e| e == 1);
+        roundtrip(RecordKind::EventTrigger { ev: 46, value: 163_840 }, |e| e == 46);
+    }
+
+    #[test]
+    fn message_records_roundtrip() {
+        // The Figure 3 example: send of 163840 bytes to node 0.
+        roundtrip(
+            RecordKind::SendMessage { dst_nid: 0, dst_tid: 0, size: 163_840, tag: 1, comm: 0 },
+            |_| false,
+        );
+        roundtrip(
+            RecordKind::RecvMessage { src_nid: 999, src_tid: 3, size: u32::MAX, tag: 255, comm: 15 },
+            |_| false,
+        );
+    }
+
+    #[test]
+    fn record_is_24_bytes() {
+        assert_eq!(RECORD_BYTES, 24);
+    }
+
+    #[test]
+    fn unknown_reserved_id_rejected() {
+        let r = Record { time_ns: 0, nid: 0, tid: 0, kind: RecordKind::EndTrace };
+        let mut buf = [0u8; RECORD_BYTES];
+        r.encode(&mut buf);
+        buf[0..4].copy_from_slice(&(-55i32).to_le_bytes());
+        assert!(Record::decode(&buf, |_| false).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! The per-process trace writer used by the instrumentation layer.
+//!
+//! One `TauWriter` per MPI rank produces the `tautrace.<n>.0.0.trc`
+//! binary file and the matching `events.<n>.edf`. Timestamps are supplied
+//! by the caller (the emulator's simulated clock) in seconds and stored
+//! in nanoseconds.
+
+use crate::edf::{EventKind, EventRegistry};
+use crate::records::{Record, RecordKind, RECORD_BYTES};
+use crate::{edf_filename, trace_filename};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes one process's TAU trace and event files.
+pub struct TauWriter {
+    nid: u16,
+    registry: EventRegistry,
+    w: BufWriter<Box<dyn Write + Send>>,
+    trc_path: PathBuf,
+    edf_path: PathBuf,
+    /// False for the discarding variant: nothing reaches disk.
+    persistent: bool,
+    records_written: u64,
+}
+
+fn to_ns(t: f64) -> u64 {
+    debug_assert!(t >= 0.0);
+    (t * 1e9).round() as u64
+}
+
+impl TauWriter {
+    /// Creates `dir/tautrace.<node>.0.0.trc` (+ the edf path for
+    /// [`TauWriter::finish`]).
+    pub fn create(dir: &Path, node: usize) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let trc_path = dir.join(trace_filename(node));
+        let edf_path = dir.join(edf_filename(node));
+        let file: Box<dyn Write + Send> = Box::new(File::create(&trc_path)?);
+        Ok(TauWriter {
+            nid: node as u16,
+            registry: EventRegistry::new(),
+            w: BufWriter::with_capacity(1 << 20, file),
+            trc_path,
+            edf_path,
+            persistent: true,
+            records_written: 0,
+        })
+    }
+
+    /// A writer that counts records but persists nothing — used when
+    /// only the instrumentation *cost* matters (e.g. the Table 2
+    /// acquisition-mode timings), not the trace contents.
+    pub fn create_discarding(node: usize) -> Self {
+        TauWriter {
+            nid: node as u16,
+            registry: EventRegistry::new(),
+            w: BufWriter::with_capacity(1 << 16, Box::new(std::io::sink())),
+            trc_path: PathBuf::new(),
+            edf_path: PathBuf::new(),
+            persistent: false,
+            records_written: 0,
+        }
+    }
+
+    /// Registers (or finds) an `EntryExit` state event.
+    pub fn state_event(&mut self, group: &str, name: &str) -> i32 {
+        self.registry.intern(group, name, EventKind::EntryExit)
+    }
+
+    /// Registers (or finds) a `TriggerValue` counter event.
+    pub fn counter_event(&mut self, name: &str) -> i32 {
+        self.registry.intern("TAUEVENT", name, EventKind::TriggerValue)
+    }
+
+    fn push(&mut self, time: f64, kind: RecordKind) -> std::io::Result<()> {
+        let rec = Record { time_ns: to_ns(time), nid: self.nid, tid: 0, kind };
+        let mut buf = [0u8; RECORD_BYTES];
+        rec.encode(&mut buf);
+        self.records_written += 1;
+        self.w.write_all(&buf)
+    }
+
+    /// Function entry.
+    pub fn enter_state(&mut self, time: f64, ev: i32) -> std::io::Result<()> {
+        self.push(time, RecordKind::EnterState { ev })
+    }
+
+    /// Function exit.
+    pub fn leave_state(&mut self, time: f64, ev: i32) -> std::io::Result<()> {
+        self.push(time, RecordKind::LeaveState { ev })
+    }
+
+    /// Counter sample (e.g. `PAPI_FP_OPS`).
+    pub fn event_trigger(&mut self, time: f64, ev: i32, value: i64) -> std::io::Result<()> {
+        self.push(time, RecordKind::EventTrigger { ev, value })
+    }
+
+    /// Message-send record (inside an `MPI_Send`-like state).
+    pub fn send_message(
+        &mut self,
+        time: f64,
+        dst: usize,
+        size: u64,
+        tag: u8,
+        comm: u8,
+    ) -> std::io::Result<()> {
+        self.push(
+            time,
+            RecordKind::SendMessage {
+                dst_nid: dst as u16,
+                dst_tid: 0,
+                size: size.min(u32::MAX as u64) as u32,
+                tag,
+                comm,
+            },
+        )
+    }
+
+    /// Message-receive record (inside `MPI_Recv`/`MPI_Wait`).
+    pub fn recv_message(
+        &mut self,
+        time: f64,
+        src: usize,
+        size: u64,
+        tag: u8,
+        comm: u8,
+    ) -> std::io::Result<()> {
+        self.push(
+            time,
+            RecordKind::RecvMessage {
+                src_nid: src as u16,
+                src_tid: 0,
+                size: size.min(u32::MAX as u64) as u32,
+                tag,
+                comm,
+            },
+        )
+    }
+
+    /// Records written so far (24 bytes each on disk).
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Trace file path.
+    pub fn trc_path(&self) -> &Path {
+        &self.trc_path
+    }
+
+    /// Writes the end-of-trace record, flushes, and saves the edf file.
+    pub fn finish(mut self, time: f64) -> std::io::Result<(PathBuf, PathBuf)> {
+        self.push(time, RecordKind::EndTrace)?;
+        self.w.flush()?;
+        if self.persistent {
+            self.registry.save(&self.edf_path)?;
+        }
+        Ok((self.trc_path, self.edf_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{read_trace_file, TraceCallbacks};
+
+    #[derive(Default)]
+    struct Count {
+        enters: usize,
+        leaves: usize,
+        triggers: usize,
+        sends: usize,
+        recvs: usize,
+        ended: bool,
+    }
+
+    impl TraceCallbacks for Count {
+        fn enter_state(&mut self, _t: f64, _n: u16, _tid: u16, _ev: i32) {
+            self.enters += 1;
+        }
+        fn leave_state(&mut self, _t: f64, _n: u16, _tid: u16, _ev: i32) {
+            self.leaves += 1;
+        }
+        fn event_trigger(&mut self, _t: f64, _n: u16, _tid: u16, _ev: i32, _v: i64) {
+            self.triggers += 1;
+        }
+        fn send_message(
+            &mut self,
+            _t: f64,
+            _n: u16,
+            _tid: u16,
+            _dst: u16,
+            _dtid: u16,
+            _size: u32,
+            _tag: u8,
+            _comm: u8,
+        ) {
+            self.sends += 1;
+        }
+        fn recv_message(
+            &mut self,
+            _t: f64,
+            _n: u16,
+            _tid: u16,
+            _src: u16,
+            _stid: u16,
+            _size: u32,
+            _tag: u8,
+            _comm: u8,
+        ) {
+            self.recvs += 1;
+        }
+        fn end_trace(&mut self, _n: u16, _tid: u16) {
+            self.ended = true;
+        }
+    }
+
+    #[test]
+    fn writes_the_figure_3_sequence_and_reads_it_back() {
+        let dir = std::env::temp_dir().join(format!("titr-tauw-{}", std::process::id()));
+        let mut w = TauWriter::create(&dir, 1).unwrap();
+        let send = w.state_event("MPI", "MPI_Send()");
+        let fp = w.counter_event("PAPI_FP_OPS");
+        let msz = w.counter_event("Message size sent to all nodes");
+        // Figure 3's callback sequence around one MPI_Send.
+        w.enter_state(1.42947, send).unwrap();
+        w.event_trigger(1.42947, fp, 164_035_532).unwrap();
+        w.event_trigger(1.42950, msz, 163_840).unwrap();
+        w.send_message(1.42950, 0, 163_840, 1, 0).unwrap();
+        w.event_trigger(1.42990, fp, 164_035_624).unwrap();
+        w.leave_state(1.42990, send).unwrap();
+        let (trc, edf) = w.finish(1.43).unwrap();
+
+        let reg = EventRegistry::load(&edf).unwrap();
+        assert!(reg.is_trigger(reg.id_of("PAPI_FP_OPS").unwrap()));
+        let mut count = Count::default();
+        read_trace_file(&trc, &reg, &mut count).unwrap();
+        assert_eq!(count.enters, 1);
+        assert_eq!(count.leaves, 1);
+        assert_eq!(count.triggers, 3);
+        assert_eq!(count.sends, 1);
+        assert_eq!(count.recvs, 0);
+        assert!(count.ended);
+        // On-disk size: 7 records x 24 bytes.
+        assert_eq!(std::fs::metadata(&trc).unwrap().len(), 7 * 24);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timestamps_preserve_nanoseconds() {
+        let dir = std::env::temp_dir().join(format!("titr-taut-{}", std::process::id()));
+        let mut w = TauWriter::create(&dir, 0).unwrap();
+        let ev = w.state_event("MPI", "MPI_Init()");
+        w.enter_state(0.000000123, ev).unwrap();
+        let (trc, edf) = w.finish(1.0).unwrap();
+        struct Grab(Vec<f64>);
+        impl TraceCallbacks for Grab {
+            fn enter_state(&mut self, t: f64, _n: u16, _tid: u16, _ev: i32) {
+                self.0.push(t);
+            }
+        }
+        let reg = EventRegistry::load(&edf).unwrap();
+        let mut g = Grab(Vec::new());
+        read_trace_file(&trc, &reg, &mut g).unwrap();
+        assert!((g.0[0] - 0.000000123).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

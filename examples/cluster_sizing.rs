@@ -1,0 +1,59 @@
+//! Cluster dimensioning — the motivation of the paper's introduction:
+//! computing centres must size upgrades *before* buying hardware. With
+//! a time-independent trace in hand, sweep candidate configurations and
+//! find the cheapest one meeting a time budget.
+//!
+//! Here: what is the smallest per-core speed (in a 16-node GigE
+//! cluster) that runs LU class A under a target time? And does paying
+//! for 10 GbE help more than faster CPUs?
+//!
+//! Run with: `cargo run --release --example cluster_sizing`
+
+use titr::npb::{Class, LuConfig};
+use titr::platform::desc::{ClusterSpec, PlatformDesc};
+use titr::platform::presets;
+use titr::replay::{replay_memory, ReplayConfig};
+use titr::simkern::resource::HostId;
+
+fn simulate(trace: &titr::trace::TiTrace, spec: ClusterSpec) -> f64 {
+    let platform = PlatformDesc::single(spec).build();
+    let hosts: Vec<HostId> = (0..trace.num_processes() as u32).map(HostId).collect();
+    replay_memory(trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+}
+
+fn main() {
+    let nproc = 16;
+    let lu = LuConfig::new(Class::A, nproc).with_itmax(25);
+    let trace = titr::npb::program_trace(&lu.program(), nproc);
+    let base = presets::bordereau_one_core(nproc);
+
+    let budget = simulate(&trace, base.clone()) * 0.75;
+    println!("time budget: {budget:.3} s (75% of the baseline cluster)\n");
+
+    // Option A: faster CPUs on GigE.
+    println!("option A — faster CPUs, GigE network:");
+    let mut chosen_power = None;
+    for mult in [1.0, 1.2, 1.4, 1.6, 1.8, 2.0] {
+        let spec = ClusterSpec { power: base.power * mult, ..base.clone() };
+        let t = simulate(&trace, spec);
+        let ok = t <= budget;
+        println!("  {:>4.1}x CPU: {t:>8.3} s {}", mult, if ok { "<= budget" } else { "" });
+        if ok && chosen_power.is_none() {
+            chosen_power = Some(mult);
+        }
+    }
+
+    // Option B: keep CPUs, upgrade the interconnect.
+    println!("\noption B — same CPUs, 10 GbE network:");
+    let spec = ClusterSpec { bw: 1.25e9, bb_bw: 1.25e10, ..base.clone() };
+    let t = simulate(&trace, spec);
+    println!("  10 GbE: {t:>8.3} s {}", if t <= budget { "<= budget" } else { "(not enough)" });
+
+    match chosen_power {
+        Some(m) => println!(
+            "\nconclusion: {m:.1}x CPUs meet the budget{}",
+            if t <= budget { "; so does the network upgrade — compare prices" } else { "; the network upgrade alone does not" }
+        ),
+        None => println!("\nconclusion: no CPU upgrade in range meets the budget"),
+    }
+}

@@ -1,0 +1,57 @@
+//! "What if?" exploration — the headline use case of the paper: once a
+//! time-independent trace is acquired, a whole range of candidate
+//! platforms can be explored *without touching the trace*, by changing
+//! only the platform description (Section 5: "a wide range of 'what if?'
+//! scenarios can be explored without any modification of the simulator").
+//!
+//! Here: how would LU class A × 16 behave with faster CPUs? With a 10x
+//! faster network? On the slower gdx cluster?
+//!
+//! Run with: `cargo run --release --example lu_whatif`
+
+use titr::npb::{Class, LuConfig};
+use titr::platform::desc::{ClusterSpec, PlatformDesc};
+use titr::platform::presets;
+use titr::replay::{replay_memory, ReplayConfig};
+use titr::simkern::resource::HostId;
+
+fn replay_on(trace: &titr::trace::TiTrace, spec: ClusterSpec) -> f64 {
+    let platform = PlatformDesc::single(spec).build();
+    let hosts: Vec<HostId> = (0..trace.num_processes() as u32).map(HostId).collect();
+    replay_memory(trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+}
+
+fn main() {
+    let nproc = 16;
+    // Acquire once (here: generated directly; `tit-acquire` + `tit-extract`
+    // produce the same trace from an emulated instrumented run).
+    let lu = LuConfig::new(Class::A, nproc).with_itmax(25);
+    let trace = titr::npb::program_trace(&lu.program(), nproc);
+    println!(
+        "LU class A x {nproc} (itmax 25): {} actions\n",
+        trace.num_actions()
+    );
+
+    let base = presets::bordereau_one_core(nproc);
+    let scenarios: Vec<(&str, ClusterSpec)> = vec![
+        ("bordereau (baseline)", base.clone()),
+        ("2x faster CPUs", ClusterSpec { power: base.power * 2.0, ..base.clone() }),
+        (
+            "10 GbE network",
+            ClusterSpec { bw: 1.25e9, bb_bw: 1.25e10, ..base.clone() },
+        ),
+        (
+            "half the latency",
+            ClusterSpec { lat: base.lat / 2.0, bb_lat: base.bb_lat / 2.0, ..base.clone() },
+        ),
+        ("gdx nodes (2.0 GHz)", ClusterSpec { power: presets::GDX_POWER, ..base.clone() }),
+    ];
+
+    println!("{:<24} {:>14} {:>10}", "scenario", "simulated (s)", "speedup");
+    let baseline = replay_on(&trace, scenarios[0].1.clone());
+    for (name, spec) in scenarios {
+        let t = replay_on(&trace, spec);
+        println!("{name:<24} {t:>14.3} {:>10.2}", baseline / t);
+    }
+    println!("\n(one trace, five platforms — no re-acquisition needed)");
+}

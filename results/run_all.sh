@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every experiment result in this directory.
+# Scales: ratios/shapes are scale-invariant; see EXPERIMENTS.md.
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p tit-bench
+B=./target/release
+$B/table2     --scale 0.1     | tee results/table2.txt
+$B/table3     --scale 0.1     | tee results/table3.txt
+$B/fig7       --scale 0.1     | tee results/fig7.txt
+$B/fig8       --scale 0.1     | tee results/fig8.txt
+$B/fig9       --scale 1.0     | tee results/fig9.txt
+$B/largetrace --scale 0.00667 | tee results/largetrace.txt
+$B/ablations  --scale 0.2     | tee results/ablations.txt

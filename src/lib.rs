@@ -1,0 +1,17 @@
+//! `titr` — Time-Independent Trace Replay for MPI applications.
+//!
+//! Umbrella crate re-exporting the workspace: a Rust reproduction of
+//! *Assessing the Performance of MPI Applications Through Time-Independent
+//! Trace Replay* (Desprez, Markomanolis, Quinson, Suter; PSTI/ICPP 2011).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use mpi_emul as emul;
+pub use npb;
+pub use simkern;
+pub use tau_sim as tau;
+pub use tit_calibrate as calibrate;
+pub use tit_core as trace;
+pub use tit_extract as extract;
+pub use tit_platform as platform;
+pub use tit_replay as replay;

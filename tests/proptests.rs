@@ -1,0 +1,205 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use titr::npb::ring::RingConfig;
+use titr::platform::desc::PlatformDesc;
+use titr::platform::presets;
+use titr::replay::{replay_memory, ReplayConfig};
+use titr::simkern::resource::HostId;
+use titr::trace::{Action, TiTrace};
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let vol = 0.0..1e9f64;
+    let pid = 0usize..16;
+    prop_oneof![
+        vol.clone().prop_map(|flops| Action::Compute { flops }),
+        (pid.clone(), vol.clone()).prop_map(|(dst, bytes)| Action::Send { dst, bytes }),
+        (pid.clone(), vol.clone()).prop_map(|(dst, bytes)| Action::Isend { dst, bytes }),
+        pid.clone().prop_map(|src| Action::Recv { src, bytes: None }),
+        pid.clone().prop_map(|src| Action::Irecv { src, bytes: None }),
+        vol.clone().prop_map(|bytes| Action::Bcast { bytes }),
+        (vol.clone(), vol.clone()).prop_map(|(vcomm, vcomp)| Action::Reduce { vcomm, vcomp }),
+        (vol.clone(), vol).prop_map(|(vcomm, vcomp)| Action::AllReduce { vcomm, vcomp }),
+        Just(Action::Barrier),
+        (1usize..1024).prop_map(|nproc| Action::CommSize { nproc }),
+        Just(Action::Wait),
+    ]
+}
+
+proptest! {
+    /// Any action round-trips through the text codec.
+    #[test]
+    fn codec_roundtrips_arbitrary_actions(pid in 0usize..4096, action in arb_action()) {
+        let line = titr::trace::format_action(pid, &action);
+        let (p2, a2) = titr::trace::parse_line(&line, 1).unwrap().unwrap();
+        prop_assert_eq!(p2, pid);
+        // Volumes may lose the integer fast-path formatting but must
+        // stay bit-identical (we only print integers when exact).
+        prop_assert_eq!(a2, action);
+    }
+
+    /// Serialising any trace and parsing it back is the identity.
+    #[test]
+    fn merged_file_roundtrip(actions in proptest::collection::vec((0usize..8, arb_action()), 0..200)) {
+        let mut t = TiTrace::new(8);
+        for (pid, a) in actions {
+            t.push(pid, a);
+        }
+        let mut buf = Vec::new();
+        t.write_merged(&mut buf).unwrap();
+        let back = TiTrace::from_reader(&buf[..]).unwrap();
+        // Processes with no actions at the tail are not reconstructed;
+        // compare the prefix that exists.
+        for (rank, acts) in back.actions.iter().enumerate() {
+            prop_assert_eq!(acts, &t.actions[rank]);
+        }
+    }
+
+    /// Ring replay time scales linearly in both volumes and iterations.
+    #[test]
+    fn ring_replay_scales(iters in 1usize..5, mult in 1u32..4) {
+        let base = RingConfig { nproc: 4, iters, flops: 1e6, bytes: 1e6 };
+        let scaled = RingConfig {
+            flops: base.flops * mult as f64,
+            bytes: base.bytes * mult as f64,
+            ..base
+        };
+        let run = |cfg: &RingConfig| {
+            let trace = cfg.trace();
+            let desc = PlatformDesc::single(presets::bordereau_one_core(4));
+            let platform = desc.build();
+            let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+            // Identity network model so scaling is exact.
+            let rc = ReplayConfig {
+                network: titr::simkern::netmodel::NetworkConfig::default(),
+                ..Default::default()
+            };
+            replay_memory(&trace, platform, &hosts, &rc).simulated_time
+        };
+        let t1 = run(&base);
+        let tm = run(&scaled);
+        // Larger volumes with the same latency count: slightly sublinear.
+        let max = mult as f64 * t1;
+        prop_assert!(tm <= max * (1.0 + 1e-9), "tm={tm} max={max}");
+        prop_assert!(tm >= t1, "bigger volumes cannot be faster");
+    }
+
+    /// Validation accepts every trace the workload generators emit.
+    #[test]
+    fn generated_traces_always_validate(nproc_pow in 1u32..4, itmax in 1usize..4) {
+        let nproc = 1usize << nproc_pow;
+        let lu = titr::npb::LuConfig::new(titr::npb::Class::S, nproc).with_itmax(itmax);
+        let trace = titr::npb::program_trace(&lu.program(), nproc);
+        prop_assert!(titr::trace::validate(&trace).is_empty());
+    }
+
+    /// Replay is deterministic: same trace, same platform, same time.
+    #[test]
+    fn replay_is_deterministic(iters in 1usize..6) {
+        let cfg = RingConfig { nproc: 4, iters, ..Default::default() };
+        let trace = cfg.trace();
+        let run = || {
+            let desc = PlatformDesc::single(presets::bordereau_one_core(4));
+            let platform = desc.build();
+            let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+            replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Generates a random *balanced* trace: every send has a matching
+/// receive posted on the destination, messages per ordered pair are
+/// FIFO-consistent, and every Irecv gets a Wait.
+fn balanced_trace(nproc: usize, ops: &[(usize, usize, u32, bool)]) -> TiTrace {
+    let mut t = TiTrace::new(nproc);
+    for r in 0..nproc {
+        t.push(r, Action::CommSize { nproc });
+    }
+    for &(src, dst, vol, nonblocking) in ops {
+        let src = src % nproc;
+        let dst = dst % nproc;
+        if src == dst {
+            t.push(src, Action::Compute { flops: vol as f64 });
+            continue;
+        }
+        let bytes = vol as f64;
+        t.push(src, Action::Send { dst, bytes });
+        if nonblocking {
+            t.push(dst, Action::Irecv { src, bytes: None });
+            t.push(dst, Action::Wait);
+        } else {
+            t.push(dst, Action::Recv { src, bytes: None });
+        }
+    }
+    // A final barrier keeps every rank alive to the end.
+    for r in 0..nproc {
+        t.push(r, Action::Barrier);
+    }
+    t
+}
+
+proptest! {
+    /// Any balanced trace replays to completion (no deadlock, no panic)
+    /// with a simulated time bounded below by each rank's own compute
+    /// work and above by the fully-serialised sum of all volumes.
+    #[test]
+    fn balanced_traces_always_terminate(
+        nproc in 2usize..6,
+        ops in proptest::collection::vec(
+            (0usize..8, 0usize..8, 1u32..2_000_000, proptest::bool::ANY),
+            1..60,
+        ),
+    ) {
+        let t = balanced_trace(nproc, &ops);
+        prop_assert!(titr::trace::validate(&t).is_empty());
+        let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
+        let platform = desc.build();
+        let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+        let out = replay_memory(&t, platform, &hosts, &ReplayConfig::default());
+
+        let speed = presets::BORDEREAU_POWER;
+        let bw_worst = 1.25e8 * 0.4; // worst piecewise bandwidth factor
+        // Lower bound: the busiest rank's own compute work.
+        let stats = titr::trace::TraceStats::of(&t);
+        let lower = t
+            .actions
+            .iter()
+            .map(|acts| acts.iter().map(|a| a.flops()).sum::<f64>() / speed)
+            .fold(0.0_f64, f64::max);
+        prop_assert!(
+            out.simulated_time >= lower * (1.0 - 1e-9),
+            "time {} below compute bound {lower}",
+            out.simulated_time
+        );
+        // Upper bound: everything serialised end to end, generously.
+        let per_msg_overhead = 1e-3; // latencies, rendezvous, barriers
+        let upper = stats.total_flops / speed
+            + stats.total_bytes / bw_worst
+            + stats.num_actions as f64 * per_msg_overhead
+            + 1.0;
+        prop_assert!(
+            out.simulated_time <= upper,
+            "time {} above serial bound {upper}",
+            out.simulated_time
+        );
+    }
+
+    /// The incremental engine is deterministic on random balanced traces.
+    #[test]
+    fn random_traces_replay_deterministically(
+        nproc in 2usize..5,
+        ops in proptest::collection::vec(
+            (0usize..6, 0usize..6, 1u32..500_000, proptest::bool::ANY),
+            1..30,
+        ),
+    ) {
+        let t = balanced_trace(nproc, &ops);
+        let run = || {
+            let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
+            let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+            replay_memory(&t, desc.build(), &hosts, &ReplayConfig::default()).simulated_time
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,139 @@
+//! Failure injection: corrupted inputs must produce diagnostics, not
+//! wrong results or hangs.
+
+use titr::emul::acquisition::{acquire, AcquisitionMode};
+use titr::emul::runtime::EmulConfig;
+use titr::extract::tau2ti;
+use titr::npb::ring::RingConfig;
+use titr::platform::desc::PlatformDesc;
+use titr::platform::presets;
+use titr::replay::{replay_files, ReplayConfig};
+use titr::simkern::resource::HostId;
+
+fn work(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("titr-rob-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn truncated_tau_trace_fails_extraction_cleanly() {
+    let dir = work("taucut");
+    let tau = dir.join("tau");
+    let ring = RingConfig { nproc: 4, iters: 4, ..Default::default() };
+    acquire(&ring.program(), 4, AcquisitionMode::Regular, &EmulConfig::default(), &tau)
+        .unwrap();
+    // Chop rank 2's trace mid-record.
+    let victim = tau.join(titr::tau::trace_filename(2));
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() - 10]).unwrap();
+    let err = tau2ti(&tau, 4, &dir.join("ti"), 1).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("truncated") || msg.contains("record"),
+        "diagnostic should mention truncation: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bitflipped_tau_trace_is_detected_or_extracted_without_panic() {
+    let dir = work("tauflip");
+    let tau = dir.join("tau");
+    let ring = RingConfig { nproc: 4, iters: 4, ..Default::default() };
+    acquire(&ring.program(), 4, AcquisitionMode::Regular, &EmulConfig::default(), &tau)
+        .unwrap();
+    let victim = tau.join(titr::tau::trace_filename(1));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&victim, &bytes).unwrap();
+    // Must not panic; error or (rarely) a benign flip are both fine.
+    let _ = std::panic::catch_unwind(|| tau2ti(&tau, 4, &dir.join("ti"), 1))
+        .expect("extractor must not panic on corrupt input");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_wait_in_trace_is_caught_by_validation() {
+    let text = "p0 Irecv p1\np1 send p0 100\n";
+    let trace = titr::trace::TiTrace::from_str_merged(text).unwrap();
+    let errors = titr::trace::validate(&trace);
+    assert!(
+        errors.iter().any(|e| e.to_string().contains("never waited")),
+        "validation must flag the dangling request: {errors:?}"
+    );
+}
+
+#[test]
+fn replaying_a_mismatched_trace_reports_deadlock_not_hang() {
+    let dir = work("mismatch");
+    // p0 expects a message p1 never sends.
+    let mut t = titr::trace::TiTrace::new(2);
+    t.push(0, titr::trace::Action::Recv { src: 1, bytes: None });
+    t.push(1, titr::trace::Action::Compute { flops: 10.0 });
+    t.save_per_process(&dir).unwrap();
+    let platform = PlatformDesc::single(presets::bordereau_one_core(2)).build();
+    let hosts: Vec<HostId> = (0..2).map(HostId).collect();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        replay_files(&dir, 2, platform, &hosts, &ReplayConfig::default())
+    }));
+    // The engine panics with a deadlock diagnostic (run() path).
+    assert!(result.is_err(), "mismatched trace must be detected");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn garbage_trace_lines_are_rejected_with_line_numbers() {
+    let dir = work("garbage");
+    std::fs::write(dir.join("SG_process0.trace"), "p0 compute 5\np0 flarb 12\n").unwrap();
+    let platform = PlatformDesc::single(presets::bordereau_one_core(1)).build();
+    // The bad line surfaces as a panic from the replaying actor (streamed
+    // parse) carrying the parse diagnostic with the line number.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        replay_files(&dir, 1, platform, &[HostId(0)], &ReplayConfig::default())
+    }));
+    let diagnostic = match result {
+        Ok(Err(e)) => e.to_string(),
+        Ok(Ok(_)) => panic!("garbage line must not replay"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "panic".into()),
+    };
+    assert!(
+        diagnostic.contains("line 2") || diagnostic.contains("flarb"),
+        "diagnostic should name the bad line: {diagnostic}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn malformed_platform_xml_is_rejected() {
+    for doc in [
+        "<platform><cluster id='c'/></platform>", // missing attributes
+        "<platform>",                              // unclosed
+        "<nope/>",                                 // wrong root
+    ] {
+        assert!(
+            PlatformDesc::from_xml_str(doc).is_err(),
+            "must reject {doc:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_compressed_trace_never_panics() {
+    let ring = RingConfig::default();
+    let mut text = Vec::new();
+    ring.trace().write_merged(&mut text).unwrap();
+    let mut c = titr::trace::compress::compress(&text);
+    for i in (0..c.len()).step_by(7) {
+        let mut broken = c.clone();
+        broken[i] ^= 0xFF;
+        let _ = titr::trace::compress::decompress(&broken); // may Err, must not panic
+    }
+    c.truncate(c.len() / 2);
+    assert!(titr::trace::compress::decompress(&c).is_err());
+}
