@@ -54,7 +54,7 @@ fn engine_pingpong(c: &mut Criterion) {
                         Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1e5)),
                         Wake::Op(_) if k < K => {
                             ctx.set_phase(k + 1);
-                            if k % 2 == 0 {
+                            if k.is_multiple_of(2) {
                                 Step::Wait(ctx.irecv(MailboxKey::p2p(1, 0)))
                             } else {
                                 Step::Wait(ctx.isend(MailboxKey::p2p(0, 1), 1e5))
@@ -72,7 +72,7 @@ fn engine_pingpong(c: &mut Criterion) {
                         Wake::Start => Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1))),
                         Wake::Op(_) if k < K => {
                             ctx.set_phase(k + 1);
-                            if k % 2 == 0 {
+                            if k.is_multiple_of(2) {
                                 Step::Wait(ctx.isend(MailboxKey::p2p(1, 0), 1e5))
                             } else {
                                 Step::Wait(ctx.irecv(MailboxKey::p2p(0, 1)))
@@ -83,7 +83,7 @@ fn engine_pingpong(c: &mut Criterion) {
                 })),
                 h1,
             );
-            black_box(eng.run())
+            black_box(eng.run_checked().unwrap())
         })
     });
 }
@@ -109,7 +109,7 @@ fn engine_exec_churn(c: &mut Criterion) {
                 })),
                 h,
             );
-            black_box(eng.run())
+            black_box(eng.run_checked().unwrap())
         })
     });
 }

@@ -21,7 +21,7 @@ fn replay_lu(c: &mut Criterion) {
                 let platform =
                     PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
                 let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
-                let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default());
+                let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).unwrap();
                 black_box(out.simulated_time)
             })
         });
@@ -38,7 +38,11 @@ fn replay_ring(c: &mut Criterion) {
         b.iter(|| {
             let platform = PlatformDesc::single(presets::bordereau_one_core(4)).build();
             let hosts: Vec<HostId> = (0..4).map(HostId).collect();
-            black_box(replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).simulated_time)
+            black_box(
+                replay_memory(&trace, platform, &hosts, &ReplayConfig::default())
+                    .unwrap()
+                    .simulated_time,
+            )
         })
     });
     g.finish();

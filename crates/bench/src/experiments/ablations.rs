@@ -35,7 +35,9 @@ fn replay_trace(
     }
     let platform = PlatformDesc::single(spec).build();
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
-    replay_memory(trace, platform, &hosts, cfg).simulated_time
+    replay_memory(trace, platform, &hosts, cfg)
+        .expect("replay of a well-formed generated trace")
+        .simulated_time
 }
 
 fn replay_lu(nproc: usize, scale: f64, cfg: &ReplayConfig, power: Option<f64>) -> f64 {

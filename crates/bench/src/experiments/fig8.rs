@@ -70,7 +70,8 @@ pub fn measure(class: Class, nproc: usize, scale: f64, calibrated_rate: f64) -> 
     spec.power = calibrated_rate;
     let platform = PlatformDesc::single(spec).build();
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
-    let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default());
+    let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default())
+        .expect("replay of a well-formed generated trace");
     Point { class, nproc, actual, simulated: out.simulated_time }
 }
 

@@ -35,7 +35,8 @@ pub fn measure(class: Class, nproc: usize, scale: f64) -> Point {
     let platform = PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
     let cfg = ReplayConfig::default();
-    let out = replay_memory(&trace, platform, &hosts, &cfg);
+    let out = replay_memory(&trace, platform, &hosts, &cfg)
+        .expect("replay of a well-formed generated trace");
     Point {
         class,
         nproc,

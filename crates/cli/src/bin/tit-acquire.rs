@@ -36,8 +36,14 @@ fn main() {
             "lu" => {
                 let class: Class = args.get_or("class", Class::S);
                 let mut lu = LuConfig::new(class, np);
-                if let Some(it) = args.get(&"itmax"[..]) {
-                    lu = lu.with_itmax(it.parse().expect("bad --itmax"));
+                if let Some(it) = args.get("itmax") {
+                    match it.parse() {
+                        Ok(n) => lu = lu.with_itmax(n),
+                        Err(_) => {
+                            eprintln!("bad --itmax {it:?}\nusage: {USAGE}");
+                            std::process::exit(2);
+                        }
+                    }
                 }
                 Box::new(lu.program())
             }
@@ -51,7 +57,10 @@ fn main() {
             }
             "stencil" => {
                 let px = (np as f64).sqrt() as usize;
-                assert_eq!(px * px, np, "stencil needs a square process count");
+                if px * px != np {
+                    eprintln!("stencil needs a square process count, got --np {np}");
+                    std::process::exit(2);
+                }
                 let st = StencilConfig {
                     px,
                     py: px,

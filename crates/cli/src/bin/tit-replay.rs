@@ -95,18 +95,27 @@ fn main() {
 
     if let Some(records) = &out.records {
         if let Some(path) = args.get("timed-trace") {
-            let mut w = std::io::BufWriter::new(
-                std::fs::File::create(path).expect("cannot create timed-trace file"),
-            );
-            tit_replay::output::write_timed_trace(records, &mut w).expect("write timed trace");
+            let w = std::fs::File::create(path)
+                .and_then(|f| {
+                    let mut w = std::io::BufWriter::new(f);
+                    tit_replay::output::write_timed_trace(records, &mut w).map(|()| w)
+                });
+            if let Err(e) = w {
+                eprintln!("cannot write timed trace {path}: {e}");
+                std::process::exit(1);
+            }
             println!("timed trace:      {path}");
         }
         if let Some(path) = args.get("paje") {
-            let mut w = std::io::BufWriter::new(
-                std::fs::File::create(path).expect("cannot create paje file"),
-            );
-            tit_replay::output::write_paje(records, np, out.simulated_time, &mut w)
-                .expect("write paje trace");
+            let w = std::fs::File::create(path).and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                tit_replay::output::write_paje(records, np, out.simulated_time, &mut w)
+                    .map(|()| w)
+            });
+            if let Err(e) = w {
+                eprintln!("cannot write paje trace {path}: {e}");
+                std::process::exit(1);
+            }
             println!("paje trace:       {path}");
         }
         if args.has_flag("profile") {

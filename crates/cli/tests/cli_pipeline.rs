@@ -87,6 +87,12 @@ fn full_pipeline_through_the_binaries() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Like [`run`], but returns the exact exit code and stderr separately.
+fn run_code(bin: &str, args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(bin).args(args).output().expect("spawn binary");
+    (out.status.code(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
 #[test]
 fn replay_rejects_missing_traces() {
     let missing = PathBuf::from("/definitely/not/here");
@@ -95,6 +101,52 @@ fn replay_rejects_missing_traces() {
         &["--trace-dir", missing.to_str().unwrap(), "--np", "2"],
     );
     assert!(!ok, "missing traces must fail");
+}
+
+#[test]
+fn errors_map_to_exit_codes_with_one_line_stderr() {
+    // Runtime failure (missing rank file) → exit 1, and stderr is a
+    // single line naming the failing rank and file.
+    let missing = "/definitely/not/here";
+    let (code, stderr) = run_code(
+        env!("CARGO_BIN_EXE_tit-replay"),
+        &["--trace-dir", missing, "--np", "2"],
+    );
+    assert_eq!(code, Some(1), "runtime errors exit 1; stderr:\n{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "one-line diagnostic:\n{stderr}");
+    assert!(stderr.contains("rank 0") && stderr.contains(missing), "{stderr}");
+
+    // Usage errors → exit 2.
+    let (code, stderr) = run_code(
+        env!("CARGO_BIN_EXE_tit-acquire"),
+        &["--workload", "lu", "--np", "4", "--mode", "Q-3", "--out", "/tmp/x"],
+    );
+    assert_eq!(code, Some(2), "usage errors exit 2; stderr:\n{stderr}");
+
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-extract"),
+        &["--tau", missing, "--np", "2", "--out", "/tmp/titr-nope"],
+    );
+    assert_eq!(code, Some(1), "missing TAU dir exits 1");
+}
+
+#[test]
+fn corrupt_trace_line_is_diagnosed_with_file_and_line() {
+    let dir = std::env::temp_dir().join(format!("titr-clicorrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("SG_process0.trace"), "p0 compute 100\np0 frobnicate 3\n")
+        .unwrap();
+    std::fs::write(dir.join("SG_process1.trace"), "p1 compute 100\n").unwrap();
+    let (code, stderr) = run_code(
+        env!("CARGO_BIN_EXE_tit-replay"),
+        &["--trace-dir", dir.to_str().unwrap(), "--np", "2"],
+    );
+    assert_eq!(code, Some(1), "corrupt trace exits 1; stderr:\n{stderr}");
+    assert!(stderr.contains("SG_process0.trace"), "names the file:\n{stderr}");
+    assert!(stderr.contains("line 2"), "names the line:\n{stderr}");
+    assert!(stderr.contains("frobnicate"), "names the keyword:\n{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -69,7 +69,7 @@ fn read_varint<R: Read>(r: &mut R) -> std::io::Result<u64> {
 }
 
 fn integral(v: f64) -> bool {
-    v.fract() == 0.0 && v >= 0.0 && v < 9.0e15
+    v.fract() == 0.0 && (0.0..9.0e15).contains(&v)
 }
 
 struct VolWriter {
@@ -279,9 +279,8 @@ impl BinaryTraceReader {
     /// Next action; `Ok(None)` at a clean end of file.
     pub fn next_action(&mut self) -> std::io::Result<Option<Action>> {
         let mut op = [0u8; 1];
-        match self.r.read(&mut op)? {
-            0 => return Ok(None),
-            _ => {}
+        if self.r.read(&mut op)? == 0 {
+            return Ok(None);
         }
         // Re-dispatch with the opcode already consumed: chain readers.
         let rest = &mut self.r;

@@ -151,8 +151,7 @@ pub fn validate(trace: &TiTrace) -> Vec<ValidationError> {
     // Collective sequences must agree across the communicator.
     if n > 1 {
         let reference = &coll_seqs[0];
-        for rank in 1..n {
-            let seq = &coll_seqs[rank];
+        for (rank, seq) in coll_seqs.iter().enumerate().skip(1) {
             let diverge = reference
                 .iter()
                 .zip(seq.iter())

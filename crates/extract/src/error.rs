@@ -1,0 +1,251 @@
+//! Typed failures of the extraction/gathering pipeline.
+//!
+//! Everything that can go wrong between the TAU trace files and the
+//! gathered bundle surfaces as a [`PipelineError`] naming the failing
+//! rank, file or bundle entry — never a bare panic, never a silent
+//! truncation. Transient I/O failures (the kind a gathering script
+//! would see on a congested NFS mount) are retried with a bounded
+//! exponential backoff through [`with_retry`].
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A failure of the acquire → extract → gather chain.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A per-rank input file is missing or unreadable.
+    MissingRank { rank: usize, path: PathBuf, source: std::io::Error },
+    /// The gathered bundle is structurally corrupt.
+    Bundle {
+        /// The bundle file.
+        path: PathBuf,
+        /// The entry being decoded when the corruption was hit, if the
+        /// manifest got that far.
+        entry: Option<String>,
+        detail: String,
+    },
+    /// An I/O failure with the file it happened on.
+    Io { path: PathBuf, source: std::io::Error },
+    /// A retried operation failed on every attempt.
+    RetriesExhausted { what: String, attempts: u32, last: Box<PipelineError> },
+}
+
+impl PipelineError {
+    /// Convenience constructor for [`PipelineError::Io`].
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        PipelineError::Io { path: path.into(), source }
+    }
+
+    /// Whether retrying could plausibly help: transient I/O hiccups
+    /// qualify; corrupt data and missing ranks do not.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind::*;
+        match self {
+            PipelineError::Io { source, .. } => matches!(
+                source.kind(),
+                Interrupted | WouldBlock | TimedOut | BrokenPipe | ConnectionReset
+            ),
+            _ => false,
+        }
+    }
+
+    /// The rank this failure is attributable to, when there is one.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            PipelineError::MissingRank { rank, .. } => Some(*rank),
+            PipelineError::RetriesExhausted { last, .. } => last.rank(),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::MissingRank { rank, path, source } => {
+                write!(f, "rank {rank}: cannot read {}: {source}", path.display())
+            }
+            PipelineError::Bundle { path, entry, detail } => match entry {
+                Some(e) => write!(f, "{}: entry {e:?}: {detail}", path.display()),
+                None => write!(f, "{}: {detail}", path.display()),
+            },
+            PipelineError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            PipelineError::RetriesExhausted { what, attempts, last } => {
+                write!(f, "{what} failed after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::MissingRank { source, .. } | PipelineError::Io { source, .. } => {
+                Some(source)
+            }
+            PipelineError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            PipelineError::Bundle { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    /// Wraps an I/O error without path context. Prefer
+    /// [`PipelineError::io`] when the file is known.
+    fn from(source: std::io::Error) -> Self {
+        PipelineError::Io { path: PathBuf::new(), source }
+    }
+}
+
+/// Bounded retry-with-backoff policy for transient pipeline failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub attempts: u32,
+    /// Sleep before retry `k` is `base_backoff * 2^(k-1)`, capped.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after failed attempt `attempt` (1-based):
+    /// deterministic doubling from `base_backoff`, capped at
+    /// `max_backoff` — no jitter, so a seeded run is reproducible.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << (attempt - 1).min(16);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+}
+
+/// Runs `f` under `policy`, retrying while the error
+/// [is transient](PipelineError::is_transient). The closure receives the
+/// 1-based attempt number. Permanent errors propagate immediately; when
+/// the attempt budget runs out the last transient error is wrapped in
+/// [`PipelineError::RetriesExhausted`].
+pub fn with_retry<T>(
+    policy: &RetryPolicy,
+    what: &str,
+    mut f: impl FnMut(u32) -> Result<T, PipelineError>,
+) -> Result<T, PipelineError> {
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < attempts => {
+                std::thread::sleep(policy.backoff(attempt));
+            }
+            Err(e) if e.is_transient() => {
+                return Err(PipelineError::RetriesExhausted {
+                    what: what.to_string(),
+                    attempts,
+                    last: Box::new(e),
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient() -> PipelineError {
+        PipelineError::io(
+            "/tmp/x",
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "flaky"),
+        )
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let mut calls = 0;
+        let out = with_retry(&RetryPolicy::default(), "test-op", |attempt| {
+            calls += 1;
+            assert_eq!(attempt, calls);
+            if calls < 3 { Err(transient()) } else { Ok(42) }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_budget() {
+        let policy = RetryPolicy { attempts: 2, ..Default::default() };
+        let mut calls = 0;
+        let out: Result<(), _> = with_retry(&policy, "doomed-op", |_| {
+            calls += 1;
+            Err(transient())
+        });
+        assert_eq!(calls, 2);
+        match out.unwrap_err() {
+            PipelineError::RetriesExhausted { what, attempts, .. } => {
+                assert_eq!(what, "doomed-op");
+                assert_eq!(attempts, 2);
+            }
+            e => panic!("expected RetriesExhausted, got {e}"),
+        }
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let mut calls = 0;
+        let out: Result<(), _> = with_retry(&RetryPolicy::default(), "corrupt", |_| {
+            calls += 1;
+            Err(PipelineError::Bundle {
+                path: "b".into(),
+                entry: None,
+                detail: "bad manifest".into(),
+            })
+        });
+        assert_eq!(calls, 1, "corruption is permanent; retrying cannot help");
+        assert!(matches!(out.unwrap_err(), PipelineError::Bundle { .. }));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35));
+        assert_eq!(p.backoff(7), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn display_names_the_rank_and_entry() {
+        let e = PipelineError::MissingRank {
+            rank: 3,
+            path: "/tmp/ti/SG_process3.trace".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("SG_process3.trace"), "{s}");
+        assert_eq!(e.rank(), Some(3));
+
+        let b = PipelineError::Bundle {
+            path: "traces.bundle".into(),
+            entry: Some("SG_process1.trace".into()),
+            detail: "truncated (12 of 90 bytes)".into(),
+        };
+        let s = b.to_string();
+        assert!(s.contains("SG_process1.trace") && s.contains("truncated"), "{s}");
+    }
+}

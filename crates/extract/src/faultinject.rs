@@ -1,0 +1,390 @@
+//! Deterministic fault injection for the acquisition pipeline.
+//!
+//! The paper's pipeline moves trace files across many machines
+//! (instrumented nodes → extraction → K-nomial gathering), and every
+//! hop can corrupt, truncate or lose data. This module injects those
+//! failures *on purpose*, deterministically from a seed, so the
+//! robustness tests can assert that each corruption surfaces as a typed
+//! error naming the failing rank/file — and that two runs with the same
+//! seed damage the bytes identically.
+//!
+//! Four fault families, matching what the gathering step can actually
+//! do to a trace:
+//!
+//! * **truncation** — a file loses its tail (interrupted copy);
+//! * **bit flips** — a single bit is damaged in flight;
+//! * **missing rank** — one `SG_process<N>.trace` never arrives;
+//! * **short transfer** — the bundle itself is cut mid-entry, as if a
+//!   gather transfer was dropped partway.
+//!
+//! [`Flaky`] additionally models *transient* failures (the first `n`
+//! attempts of an operation fail with `Interrupted`) to exercise the
+//! bounded retry of [`crate::error::with_retry`].
+
+use crate::error::PipelineError;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// SplitMix64: tiny, seedable, reproducible. The whole injector's
+/// determinism rests on this sequence, so it is implemented here rather
+/// than borrowed from a library that might change under us.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// What faults to inject, and how often. Probabilities are per file.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    pub seed: u64,
+    /// Probability a file loses a random-length tail.
+    pub truncate: f64,
+    /// Probability a file gets one bit flipped.
+    pub bit_flip: f64,
+    /// Probability a rank's file is deleted outright.
+    pub drop_rank: f64,
+}
+
+impl FaultSpec {
+    /// No faults; the identity spec.
+    pub fn none(seed: u64) -> Self {
+        FaultSpec { seed, truncate: 0.0, bit_flip: 0.0, drop_rank: 0.0 }
+    }
+}
+
+/// One injected fault, for the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    Truncated { path: PathBuf, from: u64, to: u64 },
+    BitFlip { path: PathBuf, offset: u64, bit: u8 },
+    DroppedRank { rank: usize, path: PathBuf },
+    ShortTransfer { path: PathBuf, from: u64, to: u64 },
+}
+
+/// Seeded injector. Every method consumes randomness from the same
+/// SplitMix64 stream, so a fixed seed and a fixed call sequence damage
+/// the same bytes every time.
+#[derive(Debug)]
+pub struct Injector {
+    rng: SplitMix64,
+}
+
+impl Injector {
+    pub fn new(seed: u64) -> Self {
+        Injector { rng: SplitMix64::new(seed) }
+    }
+
+    /// Cuts `path` to a random proper prefix (at least one byte
+    /// shorter, possibly empty).
+    pub fn truncate_file(&mut self, path: &Path) -> Result<Fault, PipelineError> {
+        let len = std::fs::metadata(path).map_err(|e| PipelineError::io(path, e))?.len();
+        let keep = if len == 0 { 0 } else { self.rng.below(len) };
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| PipelineError::io(path, e))?;
+        f.set_len(keep).map_err(|e| PipelineError::io(path, e))?;
+        Ok(Fault::Truncated { path: path.to_path_buf(), from: len, to: keep })
+    }
+
+    /// Flips one random bit of `path` in place.
+    pub fn flip_bit(&mut self, path: &Path) -> Result<Fault, PipelineError> {
+        let len = std::fs::metadata(path).map_err(|e| PipelineError::io(path, e))?.len();
+        if len == 0 {
+            return Err(PipelineError::io(
+                path,
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "cannot flip a bit in an empty file"),
+            ));
+        }
+        let offset = self.rng.below(len);
+        let bit = (self.rng.below(8)) as u8;
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| PipelineError::io(path, e))?;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| PipelineError::io(path, e))?;
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).map_err(|e| PipelineError::io(path, e))?;
+        b[0] ^= 1 << bit;
+        f.seek(SeekFrom::Start(offset)).map_err(|e| PipelineError::io(path, e))?;
+        f.write_all(&b).map_err(|e| PipelineError::io(path, e))?;
+        Ok(Fault::BitFlip { path: path.to_path_buf(), offset, bit })
+    }
+
+    /// Deletes rank `rank`'s per-process trace under `dir`, as if it
+    /// never reached the gathering node.
+    pub fn drop_rank(&mut self, dir: &Path, rank: usize) -> Result<Fault, PipelineError> {
+        let path = dir.join(tit_core::trace::process_trace_filename(rank));
+        std::fs::remove_file(&path).map_err(|e| PipelineError::MissingRank {
+            rank,
+            path: path.clone(),
+            source: e,
+        })?;
+        Ok(Fault::DroppedRank { rank, path })
+    }
+
+    /// Cuts a gathered bundle mid-stream — a dropped/short gather
+    /// transfer. Keeps at least one byte less than the full length and
+    /// never leaves less than half, so the manifest head still parses
+    /// and the damage shows up as a truncated entry, not an empty file.
+    pub fn short_transfer(&mut self, bundle: &Path) -> Result<Fault, PipelineError> {
+        let len = std::fs::metadata(bundle).map_err(|e| PipelineError::io(bundle, e))?.len();
+        if len < 2 {
+            return Err(PipelineError::io(
+                bundle,
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "bundle too small to cut"),
+            ));
+        }
+        let min_keep = len / 2;
+        let span = len - min_keep - 1; // cut at least one byte
+        let keep = if span == 0 { min_keep } else { min_keep + self.rng.below(span + 1) };
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(bundle)
+            .map_err(|e| PipelineError::io(bundle, e))?;
+        f.set_len(keep).map_err(|e| PipelineError::io(bundle, e))?;
+        Ok(Fault::ShortTransfer { path: bundle.to_path_buf(), from: len, to: keep })
+    }
+
+    /// Sweeps the per-rank traces `0..nproc` under `dir`, applying each
+    /// fault family with its `spec` probability. Rank order is fixed,
+    /// so the damage is a pure function of `(seed, spec, dir bytes)`.
+    /// Returns the faults actually injected.
+    pub fn inject_traces(
+        &mut self,
+        dir: &Path,
+        nproc: usize,
+        spec: &FaultSpec,
+    ) -> Result<Vec<Fault>, PipelineError> {
+        let mut faults = Vec::new();
+        for rank in 0..nproc {
+            let path = dir.join(tit_core::trace::process_trace_filename(rank));
+            // Draw all three decisions unconditionally so the stream
+            // stays aligned across ranks whatever was injected before.
+            let do_drop = self.rng.chance(spec.drop_rank);
+            let do_trunc = self.rng.chance(spec.truncate);
+            let do_flip = self.rng.chance(spec.bit_flip);
+            if do_drop {
+                faults.push(self.drop_rank(dir, rank)?);
+                continue;
+            }
+            if do_trunc {
+                faults.push(self.truncate_file(&path)?);
+            }
+            if do_flip && std::fs::metadata(&path).map(|m| m.len() > 0).unwrap_or(false) {
+                faults.push(self.flip_bit(&path)?);
+            }
+        }
+        Ok(faults)
+    }
+}
+
+/// Injects faults into the traces under `dir` from `spec`: the one-call
+/// entry point the tests use. Deterministic: same seed, same inputs ⇒
+/// same faults, same resulting bytes.
+pub fn inject(dir: &Path, nproc: usize, spec: &FaultSpec) -> Result<Vec<Fault>, PipelineError> {
+    Injector::new(spec.seed).inject_traces(dir, nproc, spec)
+}
+
+/// A transient-failure gate: the first `failures` calls to [`trip`]
+/// return an `Interrupted` I/O error (which
+/// [`PipelineError::is_transient`] classifies as retryable), then it
+/// stays open. Compose it with a real operation to test retry logic:
+///
+/// ```
+/// use tit_extract::error::{with_retry, RetryPolicy};
+/// use tit_extract::faultinject::Flaky;
+/// let flaky = Flaky::new(2);
+/// let out = with_retry(&RetryPolicy::default(), "op", |_| {
+///     flaky.trip("copy")?;
+///     Ok(7)
+/// });
+/// assert_eq!(out.unwrap(), 7);
+/// ```
+///
+/// [`trip`]: Flaky::trip
+#[derive(Debug)]
+pub struct Flaky {
+    remaining: std::cell::Cell<u32>,
+}
+
+impl Flaky {
+    pub fn new(failures: u32) -> Self {
+        Flaky { remaining: std::cell::Cell::new(failures) }
+    }
+
+    /// Fails (transiently) while the failure budget lasts.
+    pub fn trip(&self, what: &str) -> Result<(), PipelineError> {
+        let left = self.remaining.get();
+        if left > 0 {
+            self.remaining.set(left - 1);
+            return Err(PipelineError::io(
+                what,
+                std::io::Error::new(std::io::ErrorKind::Interrupted, "injected transient fault"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("titr-fi-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_ranks(dir: &Path, nproc: usize) {
+        for r in 0..nproc {
+            let p = dir.join(tit_core::trace::process_trace_filename(r));
+            std::fs::write(&p, format!("p{r} init\np{r} compute 1e6\np{r} finalize\n")).unwrap();
+        }
+    }
+
+    #[test]
+    fn splitmix_is_reproducible_and_spreads() {
+        let a: Vec<u64> = (0..8).map({ let mut r = SplitMix64::new(42); move |_| r.next_u64() }).collect();
+        let b: Vec<u64> = (0..8).map({ let mut r = SplitMix64::new(42); move |_| r.next_u64() }).collect();
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn truncation_shortens_the_file() {
+        let dir = tmp("trunc");
+        write_ranks(&dir, 1);
+        let p = dir.join(tit_core::trace::process_trace_filename(0));
+        let before = std::fs::metadata(&p).unwrap().len();
+        let f = Injector::new(7).truncate_file(&p).unwrap();
+        let after = std::fs::metadata(&p).unwrap().len();
+        assert!(after < before);
+        assert_eq!(f, Fault::Truncated { path: p, from: before, to: after });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let dir = tmp("flip");
+        write_ranks(&dir, 1);
+        let p = dir.join(tit_core::trace::process_trace_filename(0));
+        let before = std::fs::read(&p).unwrap();
+        Injector::new(9).flip_bit(&p).unwrap();
+        let after = std::fs::read(&p).unwrap();
+        assert_eq!(before.len(), after.len());
+        let flipped: u32 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropping_a_missing_rank_is_a_typed_error() {
+        let dir = tmp("dropmiss");
+        let err = Injector::new(1).drop_rank(&dir, 5).unwrap_err();
+        match err {
+            PipelineError::MissingRank { rank, path, .. } => {
+                assert_eq!(rank, 5);
+                assert!(path.to_string_lossy().contains("SG_process5"));
+            }
+            e => panic!("expected MissingRank, got {e}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_seed_injects_identical_faults() {
+        let spec =
+            FaultSpec { seed: 0xDEADBEEF, truncate: 0.4, bit_flip: 0.4, drop_rank: 0.2 };
+        let mut reports = Vec::new();
+        let mut bytes = Vec::new();
+        for run in 0..2 {
+            let dir = tmp(&format!("repro{run}"));
+            write_ranks(&dir, 8);
+            let mut faults = inject(&dir, 8, &spec).unwrap();
+            // Strip the run-specific tmp prefix so reports compare.
+            for f in &mut faults {
+                let strip = |p: &PathBuf| PathBuf::from(p.file_name().unwrap());
+                match f {
+                    Fault::Truncated { path, .. }
+                    | Fault::BitFlip { path, .. }
+                    | Fault::DroppedRank { path, .. }
+                    | Fault::ShortTransfer { path, .. } => *path = strip(path),
+                }
+            }
+            reports.push(faults);
+            let mut all = Vec::new();
+            for r in 0..8 {
+                let p = dir.join(tit_core::trace::process_trace_filename(r));
+                all.push(std::fs::read(&p).ok());
+            }
+            bytes.push(all);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        assert_eq!(reports[0], reports[1], "fault report must be seed-deterministic");
+        assert_eq!(bytes[0], bytes[1], "damaged bytes must match bit-for-bit");
+        assert!(!reports[0].is_empty(), "spec with these rates must inject something");
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mk = |seed| {
+            let dir = tmp(&format!("seed{seed}"));
+            write_ranks(&dir, 8);
+            let spec = FaultSpec { seed, truncate: 0.5, bit_flip: 0.5, drop_rank: 0.1 };
+            let n = inject(&dir, 8, &spec).unwrap().len();
+            std::fs::remove_dir_all(&dir).unwrap();
+            n
+        };
+        // Not a strong statistical claim; just that the seed matters.
+        let counts: Vec<usize> = (0..6).map(|s| mk(s * 101 + 3)).collect();
+        let distinct: std::collections::HashSet<_> = counts.iter().collect();
+        assert!(distinct.len() > 1, "all seeds injected identically: {counts:?}");
+    }
+
+    #[test]
+    fn flaky_gate_recovers_under_retry() {
+        use crate::error::{with_retry, RetryPolicy};
+        let flaky = Flaky::new(2);
+        let mut calls = 0;
+        let out = with_retry(&RetryPolicy::default(), "gate", |_| {
+            calls += 1;
+            flaky.trip("gate")?;
+            Ok("through")
+        });
+        assert_eq!(out.unwrap(), "through");
+        assert_eq!(calls, 3);
+    }
+}

@@ -9,6 +9,7 @@
 //! concatenate the trace files with a manifest, standing in for the
 //! paper's gathering script.
 
+use crate::error::{with_retry, PipelineError, RetryPolicy};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -88,41 +89,77 @@ pub fn gather_plan(sizes: &[f64], arity: usize, bw: f64, lat: f64) -> GatherPlan
 
 /// Concatenates files into one bundle: a text manifest line
 /// (`name size\n`) before each file's raw bytes, ending with `END`.
-pub fn bundle(files: &[PathBuf], out: &Path) -> std::io::Result<u64> {
-    let mut w = std::io::BufWriter::with_capacity(1 << 20, std::fs::File::create(out)?);
+///
+/// An unreadable input surfaces as [`PipelineError::MissingRank`]
+/// naming the file's position in `files` (= the rank, in pipeline
+/// order); bundle-side write failures carry the bundle path.
+pub fn bundle(files: &[PathBuf], out: &Path) -> Result<u64, PipelineError> {
+    let werr = |e| PipelineError::io(out, e);
+    let mut w = std::io::BufWriter::with_capacity(
+        1 << 20,
+        std::fs::File::create(out).map_err(werr)?,
+    );
     let mut total = 0u64;
-    for f in files {
-        let name = f
-            .file_name()
-            .and_then(|n| n.to_str())
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad file name"))?;
-        let size = std::fs::metadata(f)?.len();
-        writeln!(w, "{name} {size}")?;
-        let mut r = std::io::BufReader::with_capacity(1 << 20, std::fs::File::open(f)?);
-        let copied = std::io::copy(&mut r, &mut w)?;
+    for (rank, f) in files.iter().enumerate() {
+        let missing = |e| PipelineError::MissingRank { rank, path: f.clone(), source: e };
+        let name = f.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+            missing(std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad file name"))
+        })?;
+        let size = std::fs::metadata(f).map_err(missing)?.len();
+        writeln!(w, "{name} {size}").map_err(werr)?;
+        let mut r =
+            std::io::BufReader::with_capacity(1 << 20, std::fs::File::open(f).map_err(missing)?);
+        let copied = std::io::copy(&mut r, &mut w).map_err(werr)?;
         debug_assert_eq!(copied, size);
         total += size;
     }
-    writeln!(w, "END")?;
-    w.flush()?;
+    writeln!(w, "END").map_err(werr)?;
+    w.flush().map_err(werr)?;
     Ok(total)
 }
 
+/// [`bundle`] under a bounded retry-with-backoff: transient I/O
+/// failures (interrupted writes, the kind a congested gathering link
+/// produces) are retried up to `policy.attempts` times; corruption and
+/// missing inputs fail immediately.
+pub fn bundle_with_retry(
+    files: &[PathBuf],
+    out: &Path,
+    policy: &RetryPolicy,
+) -> Result<u64, PipelineError> {
+    with_retry(policy, "gather bundle", |_attempt| bundle(files, out))
+}
+
 /// Splits a bundle back into its files under `dir`.
-pub fn unbundle(bundle_path: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
-    std::fs::create_dir_all(dir)?;
-    let mut r = std::io::BufReader::with_capacity(1 << 20, std::fs::File::open(bundle_path)?);
+///
+/// Every corruption is a typed [`PipelineError::Bundle`] naming the
+/// bundle file, the entry being decoded (when the manifest got that
+/// far) and what went wrong — a short gather transfer shows up as a
+/// `truncated` entry or a missing `END` marker, never as a partial
+/// silent success.
+pub fn unbundle(bundle_path: &Path, dir: &Path) -> Result<Vec<PathBuf>, PipelineError> {
+    let corrupt = |entry: Option<&str>, detail: String| PipelineError::Bundle {
+        path: bundle_path.to_path_buf(),
+        entry: entry.map(str::to_owned),
+        detail,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
+    let mut r = std::io::BufReader::with_capacity(
+        1 << 20,
+        std::fs::File::open(bundle_path).map_err(|e| PipelineError::io(bundle_path, e))?,
+    );
     let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
     loop {
         let mut header = Vec::new();
         // Read one manifest line byte-by-byte (payload follows exactly).
         let mut b = [0u8; 1];
         loop {
-            let k = r.read(&mut b)?;
+            let k = r.read(&mut b).map_err(|e| PipelineError::io(bundle_path, e))?;
             if k == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "bundle without END marker",
+                return Err(corrupt(
+                    None,
+                    format!("bundle without END marker after {} entr(ies)", out.len()),
                 ));
             }
             if b[0] == b'\n' {
@@ -136,23 +173,31 @@ pub fn unbundle(bundle_path: &Path, dir: &Path) -> std::io::Result<Vec<PathBuf>>
         }
         let (name, size) = header
             .rsplit_once(' ')
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad manifest"))?;
+            .ok_or_else(|| corrupt(None, format!("bad manifest line {header:?}")))?;
         let size: u64 = size
             .parse()
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad size"))?;
+            .map_err(|_| corrupt(Some(name), format!("bad size in manifest line {header:?}")))?;
         if name.contains('/') || name.contains("..") {
-            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "unsafe name"));
+            return Err(corrupt(Some(name), "unsafe entry name".into()));
+        }
+        if !seen.insert(name.to_owned()) {
+            return Err(corrupt(Some(name), "duplicate entry".into()));
         }
         let path = dir.join(name);
-        let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(&path).map_err(|e| PipelineError::io(&path, e))?,
+        );
         let copied = {
             let mut taken = (&mut r).take(size);
-            std::io::copy(&mut taken, &mut w)?
+            std::io::copy(&mut taken, &mut w).map_err(|e| PipelineError::io(&path, e))?
         };
         if copied != size {
-            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "truncated entry"));
+            return Err(corrupt(
+                Some(name),
+                format!("truncated entry ({copied} of {size} bytes)"),
+            ));
         }
-        w.flush()?;
+        w.flush().map_err(|e| PipelineError::io(&path, e))?;
         out.push(path);
     }
 }
@@ -188,8 +233,8 @@ mod tests {
 
     #[test]
     fn gather_time_grows_with_process_count() {
-        let t8 = gather_plan(&vec![1e6; 8], 4, 1.25e8, 5e-5).time;
-        let t64 = gather_plan(&vec![1e6; 64], 4, 1.25e8, 5e-5).time;
+        let t8 = gather_plan(&[1e6; 8], 4, 1.25e8, 5e-5).time;
+        let t64 = gather_plan(&[1e6; 64], 4, 1.25e8, 5e-5).time;
         assert!(t64 > t8, "deeper tree costs more: {t64} vs {t8}");
     }
 
@@ -233,7 +278,77 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let bpath = dir.join("evil.bundle");
         std::fs::write(&bpath, "../evil 4\nhackEND\n").unwrap();
-        assert!(unbundle(&bpath, &dir.join("out")).is_err());
+        match unbundle(&bpath, &dir.join("out")).unwrap_err() {
+            PipelineError::Bundle { entry, detail, .. } => {
+                assert_eq!(entry.as_deref(), Some("../evil"));
+                assert!(detail.contains("unsafe"), "{detail}");
+            }
+            e => panic!("expected Bundle error, got {e}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbundle_rejects_duplicate_entries() {
+        let dir = std::env::temp_dir().join(format!("titr-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bpath = dir.join("dup.bundle");
+        // The same rank's file appears twice — a duplicated gather
+        // transfer must not silently overwrite the first copy.
+        std::fs::write(&bpath, "SG_process0.trace 4\nabc\nSG_process0.trace 4\nxyz\nEND\n")
+            .unwrap();
+        match unbundle(&bpath, &dir.join("out")).unwrap_err() {
+            PipelineError::Bundle { entry, detail, .. } => {
+                assert_eq!(entry.as_deref(), Some("SG_process0.trace"));
+                assert!(detail.contains("duplicate"), "{detail}");
+            }
+            e => panic!("expected Bundle error, got {e}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_input_file_names_the_rank() {
+        let dir = std::env::temp_dir().join(format!("titr-bmiss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p0 = dir.join("SG_process0.trace");
+        std::fs::write(&p0, "p0 compute 1\n").unwrap();
+        let gone = dir.join("SG_process1.trace"); // never written
+        let err = bundle(&[p0, gone.clone()], &dir.join("traces.bundle")).unwrap_err();
+        match err {
+            PipelineError::MissingRank { rank, path, .. } => {
+                assert_eq!(rank, 1);
+                assert_eq!(path, gone);
+            }
+            e => panic!("expected MissingRank, got {e}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_transfer_surfaces_as_truncated_entry_or_missing_end() {
+        let dir = std::env::temp_dir().join(format!("titr-short-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for i in 0..4 {
+            let p = dir.join(format!("SG_process{i}.trace"));
+            std::fs::write(&p, format!("p{i} compute 12345\n").repeat(32)).unwrap();
+            files.push(p);
+        }
+        let bpath = dir.join("traces.bundle");
+        bundle(&files, &bpath).unwrap();
+        // A dropped gather transfer: the bundle is cut mid-stream.
+        crate::faultinject::Injector::new(21).short_transfer(&bpath).unwrap();
+        match unbundle(&bpath, &dir.join("out")).unwrap_err() {
+            PipelineError::Bundle { path, detail, .. } => {
+                assert_eq!(path, bpath);
+                assert!(
+                    detail.contains("truncated") || detail.contains("END marker"),
+                    "{detail}"
+                );
+            }
+            e => panic!("expected Bundle error, got {e}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,10 +16,14 @@
 //!   accounting Figure 7 reports (application, tracing overhead,
 //!   extraction, gathering).
 
+pub mod error;
+pub mod faultinject;
 pub mod gather;
 pub mod pipeline;
 pub mod tau2ti;
 
+pub use error::{with_retry, PipelineError, RetryPolicy};
+pub use faultinject::{Fault, FaultSpec, Injector};
 pub use gather::{gather_plan, GatherPlan};
 pub use pipeline::{run_pipeline, PipelineCosts, PipelineResult};
 pub use tau2ti::{extract_process, tau2ti, ExtractStats};

@@ -15,7 +15,8 @@
 //! * **gathering** — the K-nomial tree schedule of [`crate::gather`]
 //!   (grows slowly with the process count; always the smallest slice).
 
-use crate::gather::{bundle, gather_plan, GatherPlan};
+use crate::error::{PipelineError, RetryPolicy};
+use crate::gather::{bundle_with_retry, gather_plan, GatherPlan};
 use crate::tau2ti::{tau2ti, ExtractStats};
 use mpi_emul::acquisition::{acquire, run_uninstrumented, AcquisitionMode, AcquisitionResult};
 use mpi_emul::ops::OpStream;
@@ -86,6 +87,11 @@ pub struct PipelineResult {
 
 /// Runs instrumentation → execution → extraction → gathering for
 /// `program` under `mode`, with work files below `work_dir`.
+///
+/// Failures are typed: a rank whose trace never materialises is a
+/// [`PipelineError::MissingRank`], bundle corruption is
+/// [`PipelineError::Bundle`], and the gathering step retries transient
+/// I/O with the default bounded backoff before giving up.
 pub fn run_pipeline(
     program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
     nproc: usize,
@@ -93,7 +99,7 @@ pub fn run_pipeline(
     cfg: &EmulConfig,
     cost: &ExtractCostModel,
     work_dir: &Path,
-) -> std::io::Result<PipelineResult> {
+) -> Result<PipelineResult, PipelineError> {
     let tau_dir = work_dir.join("tau");
     let ti_dir = work_dir.join("ti");
     std::fs::create_dir_all(work_dir)?;
@@ -116,7 +122,7 @@ pub fn run_pipeline(
         .map(|r| ti_dir.join(tit_core::trace::process_trace_filename(r)))
         .collect();
     let bundle_path = work_dir.join("traces.bundle");
-    bundle(&files, &bundle_path)?;
+    bundle_with_retry(&files, &bundle_path, &RetryPolicy::default())?;
 
     Ok(PipelineResult {
         costs: PipelineCosts {
@@ -152,10 +158,13 @@ fn extraction_time(
     nproc: usize,
     mode: AcquisitionMode,
     cost: &ExtractCostModel,
-) -> std::io::Result<f64> {
+) -> Result<f64, PipelineError> {
     let mut per_rank = vec![0.0f64; nproc];
     for (rank, t) in per_rank.iter_mut().enumerate() {
-        let trc = std::fs::metadata(tau_dir.join(tau_sim::trace_filename(rank)))?.len();
+        let path = tau_dir.join(tau_sim::trace_filename(rank));
+        let trc = std::fs::metadata(&path)
+            .map_err(|e| PipelineError::MissingRank { rank, path, source: e })?
+            .len();
         let records = trc / tau_sim::records::RECORD_BYTES as u64;
         // Roughly one action per 8 records (the Figure 3 bracket plus
         // the second PAPI counter).
@@ -174,16 +183,16 @@ fn per_node_ti_sizes(
     ti_dir: &Path,
     nproc: usize,
     mode: AcquisitionMode,
-) -> std::io::Result<Vec<f64>> {
+) -> Result<Vec<f64>, PipelineError> {
     let nodes = ranks_per_node(nproc, mode);
     let mut sizes = Vec::with_capacity(nodes.len());
     for ranks in &nodes {
         let mut total = 0u64;
         for &r in ranks {
-            total += std::fs::metadata(
-                ti_dir.join(tit_core::trace::process_trace_filename(r)),
-            )?
-            .len();
+            let path = ti_dir.join(tit_core::trace::process_trace_filename(r));
+            total += std::fs::metadata(&path)
+                .map_err(|e| PipelineError::MissingRank { rank: r, path, source: e })?
+                .len();
         }
         sizes.push(total as f64);
     }

@@ -17,7 +17,6 @@
 //! * recovers collective volumes from the message-size trigger and their
 //!   compute volumes from the counter delta across the call.
 
-use crossbeam::thread;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tau_sim::edf::EventRegistry;
@@ -283,9 +282,9 @@ pub fn tau2ti(
     let threads = threads.clamp(1, nproc.max(1));
     let errors: std::sync::Mutex<Vec<std::io::Error>> = std::sync::Mutex::new(Vec::new());
 
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let rank = next.fetch_add(1, Ordering::Relaxed) as usize;
                 if rank >= nproc {
                     return;
@@ -315,8 +314,7 @@ pub fn tau2ti(
                 }
             });
         }
-    })
-    .expect("extraction worker panicked");
+    });
 
     if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
         return Err(e);

@@ -505,7 +505,11 @@ fn run_emulation_inner(
             EmulActor::new(rank, nproc, stream, cfg.clone(), inst, counter.clone(), over);
         engine.spawn(Box::new(actor), host);
     }
-    let exec_time = engine.run();
+    // An emulated-app deadlock or actor failure surfaces as a typed
+    // kernel error; fold it into this function's io::Result contract.
+    let exec_time = engine
+        .run_checked()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let (tau_dir_out, tau_bytes) = match (cfg.instrument, tau_dir) {
         (true, Some(dir)) => {
             let mut total = 0u64;
@@ -642,7 +646,7 @@ mod tests {
 
     #[test]
     fn irecv_wait_exchange_completes() {
-        let mk = |me: usize, other: usize| {
+        let mk = |_me: usize, other: usize| {
             VecOpStream::new(vec![
                 MpiOp::Irecv { src: other, bytes: 1e6 },
                 MpiOp::Send { dst: other, bytes: 1e6 },

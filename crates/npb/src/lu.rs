@@ -357,7 +357,7 @@ impl LuStream {
     /// Norm iterations: every `inorm` and the last.
     fn norm_due(&self, it: usize) -> bool {
         let itmax = self.cfg.itmax();
-        it == itmax || it % self.cfg.class.inorm() == 0
+        it == itmax || it.is_multiple_of(self.cfg.class.inorm())
     }
 
     fn advance(&mut self) {

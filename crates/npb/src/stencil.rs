@@ -100,7 +100,7 @@ impl StencilStream {
             self.buf.push_back(MpiOp::Wait);
         }
         self.buf.push_back(MpiOp::compute(self.cfg.flops_per_point * self.tile_points));
-        if self.it % self.cfg.check_every == 0 || self.it == self.cfg.iters {
+        if self.it.is_multiple_of(self.cfg.check_every) || self.it == self.cfg.iters {
             // Global residual: one double, 2 flops/point locally.
             self.buf.push_back(MpiOp::Allreduce {
                 vcomm: 8.0,

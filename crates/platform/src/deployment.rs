@@ -87,9 +87,9 @@ impl Deployment {
                 "site {si} has {} hosts but needs {quota}",
                 site.len()
             );
-            for i in 0..quota {
+            for host in &site[..quota] {
                 entries.push(DeployEntry {
-                    host: site[i].clone(),
+                    host: host.clone(),
                     function: format!("p{rank}"),
                     args: Vec::new(),
                 });

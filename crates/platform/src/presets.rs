@@ -125,6 +125,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the preset relationship
     fn gdx_is_slower_than_bordereau() {
         assert!(GDX_POWER < BORDEREAU_POWER);
         // Roughly the 2.0/2.6 clock ratio.

@@ -47,8 +47,25 @@ pub struct ExpandCtx {
     pub algo: CollectiveAlgo,
 }
 
+/// Why an action could not be expanded into micro-ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandError {
+    /// The action keyword that failed to expand.
+    pub keyword: String,
+    pub detail: String,
+}
+
+impl std::fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot expand {:?}: {}", self.keyword, self.detail)
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
 /// Handler: expands `action` into micro-ops.
-pub type Handler = Box<dyn Fn(&ExpandCtx, &Action, &mut Vec<MicroOp>) + Send + Sync>;
+pub type Handler =
+    Box<dyn Fn(&ExpandCtx, &Action, &mut Vec<MicroOp>) -> Result<(), ExpandError> + Send + Sync>;
 
 /// Keyword → handler table.
 pub struct Registry {
@@ -74,60 +91,71 @@ impl Registry {
             if let Action::Compute { flops } = a {
                 out.push(MicroOp::Exec { flops: *flops, tag: tags::COMPUTE });
             }
+            Ok(())
         });
         r.register("send", |_ctx, a, out| {
             if let Action::Send { dst, bytes } = a {
                 out.push(MicroOp::Send { dst: *dst, bytes: *bytes, tag: tags::SEND });
             }
+            Ok(())
         });
         r.register("Isend", |_ctx, a, out| {
             if let Action::Isend { dst, bytes } = a {
                 out.push(MicroOp::IsendReq { dst: *dst, bytes: *bytes, tag: tags::ISEND });
             }
+            Ok(())
         });
         r.register("recv", |_ctx, a, out| {
             if let Action::Recv { src, .. } = a {
                 out.push(MicroOp::Recv { src: *src, tag: tags::RECV });
             }
+            Ok(())
         });
         r.register("Irecv", |_ctx, a, out| {
             if let Action::Irecv { src, .. } = a {
                 out.push(MicroOp::IrecvReq { src: *src, tag: tags::IRECV });
             }
+            Ok(())
         });
         r.register("bcast", |ctx, a, out| {
             if let Action::Bcast { bytes } = a {
-                ctx.require_comm_size("bcast");
+                ctx.require_comm_size("bcast")?;
                 collectives::bcast(ctx.algo, ctx.rank, ctx.nproc, *bytes, tags::BCAST, out);
             }
+            Ok(())
         });
         r.register("reduce", |ctx, a, out| {
             if let Action::Reduce { vcomm, vcomp } = a {
-                ctx.require_comm_size("reduce");
+                ctx.require_comm_size("reduce")?;
                 collectives::reduce(
                     ctx.algo, ctx.rank, ctx.nproc, *vcomm, *vcomp, tags::REDUCE, out,
                 );
             }
+            Ok(())
         });
         r.register("allReduce", |ctx, a, out| {
             if let Action::AllReduce { vcomm, vcomp } = a {
-                ctx.require_comm_size("allReduce");
+                ctx.require_comm_size("allReduce")?;
                 collectives::allreduce(
                     ctx.algo, ctx.rank, ctx.nproc, *vcomm, *vcomp, tags::ALLREDUCE, out,
                 );
             }
+            Ok(())
         });
         r.register("barrier", |ctx, _a, out| {
-            ctx.require_comm_size("barrier");
+            ctx.require_comm_size("barrier")?;
             collectives::barrier(ctx.algo, ctx.rank, ctx.nproc, tags::BARRIER, out);
+            Ok(())
         });
         r.register("comm_size", |_ctx, a, out| {
             if let Action::CommSize { nproc } = a {
                 out.push(MicroOp::SetCommSize { nproc: *nproc });
             }
+            Ok(())
         });
         r.register("wait", |_ctx, _a, out| {
             out.push(MicroOp::WaitReq { tag: tags::WAIT });
+            Ok(())
         });
         r
     }
@@ -136,30 +164,46 @@ impl Registry {
     pub fn register(
         &mut self,
         keyword: &'static str,
-        f: impl Fn(&ExpandCtx, &Action, &mut Vec<MicroOp>) + Send + Sync + 'static,
+        f: impl Fn(&ExpandCtx, &Action, &mut Vec<MicroOp>) -> Result<(), ExpandError>
+            + Send
+            + Sync
+            + 'static,
     ) {
         self.handlers.insert(keyword, Box::new(f));
     }
 
-    /// Expands `action`; panics on an unbound keyword (a trace/keyword
-    /// mismatch is a programming error, as in the MSG prototype).
-    pub fn expand(&self, ctx: &ExpandCtx, action: &Action, out: &mut Vec<MicroOp>) {
+    /// Expands `action`. An unbound keyword (a trace/keyword mismatch)
+    /// or a structurally invalid action (e.g. a collective before
+    /// `comm_size`) is a typed error, not a panic: traces come from the
+    /// acquisition pipeline and may be arbitrarily corrupt.
+    pub fn expand(
+        &self,
+        ctx: &ExpandCtx,
+        action: &Action,
+        out: &mut Vec<MicroOp>,
+    ) -> Result<(), ExpandError> {
         let kw = action.keyword();
-        let h = self
-            .handlers
-            .get(kw)
-            .unwrap_or_else(|| panic!("no handler registered for action {kw:?}"));
-        h(ctx, action, out);
+        let h = self.handlers.get(kw).ok_or_else(|| ExpandError {
+            keyword: kw.to_string(),
+            detail: "no handler registered for this keyword".into(),
+        })?;
+        h(ctx, action, out)
     }
 }
 
 impl ExpandCtx {
-    fn require_comm_size(&self, what: &str) {
-        assert!(
-            self.nproc > 0,
-            "p{}: {what} before comm_size (the trace is malformed)",
-            self.rank
-        );
+    fn require_comm_size(&self, what: &str) -> Result<(), ExpandError> {
+        if self.nproc > 0 {
+            Ok(())
+        } else {
+            Err(ExpandError {
+                keyword: what.to_string(),
+                detail: format!(
+                    "p{}: {what} before comm_size (the trace is malformed)",
+                    self.rank
+                ),
+            })
+        }
     }
 }
 
@@ -174,7 +218,7 @@ mod tests {
     fn expand1(ctx_: &ExpandCtx, a: Action) -> Vec<MicroOp> {
         let r = Registry::with_defaults();
         let mut out = Vec::new();
-        r.expand(ctx_, &a, &mut out);
+        r.expand(ctx_, &a, &mut out).unwrap();
         out
     }
 
@@ -211,9 +255,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before comm_size")]
-    fn collective_without_comm_size_panics() {
-        expand1(&ctx(0, 0), Action::Barrier);
+    fn collective_without_comm_size_is_a_typed_error() {
+        let r = Registry::with_defaults();
+        let mut out = Vec::new();
+        let err = r.expand(&ctx(0, 0), &Action::Barrier, &mut out).unwrap_err();
+        assert_eq!(err.keyword, "barrier");
+        assert!(err.detail.contains("before comm_size"), "{err}");
+        assert!(err.detail.contains("p0"), "{err}");
     }
 
     #[test]
@@ -223,17 +271,19 @@ mod tests {
             if let Action::Bcast { bytes } = a {
                 collectives::bcast(CollectiveAlgo::Flat, ctx.rank, ctx.nproc, *bytes, 0, out);
             }
+            Ok(())
         });
         let mut out = Vec::new();
-        r.expand(&ctx(0, 8), &Action::Bcast { bytes: 1.0 }, &mut out);
+        r.expand(&ctx(0, 8), &Action::Bcast { bytes: 1.0 }, &mut out).unwrap();
         assert_eq!(out.len(), 7, "flat bcast from root sends to all 7 peers");
     }
 
     #[test]
-    #[should_panic(expected = "no handler")]
-    fn unbound_keyword_panics() {
+    fn unbound_keyword_is_a_typed_error() {
         let r = Registry::empty();
         let mut out = Vec::new();
-        r.expand(&ctx(0, 1), &Action::Wait, &mut out);
+        let err = r.expand(&ctx(0, 1), &Action::Wait, &mut out).unwrap_err();
+        assert_eq!(err.keyword, "wait");
+        assert!(err.detail.contains("no handler"), "{err}");
     }
 }

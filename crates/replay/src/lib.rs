@@ -15,11 +15,13 @@
 //! ([`process`]).
 
 pub mod collectives;
+pub mod error;
 pub mod handlers;
 pub mod output;
 pub mod process;
 pub mod simulator;
 pub mod tags;
 
-pub use handlers::{MicroOp, Registry};
+pub use error::ReplayError;
+pub use handlers::{ExpandError, MicroOp, Registry};
 pub use simulator::{replay_binary_files, replay_files, replay_memory, ReplayConfig, ReplayOutcome};

@@ -43,24 +43,40 @@ impl ActionSource for VecSource {
 pub struct FileSource {
     reader: ProcessTraceReader,
     rank: usize,
+    path: std::path::PathBuf,
 }
 
 impl FileSource {
     /// Opens `path`; every line must belong to `rank`.
     pub fn open(path: &std::path::Path, rank: usize) -> std::io::Result<Self> {
-        Ok(FileSource { reader: ProcessTraceReader::open(path)?, rank })
+        Ok(FileSource {
+            reader: ProcessTraceReader::open(path)?,
+            rank,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Prefixes `e` with this source's file path, so a parse error
+    /// (which already carries the line number and offending token) also
+    /// names the file it came from.
+    fn with_path(&self, e: std::io::Error) -> std::io::Error {
+        std::io::Error::new(e.kind(), format!("{}: {e}", self.path.display()))
     }
 }
 
 impl ActionSource for FileSource {
     fn next_action(&mut self) -> std::io::Result<Option<Action>> {
-        match self.reader.next_action()? {
+        match self.reader.next_action().map_err(|e| self.with_path(e))? {
             None => Ok(None),
             Some((pid, a)) => {
                 if pid != self.rank {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
-                        format!("trace line for p{pid} in p{}'s file", self.rank),
+                        format!(
+                            "{}: trace line for p{pid} in p{}'s file",
+                            self.path.display(),
+                            self.rank
+                        ),
                     ));
                 }
                 Ok(Some(a))
@@ -129,47 +145,46 @@ impl ReplayActor {
         }
     }
 
-    /// Runs one micro-op; `Some(step)` when it blocks the actor.
-    fn run_micro(&mut self, ctx: &mut Ctx<'_>, op: MicroOp) -> Option<Step> {
+    /// Runs one micro-op; `Ok(Some(step))` when it blocks the actor,
+    /// `Err` when the trace is structurally impossible at this point.
+    fn run_micro(&mut self, ctx: &mut Ctx<'_>, op: MicroOp) -> Result<Option<Step>, String> {
         match op {
-            MicroOp::Exec { flops, tag } => Some(Step::Wait(ctx.execute_tagged(flops, tag))),
+            MicroOp::Exec { flops, tag } => Ok(Some(Step::Wait(ctx.execute_tagged(flops, tag)))),
             MicroOp::Send { dst, bytes, tag } => {
                 let mb = MailboxKey::p2p(self.rank, dst);
-                Some(Step::Wait(ctx.isend_tagged(mb, bytes, tag)))
+                Ok(Some(Step::Wait(ctx.isend_tagged(mb, bytes, tag))))
             }
             MicroOp::Recv { src, tag } => {
                 let mb = MailboxKey::p2p(src, self.rank);
-                Some(Step::Wait(ctx.irecv_tagged(mb, tag)))
+                Ok(Some(Step::Wait(ctx.irecv_tagged(mb, tag))))
             }
             MicroOp::CollSend { dst, bytes, tag } => {
                 let mb = MailboxKey::coll(self.rank, dst);
-                Some(Step::Wait(ctx.isend_tagged(mb, bytes, tag)))
+                Ok(Some(Step::Wait(ctx.isend_tagged(mb, bytes, tag))))
             }
             MicroOp::CollRecv { src, tag } => {
                 let mb = MailboxKey::coll(src, self.rank);
-                Some(Step::Wait(ctx.irecv_tagged(mb, tag)))
+                Ok(Some(Step::Wait(ctx.irecv_tagged(mb, tag))))
             }
             MicroOp::IsendReq { dst, bytes, tag } => {
                 let mb = MailboxKey::p2p(self.rank, dst);
                 let op = ctx.isend_tagged(mb, bytes, tag);
                 self.requests.push_back(op);
-                None
+                Ok(None)
             }
             MicroOp::IrecvReq { src, tag } => {
                 let mb = MailboxKey::p2p(src, self.rank);
                 let op = ctx.irecv_tagged(mb, tag);
                 self.requests.push_back(op);
-                None
+                Ok(None)
             }
-            MicroOp::WaitReq { .. } => {
-                let op = self.requests.pop_front().unwrap_or_else(|| {
-                    panic!("p{}: wait with no pending request (malformed trace)", self.rank)
-                });
-                Some(Step::Wait(op))
-            }
+            MicroOp::WaitReq { .. } => match self.requests.pop_front() {
+                Some(op) => Ok(Some(Step::Wait(op))),
+                None => Err("wait with no pending request (malformed trace)".into()),
+            },
             MicroOp::SetCommSize { nproc } => {
                 self.nproc = nproc;
-                None
+                Ok(None)
             }
         }
     }
@@ -179,20 +194,26 @@ impl Actor for ReplayActor {
     fn step(&mut self, ctx: &mut Ctx<'_>, _wake: Wake) -> Step {
         loop {
             if let Some(op) = self.micro.pop_front() {
-                if let Some(step) = self.run_micro(ctx, op) {
-                    return step;
+                match self.run_micro(ctx, op) {
+                    Ok(Some(step)) => return step,
+                    Ok(None) => continue,
+                    // Failure channel: report instead of unwinding —
+                    // the engine aborts the run with a typed error
+                    // naming this rank.
+                    Err(reason) => return Step::Fail { reason },
                 }
-                continue;
             }
             let action = match self.src.next_action() {
                 Ok(Some(a)) => a,
                 Ok(None) => return Step::Done,
-                Err(e) => panic!("p{}: trace read failed: {e}", self.rank),
+                Err(e) => return Step::Fail { reason: format!("trace read failed: {e}") },
             };
             self.actions_replayed.fetch_add(1, Ordering::Relaxed);
             let ectx = ExpandCtx { rank: self.rank, nproc: self.nproc, algo: self.algo };
             self.expand_buf.clear();
-            self.registry.expand(&ectx, &action, &mut self.expand_buf);
+            if let Err(e) = self.registry.expand(&ectx, &action, &mut self.expand_buf) {
+                return Step::Fail { reason: e.to_string() };
+            }
             self.micro.extend(self.expand_buf.drain(..));
         }
     }

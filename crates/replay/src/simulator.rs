@@ -2,6 +2,7 @@
 //! time (Figure 4 of the paper).
 
 use crate::collectives::CollectiveAlgo;
+use crate::error::ReplayError;
 use crate::handlers::Registry;
 use crate::process::{ActionSource, FileSource, ReplayActor, VecSource};
 use simkern::netmodel::NetworkConfig;
@@ -65,14 +66,10 @@ fn run(
     platform: Platform,
     hosts: &[HostId],
     cfg: &ReplayConfig,
-) -> ReplayOutcome {
-    assert_eq!(
-        sources.len(),
-        hosts.len(),
-        "deployment maps {} hosts but the trace has {} processes",
-        hosts.len(),
-        sources.len()
-    );
+) -> Result<ReplayOutcome, ReplayError> {
+    if sources.len() != hosts.len() {
+        return Err(ReplayError::Deployment { procs: sources.len(), hosts: hosts.len() });
+    }
     let mut engine = Engine::new(platform);
     engine.set_network_config(cfg.network.clone());
     let records = Arc::new(Mutex::new(Vec::new()));
@@ -87,19 +84,19 @@ fn run(
         engine.spawn(Box::new(actor), hosts[rank]);
     }
     let t0 = std::time::Instant::now();
-    let simulated_time = engine.run();
+    let simulated_time = engine.run_checked().map_err(ReplayError::from)?;
     let wall_time = t0.elapsed();
     let records = if cfg.collect_records {
         Some(std::mem::take(&mut *records.lock().unwrap()))
     } else {
         None
     };
-    ReplayOutcome {
+    Ok(ReplayOutcome {
         simulated_time,
         actions_replayed: counter.load(Ordering::Relaxed),
         wall_time,
         records,
-    }
+    })
 }
 
 /// Replays an in-memory trace. `hosts[rank]` is rank's host.
@@ -108,7 +105,7 @@ pub fn replay_memory(
     platform: Platform,
     hosts: &[HostId],
     cfg: &ReplayConfig,
-) -> ReplayOutcome {
+) -> Result<ReplayOutcome, ReplayError> {
     let sources: Vec<Box<dyn ActionSource>> = trace
         .actions
         .iter()
@@ -118,20 +115,24 @@ pub fn replay_memory(
 }
 
 /// Replays per-process trace files `SG_process<rank>.trace` from `dir`,
-/// streaming them (constant memory in trace size).
+/// streaming them (constant memory in trace size). A rank whose file is
+/// missing is a [`ReplayError::MissingRank`] naming the rank — degraded
+/// input degrades to a diagnosis, never to a hang.
 pub fn replay_files(
     dir: &Path,
     nproc: usize,
     platform: Platform,
     hosts: &[HostId],
     cfg: &ReplayConfig,
-) -> std::io::Result<ReplayOutcome> {
+) -> Result<ReplayOutcome, ReplayError> {
     let mut sources: Vec<Box<dyn ActionSource>> = Vec::with_capacity(nproc);
     for rank in 0..nproc {
         let path = dir.join(process_trace_filename(rank));
-        sources.push(Box::new(FileSource::open(&path, rank)?));
+        let src = FileSource::open(&path, rank)
+            .map_err(|source| ReplayError::MissingRank { rank, path: path.clone(), source })?;
+        sources.push(Box::new(src));
     }
-    Ok(run(sources, platform, hosts, cfg))
+    run(sources, platform, hosts, cfg)
 }
 
 /// Replays binary per-process traces `SG_process<rank>.btrace` from
@@ -142,14 +143,16 @@ pub fn replay_binary_files(
     platform: Platform,
     hosts: &[HostId],
     cfg: &ReplayConfig,
-) -> std::io::Result<ReplayOutcome> {
+) -> Result<ReplayOutcome, ReplayError> {
     use crate::process::BinFileSource;
     let mut sources: Vec<Box<dyn ActionSource>> = Vec::with_capacity(nproc);
     for rank in 0..nproc {
         let path = dir.join(tit_core::binfmt::binary_trace_filename(rank));
-        sources.push(Box::new(BinFileSource::open(&path, rank)?));
+        let src = BinFileSource::open(&path, rank)
+            .map_err(|source| ReplayError::MissingRank { rank, path: path.clone(), source })?;
+        sources.push(Box::new(src));
     }
-    Ok(run(sources, platform, hosts, cfg))
+    run(sources, platform, hosts, cfg)
 }
 
 #[cfg(test)]
@@ -200,7 +203,7 @@ mod tests {
     #[test]
     fn figure_1_ring_replays_to_analytic_time() {
         let (p, hosts) = mycluster(4);
-        let out = replay_memory(&ring_trace(), p, &hosts, &plain_cfg());
+        let out = replay_memory(&ring_trace(), p, &hosts, &plain_cfg()).unwrap();
         // Four sequential hops: compute 1e6/1.17e9 + transfer 1e6/1.25e8
         // + 3 hop latencies each.
         let hop = 1e6 / 1.17e9 + 1e6 / 1.25e8 + 3.0 * 16.67e-6;
@@ -218,8 +221,8 @@ mod tests {
     fn replay_is_deterministic() {
         let (p1, hosts) = mycluster(4);
         let (p2, _) = mycluster(4);
-        let a = replay_memory(&ring_trace(), p1, &hosts, &plain_cfg());
-        let b = replay_memory(&ring_trace(), p2, &hosts, &plain_cfg());
+        let a = replay_memory(&ring_trace(), p1, &hosts, &plain_cfg()).unwrap();
+        let b = replay_memory(&ring_trace(), p2, &hosts, &plain_cfg()).unwrap();
         assert_eq!(a.simulated_time, b.simulated_time);
     }
 
@@ -234,7 +237,7 @@ mod tests {
             t.push(me, Action::Wait);
         }
         let (p, hosts) = mycluster(2);
-        let out = replay_memory(&t, p, &hosts, &plain_cfg());
+        let out = replay_memory(&t, p, &hosts, &plain_cfg()).unwrap();
         // Both transfers share both NICs; either way it takes at least one
         // transfer time.
         assert!(out.simulated_time >= 1e6 / 1.25e8);
@@ -251,7 +254,7 @@ mod tests {
             t.push(r, Action::Barrier);
         }
         let (p, hosts) = mycluster(n);
-        let out = replay_memory(&t, p, &hosts, &plain_cfg());
+        let out = replay_memory(&t, p, &hosts, &plain_cfg()).unwrap();
         assert!(out.simulated_time > 0.0);
         assert_eq!(out.actions_replayed, (n * 4) as u64);
     }
@@ -266,9 +269,9 @@ mod tests {
         }
         let (p1, hosts) = mycluster(n);
         let (p2, _) = mycluster(n);
-        let bino = replay_memory(&t, p1, &hosts, &plain_cfg());
+        let bino = replay_memory(&t, p1, &hosts, &plain_cfg()).unwrap();
         let flat_cfg = ReplayConfig { algo: CollectiveAlgo::Flat, ..plain_cfg() };
-        let flat = replay_memory(&t, p2, &hosts, &flat_cfg);
+        let flat = replay_memory(&t, p2, &hosts, &flat_cfg).unwrap();
         assert!(
             bino.simulated_time < flat.simulated_time,
             "binomial {} vs flat {}",
@@ -284,7 +287,7 @@ mod tests {
         t.save_per_process(&dir).unwrap();
         let (p1, hosts) = mycluster(4);
         let (p2, _) = mycluster(4);
-        let mem = replay_memory(&t, p1, &hosts, &plain_cfg());
+        let mem = replay_memory(&t, p1, &hosts, &plain_cfg()).unwrap();
         let fil = replay_files(&dir, 4, p2, &hosts, &plain_cfg()).unwrap();
         assert_eq!(mem.simulated_time, fil.simulated_time);
         assert_eq!(mem.actions_replayed, fil.actions_replayed);
@@ -312,7 +315,7 @@ mod tests {
     fn timed_trace_records_cover_all_ops() {
         let (p, hosts) = mycluster(4);
         let cfg = ReplayConfig { collect_records: true, ..plain_cfg() };
-        let out = replay_memory(&ring_trace(), p, &hosts, &cfg);
+        let out = replay_memory(&ring_trace(), p, &hosts, &cfg).unwrap();
         let recs = out.records.unwrap();
         // 12 actions, each one kernel op.
         assert_eq!(recs.len(), 12);
@@ -328,10 +331,17 @@ mod tests {
         let mut t = TiTrace::new(2);
         t.push(0, Action::Recv { src: 1, bytes: None });
         let (p, hosts) = mycluster(2);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            replay_memory(&t, p, &hosts, &plain_cfg())
-        }));
-        assert!(result.is_err(), "missing send must deadlock");
+        let err = replay_memory(&t, p, &hosts, &plain_cfg()).unwrap_err();
+        match &err {
+            ReplayError::Sim(simkern::SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].actor, 0, "rank 0 is the one left hanging");
+                assert_eq!(blocked[0].kind, Some(simkern::OpKind::Recv));
+            }
+            other => panic!("expected a deadlock, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("p0"), "diagnostic must name the rank: {msg}");
     }
 
     #[test]
@@ -341,8 +351,8 @@ mod tests {
         t.push(1, Action::Recv { src: 0, bytes: None });
         let (p1, hosts) = mycluster(2);
         let (p2, _) = mycluster(2);
-        let plain = replay_memory(&t, p1, &hosts, &plain_cfg());
-        let mpi = replay_memory(&t, p2, &hosts, &ReplayConfig::default());
+        let plain = replay_memory(&t, p1, &hosts, &plain_cfg()).unwrap();
+        let mpi = replay_memory(&t, p2, &hosts, &ReplayConfig::default()).unwrap();
         assert!(mpi.simulated_time > plain.simulated_time);
     }
 }

@@ -26,12 +26,21 @@ pub enum Wake {
 }
 
 /// What the actor does next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Step {
     /// Block until `OpId` completes (wake immediately if it already has).
     Wait(OpId),
     /// The actor terminated.
     Done,
+    /// The actor hit unrecoverable bad input (e.g. a corrupt trace line).
+    ///
+    /// This is the failure channel: instead of unwinding through the
+    /// engine, the failure is reported to it, which aborts the run with
+    /// [`crate::error::SimError::ActorFailure`] naming this actor. The
+    /// reason should say *what* was malformed and *where* (file, line).
+    Fail {
+        reason: String,
+    },
 }
 
 /// A simulated process.

@@ -32,6 +32,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::actor::{Actor, Step, Wake};
+use crate::error::{OpKind, SimError, WaitFor};
 use crate::lmm;
 use crate::netmodel::NetworkConfig;
 use crate::observer::{Observer, OpRecord};
@@ -71,27 +72,6 @@ impl MailboxKey {
     }
 }
 
-/// Simulation failed to terminate: some actors are blocked forever.
-#[derive(Debug)]
-pub struct Deadlock {
-    /// (actor id, tag of the operation it waits on, volume).
-    pub blocked: Vec<(ActorId, u32, f64)>,
-    /// Simulated time at which progress stopped.
-    pub time: f64,
-}
-
-impl std::fmt::Display for Deadlock {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "deadlock at t={}: {} actor(s) blocked: ", self.time, self.blocked.len())?;
-        for (a, tag, vol) in self.blocked.iter().take(8) {
-            write!(f, "[actor {a} on tag {tag} vol {vol}] ")?;
-        }
-        Ok(())
-    }
-}
-
-impl std::error::Error for Deadlock {}
-
 const EPS_REMAINING: f64 = 1e-6;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,9 +83,13 @@ enum OpState {
 #[derive(Debug)]
 struct Op {
     actor: ActorId,
+    kind: OpKind,
     tag: u32,
     t_start: f64,
     volume: f64,
+    /// Mailbox the op rendezvouses through (communications only) — kept
+    /// so a deadlock report can say *which* channel never matched.
+    mailbox: Option<MailboxKey>,
     state: OpState,
 }
 
@@ -229,6 +213,10 @@ pub struct Engine {
     observer: Option<Box<dyn Observer>>,
     /// Count of ops completed, for throughput reporting.
     ops_completed: u64,
+    /// First failure reported this run (actor failure channel or a
+    /// protocol violation caught by the engine); checked after every
+    /// run-queue drain.
+    failure: Option<SimError>,
 }
 
 impl Engine {
@@ -269,6 +257,7 @@ impl Engine {
             changed_vars: Vec::new(),
             observer: None,
             ops_completed: 0,
+            failure: None,
         }
     }
 
@@ -319,22 +308,20 @@ impl Engine {
         self.actors.len() - 1
     }
 
-    /// Runs to completion; panics on deadlock. Returns the simulated
-    /// makespan in seconds.
-    pub fn run(&mut self) -> f64 {
-        match self.run_checked() {
-            Ok(t) => t,
-            Err(d) => panic!("{d}"),
-        }
-    }
-
-    /// Runs to completion, reporting deadlocks as errors.
-    pub fn run_checked(&mut self) -> Result<f64, Deadlock> {
+    /// Runs the simulation to completion. This is the only entry point:
+    /// every way a run can fail — deadlock, an actor reporting corrupt
+    /// input through [`Step::Fail`], a protocol violation — comes back
+    /// as a typed [`SimError`]; the engine never panics on bad input.
+    /// Returns the simulated makespan in seconds.
+    pub fn run_checked(&mut self) -> Result<f64, SimError> {
         for a in 0..self.actors.len() {
             self.runq.push_back((a, Wake::Start));
         }
         loop {
             self.drain_runq();
+            if let Some(e) = self.failure.take() {
+                return Err(e);
+            }
             self.resolve_if_dirty();
             // Next event: the earlier of the timed-event queue and the
             // earliest predicted activity completion (ties: timed events
@@ -360,24 +347,35 @@ impl Engine {
                 }
             }
         }
-        let blocked: Vec<_> = self
+        let blocked: Vec<WaitFor> = self
             .actors
             .iter()
             .enumerate()
             .filter(|(_, s)| s.alive)
             .map(|(i, s)| {
-                let (tag, vol) = s
-                    .waiting
-                    .and_then(|op| self.ops.get(op.0))
-                    .map(|o| (o.tag, o.volume))
-                    .unwrap_or((u32::MAX, 0.0));
-                (i, tag, vol)
+                let op = s.waiting.and_then(|op| self.ops.get(op.0));
+                WaitFor {
+                    actor: i,
+                    kind: op.map(|o| o.kind),
+                    tag: op.map(|o| o.tag).unwrap_or(u32::MAX),
+                    mailbox: op.and_then(|o| o.mailbox),
+                    volume: op.map(|o| o.volume).unwrap_or(0.0),
+                    since: op.map(|o| o.t_start).unwrap_or(self.clock),
+                }
             })
             .collect();
         if blocked.is_empty() {
             Ok(self.clock)
         } else {
-            Err(Deadlock { blocked, time: self.clock })
+            Err(SimError::Deadlock { time: self.clock, blocked })
+        }
+    }
+
+    /// Records the first failure of the run (later ones are byproducts of
+    /// the aborted state and would only obscure the root cause).
+    fn fail(&mut self, e: SimError) {
+        if self.failure.is_none() {
+            self.failure = Some(e);
         }
     }
 
@@ -438,7 +436,10 @@ impl Engine {
             "activity popped before completion: {} left",
             self.activities[act].remaining
         );
-        let a = self.activities.remove(act);
+        let a = self
+            .activities
+            .try_remove(act)
+            .expect("finish_activity: activity already retired");
         self.lmm.remove_variable(a.var);
         match a.owner {
             Owner::Exec { op } => self.complete_op(op),
@@ -465,6 +466,11 @@ impl Engine {
     fn drain_runq(&mut self) {
         while let Some((aid, wake)) = self.runq.pop_front() {
             self.step_actor(aid, wake);
+            if self.failure.is_some() {
+                // Abort the drain: the run is over, and stepping more
+                // actors against half-torn state helps nobody.
+                return;
+            }
         }
     }
 
@@ -483,15 +489,37 @@ impl Engine {
                 self.actors[aid].alive = false;
                 self.actors[aid].waiting = None;
             }
+            Step::Fail { reason } => {
+                // The failure channel: the actor saw unrecoverable bad
+                // input. Retire it and abort the run with a typed error.
+                self.actors[aid].alive = false;
+                self.actors[aid].waiting = None;
+                self.fail(SimError::ActorFailure { actor: aid, time: self.clock, reason });
+            }
             Step::Wait(op) => {
-                let state = self
-                    .ops
-                    .get(op.0)
-                    .unwrap_or_else(|| panic!("actor {aid} waits unknown op {op:?}"))
-                    .state;
-                debug_assert_eq!(self.ops[op.0].actor, aid, "actor waits another actor's op");
+                let (state, owner) = match self.ops.get(op.0) {
+                    Some(o) => (o.state, o.actor),
+                    None => {
+                        self.actors[aid].alive = false;
+                        self.fail(SimError::Protocol {
+                            actor: aid,
+                            time: self.clock,
+                            detail: format!("waits on unknown or already-freed op {op:?}"),
+                        });
+                        return;
+                    }
+                };
+                if owner != aid {
+                    self.actors[aid].alive = false;
+                    self.fail(SimError::Protocol {
+                        actor: aid,
+                        time: self.clock,
+                        detail: format!("waits on op {op:?} owned by actor {owner}"),
+                    });
+                    return;
+                }
                 if state == OpState::Complete {
-                    self.ops.remove(op.0);
+                    self.ops.try_remove(op.0);
                     self.runq.push_back((aid, Wake::Op(op)));
                 } else {
                     self.actors[aid].waiting = Some(op);
@@ -524,7 +552,7 @@ impl Engine {
         }
         if self.actors[actor].waiting == Some(op) {
             self.actors[actor].waiting = None;
-            self.ops.remove(op.0);
+            self.ops.try_remove(op.0);
             self.runq.push_back((actor, Wake::Op(op)));
         }
     }
@@ -546,18 +574,38 @@ impl Engine {
     fn post_send(&mut self, sender: ActorId, mb: MailboxKey, size: f64, tag: u32) -> OpId {
         let send_op = OpId(self.ops.insert(Op {
             actor: sender,
+            kind: OpKind::Send,
             tag,
             t_start: self.clock,
             volume: size,
+            mailbox: Some(mb),
             state: OpState::Pending,
         }));
         let eager = size <= self.net.eager_threshold;
         let src_host = self.actors[sender].host;
-        let dst_host = self
-            .actors
-            .get(mb.dst as usize)
-            .unwrap_or_else(|| panic!("mailbox dst {} is not a spawned actor", mb.dst))
-            .host;
+        let dst_host = match self.actors.get(mb.dst as usize) {
+            Some(slot) => slot.host,
+            None => {
+                // Sending to a rank that was never spawned (e.g. a trace
+                // mentioning more processes than the replay launched):
+                // protocol violation, not a crash. The op stays pending —
+                // the run aborts before anyone could wait on it forever.
+                self.fail(SimError::Protocol {
+                    actor: sender,
+                    time: self.clock,
+                    detail: format!(
+                        "send to mailbox {}->{} chan {}: destination {} is not a spawned actor \
+                         ({} spawned)",
+                        mb.src,
+                        mb.dst,
+                        mb.chan,
+                        mb.dst,
+                        self.actors.len()
+                    ),
+                });
+                return send_op;
+            }
+        };
         let comm = self.comms.insert(Comm {
             size,
             src_host,
@@ -593,9 +641,11 @@ impl Engine {
     fn post_recv(&mut self, receiver: ActorId, mb: MailboxKey, tag: u32) -> OpId {
         let recv_op = OpId(self.ops.insert(Op {
             actor: receiver,
+            kind: OpKind::Recv,
             tag,
             t_start: self.clock,
             volume: 0.0,
+            mailbox: Some(mb),
             state: OpState::Pending,
         }));
         let matched = self
@@ -695,7 +745,10 @@ impl Engine {
 
     /// Completes the receive side and retires the comm.
     fn finish_comm(&mut self, comm: usize) {
-        let c = self.comms.remove(comm);
+        let c = self
+            .comms
+            .try_remove(comm)
+            .expect("finish_comm: comm already retired");
         let recv_op = c.recv_op.expect("finish_comm without a receive");
         self.complete_op(recv_op);
     }
@@ -767,9 +820,11 @@ impl<'a> Ctx<'a> {
         let host = self.eng.actors[self.actor].host;
         let op = OpId(self.eng.ops.insert(Op {
             actor: self.actor,
+            kind: OpKind::Compute,
             tag,
             t_start: self.eng.clock,
             volume: flops.max(0.0),
+            mailbox: None,
             state: OpState::Pending,
         }));
         if flops <= 0.0 {
@@ -813,9 +868,11 @@ impl<'a> Ctx<'a> {
     pub fn sleep_tagged(&mut self, dt: f64, tag: u32) -> OpId {
         let op = OpId(self.eng.ops.insert(Op {
             actor: self.actor,
+            kind: OpKind::Sleep,
             tag,
             t_start: self.eng.clock,
             volume: 0.0,
+            mailbox: None,
             state: OpState::Pending,
         }));
         if dt <= 0.0 {
@@ -867,7 +924,7 @@ mod tests {
             })),
             hs[0],
         );
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         assert!((t - 2.0).abs() < 1e-9, "2 Gflop at 1 Gflop/s = 2 s, got {t}");
     }
 
@@ -882,7 +939,7 @@ mod tests {
             })),
             hs[0],
         );
-        assert_eq!(eng.run(), 0.0);
+        assert_eq!(eng.run_checked().unwrap(), 0.0);
     }
 
     #[test]
@@ -898,7 +955,7 @@ mod tests {
                 hs[0],
             );
         }
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         assert!((t - 2.0).abs() < 1e-9, "folded tasks serialize: got {t}");
     }
 
@@ -916,7 +973,7 @@ mod tests {
                 h,
             );
         }
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         assert!((t - 1.0).abs() < 1e-9, "2 cores run 2 tasks in parallel: got {t}");
     }
 
@@ -938,7 +995,7 @@ mod tests {
             })),
             hs[1],
         );
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         // 125 MB at 125 MB/s + 10 us latency.
         assert!((t - 1.00001).abs() < 1e-8, "got {t}");
     }
@@ -973,7 +1030,7 @@ mod tests {
                 })),
                 hs[1],
             );
-            let t = eng.run();
+            let t = eng.run_checked().unwrap();
             assert!((t - 1.50001).abs() < 1e-8, "recv_first={recv_first}: got {t}");
         }
     }
@@ -999,7 +1056,7 @@ mod tests {
         );
         // The destination actor exists but never receives.
         eng.spawn(Box::new(FnActor(|_: &mut Ctx, _| Step::Done)), hs[1]);
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         // The flow still travels (latency + transfer) even with no recv.
         assert!(t > 0.0 && t < 0.01, "got {t}");
         assert_eq!(eng.pending_mailbox_entries(), 1);
@@ -1027,7 +1084,7 @@ mod tests {
             })),
             hs[1],
         );
-        eng.run();
+        eng.run_checked().unwrap();
     }
 
     /// Two senders on h0, two receivers on h1; mailbox dst names the
@@ -1065,7 +1122,7 @@ mod tests {
         let (p, hs) = simple_platform(2);
         let mut eng = Engine::new(p);
         spawn_pairwise_flows(&mut eng, &hs, 1.25e8);
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         // 125 MB each at 62.5 MB/s.
         assert!((t - 2.00001).abs() < 1e-6, "got {t}");
     }
@@ -1076,7 +1133,7 @@ mod tests {
         let mut eng = Engine::new(p);
         eng.set_network_config(NetworkConfig::constant());
         spawn_pairwise_flows(&mut eng, &hs, 1.25e8);
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         assert!((t - 1.00001).abs() < 1e-6, "no contention: got {t}");
     }
 
@@ -1127,7 +1184,7 @@ mod tests {
             })),
             h1,
         );
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         // Pipelined: K x 1 ms compute + ONE 5 ms latency (plus epsilon),
         // not K x 5 ms.
         let pipelined = K as f64 * 1e-3 + 5e-3;
@@ -1173,7 +1230,7 @@ mod tests {
             })),
             hs[1],
         );
-        eng.run();
+        eng.run_checked().unwrap();
     }
 
     #[test]
@@ -1188,8 +1245,90 @@ mod tests {
             hs[0],
         );
         let err = eng.run_checked().unwrap_err();
-        assert_eq!(err.blocked.len(), 1);
-        assert_eq!(err.blocked[0].0, 0);
+        match &err {
+            SimError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].actor, 0);
+                assert_eq!(blocked[0].kind, Some(OpKind::Recv));
+                assert_eq!(blocked[0].mailbox, Some(MailboxKey::p2p(1, 0)));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+        // The Display form names the actor and the mailbox it hung on.
+        let msg = err.to_string();
+        assert!(msg.contains("p0"), "{msg}");
+        assert!(msg.contains("recv"), "{msg}");
+        assert!(msg.contains("1->0"), "{msg}");
+    }
+
+    #[test]
+    fn actor_failure_channel_aborts_with_typed_error() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.sleep(1.0)),
+                Wake::Op(_) => Step::Fail { reason: "corrupt trace line 17".into() },
+            })),
+            hs[0],
+        );
+        // A second, healthy actor: its longer sleep must not mask the
+        // failure (the run aborts at the failure time, not at the end).
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.sleep(10.0)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[1],
+        );
+        let err = eng.run_checked().unwrap_err();
+        match &err {
+            SimError::ActorFailure { actor, time, reason } => {
+                assert_eq!(*actor, 0);
+                assert!((*time - 1.0).abs() < 1e-12, "failed at t={time}");
+                assert!(reason.contains("line 17"), "{reason}");
+            }
+            other => panic!("expected actor failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn send_to_unspawned_actor_is_a_protocol_error() {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                // Rank 7 was never spawned (only 1 actor exists).
+                Wake::Start => Step::Wait(ctx.isend(MailboxKey::p2p(0, 7), 1e6)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        let err = eng.run_checked().unwrap_err();
+        match &err {
+            SimError::Protocol { actor, detail, .. } => {
+                assert_eq!(*actor, 0);
+                assert!(detail.contains('7'), "{detail}");
+            }
+            other => panic!("expected protocol error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn waiting_on_a_freed_op_is_a_protocol_error() {
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.sleep(0.5)),
+                // The op was delivered and freed: waiting on it again is
+                // a protocol violation, reported, not a panic.
+                Wake::Op(op) => Step::Wait(op),
+            })),
+            hs[0],
+        );
+        let err = eng.run_checked().unwrap_err();
+        assert!(matches!(err, SimError::Protocol { actor: 0, .. }), "got {err}");
     }
 
     #[test]
@@ -1211,7 +1350,7 @@ mod tests {
             })),
             hs[0],
         );
-        let t = eng.run();
+        let t = eng.run_checked().unwrap();
         assert!(t < 0.05, "loopback transfer should beat the 1 s link: {t}");
     }
 
@@ -1228,7 +1367,7 @@ mod tests {
             })),
             hs[0],
         );
-        eng.run();
+        eng.run_checked().unwrap();
         let obs = eng.take_observer().unwrap();
         // Downcast through Any is not available on dyn Observer; instead
         // check the engine's completion counter.
@@ -1247,7 +1386,7 @@ mod tests {
             })),
             hs[0],
         );
-        assert!((eng.run() - 3.5).abs() < 1e-12);
+        assert!((eng.run_checked().unwrap() - 3.5).abs() < 1e-12);
     }
 
     #[test]
@@ -1273,8 +1412,8 @@ mod tests {
                 hs[1],
             );
         }
-        let t_plain = eng1.run();
-        let t_mpi = eng2.run();
+        let t_plain = eng1.run_checked().unwrap();
+        let t_mpi = eng2.run_checked().unwrap();
         assert!(
             t_mpi > t_plain,
             "bw_factor < 1 must slow the transfer: {t_mpi} vs {t_plain}"

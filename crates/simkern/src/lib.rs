@@ -72,13 +72,14 @@
 //! let mut engine = Engine::new(platform);
 //! engine.spawn(Box::new(Sender), h0);
 //! engine.spawn(Box::new(Receiver), h1);
-//! let end = engine.run();
+//! let end = engine.run_checked().expect("well-formed actor program");
 //! assert!(end > 1e-3); // 1 Mflop at 1 Gflop/s + 1 MB at 125 MB/s
 //! ```
 
 pub mod actor;
 pub mod idxheap;
 pub mod engine;
+pub mod error;
 pub mod lmm;
 pub mod netmodel;
 pub mod observer;
@@ -87,5 +88,6 @@ pub mod slab;
 
 pub use actor::{Actor, Ctx, Step, Wake};
 pub use engine::{Engine, MailboxKey, OpId};
+pub use error::{OpKind, SimError, WaitFor};
 pub use netmodel::{NetworkConfig, PiecewiseModel, Segment};
 pub use resource::{HostId, LinkId, Platform, PlatformBuilder, Route};

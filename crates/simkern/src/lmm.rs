@@ -106,7 +106,9 @@ impl System {
             self.cnsts[id.0].vars.is_empty(),
             "constraint removed while variables still cross it"
         );
-        self.cnsts.remove(id.0);
+        self.cnsts
+            .try_remove(id.0)
+            .expect("remove_constraint: constraint already removed");
     }
 
     fn mark_cnst_dirty(&mut self, c: usize) {
@@ -143,7 +145,10 @@ impl System {
 
     /// Removes a finished activity's variable.
     pub fn remove_variable(&mut self, id: VarId) {
-        let var = self.vars.remove(id.0);
+        let var = self
+            .vars
+            .try_remove(id.0)
+            .expect("remove_variable: variable already removed");
         for c in &var.cnsts {
             let vars = &mut self.cnsts[c.0].vars;
             if let Some(pos) = vars.iter().position(|&v| v == id.0) {

@@ -57,18 +57,20 @@ impl<T> Slab<T> {
         }
     }
 
-    /// Removes and returns the value at `key`.
-    ///
-    /// # Panics
-    /// Panics if the slot is vacant or out of bounds.
-    pub fn remove(&mut self, key: usize) -> T {
-        match std::mem::replace(&mut self.entries[key], Entry::Vacant) {
-            Entry::Occupied(v) => {
-                self.free.push(key);
-                self.len -= 1;
-                v
-            }
-            Entry::Vacant => panic!("slab: remove of vacant slot {key}"),
+    /// Removes and returns the value at `key`, or `None` when the slot
+    /// is vacant or out of bounds. Never panics: callers holding a key
+    /// whose occupancy is an invariant spell that out with `expect`.
+    pub fn try_remove(&mut self, key: usize) -> Option<T> {
+        match self.entries.get_mut(key) {
+            Some(e @ Entry::Occupied(_)) => match std::mem::replace(e, Entry::Vacant) {
+                Entry::Occupied(v) => {
+                    self.free.push(key);
+                    self.len -= 1;
+                    Some(v)
+                }
+                Entry::Vacant => unreachable!(),
+            },
+            _ => None,
         }
     }
 
@@ -142,7 +144,7 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s[a], "a");
         assert_eq!(s[b], "b");
-        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.try_remove(a), Some("a"));
         assert_eq!(s.len(), 1);
         assert!(!s.contains(a));
         assert!(s.contains(b));
@@ -152,19 +154,20 @@ mod tests {
     fn reuses_freed_slots() {
         let mut s = Slab::new();
         let a = s.insert(1);
-        s.remove(a);
+        s.try_remove(a);
         let b = s.insert(2);
         assert_eq!(a, b, "freed slot should be reused");
         assert_eq!(s[b], 2);
     }
 
     #[test]
-    #[should_panic(expected = "vacant")]
-    fn remove_vacant_panics() {
+    fn remove_vacant_returns_none() {
         let mut s = Slab::new();
         let a = s.insert(1);
-        s.remove(a);
-        s.remove(a);
+        assert_eq!(s.try_remove(a), Some(1));
+        assert_eq!(s.try_remove(a), None, "double remove is checked, not a panic");
+        assert_eq!(s.try_remove(a + 100), None, "out of bounds is checked too");
+        assert!(s.is_empty());
     }
 
     #[test]
@@ -173,10 +176,10 @@ mod tests {
         let a = s.insert(10);
         let _b = s.insert(20);
         let c = s.insert(30);
-        s.remove(a);
+        s.try_remove(a);
         let items: Vec<_> = s.iter().map(|(_, v)| *v).collect();
         assert_eq!(items, vec![20, 30]);
-        s.remove(c);
+        s.try_remove(c);
         assert_eq!(s.iter().count(), 1);
     }
 

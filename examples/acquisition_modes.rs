@@ -46,7 +46,8 @@ fn main() -> std::io::Result<()> {
         // Replay every trace on the same target: a regular bordereau.
         let platform = PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
         let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
-        let out = replay_files(&ti, nproc, platform, &hosts, &ReplayConfig::default())?;
+        let out = replay_files(&ti, nproc, platform, &hosts, &ReplayConfig::default())
+            .map_err(std::io::Error::other)?;
         println!(
             "{:<10} {:>7} {:>16.3} {:>18.6}",
             mode.label(),

@@ -18,7 +18,9 @@ use titr::simkern::resource::HostId;
 fn simulate(trace: &titr::trace::TiTrace, spec: ClusterSpec) -> f64 {
     let platform = PlatformDesc::single(spec).build();
     let hosts: Vec<HostId> = (0..trace.num_processes() as u32).map(HostId).collect();
-    replay_memory(trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+    replay_memory(trace, platform, &hosts, &ReplayConfig::default())
+        .expect("replay")
+        .simulated_time
 }
 
 fn main() {

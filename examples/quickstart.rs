@@ -48,7 +48,7 @@ fn main() {
     // Replay.
     let platform = desc.build();
     let hosts = deployment.host_ids(&platform);
-    let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default());
+    let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).expect("replay");
     println!("\nsimulated execution time: {:.6} s", out.simulated_time);
     println!("actions replayed:         {}", out.actions_replayed);
 }

@@ -19,7 +19,7 @@ fn main() {
     let platform = desc.build();
     let hosts: Vec<HostId> = (0..4).map(HostId).collect();
     let cfg = ReplayConfig { collect_records: true, ..Default::default() };
-    let out = replay_memory(&trace, platform, &hosts, &cfg);
+    let out = replay_memory(&trace, platform, &hosts, &cfg).expect("replay");
     let records = out.records.expect("records requested");
 
     println!("simulated execution time: {:.6} s\n", out.simulated_time);

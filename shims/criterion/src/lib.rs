@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates registry, so this shim provides
+//! the API surface the workspace's benches use (`criterion_group!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`/`iter_batched`, `Throughput`, `sample_size`) with a trivial
+//! measurement loop: a handful of timed iterations and a printed mean.
+//! Good enough to compare orders of magnitude and to keep the bench
+//! targets compiling and runnable; not a statistics engine.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness =
+//! false` bench targets), each benchmark body runs exactly once, so the
+//! test suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Per-element/byte scale annotation, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch-size hint; the shim measures per-iteration either way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark name with a parameter, e.g. `procs/64`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{name}/{param}") }
+    }
+}
+
+/// Top-level driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    samples: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { samples: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), samples: None, throughput: None }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let samples = self.samples;
+        let test_mode = self.test_mode;
+        run_one(name, samples, test_mode, None, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let samples = self.samples.unwrap_or(self.c.samples);
+        run_one(&full, samples, self.c.test_mode, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.full);
+        let samples = self.samples.unwrap_or(self.c.samples);
+        run_one(&full, samples, self.c.test_mode, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle: runs the measured closure and accumulates wall time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed += t0.elapsed();
+        }
+    }
+
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    samples: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let iters = if test_mode { 1 } else { samples.max(1) as u64 };
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:.3e} elem/s", n as f64 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:.3e} B/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:50} {:>12.6} ms/iter{rate}", mean * 1e3);
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the tiny slice of the `rand` API it actually
+//! uses: `StdRng::seed_from_u64` plus `random`, `random_range` and
+//! `random_bool`. The generator is SplitMix64 — deterministic from its
+//! seed on every platform, which is exactly the property the PAPI
+//! jitter model and the randomized tests need. Statistical quality is
+//! more than adequate for jitter and test-input generation; this is
+//! not a cryptographic generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Raw 64-bit output source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub mod rngs {
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Values producible from one 64-bit draw.
+pub trait Random {
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn from_u64(v: u64) -> Self {
+        v & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn from_u64(v: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for f32 {
+    fn from_u64(v: u64) -> Self {
+        (v >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Types over which a range can be sampled uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi)` (`hi` adjusted by the caller for
+    /// inclusive ranges).
+    fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self;
+    /// The successor value, for inclusive upper bounds (saturating).
+    fn successor(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self {
+                assert!(lo < hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((draw as u128 % span) as $t)
+            }
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, draw: u64) -> Self {
+        assert!(lo < hi, "empty sample range");
+        lo + f64::from_u64(draw) * (hi - lo)
+    }
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample(self, draw: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, draw: u64) -> T {
+        T::sample_half_open(self.start, self.end, draw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, draw: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_half_open(lo, hi.successor(), draw)
+    }
+}
+
+/// Convenience draws on any [`RngCore`] (subset of `rand::Rng`).
+pub trait RngExt: RngCore {
+    fn random<T: Random>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::from_u64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = r.random_range(-0.5..0.5f64);
+            assert!((-0.5..0.5).contains(&f));
+            let i = r.random_range(0..=3usize);
+            assert!(i <= 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+}

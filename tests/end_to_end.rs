@@ -49,7 +49,7 @@ fn lu_pipeline_extracts_exactly_and_replays() {
     let from_files =
         replay_files(&ti, nproc, platform, &hosts, &ReplayConfig::default()).unwrap();
     let platform2 = PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
-    let direct = replay_memory(&want, platform2, &hosts, &ReplayConfig::default());
+    let direct = replay_memory(&want, platform2, &hosts, &ReplayConfig::default()).unwrap();
     assert_eq!(from_files.simulated_time, direct.simulated_time);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -119,12 +119,14 @@ fn what_if_network_upgrade_speeds_up_comm_bound_runs() {
         let mut spec = presets::bordereau_one_core(4);
         spec.bw = 1.25e7; // 100 Mb/s
         replay_memory(&trace, PlatformDesc::single(spec).build(), &hosts, &ReplayConfig::default())
+            .unwrap()
             .simulated_time
     };
     let fast = {
         let mut spec = presets::bordereau_one_core(4);
         spec.bw = 1.25e9; // 10 Gb/s
         replay_memory(&trace, PlatformDesc::single(spec).build(), &hosts, &ReplayConfig::default())
+            .unwrap()
             .simulated_time
     };
     assert!(fast < slow, "10 Gb/s must beat 100 Mb/s: {fast} vs {slow}");

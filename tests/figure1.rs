@@ -76,7 +76,7 @@ fn replay_on_figure_5_platform_has_closed_form() {
         .host_ids(&platform);
     // Identity network model for an analytic check.
     let cfg = ReplayConfig { network: NetworkConfig::default(), ..Default::default() };
-    let out = replay_memory(&trace, platform, &hosts, &cfg);
+    let out = replay_memory(&trace, platform, &hosts, &cfg).unwrap();
     let hop = 1e6 / 1.17e9 + 1e6 / 1.25e8 + 3.0 * 16.67e-6;
     let expect = 4.0 * hop;
     assert!(
@@ -94,7 +94,9 @@ fn four_iterations_scale_linearly() {
         let platform = desc.build();
         let hosts = titr::platform::Deployment::round_robin(&desc.host_names(), 4)
             .host_ids(&platform);
-        replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+        replay_memory(&trace, platform, &hosts, &ReplayConfig::default())
+            .unwrap()
+            .simulated_time
     };
     let t4 = {
         let trace = RingConfig { iters: 4, ..Default::default() }.trace();
@@ -102,7 +104,9 @@ fn four_iterations_scale_linearly() {
         let platform = desc.build();
         let hosts = titr::platform::Deployment::round_robin(&desc.host_names(), 4)
             .host_ids(&platform);
-        replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+        replay_memory(&trace, platform, &hosts, &ReplayConfig::default())
+            .unwrap()
+            .simulated_time
     };
     assert!((t4 / t1 - 4.0).abs() < 1e-6, "ring iterations pipeline strictly: {}", t4 / t1);
 }

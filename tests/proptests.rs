@@ -74,7 +74,9 @@ proptest! {
                 network: titr::simkern::netmodel::NetworkConfig::default(),
                 ..Default::default()
             };
-            replay_memory(&trace, platform, &hosts, &rc).simulated_time
+            replay_memory(&trace, platform, &hosts, &rc)
+                .unwrap()
+                .simulated_time
         };
         let t1 = run(&base);
         let tm = run(&scaled);
@@ -102,7 +104,9 @@ proptest! {
             let desc = PlatformDesc::single(presets::bordereau_one_core(4));
             let platform = desc.build();
             let hosts: Vec<HostId> = (0..4).map(HostId).collect();
-            replay_memory(&trace, platform, &hosts, &ReplayConfig::default()).simulated_time
+            replay_memory(&trace, platform, &hosts, &ReplayConfig::default())
+            .unwrap()
+            .simulated_time
         };
         prop_assert_eq!(run(), run());
     }
@@ -156,7 +160,7 @@ proptest! {
         let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
         let platform = desc.build();
         let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
-        let out = replay_memory(&t, platform, &hosts, &ReplayConfig::default());
+        let out = replay_memory(&t, platform, &hosts, &ReplayConfig::default()).unwrap();
 
         let speed = presets::BORDEREAU_POWER;
         let bw_worst = 1.25e8 * 0.4; // worst piecewise bandwidth factor
@@ -198,7 +202,9 @@ proptest! {
         let run = || {
             let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
             let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
-            replay_memory(&t, desc.build(), &hosts, &ReplayConfig::default()).simulated_time
+            replay_memory(&t, desc.build(), &hosts, &ReplayConfig::default())
+                .unwrap()
+                .simulated_time
         };
         prop_assert_eq!(run(), run());
     }

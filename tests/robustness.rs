@@ -1,20 +1,38 @@
-//! Failure injection: corrupted inputs must produce diagnostics, not
-//! wrong results or hangs.
+//! Failure injection: corrupted inputs must produce *typed* errors
+//! naming the failing rank/file/line — never panics, hangs or wrong
+//! results. Faults are injected deterministically from a seed through
+//! [`titr::extract::faultinject`], so every scenario here reproduces.
 
 use titr::emul::acquisition::{acquire, AcquisitionMode};
 use titr::emul::runtime::EmulConfig;
+use titr::extract::error::{with_retry, PipelineError, RetryPolicy};
+use titr::extract::faultinject::{inject, Fault, FaultSpec, Injector};
+use titr::extract::gather::{bundle, unbundle};
 use titr::extract::tau2ti;
 use titr::npb::ring::RingConfig;
 use titr::platform::desc::PlatformDesc;
 use titr::platform::presets;
-use titr::replay::{replay_files, ReplayConfig};
+use titr::replay::{replay_files, ReplayConfig, ReplayError};
 use titr::simkern::resource::HostId;
+use titr::simkern::{OpKind, SimError};
 
 fn work(tag: &str) -> std::path::PathBuf {
     let d = std::env::temp_dir().join(format!("titr-rob-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).unwrap();
     d
+}
+
+/// Writes a small, well-formed per-rank trace set under `dir`.
+fn write_ranks(dir: &std::path::Path, nproc: usize) -> Vec<std::path::PathBuf> {
+    (0..nproc)
+        .map(|r| {
+            let p = dir.join(titr::trace::trace::process_trace_filename(r));
+            std::fs::write(&p, format!("p{r} compute 1e6\np{r} compute 2e6\np{r} barrier\n"))
+                .unwrap();
+            p
+        })
+        .collect()
 }
 
 #[test]
@@ -44,14 +62,11 @@ fn bitflipped_tau_trace_is_detected_or_extracted_without_panic() {
     let ring = RingConfig { nproc: 4, iters: 4, ..Default::default() };
     acquire(&ring.program(), 4, AcquisitionMode::Regular, &EmulConfig::default(), &tau)
         .unwrap();
-    let victim = tau.join(titr::tau::trace_filename(1));
-    let mut bytes = std::fs::read(&victim).unwrap();
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0xA5;
-    std::fs::write(&victim, &bytes).unwrap();
-    // Must not panic; error or (rarely) a benign flip are both fine.
-    let _ = std::panic::catch_unwind(|| tau2ti(&tau, 4, &dir.join("ti"), 1))
-        .expect("extractor must not panic on corrupt input");
+    // A seeded single-bit flip in rank 1's binary trace. Depending on
+    // where the bit lands the extractor may error or still succeed
+    // (benign flip) — both are acceptable; a panic would fail the test.
+    Injector::new(0x5EED).flip_bit(&tau.join(titr::tau::trace_filename(1))).unwrap();
+    let _ = tau2ti(&tau, 4, &dir.join("ti"), 1);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -76,11 +91,17 @@ fn replaying_a_mismatched_trace_reports_deadlock_not_hang() {
     t.save_per_process(&dir).unwrap();
     let platform = PlatformDesc::single(presets::bordereau_one_core(2)).build();
     let hosts: Vec<HostId> = (0..2).map(HostId).collect();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        replay_files(&dir, 2, platform, &hosts, &ReplayConfig::default())
-    }));
-    // The engine panics with a deadlock diagnostic (run() path).
-    assert!(result.is_err(), "mismatched trace must be detected");
+    let err = replay_files(&dir, 2, platform, &hosts, &ReplayConfig::default()).unwrap_err();
+    match &err {
+        ReplayError::Sim(SimError::Deadlock { blocked, .. }) => {
+            assert_eq!(blocked.len(), 1, "only p0 is stuck: {blocked:?}");
+            assert_eq!(blocked[0].actor, 0);
+            assert_eq!(blocked[0].kind, Some(OpKind::Recv));
+        }
+        e => panic!("expected a deadlock report, got {e}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("p0") && msg.contains("recv"), "diagnostic names the waiter: {msg}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -89,23 +110,149 @@ fn garbage_trace_lines_are_rejected_with_line_numbers() {
     let dir = work("garbage");
     std::fs::write(dir.join("SG_process0.trace"), "p0 compute 5\np0 flarb 12\n").unwrap();
     let platform = PlatformDesc::single(presets::bordereau_one_core(1)).build();
-    // The bad line surfaces as a panic from the replaying actor (streamed
-    // parse) carrying the parse diagnostic with the line number.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        replay_files(&dir, 1, platform, &[HostId(0)], &ReplayConfig::default())
-    }));
-    let diagnostic = match result {
-        Ok(Err(e)) => e.to_string(),
-        Ok(Ok(_)) => panic!("garbage line must not replay"),
-        Err(payload) => payload
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_else(|| "panic".into()),
-    };
-    assert!(
-        diagnostic.contains("line 2") || diagnostic.contains("flarb"),
-        "diagnostic should name the bad line: {diagnostic}"
+    let err = replay_files(&dir, 1, platform, &[HostId(0)], &ReplayConfig::default())
+        .unwrap_err();
+    match &err {
+        ReplayError::Trace { rank, .. } => assert_eq!(*rank, 0),
+        e => panic!("expected a trace error for rank 0, got {e}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("SG_process0.trace"), "names the file: {msg}");
+    assert!(msg.contains("line 2"), "names the line: {msg}");
+    assert!(msg.contains("flarb"), "names the keyword: {msg}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_rank_file_is_a_structured_error_not_a_hang() {
+    let dir = work("droprank");
+    write_ranks(&dir, 4);
+    // Rank 2's file never arrived at the simulation node.
+    Injector::new(3).drop_rank(&dir, 2).unwrap();
+    let platform = PlatformDesc::single(presets::bordereau_one_core(4)).build();
+    let hosts: Vec<HostId> = (0..4).map(HostId).collect();
+    let err = replay_files(&dir, 4, platform, &hosts, &ReplayConfig::default()).unwrap_err();
+    match &err {
+        ReplayError::MissingRank { rank, path, .. } => {
+            assert_eq!(*rank, 2);
+            assert!(path.to_string_lossy().contains("SG_process2"), "{path:?}");
+        }
+        e => panic!("expected MissingRank, got {e}"),
+    }
+    assert_eq!(err.rank(), Some(2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_injected_bundle_roundtrip_reports_typed_errors() {
+    let dir = work("bundlefi");
+    let files = write_ranks(&dir, 4);
+    let bpath = dir.join("traces.bundle");
+
+    // Healthy round trip first: the baseline must work.
+    bundle(&files, &bpath).unwrap();
+    let restored = unbundle(&bpath, &dir.join("ok")).unwrap();
+    assert_eq!(restored.len(), 4);
+
+    // (a) Corrupt manifest: the first header's size field is damaged
+    // (a bit-flip in flight turning a digit into a letter).
+    let mut bytes = std::fs::read(&bpath).unwrap();
+    let eol = bytes.iter().position(|&b| b == b'\n').unwrap();
+    bytes[eol - 1] = b'x';
+    let corrupt = dir.join("corrupt.bundle");
+    std::fs::write(&corrupt, &bytes).unwrap();
+    match unbundle(&corrupt, &dir.join("outa")).unwrap_err() {
+        PipelineError::Bundle { path, detail, .. } => {
+            assert_eq!(path, corrupt);
+            assert!(
+                detail.contains("manifest") || detail.contains("size"),
+                "diagnoses the manifest: {detail}"
+            );
+        }
+        e => panic!("expected Bundle error, got {e}"),
+    }
+
+    // (b) Short gather transfer: the bundle is cut mid-entry.
+    let cut = dir.join("cut.bundle");
+    std::fs::copy(&bpath, &cut).unwrap();
+    let fault = Injector::new(11).short_transfer(&cut).unwrap();
+    assert!(matches!(fault, Fault::ShortTransfer { .. }));
+    match unbundle(&cut, &dir.join("outb")).unwrap_err() {
+        PipelineError::Bundle { detail, .. } => assert!(
+            detail.contains("truncated") || detail.contains("END marker"),
+            "diagnoses the short transfer: {detail}"
+        ),
+        e => panic!("expected Bundle error, got {e}"),
+    }
+
+    // (c) Duplicate rank: the same file gathered twice.
+    let dup = dir.join("dup.bundle");
+    bundle(&[files[0].clone(), files[0].clone()], &dup).unwrap();
+    match unbundle(&dup, &dir.join("outc")).unwrap_err() {
+        PipelineError::Bundle { entry, detail, .. } => {
+            assert_eq!(entry.as_deref(), Some("SG_process0.trace"));
+            assert!(detail.contains("duplicate"), "{detail}");
+        }
+        e => panic!("expected Bundle error, got {e}"),
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn seeded_fault_injection_is_bit_for_bit_reproducible() {
+    let spec = FaultSpec { seed: 0xC0FFEE, truncate: 0.5, bit_flip: 0.5, drop_rank: 0.25 };
+    let mut snapshots = Vec::new();
+    for run in 0..2 {
+        let dir = work(&format!("fi-repro{run}"));
+        write_ranks(&dir, 8);
+        let faults = inject(&dir, 8, &spec).unwrap();
+        assert!(!faults.is_empty(), "these rates must inject something");
+        // Snapshot the post-injection bytes of every rank file.
+        let state: Vec<Option<Vec<u8>>> = (0..8)
+            .map(|r| std::fs::read(dir.join(titr::trace::trace::process_trace_filename(r))).ok())
+            .collect();
+        snapshots.push(state);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "same seed, same inputs must damage the same bytes"
     );
+}
+
+#[test]
+fn transient_gather_faults_recover_under_retry() {
+    let dir = work("retry");
+    let files = write_ranks(&dir, 3);
+    let bpath = dir.join("traces.bundle");
+    // The first two attempts hit an injected transient I/O fault; the
+    // bounded backoff retries through it and the bundle round-trips.
+    let flaky = titr::extract::faultinject::Flaky::new(2);
+    let total = with_retry(&RetryPolicy::default(), "gather bundle", |_| {
+        flaky.trip("bundle write")?;
+        bundle(&files, &bpath)
+    })
+    .unwrap();
+    assert!(total > 0);
+    let restored = unbundle(&bpath, &dir.join("restored")).unwrap();
+    assert_eq!(restored.len(), 3);
+
+    // With an attempt budget smaller than the fault count, the typed
+    // exhaustion error names the operation.
+    let stubborn = titr::extract::faultinject::Flaky::new(10);
+    let err = with_retry(&RetryPolicy { attempts: 2, ..Default::default() }, "gather bundle", |_| {
+        stubborn.trip("bundle write")?;
+        bundle(&files, &bpath)
+    })
+    .unwrap_err();
+    match err {
+        PipelineError::RetriesExhausted { what, attempts, .. } => {
+            assert_eq!(what, "gather bundle");
+            assert_eq!(attempts, 2);
+        }
+        e => panic!("expected RetriesExhausted, got {e}"),
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
