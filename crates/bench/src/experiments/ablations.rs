@@ -36,6 +36,7 @@ fn replay_trace(
     let platform = PlatformDesc::single(spec).build();
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
     replay_memory(trace, platform, &hosts, cfg)
+        // panics: experiment inputs are generated, so failure is a bench bug
         .expect("replay of a well-formed generated trace")
         .simulated_time
 }

@@ -31,6 +31,7 @@ pub fn measure(class: Class, nproc: usize, scale: f64) -> PipelineCosts {
         &ExtractCostModel::default(),
         &dir,
     )
+    // panics: experiment inputs are generated, so failure is a bench bug
     .expect("pipeline failed");
     let _ = std::fs::remove_dir_all(&dir);
     res.costs
@@ -59,7 +60,7 @@ pub fn run(scale: f64) -> String {
             let c = measure(class, nproc, scale);
             worst_fraction = worst_fraction.max(c.ti_specific_fraction());
             t.row(&[
-                format!("{} / {}", class, nproc),
+                format!("{class} / {nproc}"),
                 secs(c.application),
                 secs(c.tracing_overhead),
                 secs(c.extraction),

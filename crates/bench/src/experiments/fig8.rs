@@ -47,6 +47,7 @@ pub fn calibrate(nproc: usize) -> f64 {
     let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
     let small = LuConfig::new(Class::W, nproc).with_itmax(2);
     let cal = calibrate_flop_rate(&small.program(), nproc, &desc, &EmulConfig::default(), 5)
+        // panics: experiment inputs are generated, so failure is a bench bug
         .expect("calibration failed");
     cal.rate
 }
@@ -62,6 +63,7 @@ pub fn measure(class: Class, nproc: usize, scale: f64, calibrated_rate: f64) -> 
         AcquisitionMode::Regular,
         &EmulConfig::default(),
     )
+    // panics: experiment inputs are generated, so failure is a bench bug
     .expect("emulated run failed");
     // Simulated: replay the time-independent trace on the calibrated
     // platform (single average rate, pure network model).
@@ -71,6 +73,7 @@ pub fn measure(class: Class, nproc: usize, scale: f64, calibrated_rate: f64) -> 
     let platform = PlatformDesc::single(spec).build();
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
     let out = replay_memory(&trace, platform, &hosts, &ReplayConfig::default())
+        // panics: experiment inputs are generated, so failure is a bench bug
         .expect("replay of a well-formed generated trace");
     Point { class, nproc, actual, simulated: out.simulated_time }
 }
@@ -102,7 +105,7 @@ pub fn run(scale: f64) -> String {
             trend_ok &= p.actual < last_actual;
             last_actual = p.actual;
             t.row(&[
-                format!("{} / {}", class, nproc),
+                format!("{class} / {nproc}"),
                 format!("{rate:.3e}"),
                 secs(p.actual * extra),
                 secs(p.simulated * extra),

@@ -36,6 +36,7 @@ pub fn measure(class: Class, nproc: usize, scale: f64) -> Point {
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
     let cfg = ReplayConfig::default();
     let out = replay_memory(&trace, platform, &hosts, &cfg)
+        // panics: experiment inputs are generated, so failure is a bench bug
         .expect("replay of a well-formed generated trace");
     Point {
         class,

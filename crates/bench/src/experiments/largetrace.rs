@@ -41,6 +41,7 @@ pub fn run(scale: f64) -> String {
         &ExtractCostModel::default(),
         &dir,
     )
+    // panics: experiment inputs are generated, so failure is a bench bug
     .expect("pipeline failed");
     let wall = wall0.elapsed().as_secs_f64();
 
@@ -48,12 +49,14 @@ pub fn run(scale: f64) -> String {
     let ti = res.extract.ti_bytes as f64;
 
     // Compress the gathered bundle with the in-tree LZ77 codec.
+    // panics: experiment inputs are generated, so failure is a bench bug
     let bundle_bytes = std::fs::read(&res.bundle_path).expect("read bundle");
     let c0 = std::time::Instant::now();
     let compressed = tit_core::compress::compress(&bundle_bytes);
     let compress_wall = c0.elapsed().as_secs_f64();
     // Verify integrity before reporting.
     assert_eq!(
+        // panics: experiment inputs are generated, so failure is a bench bug
         tit_core::compress::decompress(&compressed).expect("roundtrip").len(),
         bundle_bytes.len()
     );
@@ -97,6 +100,7 @@ pub fn run(scale: f64) -> String {
     // The paper's stated future work: a binary trace format.
     let bin_dir = dir.join("ti-bin");
     let (text_bytes, bin_bytes) =
+        // panics: experiment inputs are generated, so failure is a bench bug
         tit_core::binfmt::convert_dir(&res.ti_dir, &bin_dir, nproc).expect("binary convert");
     out.push_str(&format!(
         "binary TI:   {:.3} GiB measured ({:.1}x smaller than text); x itmax {:.1} GiB (the paper's future-work format)\n",

@@ -79,6 +79,7 @@ pub fn sweep(class: Class, nproc: usize, scale: f64) -> Vec<(AcquisitionMode, f6
     let mut regular = 0.0;
     for mode in modes() {
         let t = run_instrumented_discard(&lu.program(), nproc, mode, &cfg)
+            // panics: experiment inputs are generated, so failure is a bench bug
             .expect("emulated acquisition failed");
         if mode == AcquisitionMode::Regular {
             regular = t;

@@ -58,8 +58,10 @@ pub fn measure(class: Class, nproc: usize, scale: f64) -> Sizes {
     let lu = crate::lu_instance(class, nproc, scale);
     let cfg = EmulConfig::default();
     let acq = acquire(&lu.program(), nproc, AcquisitionMode::Regular, &cfg, &tau_dir)
+        // panics: experiment inputs are generated, so failure is a bench bug
         .expect("acquisition failed");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+    // panics: experiment inputs are generated, so failure is a bench bug
     let stats = tau2ti(&tau_dir, nproc, &ti_dir, threads).expect("extraction failed");
     let sizes = Sizes {
         class,
@@ -97,7 +99,7 @@ pub fn run(scale: f64) -> String {
         let tau = s.tau_bytes as f64 * extra;
         let ti = s.ti_bytes as f64 * extra;
         t.row(&[
-            format!("{} / {}", class, nproc),
+            format!("{class} / {nproc}"),
             crate::table::mib(tau),
             crate::table::mib(ti),
             ratio(s.tau_bytes as f64 / s.ti_bytes as f64),

@@ -18,6 +18,8 @@
 //! | [`experiments::largetrace`] | §6.5 class D × 1024 |
 //! | [`experiments::ablations`]  | design-choice ablations |
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod table;
 
@@ -51,6 +53,7 @@ pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
     .join("experiments")
     .join(tag);
     let _ = std::fs::remove_dir_all(&dir);
+    // panics: a scratch dir that cannot be created aborts the bench run
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     dir
 }
@@ -61,6 +64,7 @@ pub fn scale_from_args(default: f64) -> f64 {
     while let Some(a) = args.next() {
         if a == "--scale" {
             if let Some(v) = args.next() {
+                // panics: a bad CLI value aborts the bench run
                 return v.parse().expect("bad --scale value");
             }
         }

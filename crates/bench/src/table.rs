@@ -9,7 +9,7 @@ pub struct Table {
 
 impl Table {
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table { headers: headers.iter().map(std::string::ToString::to_string).collect(), rows: Vec::new() }
     }
 
     pub fn row(&mut self, cells: &[String]) {

@@ -18,6 +18,8 @@
 //!   latency/bandwidth correction factors of the 3-segment
 //!   piece-wise-linear model against the ping-pong data.
 
+#![forbid(unsafe_code)]
+
 pub mod floprate;
 pub mod pingpong;
 pub mod piecewise;

@@ -99,6 +99,7 @@ pub fn fit_piecewise(samples: &[PingPongSample], base_lat: f64, base_bw: f64) ->
             }
         }
     }
+    // panics: invariant upheld by construction
     let (sse, boundaries, model) = best.expect("no admissible boundary pair");
     FitReport { model, sse, boundaries }
 }

@@ -75,6 +75,7 @@ pub fn derive_link_latency(samples: &[PingPongSample], hops: usize) -> f64 {
     let one_byte = samples
         .iter()
         .min_by(|x, y| x.bytes.total_cmp(&y.bytes))
+        // panics: invariant upheld by construction
         .expect("no ping-pong samples");
     one_byte.rtt / (2.0 * hops as f64)
 }

@@ -24,7 +24,7 @@ fn main() {
     let out = PathBuf::from(args.require("out", USAGE));
     let threads: usize = args.get_or(
         "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1),
     );
 
     let t0 = std::time::Instant::now();

@@ -1,0 +1,71 @@
+//! Static trace analyzer: lints a time-independent trace set without
+//! simulating it.
+//!
+//! ```text
+//! tit-lint --trace-dir DIR --np N [--format text|json]
+//!          [--deny-warnings] [--allow CODES] [--warn CODES] [--error CODES]
+//! ```
+//!
+//! `CODES` is a comma-separated list of stable lint codes (`TL0003`) or
+//! `all`. Exit status: 0 when the trace is clean (or carries only
+//! warnings), 1 when error findings (or, under `--deny-warnings`,
+//! warnings) are present, 2 on usage errors.
+
+use std::path::PathBuf;
+use tit_cli::Args;
+use titlint::{lint_dir, LintCode, LintConfig, Severity};
+
+const USAGE: &str = "tit-lint --trace-dir DIR --np N [--format text|json] [--deny-warnings] [--allow CODES] [--warn CODES] [--error CODES]";
+
+fn apply_levels(cfg: &mut LintConfig, spec: &str, level: Severity) {
+    for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if item.eq_ignore_ascii_case("all") {
+            for code in LintCode::ALL {
+                cfg.set_level(code, level);
+            }
+            continue;
+        }
+        match LintCode::from_id(item) {
+            Some(code) => {
+                cfg.set_level(code, level);
+            }
+            None => {
+                eprintln!("unknown lint code {item:?} (codes are TL0001..TL0018)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let dir = PathBuf::from(args.require("trace-dir", USAGE));
+    let np: usize = args.get_or("np", 0);
+    if np == 0 {
+        eprintln!("missing --np\nusage: {USAGE}");
+        std::process::exit(2);
+    }
+
+    let mut cfg = LintConfig::default();
+    if let Some(spec) = args.get("allow") {
+        apply_levels(&mut cfg, spec, Severity::Allow);
+    }
+    if let Some(spec) = args.get("warn") {
+        apply_levels(&mut cfg, spec, Severity::Warn);
+    }
+    if let Some(spec) = args.get("error") {
+        apply_levels(&mut cfg, spec, Severity::Error);
+    }
+
+    let report = lint_dir(&dir, np, &cfg);
+    match args.get_or("format", "text".to_string()).as_str() {
+        "text" => print!("{}", report.render_text()),
+        "json" => println!("{}", report.to_json()),
+        other => {
+            eprintln!("unknown format {other:?} (expected text or json)");
+            std::process::exit(2);
+        }
+    }
+    let fail = report.has_errors() || (args.has_flag("deny-warnings") && report.warnings() > 0);
+    std::process::exit(i32::from(fail));
+}

@@ -5,12 +5,15 @@
 //! tit-replay --trace-dir DIR --np N
 //!            [--platform platform.xml] [--deploy deploy.xml] [--nodes N]
 //!            [--collectives binomial|flat] [--network mpi|flow|constant]
-//!            [--timed-trace out.csv] [--profile]
+//!            [--timed-trace out.csv] [--profile] [--lint]
 //! ```
 //!
 //! Without `--platform`, a bordereau-like cluster of `--nodes` (default
 //! `N`) single-core nodes is used; without `--deploy`, ranks map
-//! round-robin.
+//! round-robin. With `--lint`, the trace set is statically analyzed
+//! first (`tit-lint`) and the replay refuses to start when error
+//! findings are present — catching deadlocks and structural defects
+//! before any simulation time is spent.
 
 use std::path::PathBuf;
 use tit_cli::Args;
@@ -20,7 +23,7 @@ use tit_platform::presets;
 use tit_replay::collectives::CollectiveAlgo;
 use tit_replay::{replay_files, ReplayConfig};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--profile]";
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--profile] [--lint]";
 
 fn main() {
     let args = Args::from_env();
@@ -29,6 +32,17 @@ fn main() {
     if np == 0 {
         eprintln!("missing --np\nusage: {USAGE}");
         std::process::exit(2);
+    }
+
+    if args.has_flag("lint") {
+        let report = titlint::lint_dir(&dir, np, &titlint::LintConfig::default());
+        if !report.findings.is_empty() {
+            eprint!("{}", report.render_text());
+        }
+        if report.has_errors() {
+            eprintln!("refusing to replay: the static analysis found error(s) above");
+            std::process::exit(1);
+        }
     }
 
     let desc = match args.get("platform") {

@@ -6,12 +6,17 @@
 //!   (step 3), plus the K-nomial gathering bundle (step 4).
 //! * `tit-replay` — the trace replay tool: traces + platform +
 //!   deployment → simulated time (Figure 4).
+//! * `tit-lint` — static trace analyzer: ordered send/recv matching,
+//!   guaranteed-deadlock detection, collective alignment and volume
+//!   sanity, with stable lint codes and JSON output.
 //! * `tit-stats` — trace statistics and validation (Table 3's columns).
 //! * `tit-calibrate` — flop rate, ping-pong latency, piecewise fit
 //!   (Section 5's calibration).
 //!
 //! Argument parsing is a deliberately small `--key value` convention
 //! (no external dependency): [`Args`].
+
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 
@@ -34,6 +39,7 @@ impl Args {
             if let Some(key) = tok.strip_prefix("--") {
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
+                        // panics: peek() just returned Some for this element
                         let v = it.next().unwrap();
                         out.values.insert(key.to_string(), v);
                     }

@@ -149,6 +149,119 @@ fn corrupt_trace_line_is_diagnosed_with_file_and_line() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Writes a per-rank trace set into a fresh temp directory.
+fn write_traces(tag: &str, ranks: &[&str]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("titr-clilint-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (r, body) in ranks.iter().enumerate() {
+        std::fs::write(dir.join(format!("SG_process{r}.trace")), body).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn lint_exits_zero_on_a_clean_trace() {
+    let dir = write_traces(
+        "clean",
+        &["p0 compute 100\np0 send p1 64\n", "p1 recv p0\np1 compute 50\n"],
+    );
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &["--trace-dir", dir.to_str().unwrap(), "--np", "2"],
+    );
+    assert_eq!(code, Some(0));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_detects_circular_deadlock_and_exits_one() {
+    // Three ranks, each receiving from its left neighbour before
+    // sending right: balanced counts, guaranteed deadlock.
+    let dir = write_traces(
+        "deadlock",
+        &[
+            "p0 recv p2\np0 send p1 64\n",
+            "p1 recv p0\np1 send p2 64\n",
+            "p2 recv p1\np2 send p0 64\n",
+        ],
+    );
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &["--trace-dir", dir.to_str().unwrap(), "--np", "3"],
+    );
+    assert_eq!(code, Some(1), "deadlock must fail the lint");
+    let out = Command::new(env!("CARGO_BIN_EXE_tit-lint"))
+        .args(["--trace-dir", dir.to_str().unwrap(), "--np", "3"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("error[TL0003]"), "{text}");
+    assert!(text.contains("p0 (recv at action 0)"), "full cycle members:\n{text}");
+    assert!(text.contains("SG_process0.trace:1"), "file:line location:\n{text}");
+
+    // The replay preflight refuses the same trace set.
+    let (code, stderr) = run_code(
+        env!("CARGO_BIN_EXE_tit-replay"),
+        &["--trace-dir", dir.to_str().unwrap(), "--np", "3", "--lint"],
+    );
+    assert_eq!(code, Some(1), "preflight must refuse; stderr:\n{stderr}");
+    assert!(stderr.contains("refusing to replay"), "{stderr}");
+    assert!(stderr.contains("TL0003"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_emits_json_and_respects_level_overrides() {
+    // A self-send is a warning by default: exit 0, but --deny-warnings
+    // and --error escalate it, and --allow suppresses it.
+    let dir = write_traces("levels", &["p0 send p0 8\np0 recv p0\n"]);
+    let base = ["--trace-dir", dir.to_str().unwrap(), "--np", "1"];
+    let (code, _) = run_code(env!("CARGO_BIN_EXE_tit-lint"), &base);
+    assert_eq!(code, Some(0), "warnings alone pass");
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &[&base[..], &["--deny-warnings"]].concat(),
+    );
+    assert_eq!(code, Some(1));
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &[&base[..], &["--error", "TL0013"]].concat(),
+    );
+    assert_eq!(code, Some(1));
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &[&base[..], &["--allow", "all", "--deny-warnings"]].concat(),
+    );
+    assert_eq!(code, Some(0), "--allow all silences everything");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_tit-lint"))
+        .args([&base[..], &["--format", "json"]].concat())
+        .output()
+        .unwrap();
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(json.starts_with("{\"tool\":\"tit-lint\""), "{json}");
+    assert!(json.contains("\"code\":\"TL0013\""), "{json}");
+    assert!(json.contains("\"severity\":\"warning\""), "{json}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lint_usage_errors_exit_two() {
+    let (code, _) = run_code(env!("CARGO_BIN_EXE_tit-lint"), &["--np", "2"]);
+    assert_eq!(code, Some(2), "missing --trace-dir");
+    let (code, stderr) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &["--trace-dir", "/tmp", "--np", "2", "--allow", "TL9999"],
+    );
+    assert_eq!(code, Some(2), "unknown lint code; stderr:\n{stderr}");
+    let (code, _) = run_code(
+        env!("CARGO_BIN_EXE_tit-lint"),
+        &["--trace-dir", "/tmp", "--np", "2", "--format", "yaml"],
+    );
+    assert_eq!(code, Some(2), "unknown format");
+}
+
 #[test]
 fn calibrate_prints_a_platform_snippet() {
     let (ok, text) = run(

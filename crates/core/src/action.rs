@@ -16,29 +16,68 @@ pub type Pid = usize;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Action {
     /// CPU burst of `flops` floating-point operations.
-    Compute { flops: f64 },
+    Compute {
+        /// Number of floating-point operations.
+        flops: f64,
+    },
     /// Blocking send of `bytes` to `dst` (`MPI_Send`).
-    Send { dst: Pid, bytes: f64 },
+    Send {
+        /// Destination rank.
+        dst: Pid,
+        /// Message size in bytes.
+        bytes: f64,
+    },
     /// Non-blocking send of `bytes` to `dst` (`MPI_Isend`).
-    Isend { dst: Pid, bytes: f64 },
+    Isend {
+        /// Destination rank.
+        dst: Pid,
+        /// Message size in bytes.
+        bytes: f64,
+    },
     /// Blocking receive from `src` (`MPI_Recv`). The byte volume is
     /// optional in the on-disk format: Figure 1 of the paper omits it
     /// (the matching send carries the size), while Table 1 lists it.
-    Recv { src: Pid, bytes: Option<f64> },
+    Recv {
+        /// Source rank.
+        src: Pid,
+        /// Declared message size, when the trace annotates it.
+        bytes: Option<f64>,
+    },
     /// Non-blocking receive from `src` (`MPI_Irecv`).
-    Irecv { src: Pid, bytes: Option<f64> },
+    Irecv {
+        /// Source rank.
+        src: Pid,
+        /// Declared message size, when the trace annotates it.
+        bytes: Option<f64>,
+    },
     /// Broadcast of `bytes` rooted at process 0 (`MPI_Broadcast`).
-    Bcast { bytes: f64 },
+    Bcast {
+        /// Broadcast payload in bytes.
+        bytes: f64,
+    },
     /// Reduction to process 0: `vcomm` bytes communicated, `vcomp` flops
     /// of local combining (`MPI_Reduce`).
-    Reduce { vcomm: f64, vcomp: f64 },
+    Reduce {
+        /// Bytes communicated.
+        vcomm: f64,
+        /// Flops of local combining.
+        vcomp: f64,
+    },
     /// Reduction + broadcast (`MPI_Allreduce`).
-    AllReduce { vcomm: f64, vcomp: f64 },
+    AllReduce {
+        /// Bytes communicated.
+        vcomm: f64,
+        /// Flops of local combining.
+        vcomp: f64,
+    },
     /// Synchronisation barrier (`MPI_Barrier`).
     Barrier,
     /// Declares the communicator size; must precede any collective
     /// (`MPI_Comm_size`).
-    CommSize { nproc: usize },
+    CommSize {
+        /// Declared number of processes in the communicator.
+        nproc: usize,
+    },
     /// Completes the oldest pending non-blocking request (`MPI_Wait`).
     Wait,
 }
@@ -72,6 +111,11 @@ impl Action {
 
     /// Bytes this action communicates from this process's perspective
     /// (receives report the declared volume when present).
+    ///
+    /// Lossy: a receive without a byte annotation reports `0.0` even
+    /// though the matching send may carry a large volume. Use
+    /// [`Action::comm_bytes`] when "unknown" must stay distinguishable
+    /// from "zero".
     pub fn bytes(&self) -> f64 {
         match self {
             Action::Send { bytes, .. } | Action::Isend { bytes, .. } => *bytes,
@@ -79,6 +123,19 @@ impl Action {
             Action::Bcast { bytes } => *bytes,
             Action::Reduce { vcomm, .. } | Action::AllReduce { vcomm, .. } => *vcomm,
             _ => 0.0,
+        }
+    }
+
+    /// Bytes this action communicates, when statically known.
+    ///
+    /// `None` for a receive whose byte annotation is absent from the
+    /// trace — the volume exists but only the matching send carries it
+    /// (resolve it through [`crate::validate::match_p2p`]). Actions
+    /// that do not communicate at all return `Some(0.0)`.
+    pub fn comm_bytes(&self) -> Option<f64> {
+        match self {
+            Action::Recv { bytes, .. } | Action::Irecv { bytes, .. } => *bytes,
+            other => Some(other.bytes()),
         }
     }
 
@@ -128,6 +185,16 @@ mod tests {
         assert_eq!(Action::Wait.bytes(), 0.0);
         assert_eq!(Action::Recv { src: 1, bytes: Some(7.0) }.bytes(), 7.0);
         assert_eq!(Action::Recv { src: 1, bytes: None }.bytes(), 0.0);
+    }
+
+    #[test]
+    fn comm_bytes_distinguishes_unknown_from_zero() {
+        assert_eq!(Action::Recv { src: 1, bytes: None }.comm_bytes(), None);
+        assert_eq!(Action::Irecv { src: 1, bytes: None }.comm_bytes(), None);
+        assert_eq!(Action::Recv { src: 1, bytes: Some(7.0) }.comm_bytes(), Some(7.0));
+        assert_eq!(Action::Send { dst: 0, bytes: 9.0 }.comm_bytes(), Some(9.0));
+        assert_eq!(Action::Compute { flops: 3.0 }.comm_bytes(), Some(0.0));
+        assert_eq!(Action::Wait.comm_bytes(), Some(0.0));
     }
 
     #[test]

@@ -231,15 +231,18 @@ impl BinaryTraceWriter {
         Ok(BinaryTraceWriter { w, count_pos_fixup: path, rank, actions: 0 })
     }
 
+    /// Appends one action to the stream.
     pub fn write(&mut self, a: &Action) -> std::io::Result<()> {
         self.actions += 1;
         write_action(&mut self.w, a)
     }
 
+    /// The rank this writer serialises.
     pub fn rank(&self) -> Pid {
         self.rank
     }
 
+    /// Number of actions written so far.
     pub fn actions_written(&self) -> u64 {
         self.actions
     }
@@ -258,6 +261,7 @@ pub struct BinaryTraceReader {
 }
 
 impl BinaryTraceReader {
+    /// Opens a binary trace file, checking the magic header.
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let mut r = BufReader::with_capacity(1 << 20, std::fs::File::open(path)?);
         let mut magic = [0u8; 4];
@@ -272,6 +276,7 @@ impl BinaryTraceReader {
         Ok(BinaryTraceReader { r, rank })
     }
 
+    /// The rank recorded in the file header.
     pub fn rank(&self) -> Pid {
         self.rank
     }

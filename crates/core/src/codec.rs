@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 pub struct ParseError {
     /// 1-based line number when known (0 otherwise).
     pub line: usize,
+    /// What was wrong with the line.
     pub message: String,
 }
 
@@ -199,7 +200,7 @@ mod tests {
         ];
         for (i, l) in lines.iter().enumerate() {
             let (pid, _) = parse_line(l, i + 1).unwrap().unwrap();
-            assert_eq!(pid, if i < 3 { 0 } else { 1 });
+            assert_eq!(pid, usize::from(i >= 3));
         }
         let (_, a) = parse_line("p0 compute 1e6", 1).unwrap().unwrap();
         assert_eq!(a, Action::Compute { flops: 1e6 });

@@ -23,6 +23,9 @@
 //! compressor used for the paper's Section 6.5 compressed-size figure
 //! ([`compress`]).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod action;
 pub mod binfmt;
 pub mod codec;
@@ -36,4 +39,7 @@ pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};
 pub use codec::{format_action, parse_line, ParseError};
 pub use stats::TraceStats;
 pub use trace::{ProcessTraceReader, ProcessTraceWriter, TiTrace};
-pub use validate::{validate, ValidationError};
+pub use validate::{
+    collective_sequences, match_p2p, validate, MatchedPair, P2pEndpoint, P2pMatching,
+    ValidationError,
+};

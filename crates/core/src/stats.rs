@@ -14,7 +14,9 @@ use std::path::Path;
 /// Aggregate statistics over a time-independent trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStats {
+    /// Number of processes in the trace.
     pub num_processes: usize,
+    /// Total number of actions across all processes.
     pub num_actions: u64,
     /// Actions per keyword (`compute`, `send`, ...).
     pub per_keyword: BTreeMap<&'static str, u64>,
@@ -22,6 +24,16 @@ pub struct TraceStats {
     pub total_flops: f64,
     /// Total communication volume, bytes (send-side + collectives).
     pub total_bytes: f64,
+    /// Receive-side volume, bytes, summed over receives that carry a
+    /// byte annotation. In a complete trace every transfer is counted
+    /// once in [`TraceStats::total_bytes`]; when only a subset of ranks
+    /// is streamed (per-rank statistics), this is the only visibility
+    /// into inbound traffic.
+    pub recv_bytes: f64,
+    /// Receives whose byte volume is unknown (no annotation in the
+    /// trace; only the matching send carries the size). Previously these
+    /// were silently counted as zero bytes.
+    pub unsized_recvs: u64,
     /// Size of the canonical text encoding, bytes.
     pub encoded_bytes: u64,
 }
@@ -61,11 +73,17 @@ impl TraceStats {
         self.num_actions += 1;
         *self.per_keyword.entry(a.keyword()).or_insert(0) += 1;
         self.total_flops += a.flops();
-        self.total_bytes += match a {
-            // Count transfers once, on the sender side.
-            Action::Recv { .. } | Action::Irecv { .. } => 0.0,
-            other => other.bytes(),
-        };
+        match a {
+            // Count transfers once in `total_bytes`, on the sender side;
+            // account the receive side separately so a partial trace
+            // (per-rank streaming) does not lose inbound volume, and so
+            // unknown receive volumes are counted, not zeroed.
+            Action::Recv { .. } | Action::Irecv { .. } => match a.comm_bytes() {
+                Some(b) => self.recv_bytes += b,
+                None => self.unsized_recvs += 1,
+            },
+            other => self.total_bytes += other.bytes(),
+        }
         scratch.clear();
         format_action_into(scratch, rank, a);
         self.encoded_bytes += scratch.len() as u64 + 1; // + newline
@@ -114,6 +132,21 @@ mod tests {
         assert!((s.total_flops - 108.0).abs() < 1e-12);
         // 50 (send) + 8 + 8 (allReduce on both ranks); recv not counted.
         assert!((s.total_bytes - 66.0).abs() < 1e-12);
+        // The unannotated recv is reported as unsized, not silently 0.
+        assert_eq!(s.unsized_recvs, 1);
+        assert_eq!(s.recv_bytes, 0.0);
+    }
+
+    #[test]
+    fn annotated_recvs_are_accounted_receive_side() {
+        let mut t = TiTrace::new(1);
+        t.push(0, Action::Recv { src: 0, bytes: Some(32.0) });
+        t.push(0, Action::Irecv { src: 0, bytes: Some(8.0) });
+        t.push(0, Action::Irecv { src: 0, bytes: None });
+        let s = TraceStats::of(&t);
+        assert_eq!(s.total_bytes, 0.0);
+        assert!((s.recv_bytes - 40.0).abs() < 1e-12);
+        assert_eq!(s.unsized_recvs, 1);
     }
 
     #[test]

@@ -239,7 +239,7 @@ impl ProcessTraceReader {
             self.line_no += 1;
             match parse_line(&self.line, self.line_no) {
                 Ok(Some(pa)) => return Ok(Some(pa)),
-                Ok(None) => continue,
+                Ok(None) => {} // comment or blank line: read on
                 Err(e) => {
                     return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
                 }

@@ -11,28 +11,183 @@
 //! * all processes perform the same sequence of collective kinds;
 //! * a `wait` never outnumbers the non-blocking requests issued before it;
 //! * referenced ranks are within the process set.
+//!
+//! [`validate()`] is a compatibility wrapper kept for callers of the
+//! original aggregate checks; it is now implemented on top of the
+//! *ordered* per-pair matching primitives ([`match_p2p`],
+//! [`collective_sequences`]) shared with the `titlint` static analyzer,
+//! which supersedes it (deadlock-cycle detection, per-finding severities
+//! and source locations, JSON output).
 
 use crate::action::Action;
 use crate::trace::TiTrace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// One endpoint (the send side or the receive side) of a point-to-point
+/// communication, located in the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct P2pEndpoint {
+    /// Rank performing the operation.
+    pub rank: usize,
+    /// Index of the action in `rank`'s action list.
+    pub index: usize,
+    /// The other side: destination for sends, source for receives.
+    pub peer: usize,
+    /// Byte volume: always known for sends, optional for receives.
+    pub bytes: Option<f64>,
+    /// True for `Isend`/`Irecv`.
+    pub nonblocking: bool,
+}
+
+/// A send matched to its receive in per-ordered-pair FIFO order (the
+/// replayer's mailbox discipline: the k-th send from `src` to `dst`
+/// pairs with the k-th receive posted by `dst` from `src`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchedPair {
+    /// The send side (`send` or `Isend`).
+    pub send: P2pEndpoint,
+    /// The receive side (`recv` or `Irecv`).
+    pub recv: P2pEndpoint,
+}
+
+/// Result of ordered point-to-point matching over a whole trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct P2pMatching {
+    /// Send/receive pairs matched in per-pair FIFO order.
+    pub matched: Vec<MatchedPair>,
+    /// Sends with no matching receive (the peer posts too few).
+    pub unmatched_sends: Vec<P2pEndpoint>,
+    /// Receives with no matching send.
+    pub unmatched_recvs: Vec<P2pEndpoint>,
+}
+
+/// Matches every point-to-point send to its receive in per-ordered-pair
+/// FIFO order, the discipline the replayer's mailboxes implement.
+///
+/// Unlike an aggregate count this pins each leftover operation to a
+/// `(rank, action index)` location, which is what the static analyzer
+/// reports and what [`validate()`] folds back into per-pair totals.
+pub fn match_p2p(trace: &TiTrace) -> P2pMatching {
+    // (src, dst) -> (sends in program order, recvs in program order).
+    let mut pairs: BTreeMap<(usize, usize), (Vec<P2pEndpoint>, Vec<P2pEndpoint>)> =
+        BTreeMap::new();
+    for (rank, actions) in trace.actions.iter().enumerate() {
+        for (index, a) in actions.iter().enumerate() {
+            match *a {
+                Action::Send { dst, bytes } | Action::Isend { dst, bytes } => {
+                    let ep = P2pEndpoint {
+                        rank,
+                        index,
+                        peer: dst,
+                        bytes: Some(bytes),
+                        nonblocking: matches!(a, Action::Isend { .. }),
+                    };
+                    pairs.entry((rank, dst)).or_default().0.push(ep);
+                }
+                Action::Recv { src, bytes } | Action::Irecv { src, bytes } => {
+                    let ep = P2pEndpoint {
+                        rank,
+                        index,
+                        peer: src,
+                        bytes,
+                        nonblocking: matches!(a, Action::Irecv { .. }),
+                    };
+                    pairs.entry((src, rank)).or_default().1.push(ep);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = P2pMatching::default();
+    for (_, (sends, recvs)) in pairs {
+        let paired = sends.len().min(recvs.len());
+        for (s, r) in sends.iter().zip(recvs.iter()) {
+            out.matched.push(MatchedPair { send: *s, recv: *r });
+        }
+        out.unmatched_sends.extend_from_slice(&sends[paired..]);
+        out.unmatched_recvs.extend_from_slice(&recvs[paired..]);
+    }
+    out
+}
+
+/// Per-rank collective sequences: for each rank, the ordered list of
+/// `(action index, keyword)` of its collective operations. Replay
+/// requires these sequences to agree across the communicator.
+pub fn collective_sequences(trace: &TiTrace) -> Vec<Vec<(usize, &'static str)>> {
+    trace
+        .actions
+        .iter()
+        .map(|actions| {
+            actions
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.is_collective())
+                .map(|(i, a)| (i, a.keyword()))
+                .collect()
+        })
+        .collect()
+}
 
 /// A structural defect making a trace non-replayable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// `sends` from `src` to `dst` but `recvs` in the opposite direction.
-    UnbalancedPair { src: usize, dst: usize, sends: u64, recvs: u64 },
+    UnbalancedPair {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+        /// Sends from `src` to `dst`.
+        sends: u64,
+        /// Receives posted by `dst` from `src`.
+        recvs: u64,
+    },
     /// A collective appears before `comm_size` on `rank`.
-    CollectiveBeforeCommSize { rank: usize, index: usize },
+    CollectiveBeforeCommSize {
+        /// Offending rank.
+        rank: usize,
+        /// Index of the collective in `rank`'s action list.
+        index: usize,
+    },
     /// Processes disagree on the communicator size.
-    InconsistentCommSize { rank: usize, declared: usize, expected: usize },
+    InconsistentCommSize {
+        /// Offending rank.
+        rank: usize,
+        /// Size this rank declared.
+        declared: usize,
+        /// Size the other ranks declared.
+        expected: usize,
+    },
     /// Collective sequences differ between `rank` and rank 0.
-    CollectiveMismatch { rank: usize, index: usize },
+    CollectiveMismatch {
+        /// Diverging rank.
+        rank: usize,
+        /// Position of the first diverging collective.
+        index: usize,
+    },
     /// A `wait` with no pending request.
-    WaitWithoutRequest { rank: usize, index: usize },
+    WaitWithoutRequest {
+        /// Offending rank.
+        rank: usize,
+        /// Index of the `wait` in `rank`'s action list.
+        index: usize,
+    },
     /// Requests still pending at the end of `rank`'s trace.
-    DanglingRequests { rank: usize, pending: u64 },
+    DanglingRequests {
+        /// Offending rank.
+        rank: usize,
+        /// Requests never completed by a `wait`.
+        pending: u64,
+    },
     /// An action references a rank outside the process set.
-    RankOutOfRange { rank: usize, index: usize, referenced: usize },
+    RankOutOfRange {
+        /// Rank performing the action.
+        rank: usize,
+        /// Index of the action in `rank`'s list.
+        index: usize,
+        /// The out-of-range rank it references.
+        referenced: usize,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -71,39 +226,54 @@ impl std::fmt::Display for ValidationError {
 impl std::error::Error for ValidationError {}
 
 /// Validates `trace`, returning every defect found (empty = valid).
+///
+/// Compatibility wrapper: per-pair balance is derived from the ordered
+/// matching of [`match_p2p`] (the aggregate counting it used to do
+/// itself), and collective agreement from [`collective_sequences`]. The
+/// `titlint` crate performs the full static analysis — deadlock cycles,
+/// volume sanity, source locations — on the same primitives.
 pub fn validate(trace: &TiTrace) -> Vec<ValidationError> {
     let mut errors = Vec::new();
     let n = trace.num_processes();
-    // (src, dst) -> (sends, recvs)
-    let mut pairs: HashMap<(usize, usize), (u64, u64)> = HashMap::new();
-    let mut comm_size: Option<usize> = None;
-    let mut coll_seqs: Vec<Vec<&'static str>> = vec![Vec::new(); n];
 
+    // Ordered point-to-point matching, folded back into per-pair totals.
+    let matching = match_p2p(trace);
+    let mut pairs: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+    for m in &matching.matched {
+        let c = pairs.entry((m.send.rank, m.send.peer)).or_insert((0, 0));
+        c.0 += 1;
+        c.1 += 1;
+    }
+    for s in &matching.unmatched_sends {
+        pairs.entry((s.rank, s.peer)).or_insert((0, 0)).0 += 1;
+    }
+    for r in &matching.unmatched_recvs {
+        pairs.entry((r.peer, r.rank)).or_insert((0, 0)).1 += 1;
+    }
+    for (&(src, dst), &(sends, recvs)) in &pairs {
+        if sends != recvs {
+            errors.push(ValidationError::UnbalancedPair { src, dst, sends, recvs });
+        }
+    }
+
+    // Rank ranges, comm_size discipline, wait/request discipline.
+    let mut comm_size: Option<usize> = None;
     for (rank, actions) in trace.actions.iter().enumerate() {
         let mut seen_comm_size = false;
         let mut pending_reqs: u64 = 0;
         for (index, a) in actions.iter().enumerate() {
             match a {
-                Action::Send { dst, .. } | Action::Isend { dst, .. } => {
-                    if *dst >= n {
+                Action::Send { dst: peer, .. }
+                | Action::Isend { dst: peer, .. }
+                | Action::Recv { src: peer, .. }
+                | Action::Irecv { src: peer, .. }
+                    if *peer >= n => {
                         errors.push(ValidationError::RankOutOfRange {
                             rank,
                             index,
-                            referenced: *dst,
+                            referenced: *peer,
                         });
                     }
-                    pairs.entry((rank, *dst)).or_insert((0, 0)).0 += 1;
-                }
-                Action::Recv { src, .. } | Action::Irecv { src, .. } => {
-                    if *src >= n {
-                        errors.push(ValidationError::RankOutOfRange {
-                            rank,
-                            index,
-                            referenced: *src,
-                        });
-                    }
-                    pairs.entry((*src, rank)).or_insert((0, 0)).1 += 1;
-                }
                 Action::CommSize { nproc } => {
                     seen_comm_size = true;
                     match comm_size {
@@ -127,11 +297,8 @@ pub fn validate(trace: &TiTrace) -> Vec<ValidationError> {
                 }
                 _ => {}
             }
-            if a.is_collective() {
-                if !seen_comm_size {
-                    errors.push(ValidationError::CollectiveBeforeCommSize { rank, index });
-                }
-                coll_seqs[rank].push(a.keyword());
+            if a.is_collective() && !seen_comm_size {
+                errors.push(ValidationError::CollectiveBeforeCommSize { rank, index });
             }
             if a.is_nonblocking() {
                 pending_reqs += 1;
@@ -142,20 +309,15 @@ pub fn validate(trace: &TiTrace) -> Vec<ValidationError> {
         }
     }
 
-    for (&(src, dst), &(sends, recvs)) in &pairs {
-        if sends != recvs {
-            errors.push(ValidationError::UnbalancedPair { src, dst, sends, recvs });
-        }
-    }
-
     // Collective sequences must agree across the communicator.
+    let coll_seqs = collective_sequences(trace);
     if n > 1 {
         let reference = &coll_seqs[0];
         for (rank, seq) in coll_seqs.iter().enumerate().skip(1) {
             let diverge = reference
                 .iter()
                 .zip(seq.iter())
-                .position(|(a, b)| a != b)
+                .position(|((_, a), (_, b))| a != b)
                 .or(if reference.len() != seq.len() {
                     Some(reference.len().min(seq.len()))
                 } else {
@@ -265,6 +427,42 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::RankOutOfRange { rank: 0, index: 0, referenced: 7 })));
+    }
+
+    #[test]
+    fn match_p2p_pairs_in_fifo_order_and_reports_leftovers() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Send { dst: 1, bytes: 10.0 });
+        t.push(0, Action::Isend { dst: 1, bytes: 20.0 });
+        t.push(1, Action::Recv { src: 0, bytes: Some(10.0) });
+        t.push(1, Action::Irecv { src: 0, bytes: None });
+        t.push(1, Action::Wait);
+        t.push(0, Action::Send { dst: 1, bytes: 30.0 }); // no matching recv
+        t.push(1, Action::Recv { src: 1, bytes: None }); // self, no send
+        let m = match_p2p(&t);
+        assert_eq!(m.matched.len(), 2);
+        // FIFO: first send pairs with first posted receive.
+        assert_eq!(m.matched[0].send.bytes, Some(10.0));
+        assert_eq!(m.matched[0].recv.index, 0);
+        assert_eq!(m.matched[1].send.bytes, Some(20.0));
+        assert!(m.matched[1].recv.nonblocking);
+        assert_eq!(m.unmatched_sends.len(), 1);
+        assert_eq!(m.unmatched_sends[0].index, 2);
+        assert_eq!(m.unmatched_recvs.len(), 1);
+        assert_eq!(m.unmatched_recvs[0].peer, 1);
+    }
+
+    #[test]
+    fn collective_sequences_carry_action_indices() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::CommSize { nproc: 2 });
+        t.push(0, Action::Barrier);
+        t.push(0, Action::Compute { flops: 1.0 });
+        t.push(0, Action::Bcast { bytes: 8.0 });
+        t.push(1, Action::Barrier);
+        let seqs = collective_sequences(&t);
+        assert_eq!(seqs[0], vec![(1, "barrier"), (3, "bcast")]);
+        assert_eq!(seqs[1], vec![(0, "barrier")]);
     }
 
     #[test]

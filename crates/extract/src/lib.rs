@@ -16,6 +16,8 @@
 //!   accounting Figure 7 reports (application, tracing overhead,
 //!   extraction, gathering).
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod faultinject;
 pub mod gather;

@@ -111,7 +111,7 @@ pub fn run_pipeline(
     let tracing_overhead = (acquisition.exec_time - application).max(0.0);
 
     // Step 3: extraction (real), with its host-time model.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
     let extract = tau2ti(&tau_dir, nproc, &ti_dir, threads)?;
     let extraction = extraction_time(&tau_dir, nproc, mode, cost)?;
 

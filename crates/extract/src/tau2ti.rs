@@ -123,6 +123,7 @@ impl<'a> Extractor<'a> {
                 let (dst, bytes) = self
                     .pending_send
                     .take()
+                    // panics: record pairing is guaranteed by the acquisition tracer
                     .expect("MPI_Send state without SendMessage record");
                 self.actions.push(Action::Send { dst, bytes });
             }
@@ -130,6 +131,7 @@ impl<'a> Extractor<'a> {
                 let (dst, bytes) = self
                     .pending_send
                     .take()
+                    // panics: record pairing is guaranteed by the acquisition tracer
                     .expect("MPI_Isend state without SendMessage record");
                 self.actions.push(Action::Isend { dst, bytes });
             }
@@ -137,6 +139,7 @@ impl<'a> Extractor<'a> {
                 let (src, _) = self
                     .pending_recv
                     .take()
+                    // panics: record pairing is guaranteed by the acquisition tracer
                     .expect("MPI_Recv state without RecvMessage record");
                 self.actions.push(Action::Recv { src, bytes: None });
             }
@@ -151,6 +154,7 @@ impl<'a> Extractor<'a> {
                     let idx = self
                         .open_irecvs
                         .pop_front()
+                        // panics: record pairing is guaranteed by the acquisition tracer
                         .expect("RecvMessage in MPI_Wait with no pending MPI_Irecv");
                     self.actions[idx] = Action::Irecv { src, bytes: None };
                 }
@@ -173,6 +177,7 @@ impl<'a> Extractor<'a> {
                 let nproc = self
                     .pending_commsize
                     .take()
+                    // panics: record pairing is guaranteed by the acquisition tracer
                     .expect("MPI_Comm_size state without size trigger");
                 self.actions.push(Action::CommSize { nproc });
             }
@@ -309,6 +314,7 @@ pub fn tau2ti(
                     Ok(())
                 })();
                 if let Err(e) = work {
+                    // panics: mutex poisoned only if another thread already panicked
                     errors.lock().unwrap().push(e);
                     return;
                 }
@@ -316,6 +322,7 @@ pub fn tau2ti(
         }
     });
 
+    // panics: record pairing is guaranteed by the acquisition tracer
     if let Some(e) = errors.into_inner().unwrap().into_iter().next() {
         return Err(e);
     }

@@ -1,0 +1,62 @@
+//! `titlint` — static analysis for time-independent MPI traces.
+//!
+//! The replayer (Section 5 of the paper) discovers trace defects the
+//! hard way: a missing send deadlocks the simulation minutes into a
+//! replay, a corrupted volume skews a prediction silently. This crate
+//! finds those defects *statically*, before any simulator starts:
+//!
+//! * **Ordered point-to-point matching** — every `send`/`Isend` is
+//!   paired with its `recv`/`Irecv` in the replayer's per-ordered-pair
+//!   FIFO discipline, so a leftover operation is pinned to its exact
+//!   `(rank, action index)` rather than an aggregate count
+//!   ([`LintCode::MissingRecv`], [`LintCode::MissingSend`]).
+//! * **Guaranteed-deadlock detection** — the trace is executed
+//!   abstractly under eager-send semantics (the most permissive legal
+//!   behaviour); if it stalls, no real execution can complete, and the
+//!   cycle in the cross-rank wait-for graph is reported with every
+//!   member's rank, action index and keyword
+//!   ([`LintCode::DeadlockCycle`], mirroring the replayer's
+//!   `simkern::SimError::Deadlock` diagnostics).
+//! * **Collective alignment** — the first diverging collective per
+//!   rank, located on both sides ([`LintCode::CollectiveDivergence`]).
+//! * **Volume sanity** — NaN/negative/zero volumes, byte annotations
+//!   contradicting the matched send, self-messages.
+//! * **Total loading** — when linting a trace directory, missing rank
+//!   files and unparseable lines become findings too, so every
+//!   corruption the acquisition pipeline can suffer surfaces as a lint
+//!   rather than an I/O error.
+//!
+//! Every finding carries a stable code (`TL0001`…), a severity
+//! (configurable per code via [`LintConfig`]), and a source location
+//! (`file:line` for text traces). Reports render human-readable
+//! ([`Report::render_text`]) and as JSON ([`Report::to_json`]); the
+//! `tit-lint` binary in `crates/cli` wraps [`lint_dir`], and
+//! `tit-replay --lint` refuses to simulate a trace with error findings.
+//!
+//! ```
+//! use tit_core::{Action, TiTrace};
+//!
+//! // Three ranks, each receiving from its left neighbour before
+//! // sending to its right one: balanced counts, guaranteed deadlock.
+//! let mut t = TiTrace::new(3);
+//! for r in 0..3 {
+//!     t.push(r, Action::Recv { src: (r + 2) % 3, bytes: None });
+//!     t.push(r, Action::Send { dst: (r + 1) % 3, bytes: 64.0 });
+//! }
+//! let report = titlint::analyze(&t);
+//! assert!(report.has_errors());
+//! assert_eq!(report.findings[0].code.id(), "TL0003");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod analyze;
+mod finding;
+mod schedule;
+mod source;
+
+pub use analyze::{analyze, analyze_with, lint_dir};
+pub use finding::{Finding, LintCode, LintConfig, Location, Report, Severity};
+pub use schedule::{schedule, Blocked, ScheduleOutcome};
+pub use source::{load_dir, LoadedDir, SourceMap};

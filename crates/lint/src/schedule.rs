@@ -1,0 +1,399 @@
+//! Abstract scheduling of a trace: guaranteed-deadlock detection.
+//!
+//! The trace is *executed abstractly* under the most permissive
+//! semantics the replayer could exhibit: sends complete eagerly
+//! (buffered, never block), receives block until the matching send has
+//! been *posted* (per-ordered-pair FIFO, the replayer's mailbox
+//! discipline), `wait` blocks until its oldest pending request can
+//! complete, and collectives block until every rank has arrived at its
+//! matching collective instance. If the abstract execution cannot run
+//! every rank to completion, no real execution can either — the stall is
+//! a **guaranteed** deadlock, not a may-deadlock. The blocked ranks form
+//! a wait-for graph; its cycles are the root causes the analyzer
+//! reports, with the rank, action index and keyword of every member
+//! (the static-analysis counterpart of the replayer's
+//! `simkern::SimError::Deadlock` wait-for diagnostics).
+
+use std::collections::{BTreeMap, VecDeque};
+use tit_core::{Action, TiTrace};
+
+/// One rank stuck at an action when the abstract execution stalled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blocked {
+    /// The stuck rank.
+    pub rank: usize,
+    /// Index of the action it cannot complete.
+    pub index: usize,
+    /// Trace keyword of that action.
+    pub keyword: &'static str,
+    /// Ranks that would have to act for this one to progress.
+    pub waits_on: Vec<usize>,
+}
+
+/// Outcome of abstractly executing a trace.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleOutcome {
+    /// True when every rank ran to the end of its action list.
+    pub completed: bool,
+    /// Every rank still stuck at the stall point (empty if completed).
+    pub blocked: Vec<Blocked>,
+    /// Cycles in the wait-for graph: each is the ordered list of
+    /// positions in [`ScheduleOutcome::blocked`] forming the cycle.
+    pub cycles: Vec<Vec<usize>>,
+}
+
+/// A pending non-blocking request, completed in FIFO order by `wait`.
+enum Req {
+    /// An `Isend`: eager, always completable.
+    SendDone,
+    /// An `Irecv` from `src`, holding receive slot `slot` of the
+    /// `(src, rank)` pair.
+    Recv { src: usize, slot: usize },
+}
+
+struct RankState {
+    pc: usize,
+    /// The current blocking action already posted its side effect
+    /// (receive slot taken / collective arrival counted).
+    posted: bool,
+    /// Receive slot taken by the current blocking `recv`.
+    slot: usize,
+    pending: VecDeque<Req>,
+    colls_done: usize,
+    colls_arrived: usize,
+}
+
+/// Abstractly executes `trace` to completion or to a stall.
+pub fn schedule(trace: &TiTrace) -> ScheduleOutcome {
+    let n = trace.num_processes();
+    let mut states: Vec<RankState> = (0..n)
+        .map(|_| RankState {
+            pc: 0,
+            posted: false,
+            slot: 0,
+            pending: VecDeque::new(),
+            colls_done: 0,
+            colls_arrived: 0,
+        })
+        .collect();
+    // (src, dst) -> number of sends posted / receive slots taken.
+    let mut sends_posted: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut recvs_posted: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+
+    loop {
+        let mut progress = false;
+        for rank in 0..n {
+            while step(rank, trace, &mut states, &mut sends_posted, &mut recvs_posted) {
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    let completed = states
+        .iter()
+        .enumerate()
+        .all(|(r, s)| s.pc >= trace.actions[r].len());
+    let mut out = ScheduleOutcome { completed, ..ScheduleOutcome::default() };
+    if out.completed {
+        return out;
+    }
+    for (rank, s) in states.iter().enumerate() {
+        if s.pc >= trace.actions[rank].len() {
+            continue;
+        }
+        let a = &trace.actions[rank][s.pc];
+        let waits_on = match *a {
+            Action::Recv { src, .. } => {
+                if src < n { vec![src] } else { Vec::new() }
+            }
+            Action::Wait => match s.pending.front() {
+                Some(Req::Recv { src, .. }) if *src < n => vec![*src],
+                _ => Vec::new(),
+            },
+            _ if a.is_collective() => (0..n)
+                .filter(|&q| q != rank && states[q].colls_arrived < s.colls_done + 1)
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.blocked.push(Blocked { rank, index: s.pc, keyword: a.keyword(), waits_on });
+    }
+    out.cycles = find_cycles(&out.blocked);
+    out
+}
+
+/// Tries to complete `rank`'s current action; true if it advanced.
+fn step(
+    rank: usize,
+    trace: &TiTrace,
+    states: &mut [RankState],
+    sends_posted: &mut BTreeMap<(usize, usize), usize>,
+    recvs_posted: &mut BTreeMap<(usize, usize), usize>,
+) -> bool {
+    let pc = states[rank].pc;
+    let Some(a) = trace.actions[rank].get(pc) else {
+        return false;
+    };
+    match *a {
+        Action::Compute { .. } | Action::CommSize { .. } => {}
+        Action::Send { dst, .. } => {
+            // Eager: buffered and complete at once. If no execution can
+            // deliver it, per-pair matching reports the missing receive.
+            *sends_posted.entry((rank, dst)).or_insert(0) += 1;
+        }
+        Action::Isend { dst, .. } => {
+            *sends_posted.entry((rank, dst)).or_insert(0) += 1;
+            states[rank].pending.push_back(Req::SendDone);
+        }
+        Action::Recv { src, .. } => {
+            if !states[rank].posted {
+                let slot = recvs_posted.entry((src, rank)).or_insert(0);
+                states[rank].slot = *slot;
+                *slot += 1;
+                states[rank].posted = true;
+            }
+            if sends_posted.get(&(src, rank)).copied().unwrap_or(0) <= states[rank].slot {
+                return false; // matching send not posted yet
+            }
+            states[rank].posted = false;
+        }
+        Action::Irecv { src, .. } => {
+            let slot = recvs_posted.entry((src, rank)).or_insert(0);
+            states[rank].pending.push_back(Req::Recv { src, slot: *slot });
+            *slot += 1;
+        }
+        Action::Wait => {
+            match states[rank].pending.front() {
+                // A stray wait cannot block the abstract execution; the
+                // request-discipline lint reports it separately.
+                None | Some(Req::SendDone) => {}
+                Some(&Req::Recv { src, slot }) => {
+                    if sends_posted.get(&(src, rank)).copied().unwrap_or(0) <= slot {
+                        return false;
+                    }
+                }
+            }
+            states[rank].pending.pop_front();
+        }
+        Action::Bcast { .. }
+        | Action::Reduce { .. }
+        | Action::AllReduce { .. }
+        | Action::Barrier => {
+            if !states[rank].posted {
+                states[rank].colls_arrived += 1;
+                states[rank].posted = true;
+            }
+            let instance = states[rank].colls_done + 1;
+            if states.iter().any(|s| s.colls_arrived < instance) {
+                return false; // someone has not arrived yet
+            }
+            states[rank].colls_done += 1;
+            states[rank].posted = false;
+        }
+    }
+    states[rank].pc += 1;
+    true
+}
+
+/// Finds cycles in the wait-for graph over the blocked ranks.
+///
+/// From every blocked rank, walk the graph always following the
+/// smallest blocked successor; the first repeated node closes a cycle.
+/// Cycles are canonicalised (rotated to start at their smallest rank)
+/// and deduplicated, so the output is deterministic.
+fn find_cycles(blocked: &[Blocked]) -> Vec<Vec<usize>> {
+    let pos: BTreeMap<usize, usize> =
+        blocked.iter().enumerate().map(|(i, b)| (b.rank, i)).collect();
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let mut seen_keys: Vec<Vec<usize>> = Vec::new();
+    for start in 0..blocked.len() {
+        let mut path: Vec<usize> = Vec::new();
+        let mut on_path = vec![false; blocked.len()];
+        let mut cur = start;
+        loop {
+            if on_path[cur] {
+                // Cycle: the portion of the path from `cur` onwards.
+                let Some(from) = path.iter().position(|&p| p == cur) else {
+                    break;
+                };
+                let mut cycle: Vec<usize> = path[from..].to_vec();
+                // Canonicalise: rotate so the smallest rank leads.
+                let Some((min_at, _)) = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &i)| blocked[i].rank)
+                else {
+                    break;
+                };
+                cycle.rotate_left(min_at);
+                if !seen_keys.contains(&cycle) {
+                    seen_keys.push(cycle.clone());
+                    cycles.push(cycle);
+                }
+                break;
+            }
+            on_path[cur] = true;
+            path.push(cur);
+            // Follow the smallest still-blocked successor.
+            let next = blocked[cur]
+                .waits_on
+                .iter()
+                .filter_map(|q| pos.get(q).copied())
+                .min();
+            match next {
+                Some(nx) => cur = nx,
+                None => break, // chain ends at a terminated rank
+            }
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical 3-rank circular wait: every rank receives from its
+    /// left neighbour *before* sending to its right one.
+    fn circular_deadlock() -> TiTrace {
+        let mut t = TiTrace::new(3);
+        for r in 0..3usize {
+            t.push(r, Action::Recv { src: (r + 2) % 3, bytes: None });
+            t.push(r, Action::Send { dst: (r + 1) % 3, bytes: 64.0 });
+        }
+        t
+    }
+
+    #[test]
+    fn ring_with_recv_first_head_completes() {
+        // Figure 1's ring: p0 sends first, so the wave unwinds.
+        let mut t = TiTrace::new(3);
+        t.push(0, Action::Send { dst: 1, bytes: 1.0 });
+        t.push(0, Action::Recv { src: 2, bytes: None });
+        for r in 1..3usize {
+            t.push(r, Action::Recv { src: r - 1, bytes: None });
+            t.push(r, Action::Send { dst: (r + 1) % 3, bytes: 1.0 });
+        }
+        let out = schedule(&t);
+        assert!(out.completed, "{out:?}");
+    }
+
+    #[test]
+    fn circular_wait_is_a_guaranteed_deadlock_with_a_full_cycle() {
+        let out = schedule(&circular_deadlock());
+        assert!(!out.completed);
+        assert_eq!(out.blocked.len(), 3);
+        assert_eq!(out.cycles.len(), 1, "{out:?}");
+        let cycle = &out.cycles[0];
+        assert_eq!(cycle.len(), 3);
+        let members: Vec<(usize, usize, &str)> = cycle
+            .iter()
+            .map(|&i| (out.blocked[i].rank, out.blocked[i].index, out.blocked[i].keyword))
+            .collect();
+        assert_eq!(members[0], (0, 0, "recv"));
+        assert!(members.contains(&(1, 0, "recv")));
+        assert!(members.contains(&(2, 0, "recv")));
+    }
+
+    #[test]
+    fn two_rank_mutual_recv_cycles_even_when_counts_balance() {
+        // Balanced counts (1 send + 1 recv each way) that still deadlock:
+        // both ranks receive before they send.
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Recv { src: 1, bytes: None });
+        t.push(0, Action::Send { dst: 1, bytes: 8.0 });
+        t.push(1, Action::Recv { src: 0, bytes: None });
+        t.push(1, Action::Send { dst: 0, bytes: 8.0 });
+        let out = schedule(&t);
+        assert!(!out.completed);
+        assert_eq!(out.cycles.len(), 1);
+        assert_eq!(out.cycles[0].len(), 2);
+    }
+
+    #[test]
+    fn isend_and_wait_do_not_block_eagerly() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Isend { dst: 1, bytes: 8.0 });
+        t.push(0, Action::Recv { src: 1, bytes: None });
+        t.push(0, Action::Wait);
+        t.push(1, Action::Irecv { src: 0, bytes: None });
+        t.push(1, Action::Send { dst: 0, bytes: 8.0 });
+        t.push(1, Action::Wait);
+        assert!(schedule(&t).completed);
+    }
+
+    #[test]
+    fn wait_on_unsent_irecv_blocks() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Irecv { src: 1, bytes: None });
+        t.push(0, Action::Wait);
+        t.push(0, Action::Send { dst: 1, bytes: 8.0 });
+        t.push(1, Action::Recv { src: 0, bytes: None });
+        t.push(1, Action::Send { dst: 0, bytes: 8.0 });
+        let out = schedule(&t);
+        assert!(!out.completed);
+        // p0 waits on p1's send; p1 waits on p0's send: a 2-cycle
+        // through the wait.
+        assert_eq!(out.cycles.len(), 1);
+        let kws: Vec<&str> =
+            out.cycles[0].iter().map(|&i| out.blocked[i].keyword).collect();
+        assert!(kws.contains(&"wait"), "{kws:?}");
+        assert!(kws.contains(&"recv"), "{kws:?}");
+    }
+
+    #[test]
+    fn collective_misalignment_blocks_as_mutual_wait() {
+        // p0: recv then barrier; p1: barrier then send. Guaranteed stuck.
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Recv { src: 1, bytes: None });
+        t.push(0, Action::Barrier);
+        t.push(1, Action::Barrier);
+        t.push(1, Action::Send { dst: 0, bytes: 4.0 });
+        let out = schedule(&t);
+        assert!(!out.completed);
+        assert_eq!(out.cycles.len(), 1, "{out:?}");
+        let kws: Vec<&str> =
+            out.cycles[0].iter().map(|&i| out.blocked[i].keyword).collect();
+        assert!(kws.contains(&"barrier"), "{kws:?}");
+    }
+
+    #[test]
+    fn balanced_collectives_complete() {
+        let mut t = TiTrace::new(3);
+        for r in 0..3usize {
+            t.push(r, Action::CommSize { nproc: 3 });
+            t.push(r, Action::Barrier);
+            t.push(r, Action::Bcast { bytes: 64.0 });
+            t.push(r, Action::AllReduce { vcomm: 8.0, vcomp: 8.0 });
+        }
+        assert!(schedule(&t).completed);
+    }
+
+    #[test]
+    fn missing_send_stalls_without_a_cycle() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Recv { src: 1, bytes: None });
+        // p1 terminates immediately.
+        let out = schedule(&t);
+        assert!(!out.completed);
+        assert_eq!(out.blocked.len(), 1);
+        assert!(out.cycles.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn self_recv_is_a_one_cycle() {
+        let mut t = TiTrace::new(1);
+        t.push(0, Action::Recv { src: 0, bytes: None });
+        let out = schedule(&t);
+        assert!(!out.completed);
+        assert_eq!(out.cycles, vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_trace_completes() {
+        assert!(schedule(&TiTrace::new(4)).completed);
+        assert!(schedule(&TiTrace::default()).completed);
+    }
+}

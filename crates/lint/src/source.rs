@@ -1,0 +1,238 @@
+//! Loading trace directories with source locations.
+//!
+//! The analyzer works on in-memory [`TiTrace`]s, but when the trace set
+//! comes from text files every finding should point back at a
+//! `file:line`. [`load_dir`] reads the conventional per-rank layout
+//! (`SG_process<N>.trace`) and builds a [`SourceMap`] from `(rank,
+//! action index)` to the file and 1-based line each action was parsed
+//! from. Loading is *total*: a missing rank file or an unparseable line
+//! becomes a finding ([`LintCode::MissingRankFile`],
+//! [`LintCode::ParseFailure`]) instead of an I/O error, so every
+//! corruption the acquisition pipeline can suffer surfaces as a lint.
+
+use crate::finding::{Finding, LintCode, Location};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use tit_core::codec::parse_line;
+use tit_core::trace::process_trace_filename;
+use tit_core::TiTrace;
+
+/// Maps `(rank, action index)` back to the text source it came from.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    files: Vec<PathBuf>,
+    /// `entries[rank][index] = (file id, 1-based line)`.
+    entries: Vec<Vec<(usize, usize)>>,
+}
+
+impl SourceMap {
+    /// Registers `file`, returning its id for [`SourceMap::record`].
+    pub fn add_file(&mut self, file: PathBuf) -> usize {
+        self.files.push(file);
+        self.files.len() - 1
+    }
+
+    /// Records that `rank`'s next action (index `index`) came from
+    /// `line` of file `file_id`. Indices must be recorded in order.
+    pub fn record(&mut self, rank: usize, index: usize, file_id: usize, line: usize) {
+        if rank >= self.entries.len() {
+            self.entries.resize(rank + 1, Vec::new());
+        }
+        let per_rank = &mut self.entries[rank];
+        // Tolerate gaps defensively; `lookup` treats the filler as
+        // unknown (file id out of range).
+        per_rank.resize(index, (usize::MAX, 0));
+        per_rank.push((file_id, line));
+    }
+
+    /// The source of `rank`'s action `index`, when known.
+    pub fn lookup(&self, rank: usize, index: usize) -> Option<(&Path, usize)> {
+        let &(file_id, line) = self.entries.get(rank)?.get(index)?;
+        let file = self.files.get(file_id)?;
+        Some((file.as_path(), line))
+    }
+
+    /// Fills the `file`/`line` fields of `loc` from this map.
+    pub fn annotate(&self, loc: &mut Location) {
+        if let Some(index) = loc.index {
+            if let Some((file, line)) = self.lookup(loc.rank, index) {
+                loc.file = Some(file.display().to_string());
+                loc.line = Some(line);
+            }
+        }
+    }
+}
+
+/// A trace directory loaded for linting.
+#[derive(Debug, Default)]
+pub struct LoadedDir {
+    /// The parsed actions (ranks that failed to load stay empty).
+    pub trace: TiTrace,
+    /// Source locations for every parsed action.
+    pub sources: SourceMap,
+    /// Findings produced by loading itself: missing rank files,
+    /// unreadable data, unparseable lines.
+    pub findings: Vec<Finding>,
+}
+
+/// Loads `SG_process0.trace` … `SG_process<nproc-1>.trace` from `dir`.
+///
+/// Never fails: defects become findings in [`LoadedDir::findings`] and
+/// the affected lines are skipped, so the analyzer still sees everything
+/// that did parse.
+pub fn load_dir(dir: &Path, nproc: usize) -> LoadedDir {
+    let mut out = LoadedDir { trace: TiTrace::new(nproc), ..LoadedDir::default() };
+    for rank in 0..nproc {
+        let path = dir.join(process_trace_filename(rank));
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                out.findings.push(Finding::new(
+                    LintCode::MissingRankFile,
+                    Location {
+                        rank,
+                        file: Some(path.display().to_string()),
+                        ..Location::default()
+                    },
+                    format!("cannot open p{rank}'s trace: {e}"),
+                ));
+                continue;
+            }
+        };
+        let file_id = out.sources.add_file(path.clone());
+        let reader = std::io::BufReader::with_capacity(1 << 20, file);
+        for (line_no, line) in reader.lines().enumerate() {
+            let line_no = line_no + 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    out.findings.push(Finding::new(
+                        LintCode::ParseFailure,
+                        Location {
+                            rank,
+                            file: Some(path.display().to_string()),
+                            line: Some(line_no),
+                            ..Location::default()
+                        },
+                        format!("unreadable data: {e}"),
+                    ));
+                    break; // the stream is gone; keep what parsed
+                }
+            };
+            match parse_line(&line, line_no) {
+                // In the per-rank layout every line must carry the
+                // file's own rank; a contradicting pid means the file
+                // was damaged or mis-gathered, and trusting either side
+                // of the contradiction would mis-attribute the action.
+                Ok(Some((pid, _))) if pid != rank => {
+                    out.findings.push(Finding::new(
+                        LintCode::RankMismatch,
+                        Location {
+                            rank,
+                            file: Some(path.display().to_string()),
+                            line: Some(line_no),
+                            ..Location::default()
+                        },
+                        format!("line declares p{pid} inside p{rank}'s trace file"),
+                    ));
+                }
+                Ok(Some((pid, action))) => {
+                    out.trace.push(pid, action);
+                    let index = out.trace.actions[pid].len() - 1;
+                    out.sources.record(pid, index, file_id, line_no);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    out.findings.push(Finding::new(
+                        LintCode::ParseFailure,
+                        Location {
+                            rank,
+                            file: Some(path.display().to_string()),
+                            line: Some(line_no),
+                            ..Location::default()
+                        },
+                        e.message,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("titlint-src-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn maps_actions_back_to_file_and_line() {
+        let dir = tmp("map");
+        std::fs::write(
+            dir.join("SG_process0.trace"),
+            "# header comment\np0 compute 10\n\np0 send p1 64\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("SG_process1.trace"), "p1 recv p0\n").unwrap();
+        let loaded = load_dir(&dir, 2);
+        assert!(loaded.findings.is_empty(), "{:?}", loaded.findings);
+        assert_eq!(loaded.trace.num_actions(), 3);
+        let (file, line) = loaded.sources.lookup(0, 1).unwrap();
+        assert!(file.ends_with("SG_process0.trace"));
+        assert_eq!(line, 4); // comment and blank lines counted
+        assert_eq!(loaded.sources.lookup(1, 0).unwrap().1, 1);
+        assert!(loaded.sources.lookup(1, 5).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_pid_lines_become_rank_mismatch_findings() {
+        let dir = tmp("mismatch");
+        std::fs::write(
+            dir.join("SG_process0.trace"),
+            "p0 compute 10\np1 compute 20\np0 compute 5\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("SG_process1.trace"), "p1 compute 1\n").unwrap();
+        let loaded = load_dir(&dir, 2);
+        assert_eq!(loaded.trace.actions[0].len(), 2, "own lines survive");
+        assert_eq!(loaded.trace.actions[1].len(), 1, "foreign line not re-attributed");
+        let mismatch = loaded
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::RankMismatch)
+            .unwrap();
+        assert_eq!(mismatch.primary.line, Some(2));
+        assert!(mismatch.message.contains("declares p1"), "{}", mismatch.message);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_rank_and_bad_lines_become_findings() {
+        let dir = tmp("defects");
+        std::fs::write(
+            dir.join("SG_process0.trace"),
+            "p0 compute 10\np0 frobnicate 3\np0 compute 5\n",
+        )
+        .unwrap();
+        let loaded = load_dir(&dir, 2);
+        assert_eq!(loaded.trace.actions[0].len(), 2, "good lines survive");
+        let codes: Vec<_> = loaded.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&LintCode::ParseFailure), "{codes:?}");
+        assert!(codes.contains(&LintCode::MissingRankFile), "{codes:?}");
+        let parse = loaded
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::ParseFailure)
+            .unwrap();
+        assert_eq!(parse.primary.line, Some(2));
+        assert!(parse.message.contains("frobnicate"), "{}", parse.message);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

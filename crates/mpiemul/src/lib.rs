@@ -24,6 +24,8 @@
 //! the emulated acquisition is folded or scattered, the *extracted*
 //! time-independent trace is byte-identical up to PAPI counter jitter.
 
+#![forbid(unsafe_code)]
+
 pub mod acquisition;
 pub mod instrument;
 pub mod ops;

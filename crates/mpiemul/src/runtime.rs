@@ -297,6 +297,9 @@ impl EmulActor {
         self.coll_buf = buf;
     }
 
+    // Reads like the other ctx accessors at its call sites even though
+    // it needs no state.
+    #[allow(clippy::unused_self)]
     fn mailbox(&self, src: usize, dst: usize, chan: u8) -> MailboxKey {
         MailboxKey { src: src as u32, dst: dst as u32, chan }
     }
@@ -307,36 +310,42 @@ impl EmulActor {
         match m {
             Micro::Enter(call) => {
                 if let Some(i) = self.inst.as_mut() {
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.mpi_enter(now, call, self.papi.read()).expect("tau write");
                 }
                 None
             }
             Micro::Leave(call) => {
                 if let Some(i) = self.inst.as_mut() {
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.mpi_leave(now, call, self.papi.read()).expect("tau write");
                 }
                 None
             }
             Micro::SendRec { dst, bytes } => {
                 if let Some(i) = self.inst.as_mut() {
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.msg_send(now, dst, bytes).expect("tau write");
                 }
                 None
             }
             Micro::RecvRec { src, bytes } => {
                 if let Some(i) = self.inst.as_mut() {
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.msg_recv(now, src, bytes).expect("tau write");
                 }
                 None
             }
             Micro::CollVol { bytes } => {
                 if let Some(i) = self.inst.as_mut() {
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.coll_volume(now, bytes).expect("tau write");
                 }
                 None
             }
             Micro::CommSizeRec => {
                 if let Some(i) = self.inst.as_mut() {
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.comm_size(now, self.nproc).expect("tau write");
                 }
                 None
@@ -378,6 +387,7 @@ impl EmulActor {
             }
             Micro::WaitOldest => {
                 let (op, note) = self.requests.pop_front().unwrap_or_else(|| {
+                    // panics: a wait with no request mirrors the real MPI abort
                     panic!("p{}: MPI_Wait with no pending request", self.rank)
                 });
                 if let Some((src, bytes)) = note {
@@ -396,7 +406,9 @@ impl Actor for EmulActor {
             self.started = true;
             if let Some(i) = self.inst.as_mut() {
                 let now = ctx.now();
+                // panics: an unwritable trace sink aborts the acquisition run
                 i.mpi_enter(now, MpiCall::Init, 0).expect("tau write");
+                // panics: an unwritable trace sink aborts the acquisition run
                 i.mpi_leave(now, MpiCall::Init, 0).expect("tau write");
             }
         }
@@ -410,8 +422,11 @@ impl Actor for EmulActor {
             if self.finished_stream {
                 if let Some(mut i) = self.inst.take() {
                     let now = ctx.now();
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.mpi_enter(now, MpiCall::Finalize, self.papi.read()).expect("tau write");
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.mpi_leave(now, MpiCall::Finalize, self.papi.read()).expect("tau write");
+                    // panics: an unwritable trace sink aborts the acquisition run
                     i.finish(now).expect("tau finish");
                 }
                 return Step::Done;
@@ -479,6 +494,7 @@ fn run_emulation_inner(
         struct Shared(std::sync::Arc<std::sync::Mutex<Vec<simkern::observer::OpRecord>>>);
         impl simkern::observer::Observer for Shared {
             fn record(&mut self, rec: simkern::observer::OpRecord) {
+                // panics: mutex poisoned only if another thread already panicked
                 self.0.lock().unwrap().push(rec);
             }
         }
@@ -521,6 +537,7 @@ fn run_emulation_inner(
         }
         _ => (None, 0),
     };
+    // panics: mutex poisoned only if another thread already panicked
     let recs = std::mem::take(&mut *records.lock().unwrap());
     Ok((
         EmulationResult {

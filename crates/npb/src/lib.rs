@@ -15,6 +15,8 @@
 //! Also here: the paper's Figure 1 ring example ([`ring`]) and a 2-D
 //! Jacobi stencil ([`stencil`]) used by the examples.
 
+#![forbid(unsafe_code)]
+
 pub mod cg;
 pub mod classes;
 pub mod lu;

@@ -144,6 +144,7 @@ impl Deployment {
             .map(|e| {
                 platform
                     .host_by_name(&e.host)
+                    // panics: documented contract: the descriptor must be self-consistent
                     .unwrap_or_else(|| panic!("deployment host {:?} not in platform", e.host))
             })
             .collect()

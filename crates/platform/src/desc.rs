@@ -191,11 +191,13 @@ impl PlatformDesc {
                 .clusters
                 .iter()
                 .position(|c| c.id == w.from)
+                // panics: documented contract: the descriptor must be self-consistent
                 .unwrap_or_else(|| panic!("interconnect references unknown cluster {}", w.from));
             let b = self
                 .clusters
                 .iter()
                 .position(|c| c.id == w.to)
+                // panics: documented contract: the descriptor must be self-consistent
                 .unwrap_or_else(|| panic!("interconnect references unknown cluster {}", w.to));
             let l = pb.add_link(&format!("wan-{}-{}", w.from, w.to), w.bw, w.lat);
             wan.insert((a, b), l);
@@ -372,6 +374,7 @@ impl Router for MultiClusterRouter {
             let wan = *self
                 .wan
                 .get(&(ca, cb))
+                // panics: documented contract: the descriptor must be self-consistent
                 .unwrap_or_else(|| panic!("no interconnect between clusters {ca} and {cb}"));
             self.ascend(ca, la, out);
             out.push(wan);

@@ -17,6 +17,8 @@
 //! * presets ([`presets`]) describing the two Grid'5000 clusters of the
 //!   evaluation section and their interconnection.
 
+#![forbid(unsafe_code)]
+
 pub mod deployment;
 pub mod desc;
 pub mod presets;

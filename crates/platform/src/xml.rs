@@ -117,7 +117,7 @@ impl std::error::Error for XmlError {}
 /// Parses a document, returning its root element.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
     let mut p = Parser { s: input.as_bytes(), pos: 0 };
-    p.skip_prolog()?;
+    p.skip_prolog();
     let root = p.parse_element()?;
     p.skip_misc();
     if p.pos < p.s.len() {
@@ -131,7 +131,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn skip_ws(&mut self) {
         while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
             self.pos += 1;
@@ -175,9 +175,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+    fn skip_prolog(&mut self) {
         self.skip_misc();
-        Ok(())
     }
 
     fn parse_name(&mut self) -> Result<String, XmlError> {
@@ -191,7 +190,7 @@ impl<'a> Parser<'a> {
             }
         }
         if self.pos == start {
-            return Err(XmlError(format!("expected name at byte {}", start)));
+            return Err(XmlError(format!("expected name at byte {start}")));
         }
         Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
     }

@@ -40,8 +40,8 @@ impl ReplayError {
             ReplayError::MissingRank { rank, .. } | ReplayError::Trace { rank, .. } => {
                 Some(*rank)
             }
-            ReplayError::Sim(SimError::ActorFailure { actor, .. })
-            | ReplayError::Sim(SimError::Protocol { actor, .. }) => Some(*actor),
+            ReplayError::Sim(SimError::ActorFailure { actor, .. } | SimError::Protocol {
+actor, .. }) => Some(*actor),
             _ => None,
         }
     }

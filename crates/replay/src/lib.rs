@@ -14,6 +14,8 @@
 //! non-blocking operations feed a FIFO request queue consumed by `wait`
 //! ([`process`]).
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 pub mod error;
 pub mod handlers;

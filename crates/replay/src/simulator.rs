@@ -57,6 +57,7 @@ struct SharedCollector(Arc<Mutex<Vec<OpRecord>>>);
 
 impl Observer for SharedCollector {
     fn record(&mut self, rec: OpRecord) {
+        // panics: mutex poisoned only if another thread already panicked
         self.0.lock().unwrap().push(rec);
     }
 }
@@ -87,6 +88,7 @@ fn run(
     let simulated_time = engine.run_checked().map_err(ReplayError::from)?;
     let wall_time = t0.elapsed();
     let records = if cfg.collect_records {
+        // panics: mutex poisoned only if another thread already panicked
         Some(std::mem::take(&mut *records.lock().unwrap()))
     } else {
         None

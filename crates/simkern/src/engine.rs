@@ -331,6 +331,7 @@ impl Engine {
             match (t_ev, t_act) {
                 (None, None) => break,
                 (Some(te), ta) if ta.map(|ta| te <= ta).unwrap_or(true) => {
+                    // panics: kernel invariant; violation means simulator state corruption
                     let Reverse(ev) = self.heap.pop().unwrap();
                     debug_assert!(ev.time >= self.clock - 1e-9);
                     self.clock = self.clock.max(ev.time);
@@ -340,6 +341,7 @@ impl Engine {
                     }
                 }
                 _ => {
+                    // panics: kernel invariant; violation means simulator state corruption
                     let (t, act) = self.completions.pop().unwrap();
                     debug_assert!(t >= self.clock - 1e-9);
                     self.clock = self.clock.max(t);
@@ -410,6 +412,7 @@ impl Engine {
             let act = *self
                 .var_act
                 .get(v.0)
+                // panics: kernel invariant; violation means simulator state corruption
                 .expect("solver variable without an owning activity");
             if !self.activities.contains(act) {
                 continue; // variable id reused after removal in this batch
@@ -439,6 +442,7 @@ impl Engine {
         let a = self
             .activities
             .try_remove(act)
+            // panics: kernel invariant; violation means simulator state corruption
             .expect("finish_activity: activity already retired");
         self.lmm.remove_variable(a.var);
         match a.owner {
@@ -478,6 +482,7 @@ impl Engine {
         if !self.actors[aid].alive {
             return;
         }
+        // panics: kernel invariant; violation means simulator state corruption
         let mut boxed = self.actors[aid].actor.take().expect("actor re-entered");
         let step = {
             let mut ctx = Ctx { eng: self, actor: aid };
@@ -712,6 +717,7 @@ impl Engine {
             route
                 .shared
                 .iter()
+                // panics: kernel invariant; violation means simulator state corruption
                 .map(|l| self.link_cnst[l.0 as usize].expect("shared link without constraint"))
                 .collect()
         } else {
@@ -748,7 +754,9 @@ impl Engine {
         let c = self
             .comms
             .try_remove(comm)
+            // panics: kernel invariant; violation means simulator state corruption
             .expect("finish_comm: comm already retired");
+        // panics: kernel invariant; violation means simulator state corruption
         let recv_op = c.recv_op.expect("finish_comm without a receive");
         self.complete_op(recv_op);
     }
@@ -766,7 +774,7 @@ pub struct Ctx<'a> {
     pub(crate) actor: ActorId,
 }
 
-impl<'a> Ctx<'a> {
+impl Ctx<'_> {
     /// Current simulated time.
     pub fn now(&self) -> f64 {
         self.eng.clock

@@ -76,6 +76,8 @@
 //! assert!(end > 1e-3); // 1 Mflop at 1 Gflop/s + 1 MB at 125 MB/s
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod actor;
 pub mod idxheap;
 pub mod engine;

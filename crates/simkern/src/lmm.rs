@@ -108,6 +108,7 @@ impl System {
         );
         self.cnsts
             .try_remove(id.0)
+            // panics: kernel invariant; violation means simulator state corruption
             .expect("remove_constraint: constraint already removed");
     }
 
@@ -148,6 +149,7 @@ impl System {
         let var = self
             .vars
             .try_remove(id.0)
+            // panics: kernel invariant; violation means simulator state corruption
             .expect("remove_variable: variable already removed");
         for c in &var.cnsts {
             let vars = &mut self.cnsts[c.0].vars;

@@ -48,6 +48,7 @@ impl PiecewiseModel {
         for w in segments.windows(2) {
             assert!(w[0].max_size < w[1].max_size, "segments must be sorted");
         }
+        // panics: kernel invariant; violation means simulator state corruption
         let last = segments.last().unwrap();
         assert!(last.max_size.is_infinite(), "last segment must be unbounded");
         for s in &segments {
@@ -77,6 +78,7 @@ impl PiecewiseModel {
                 return (s.lat_factor, s.bw_factor);
             }
         }
+        // panics: kernel invariant; violation means simulator state corruption
         let last = self.segments.last().unwrap();
         (last.lat_factor, last.bw_factor)
     }

@@ -124,6 +124,8 @@ pub struct Platform {
     router: Box<dyn Router>,
 }
 
+// Summarised on purpose: dumping every host and link drowns the output.
+#[allow(clippy::missing_fields_in_debug)]
 impl std::fmt::Debug for Platform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Platform")

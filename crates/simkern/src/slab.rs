@@ -122,12 +122,14 @@ impl<T> Slab<T> {
 impl<T> std::ops::Index<usize> for Slab<T> {
     type Output = T;
     fn index(&self, key: usize) -> &T {
+        // panics: kernel invariant; violation means simulator state corruption
         self.get(key).expect("slab: index of vacant slot")
     }
 }
 
 impl<T> std::ops::IndexMut<usize> for Slab<T> {
     fn index_mut(&mut self, key: usize) -> &mut T {
+        // panics: kernel invariant; violation means simulator state corruption
         self.get_mut(key).expect("slab: index of vacant slot")
     }
 }

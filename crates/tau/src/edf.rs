@@ -58,7 +58,7 @@ impl EventRegistry {
         self.defs.push(EventDef {
             id,
             group: group.to_string(),
-            tag: if kind == EventKind::TriggerValue { 1 } else { 0 },
+            tag: i32::from(kind == EventKind::TriggerValue),
             name: name.to_string(),
             kind,
         });

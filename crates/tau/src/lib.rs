@@ -18,6 +18,8 @@
 //! callbacks to produce time-independent traces, exactly like the paper's
 //! `tau2simgrid` tool.
 
+#![forbid(unsafe_code)]
+
 pub mod edf;
 pub mod records;
 pub mod reader;

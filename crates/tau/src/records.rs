@@ -105,10 +105,15 @@ impl Record {
         buf: &[u8; RECORD_BYTES],
         is_trigger: impl Fn(i32) -> bool,
     ) -> Result<Record, BadRecord> {
+        // panics: slice length is fixed by the preceding bounds check
         let ev = i32::from_le_bytes(buf[0..4].try_into().unwrap());
+        // panics: slice length is fixed by the preceding bounds check
         let nid = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        // panics: slice length is fixed by the preceding bounds check
         let tid = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+        // panics: slice length is fixed by the preceding bounds check
         let par = i64::from_le_bytes(buf[8..16].try_into().unwrap());
+        // panics: slice length is fixed by the preceding bounds check
         let time_ns = u64::from_le_bytes(buf[16..24].try_into().unwrap());
         let kind = match ev {
             EV_SEND_MESSAGE => {

@@ -113,6 +113,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    // Named after criterion's `Bencher::iter`, which this shim mimics.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         for _ in 0..self.iters {
             let t0 = Instant::now();

@@ -6,6 +6,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use mpi_emul as emul;
 pub use npb;
 pub use simkern;
@@ -15,3 +17,4 @@ pub use tit_core as trace;
 pub use tit_extract as extract;
 pub use tit_platform as platform;
 pub use tit_replay as replay;
+pub use titlint as lint;

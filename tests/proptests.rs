@@ -86,13 +86,20 @@ proptest! {
         prop_assert!(tm >= t1, "bigger volumes cannot be faster");
     }
 
-    /// Validation accepts every trace the workload generators emit.
+    /// Validation accepts every trace the workload generators emit, and
+    /// the static analyzer agrees: no error-severity findings on them.
     #[test]
     fn generated_traces_always_validate(nproc_pow in 1u32..4, itmax in 1usize..4) {
         let nproc = 1usize << nproc_pow;
         let lu = titr::npb::LuConfig::new(titr::npb::Class::S, nproc).with_itmax(itmax);
         let trace = titr::npb::program_trace(&lu.program(), nproc);
         prop_assert!(titr::trace::validate(&trace).is_empty());
+        let report = titr::lint::analyze(&trace);
+        prop_assert!(
+            !report.has_errors(),
+            "generated LU trace got error lints:\n{}",
+            report.render_text()
+        );
     }
 
     /// Replay is deterministic: same trace, same platform, same time.
@@ -169,7 +176,7 @@ proptest! {
         let lower = t
             .actions
             .iter()
-            .map(|acts| acts.iter().map(|a| a.flops()).sum::<f64>() / speed)
+            .map(|acts| acts.iter().map(Action::flops).sum::<f64>() / speed)
             .fold(0.0_f64, f64::max);
         prop_assert!(
             out.simulated_time >= lower * (1.0 - 1e-9),
@@ -208,4 +215,240 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+
+    /// The static analyzer reports nothing at all on balanced traces:
+    /// no errors (those would make the `tit-replay --lint` preflight
+    /// refuse the run) and no warnings either, since the generator
+    /// emits no self-messages, zero volumes, or empty ranks.
+    #[test]
+    fn lint_accepts_balanced_traces(
+        nproc in 2usize..6,
+        ops in proptest::collection::vec(
+            (0usize..8, 0usize..8, 1u32..2_000_000, proptest::bool::ANY),
+            0..60,
+        ),
+    ) {
+        let t = balanced_trace(nproc, &ops);
+        let report = titr::lint::analyze(&t);
+        prop_assert!(
+            report.findings.is_empty(),
+            "balanced trace got findings:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection closure: every corruption class the extract-stage
+// injector can produce is caught downstream — by the static analyzer or
+// by a typed pipeline error — and the lint report for a given seed is
+// bit-for-bit reproducible. The seeds are fixed constants, so these are
+// deterministic replays, not random sampling.
+// ---------------------------------------------------------------------------
+
+use std::path::{Path, PathBuf};
+use titr::extract::faultinject::{FaultSpec, Injector};
+use titr::lint::{LintCode, LintConfig, Report, Severity};
+use titr::trace::trace::process_trace_filename;
+
+/// How many fixed seeds each corruption class is driven with.
+const FAULT_SEEDS: u64 = 24;
+
+/// A two-rank exchange in which every trace line is load-bearing: each
+/// file *ends* with a receive whose matching send lives in the other
+/// file, and every receive declares its expected volume. Cutting or
+/// corrupting any line therefore either leaves the trace semantically
+/// identical (e.g. only the trailing newline went) or breaks a
+/// cross-file invariant the linter checks.
+fn sentinel_trace() -> TiTrace {
+    let mut t = TiTrace::new(2);
+    for r in 0..2 {
+        t.push(r, Action::CommSize { nproc: 2 });
+    }
+    t.push(0, Action::Send { dst: 1, bytes: 1_000_000.0 });
+    t.push(1, Action::Send { dst: 0, bytes: 2_000_000.0 });
+    t.push(0, Action::Recv { src: 1, bytes: Some(2_000_000.0) });
+    t.push(1, Action::Recv { src: 0, bytes: Some(1_000_000.0) });
+    t
+}
+
+/// Lint policy for the fault tests: volume mismatches between matched
+/// endpoints are escalated to errors, so single-bit damage to a volume
+/// digit cannot slip through as a mere warning.
+fn strict_lints() -> LintConfig {
+    let mut cfg = LintConfig::default();
+    cfg.set_level(LintCode::RecvBytesMismatch, Severity::Error);
+    cfg
+}
+
+/// Writes a pristine copy of the sentinel trace into a fresh directory.
+fn fresh_sentinel_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("titr-faultlint-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    sentinel_trace().save_per_process(&dir).unwrap();
+    dir
+}
+
+/// True when `dir` still loads and replays exactly like the sentinel
+/// trace — the fault clipped nothing replay-relevant. Declared receive
+/// volumes are advisory cross-checks (replay always moves the sender's
+/// volume), so a fault that merely strips that annotation — truncation
+/// landing right after `p1 recv p0`, say — is harmless; a fault that
+/// *changes* it to a different value raises TL0014 instead.
+fn semantically_intact(dir: &Path) -> bool {
+    fn strip_advisory(mut t: TiTrace) -> TiTrace {
+        for acts in &mut t.actions {
+            for a in acts.iter_mut() {
+                if let Action::Recv { bytes, .. } | Action::Irecv { bytes, .. } = a {
+                    *bytes = None;
+                }
+            }
+        }
+        t
+    }
+    TiTrace::load_per_process(dir)
+        .map(|t| strip_advisory(t).actions == strip_advisory(sentinel_trace()).actions)
+        .unwrap_or(false)
+}
+
+/// Lints `dir` twice under the strict policy and checks the rendered
+/// reports agree bit for bit; returns one of them.
+fn lint_twice(dir: &Path) -> Report {
+    let cfg = strict_lints();
+    let a = titr::lint::lint_dir(dir, 2, &cfg);
+    let b = titr::lint::lint_dir(dir, 2, &cfg);
+    assert_eq!(a.to_json(), b.to_json(), "lint output must be deterministic");
+    a
+}
+
+/// Truncation: for every seed, either the damage was semantically void
+/// or the linter reports at least one error — and re-corrupting a fresh
+/// copy with the same seed yields the identical report.
+#[test]
+fn lint_catches_truncated_rank_files() {
+    let mut detected = 0;
+    for seed in 0..FAULT_SEEDS {
+        let run = |n: u32| {
+            let dir = fresh_sentinel_dir(&format!("trunc-{seed}-{n}"));
+            let victim = dir.join(process_trace_filename((seed % 2) as usize));
+            Injector::new(seed).truncate_file(&victim).unwrap();
+            let report = lint_twice(&dir);
+            // The report embeds absolute file locations; normalise the
+            // per-run temp dir away so two runs compare bit for bit.
+            let json = report.to_json().replace(&dir.display().to_string(), "<dir>");
+            (report.has_errors(), semantically_intact(&dir), json)
+        };
+        let (errs, intact, json) = run(0);
+        let (_, _, json2) = run(1);
+        assert_eq!(json, json2, "seed {seed}: same seed must lint identically");
+        assert!(
+            errs || intact,
+            "seed {seed}: truncation silently changed the trace:\n{json}"
+        );
+        detected += u64::from(errs);
+    }
+    assert!(detected > 0, "no truncation seed was ever detected");
+}
+
+/// Bit flips: same contract as truncation. On the sentinel fixture a
+/// flipped byte lands in a process id (TL0018 if it still parses),
+/// keyword, volume digit, separator, or newline — all of which the
+/// linter or the parser objects to.
+#[test]
+fn lint_catches_bit_flips() {
+    let mut detected = 0;
+    for seed in 0..FAULT_SEEDS {
+        let run = |n: u32| {
+            let dir = fresh_sentinel_dir(&format!("flip-{seed}-{n}"));
+            let victim = dir.join(process_trace_filename((seed % 2) as usize));
+            Injector::new(seed).flip_bit(&victim).unwrap();
+            let report = lint_twice(&dir);
+            // The report embeds absolute file locations; normalise the
+            // per-run temp dir away so two runs compare bit for bit.
+            let json = report.to_json().replace(&dir.display().to_string(), "<dir>");
+            (report.has_errors(), semantically_intact(&dir), json)
+        };
+        let (errs, intact, json) = run(0);
+        let (_, _, json2) = run(1);
+        assert_eq!(json, json2, "seed {seed}: same seed must lint identically");
+        assert!(
+            errs || intact,
+            "seed {seed}: bit flip silently changed the trace:\n{json}"
+        );
+        detected += u64::from(errs);
+    }
+    assert!(detected > 0, "no bit-flip seed was ever detected");
+}
+
+/// A dropped rank always maps to TL0015 (missing rank file), whichever
+/// rank went missing.
+#[test]
+fn lint_catches_dropped_ranks() {
+    for rank in 0..2usize {
+        let dir = fresh_sentinel_dir(&format!("drop-{rank}"));
+        Injector::new(7).drop_rank(&dir, rank).unwrap();
+        let report = lint_twice(&dir);
+        assert!(report.has_errors(), "dropped rank {rank} went unnoticed");
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.code == LintCode::MissingRankFile),
+            "dropped rank {rank} did not yield TL0015:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+/// The one-call `inject` sweep (truncate + flip every file) is caught,
+/// and the resulting lint report is a pure function of the seed.
+#[test]
+fn lint_catches_injected_sweeps() {
+    for seed in 0..FAULT_SEEDS {
+        let run = |n: u32| {
+            let dir = fresh_sentinel_dir(&format!("sweep-{seed}-{n}"));
+            let spec = FaultSpec { seed, truncate: 1.0, bit_flip: 1.0, drop_rank: 0.0 };
+            titr::extract::faultinject::inject(&dir, 2, &spec).unwrap();
+            let report = lint_twice(&dir);
+            // The report embeds absolute file locations; normalise the
+            // per-run temp dir away so two runs compare bit for bit.
+            let json = report.to_json().replace(&dir.display().to_string(), "<dir>");
+            (report.has_errors(), semantically_intact(&dir), json)
+        };
+        let (errs, intact, json) = run(0);
+        let (_, _, json2) = run(1);
+        assert_eq!(json, json2, "seed {seed}: same seed must lint identically");
+        assert!(
+            errs || intact,
+            "seed {seed}: injected sweep went unnoticed:\n{json}"
+        );
+    }
+}
+
+/// A short gather transfer is never silent: either the unbundler
+/// reports the damage as a typed pipeline error, or the linter flags
+/// the partially-materialised directory (typically TL0015), or the
+/// decoded traces are semantically intact.
+#[test]
+fn lint_or_pipeline_catches_short_transfers() {
+    let mut caught_by_lint = 0;
+    for seed in 0..FAULT_SEEDS {
+        let dir = fresh_sentinel_dir(&format!("short-{seed}"));
+        let files: Vec<PathBuf> = (0..2).map(|r| dir.join(process_trace_filename(r))).collect();
+        let bundle = dir.join("gather.bundle");
+        titr::extract::gather::bundle(&files, &bundle).unwrap();
+        let out = dir.join("unbundled");
+        std::fs::create_dir_all(&out).unwrap();
+        Injector::new(seed).short_transfer(&bundle).unwrap();
+        let res = titr::extract::gather::unbundle(&bundle, &out);
+        let report = lint_twice(&out);
+        assert!(
+            res.is_err() || report.has_errors() || semantically_intact(&out),
+            "seed {seed}: short transfer went unnoticed:\n{}",
+            report.render_text()
+        );
+        caught_by_lint += u64::from(report.has_errors());
+    }
+    assert!(caught_by_lint > 0, "no short transfer ever reached the linter");
 }
