@@ -1,4 +1,20 @@
 fn main() {
     let scale = tit_bench::scale_from_args(0.1);
-    print!("{}", tit_bench::experiments::fig9::run(scale));
+    let (report, points) = tit_bench::experiments::fig9::sweep(scale);
+    print!("{report}");
+    // Machine-readable performance record alongside the text report.
+    let records: Vec<tit_bench::PerfRecord> = points
+        .iter()
+        .map(|p| tit_bench::PerfRecord {
+            label: format!("LU.{} x {}", p.class.name(), p.nproc),
+            actions: p.actions,
+            simulated_time: p.simulated,
+            wall_time: p.wall,
+        })
+        .collect();
+    let path = std::path::Path::new("BENCH_replay.json");
+    match tit_bench::write_bench_json(path, "replay", &records) {
+        Ok(()) => println!("\nperf record: {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
 }

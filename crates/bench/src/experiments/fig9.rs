@@ -49,6 +49,12 @@ pub fn measure(class: Class, nproc: usize, scale: f64) -> Point {
 
 /// Runs the full Figure 9 sweep.
 pub fn run(scale: f64) -> String {
+    sweep(scale).0
+}
+
+/// Like [`run`], also returning the raw measurement points (so the
+/// binary can emit a `BENCH_replay.json` performance record).
+pub fn sweep(scale: f64) -> (String, Vec<Point>) {
     let mut out = String::new();
     out.push_str(&format!(
         "Figure 9 — replay time vs number of processes (scale {scale}, itmax B/C = {}/{})\n\n",
@@ -83,5 +89,5 @@ pub fn run(scale: f64) -> String {
         "\nper-action cost spread: {:.2}x (linear-in-actions holds when small)\n",
         max / min
     ));
-    out
+    (out, points)
 }

@@ -21,8 +21,10 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
+pub use perf::{write_bench_json, PerfRecord};
 pub use table::Table;
 
 use npb::{Class, LuConfig};

@@ -1,0 +1,106 @@
+//! Machine-readable benchmark records (`BENCH_*.json`).
+//!
+//! Each experiment binary can drop a small JSON file next to its text
+//! report so CI and regression tooling can track performance without
+//! parsing tables. The format is one flat object per measurement plus a
+//! `peak_records_per_sec` headline — hand-rolled (the workspace has no
+//! JSON dependency), keys sorted by construction.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// What was measured, e.g. `"LU.B x 8"`.
+    pub label: String,
+    /// Trace actions (records) replayed.
+    pub actions: u64,
+    /// Simulated time produced, seconds.
+    pub simulated_time: f64,
+    /// Replay wall-clock, seconds.
+    pub wall_time: f64,
+}
+
+impl PerfRecord {
+    /// Replay throughput, actions per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.wall_time > 0.0 {
+            self.actions as f64 / self.wall_time
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Writes `records` as a `BENCH_*.json` file:
+/// `{"bench":name,"peak_records_per_sec":…,"runs":[…]}`.
+pub fn write_bench_json(
+    path: &Path,
+    name: &str,
+    records: &[PerfRecord],
+) -> std::io::Result<()> {
+    let peak = records.iter().map(PerfRecord::records_per_sec).fold(0.0, f64::max);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "{{\"bench\":\"{name}\",\"peak_records_per_sec\":{peak},\"runs\":[")?;
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(
+            w,
+            "\n{{\"label\":\"{}\",\"actions\":{},\"simulated_time\":{},\"wall_time\":{},\"records_per_sec\":{}}}",
+            r.label,
+            r.actions,
+            r.simulated_time,
+            r.wall_time,
+            r.records_per_sec()
+        )?;
+    }
+    writeln!(w, "\n]}}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_balanced_and_carries_peak() {
+        let dir = std::env::temp_dir().join(format!("titr-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let recs = vec![
+            PerfRecord {
+                label: "a".into(),
+                actions: 100,
+                simulated_time: 1.0,
+                wall_time: 0.5,
+            },
+            PerfRecord {
+                label: "b".into(),
+                actions: 1000,
+                simulated_time: 2.0,
+                wall_time: 0.5,
+            },
+        ];
+        write_bench_json(&path, "test", &recs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\":\"test\""));
+        assert!(text.contains("\"peak_records_per_sec\":2000"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_wall_time_reports_zero_throughput() {
+        let r = PerfRecord {
+            label: "x".into(),
+            actions: 10,
+            simulated_time: 0.0,
+            wall_time: 0.0,
+        };
+        assert_eq!(r.records_per_sec(), 0.0);
+    }
+}

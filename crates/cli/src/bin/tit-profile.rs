@@ -1,0 +1,92 @@
+//! Post-hoc profile renderer: a timed-trace CSV (produced by
+//! `tit-replay --timed-trace`) → the per-rank application profile,
+//! without re-running the simulation.
+//!
+//! ```text
+//! tit-profile --input timed.csv [--format text|json] [--out FILE]
+//! ```
+//!
+//! Each `rank,action,start,end,volume` row is mapped back to its action
+//! tag and fed through the same `titobs::Profile` aggregator the replay
+//! uses, so the output matches what `tit-replay --profile` would have
+//! produced for the same run, up to the CSV's 9-decimal rounding of
+//! timestamps.
+
+use tit_replay::tags;
+use titobs::Profile;
+
+const USAGE: &str = "tit-profile --input timed.csv [--format text|json] [--out FILE]";
+
+fn die(input: &str, lineno: usize, what: &str, line: &str) -> ! {
+    eprintln!("{input}:{}: {what}: {line:?}", lineno + 1);
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = tit_cli::Args::from_env();
+    let input = args.require("input", USAGE);
+    let format = args.get_or("format", "text".to_string());
+    if format != "text" && format != "json" {
+        eprintln!("unknown format {format:?} (expected text or json)\nusage: {USAGE}");
+        std::process::exit(2);
+    }
+
+    let text = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        std::process::exit(1);
+    });
+
+    let profile = Profile::new(0, tags::name, tags::is_comm);
+    let mut sink = profile.sink();
+    let mut makespan = 0.0f64;
+    let mut rank_end: Vec<f64> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 && line.starts_with("rank,") {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            die(&input, lineno, "expected 5 columns", line);
+        }
+        let rank: usize = cols[0].parse().unwrap_or_else(|_| die(&input, lineno, "bad rank", line));
+        let action = cols[1];
+        let start: f64 = cols[2].parse().unwrap_or_else(|_| die(&input, lineno, "bad start", line));
+        let end: f64 = cols[3].parse().unwrap_or_else(|_| die(&input, lineno, "bad end", line));
+        let volume: f64 =
+            cols[4].parse().unwrap_or_else(|_| die(&input, lineno, "bad volume", line));
+        // Unknown action names map to tag 0 ("other") rather than
+        // aborting: foreign rows degrade to an "other" bucket.
+        let tag = tags::from_name(action).unwrap_or(0);
+        sink.record(simkern::observer::OpRecord { actor: rank, tag, start, end, volume });
+        makespan = makespan.max(end);
+        if rank >= rank_end.len() {
+            rank_end.resize(rank + 1, 0.0);
+        }
+        rank_end[rank] = rank_end[rank].max(end);
+    }
+    // A rank's last completion is the best reconstruction of its
+    // termination time the CSV offers.
+    for (rank, end) in rank_end.iter().enumerate() {
+        sink.actor_ended(rank, *end);
+    }
+    sink.engine_ended(makespan);
+    drop(sink);
+
+    let report = profile.snapshot();
+    let rendered = match format.as_str() {
+        "json" => report.to_json(),
+        _ => format!("{}{}", report.render_text(), report.render_tags_text()),
+    };
+    match args.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+}

@@ -5,7 +5,8 @@
 //! tit-replay --trace-dir DIR --np N
 //!            [--platform platform.xml] [--deploy deploy.xml] [--nodes N]
 //!            [--collectives binomial|flat] [--network mpi|flow|constant]
-//!            [--timed-trace out.csv] [--profile] [--lint]
+//!            [--timed-trace out.csv] [--timeline out.json]
+//!            [--profile [out.json]] [--metrics out.json] [--lint]
 //! ```
 //!
 //! Without `--platform`, a bordereau-like cluster of `--nodes` (default
@@ -14,6 +15,15 @@
 //! first (`tit-lint`) and the replay refuses to start when error
 //! findings are present — catching deadlocks and structural defects
 //! before any simulation time is spent.
+//!
+//! The observability outputs stream during the replay (O(ranks)
+//! memory, no record buffering): `--timeline` writes Chrome trace-event
+//! JSON (load in `chrome://tracing` or Perfetto), `--timed-trace`
+//! writes the `rank,action,start,end,volume` CSV, `--profile FILE`
+//! writes the per-rank profile as JSON (a bare `--profile` prints the
+//! text table), and `--metrics` writes a deterministic metrics JSON.
+//! Only `--paje` still buffers records (its writer needs them sorted by
+//! rank).
 
 use std::path::PathBuf;
 use tit_cli::Args;
@@ -21,9 +31,27 @@ use tit_platform::deployment::Deployment;
 use tit_platform::desc::PlatformDesc;
 use tit_platform::presets;
 use tit_replay::collectives::CollectiveAlgo;
-use tit_replay::{replay_files, ReplayConfig};
+use tit_replay::{replay_files_observed, tags, ReplayConfig};
+use titobs::{Metrics, Profile, Timeline, TimelineFormat};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--profile] [--lint]";
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--paje FILE] [--lint]";
+
+fn open_writer(path: &str) -> std::io::BufWriter<std::fs::File> {
+    match std::fs::File::create(path) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args = Args::from_env();
@@ -34,8 +62,12 @@ fn main() {
         std::process::exit(2);
     }
 
-    if args.has_flag("lint") {
-        let report = titlint::lint_dir(&dir, np, &titlint::LintConfig::default());
+    let metrics = Metrics::new();
+    if args.has_flag("lint") || args.get("lint").is_some() {
+        let report = metrics.time("wall.lint", || {
+            titlint::lint_dir(&dir, np, &titlint::LintConfig::default())
+        });
+        metrics.incr("lint.findings", report.findings.len() as u64);
         if !report.findings.is_empty() {
             eprint!("{}", report.render_text());
         }
@@ -91,12 +123,53 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let want_records = args.get("timed-trace").is_some()
-        || args.get("paje").is_some()
-        || args.has_flag("profile");
-    let cfg = ReplayConfig { network, algo, collect_records: want_records };
+    // Only the paje writer needs the records buffered (it sorts by
+    // rank); everything else streams through observers.
+    let cfg = ReplayConfig { network, algo, collect_records: args.get("paje").is_some() };
 
-    let out = match replay_files(&dir, np, platform, &hosts, &cfg) {
+    // Assemble the streaming observer set. `--profile` doubles as a
+    // flag (text table to stdout) and a `--profile FILE` pair (JSON).
+    let want_profile = args.has_flag("profile") || args.get("profile").is_some();
+    let want_metrics_file = args.get("metrics").is_some();
+    let mut fan = simkern::observer::Fanout::new();
+    let timeline = match args.get("timeline") {
+        Some(path) => {
+            let tl = Timeline::new(open_writer(path), np, TimelineFormat::ChromeJson, tags::name)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot start timeline {path}: {e}");
+                    std::process::exit(1);
+                });
+            fan = fan.with(tl.sink());
+            Some((tl, path))
+        }
+        None => None,
+    };
+    let timed = match args.get("timed-trace") {
+        Some(path) => {
+            let tl = Timeline::new(open_writer(path), np, TimelineFormat::Csv, tags::name)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot start timed trace {path}: {e}");
+                    std::process::exit(1);
+                });
+            fan = fan.with(tl.sink());
+            Some((tl, path))
+        }
+        None => None,
+    };
+    let profile = if want_profile {
+        let p = Profile::new(np, tags::name, tags::is_comm);
+        fan = fan.with(p.sink());
+        Some(p)
+    } else {
+        None
+    };
+    if want_metrics_file {
+        fan = fan.with(metrics.observer("replay"));
+    }
+    let extra: Option<Box<dyn simkern::observer::Observer>> =
+        if fan.is_empty() { None } else { Some(Box::new(fan)) };
+
+    let out = match replay_files_observed(&dir, np, platform, &hosts, &cfg, extra) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("replay failed: {e}");
@@ -107,19 +180,48 @@ fn main() {
     println!("actions replayed: {}", out.actions_replayed);
     println!("simulation wall:  {:.3} s", out.wall_time.as_secs_f64());
 
-    if let Some(records) = &out.records {
-        if let Some(path) = args.get("timed-trace") {
-            let w = std::fs::File::create(path)
-                .and_then(|f| {
-                    let mut w = std::io::BufWriter::new(f);
-                    tit_replay::output::write_timed_trace(records, &mut w).map(|()| w)
-                });
-            if let Err(e) = w {
+    if let Some((tl, path)) = &timeline {
+        match tl.finish() {
+            Ok(summary) => {
+                debug_assert!(summary.monotone, "engine emitted out-of-order records");
+                println!("timeline:         {path} ({} events)", summary.events);
+            }
+            Err(e) => {
+                eprintln!("cannot write timeline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some((tl, path)) = &timed {
+        match tl.finish() {
+            Ok(_) => println!("timed trace:      {path}"),
+            Err(e) => {
                 eprintln!("cannot write timed trace {path}: {e}");
                 std::process::exit(1);
             }
-            println!("timed trace:      {path}");
         }
+    }
+    if let Some(p) = &profile {
+        let report = p.snapshot();
+        match args.get("profile") {
+            Some(path) => {
+                write_or_die(path, &report.to_json());
+                println!("profile:          {path}");
+            }
+            None => {
+                print!("{}", report.render_text());
+                print!("{}", report.render_tags_text());
+            }
+        }
+    }
+    if let Some(path) = args.get("metrics") {
+        metrics.incr("replay.actions", out.actions_replayed);
+        metrics.set_value("replay.simulated_time", out.simulated_time);
+        write_or_die(path, &metrics.to_json());
+        println!("metrics:          {path}");
+    }
+
+    if let Some(records) = &out.records {
         if let Some(path) = args.get("paje") {
             let w = std::fs::File::create(path).and_then(|f| {
                 let mut w = std::io::BufWriter::new(f);
@@ -131,10 +233,6 @@ fn main() {
                 std::process::exit(1);
             }
             println!("paje trace:       {path}");
-        }
-        if args.has_flag("profile") {
-            let rows = tit_replay::output::profile(records, np);
-            print!("{}", tit_replay::output::format_profile(&rows));
         }
     }
 }

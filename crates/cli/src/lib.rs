@@ -5,7 +5,11 @@
 //! * `tit-extract` — `tau2simgrid`: TAU traces → time-independent traces
 //!   (step 3), plus the K-nomial gathering bundle (step 4).
 //! * `tit-replay` — the trace replay tool: traces + platform +
-//!   deployment → simulated time (Figure 4).
+//!   deployment → simulated time (Figure 4), with streaming
+//!   observability outputs (`--timeline`, `--timed-trace`, `--profile`,
+//!   `--metrics`).
+//! * `tit-profile` — re-renders a per-rank profile (text or JSON) from
+//!   a previously written timed-trace CSV.
 //! * `tit-lint` — static trace analyzer: ordered send/recv matching,
 //!   guaranteed-deadlock detection, collective alignment and volume
 //!   sanity, with stable lint codes and JSON output.

@@ -275,6 +275,81 @@ fn calibrate_prints_a_platform_snippet() {
 }
 
 #[test]
+fn observability_outputs_are_reproducible_and_well_formed() {
+    let traces = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/traces/ring4");
+    let dir = std::env::temp_dir().join(format!("titr-cliobs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let replay = |tag: &str| -> (String, String, String, String) {
+        let timeline = dir.join(format!("timeline-{tag}.json"));
+        let timed = dir.join(format!("timed-{tag}.csv"));
+        let profile = dir.join(format!("profile-{tag}.json"));
+        let metrics = dir.join(format!("metrics-{tag}.json"));
+        let (ok, text) = run(
+            env!("CARGO_BIN_EXE_tit-replay"),
+            &[
+                "--trace-dir", traces.to_str().unwrap(), "--np", "4", "--lint",
+                "--timeline", timeline.to_str().unwrap(),
+                "--timed-trace", timed.to_str().unwrap(),
+                "--profile", profile.to_str().unwrap(),
+                "--metrics", metrics.to_str().unwrap(),
+            ],
+        );
+        assert!(ok, "tit-replay failed:\n{text}");
+        assert!(text.contains("timeline:"), "{text}");
+        assert!(text.contains("metrics:"), "{text}");
+        (
+            std::fs::read_to_string(&timeline).unwrap(),
+            std::fs::read_to_string(&timed).unwrap(),
+            std::fs::read_to_string(&profile).unwrap(),
+            std::fs::read_to_string(&metrics).unwrap(),
+        )
+    };
+    let a = replay("a");
+    let b = replay("b");
+    assert_eq!(a, b, "identical replays must produce byte-identical outputs");
+
+    let (timeline, timed, profile, metrics) = a;
+    assert!(timeline.starts_with("{\"traceEvents\":["));
+    assert_eq!(timeline.matches('{').count(), timeline.matches('}').count());
+    assert!(timeline.contains("\"ph\":\"X\""));
+    assert!(timed.starts_with("rank,action,start,end,volume"));
+    assert!(profile.contains("\"schema\":\"titobs-profile-v1\""));
+    assert!(metrics.contains("\"schema\":\"titobs-metrics-v1\""));
+    assert!(metrics.contains("\"replay.ops\":36"), "{metrics}");
+    assert!(metrics.contains("\"lint.findings\":0"), "{metrics}");
+    assert!(metrics.contains("\"replay.simulated_time\""), "{metrics}");
+
+    // tit-profile re-aggregates the timed CSV into the same shape of
+    // profile (values match up to the CSV's 9-decimal rounding).
+    let reprofiled = dir.join("reprofiled.json");
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-profile"),
+        &[
+            "--input", dir.join("timed-a.csv").to_str().unwrap(),
+            "--format", "json", "--out", reprofiled.to_str().unwrap(),
+        ],
+    );
+    assert!(ok, "tit-profile failed:\n{text}");
+    let rp = std::fs::read_to_string(&reprofiled).unwrap();
+    assert!(rp.contains("\"schema\":\"titobs-profile-v1\""), "{rp}");
+    assert!(rp.contains("\"num_ranks\":4"), "{rp}");
+    assert!(rp.contains("\"total_ops\":36"), "{rp}");
+    assert!(profile.contains("\"total_ops\":36"), "{profile}");
+
+    // Bare --profile still prints the text table.
+    let (ok, text) = run(
+        env!("CARGO_BIN_EXE_tit-replay"),
+        &["--trace-dir", traces.to_str().unwrap(), "--np", "4", "--profile"],
+    );
+    assert!(ok, "tit-replay --profile failed:\n{text}");
+    assert!(text.contains("compute(s)"), "{text}");
+    assert!(text.contains(" sum "), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn acquire_rejects_unknown_mode() {
     let (ok, text) = run(
         env!("CARGO_BIN_EXE_tit-acquire"),

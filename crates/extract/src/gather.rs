@@ -130,6 +130,23 @@ pub fn bundle_with_retry(
     with_retry(policy, "gather bundle", |_attempt| bundle(files, out))
 }
 
+/// [`bundle_with_retry`] reporting into a metrics registry: every
+/// attempt past the first bumps the `gather.retries` counter, so a
+/// flaky gathering link is visible in the pipeline's metrics output.
+pub fn bundle_with_retry_metered(
+    files: &[PathBuf],
+    out: &Path,
+    policy: &RetryPolicy,
+    metrics: &titobs::Metrics,
+) -> Result<u64, PipelineError> {
+    with_retry(policy, "gather bundle", |attempt| {
+        if attempt > 1 {
+            metrics.incr("gather.retries", 1);
+        }
+        bundle(files, out)
+    })
+}
+
 /// Splits a bundle back into its files under `dir`.
 ///
 /// Every corruption is a typed [`PipelineError::Bundle`] naming the

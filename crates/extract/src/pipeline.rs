@@ -16,7 +16,7 @@
 //!   (grows slowly with the process count; always the smallest slice).
 
 use crate::error::{PipelineError, RetryPolicy};
-use crate::gather::{bundle_with_retry, gather_plan, GatherPlan};
+use crate::gather::{bundle_with_retry_metered, gather_plan, GatherPlan};
 use crate::tau2ti::{tau2ti, ExtractStats};
 use mpi_emul::acquisition::{acquire, run_uninstrumented, AcquisitionMode, AcquisitionResult};
 use mpi_emul::ops::OpStream;
@@ -100,6 +100,25 @@ pub fn run_pipeline(
     cost: &ExtractCostModel,
     work_dir: &Path,
 ) -> Result<PipelineResult, PipelineError> {
+    run_pipeline_metered(program, nproc, mode, cfg, cost, work_dir, &titobs::Metrics::new())
+}
+
+/// [`run_pipeline`] reporting into a [`titobs::Metrics`] registry:
+/// per-stage counters (`acquire.ops`, `acquire.tau_bytes`,
+/// `extract.records_read`, `extract.actions_written`,
+/// `extract.ti_bytes`, `gather.transfers`, `gather.bytes`,
+/// `gather.retries`), modelled-time gauges (`acquire.exec_time`,
+/// `gather.time`) and wall-clock timers for the real work
+/// (`wall.acquire`, `wall.extract`, `wall.gather`).
+pub fn run_pipeline_metered(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+    mode: AcquisitionMode,
+    cfg: &EmulConfig,
+    cost: &ExtractCostModel,
+    work_dir: &Path,
+    metrics: &titobs::Metrics,
+) -> Result<PipelineResult, PipelineError> {
     let tau_dir = work_dir.join("tau");
     let ti_dir = work_dir.join("ti");
     std::fs::create_dir_all(work_dir)?;
@@ -107,13 +126,20 @@ pub fn run_pipeline(
     // Steps 1-2: execution of the instrumented application (+ a clean
     // run to isolate the tracing overhead).
     let application = run_uninstrumented(program, nproc, mode, cfg)?;
-    let acquisition = acquire(program, nproc, mode, cfg, &tau_dir)?;
+    let acquisition =
+        metrics.time("wall.acquire", || acquire(program, nproc, mode, cfg, &tau_dir))?;
     let tracing_overhead = (acquisition.exec_time - application).max(0.0);
+    metrics.incr("acquire.ops", acquisition.ops);
+    metrics.incr("acquire.tau_bytes", acquisition.tau_bytes);
+    metrics.set_value("acquire.exec_time", acquisition.exec_time);
 
     // Step 3: extraction (real), with its host-time model.
     let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
-    let extract = tau2ti(&tau_dir, nproc, &ti_dir, threads)?;
+    let extract = metrics.time("wall.extract", || tau2ti(&tau_dir, nproc, &ti_dir, threads))?;
     let extraction = extraction_time(&tau_dir, nproc, mode, cost)?;
+    metrics.incr("extract.records_read", extract.records_read);
+    metrics.incr("extract.actions_written", extract.actions_written);
+    metrics.incr("extract.ti_bytes", extract.ti_bytes);
 
     // Step 4: gathering (modelled schedule + real bundle).
     let node_sizes = per_node_ti_sizes(&ti_dir, nproc, mode)?;
@@ -122,7 +148,12 @@ pub fn run_pipeline(
         .map(|r| ti_dir.join(tit_core::trace::process_trace_filename(r)))
         .collect();
     let bundle_path = work_dir.join("traces.bundle");
-    bundle_with_retry(&files, &bundle_path, &RetryPolicy::default())?;
+    let gathered_bytes = metrics.time("wall.gather", || {
+        bundle_with_retry_metered(&files, &bundle_path, &RetryPolicy::default(), metrics)
+    })?;
+    metrics.incr("gather.transfers", gather.transfers.len() as u64);
+    metrics.incr("gather.bytes", gathered_bytes);
+    metrics.set_value("gather.time", gather.time);
 
     Ok(PipelineResult {
         costs: PipelineCosts {
@@ -231,6 +262,36 @@ mod tests {
         // The extracted trace replays: validate structurally.
         let t = tit_core::TiTrace::load_per_process(&res.ti_dir).unwrap();
         assert!(tit_core::validate(&t).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metered_pipeline_reports_stage_metrics() {
+        let dir = tmp("metered");
+        let ring = RingConfig { nproc: 4, iters: 4, ..Default::default() };
+        let cfg = EmulConfig::default();
+        let metrics = titobs::Metrics::new();
+        let res = run_pipeline_metered(
+            &ring.program(),
+            4,
+            AcquisitionMode::Regular,
+            &cfg,
+            &ExtractCostModel::default(),
+            &dir,
+            &metrics,
+        )
+        .unwrap();
+        // Counters mirror the result structs exactly.
+        assert_eq!(metrics.counter("acquire.ops"), res.acquisition.ops);
+        assert_eq!(metrics.counter("acquire.tau_bytes"), res.acquisition.tau_bytes);
+        assert_eq!(metrics.counter("extract.records_read"), res.extract.records_read);
+        assert_eq!(metrics.counter("extract.actions_written"), res.extract.actions_written);
+        assert_eq!(metrics.counter("extract.ti_bytes"), res.extract.ti_bytes);
+        assert_eq!(metrics.counter("gather.transfers"), res.gather.transfers.len() as u64);
+        assert!(metrics.counter("gather.bytes") > 0);
+        assert_eq!(metrics.counter("gather.retries"), 0, "healthy run retries nothing");
+        assert_eq!(metrics.value("gather.time"), Some(res.gather.time));
+        assert!(metrics.wall("wall.extract") > 0.0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

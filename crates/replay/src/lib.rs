@@ -26,4 +26,7 @@ pub mod tags;
 
 pub use error::ReplayError;
 pub use handlers::{ExpandError, MicroOp, Registry};
-pub use simulator::{replay_binary_files, replay_files, replay_memory, ReplayConfig, ReplayOutcome};
+pub use simulator::{
+    replay_binary_files, replay_files, replay_files_observed, replay_memory,
+    replay_memory_observed, ReplayConfig, ReplayOutcome,
+};

@@ -6,7 +6,7 @@ use crate::error::ReplayError;
 use crate::handlers::Registry;
 use crate::process::{ActionSource, FileSource, ReplayActor, VecSource};
 use simkern::netmodel::NetworkConfig;
-use simkern::observer::{Observer, OpRecord};
+use simkern::observer::{Fanout, Observer, OpRecord};
 use simkern::resource::HostId;
 use simkern::{Engine, Platform};
 use std::path::Path;
@@ -67,6 +67,7 @@ fn run(
     platform: Platform,
     hosts: &[HostId],
     cfg: &ReplayConfig,
+    extra: Option<Box<dyn Observer>>,
 ) -> Result<ReplayOutcome, ReplayError> {
     if sources.len() != hosts.len() {
         return Err(ReplayError::Deployment { procs: sources.len(), hosts: hosts.len() });
@@ -74,8 +75,13 @@ fn run(
     let mut engine = Engine::new(platform);
     engine.set_network_config(cfg.network.clone());
     let records = Arc::new(Mutex::new(Vec::new()));
-    if cfg.collect_records {
-        engine.set_observer(Box::new(SharedCollector(records.clone())));
+    match (cfg.collect_records, extra) {
+        (true, Some(obs)) => engine.set_observer(Box::new(
+            Fanout::new().with(Box::new(SharedCollector(records.clone()))).with(obs),
+        )),
+        (true, None) => engine.set_observer(Box::new(SharedCollector(records.clone()))),
+        (false, Some(obs)) => engine.set_observer(obs),
+        (false, None) => {}
     }
     let registry = Arc::new(Registry::with_defaults());
     let counter = Arc::new(AtomicU64::new(0));
@@ -108,12 +114,27 @@ pub fn replay_memory(
     hosts: &[HostId],
     cfg: &ReplayConfig,
 ) -> Result<ReplayOutcome, ReplayError> {
+    replay_memory_observed(trace, platform, hosts, cfg, None)
+}
+
+/// Like [`replay_memory`], with an extra [`Observer`] installed for the
+/// run (composed with the timed-trace collector when
+/// `cfg.collect_records` is set). Streaming telemetry sinks — a
+/// `titobs` timeline, profile or metrics observer, or several through
+/// [`Fanout`] — attach here without buffering the run.
+pub fn replay_memory_observed(
+    trace: &TiTrace,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+    extra: Option<Box<dyn Observer>>,
+) -> Result<ReplayOutcome, ReplayError> {
     let sources: Vec<Box<dyn ActionSource>> = trace
         .actions
         .iter()
         .map(|a| Box::new(VecSource::new(a.clone())) as Box<dyn ActionSource>)
         .collect();
-    run(sources, platform, hosts, cfg)
+    run(sources, platform, hosts, cfg, extra)
 }
 
 /// Replays per-process trace files `SG_process<rank>.trace` from `dir`,
@@ -127,6 +148,20 @@ pub fn replay_files(
     hosts: &[HostId],
     cfg: &ReplayConfig,
 ) -> Result<ReplayOutcome, ReplayError> {
+    replay_files_observed(dir, nproc, platform, hosts, cfg, None)
+}
+
+/// Like [`replay_files`], with an extra [`Observer`] installed for the
+/// run (see [`replay_memory_observed`]). The streaming source plus a
+/// streaming observer keep memory constant in trace length.
+pub fn replay_files_observed(
+    dir: &Path,
+    nproc: usize,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+    extra: Option<Box<dyn Observer>>,
+) -> Result<ReplayOutcome, ReplayError> {
     let mut sources: Vec<Box<dyn ActionSource>> = Vec::with_capacity(nproc);
     for rank in 0..nproc {
         let path = dir.join(process_trace_filename(rank));
@@ -134,7 +169,7 @@ pub fn replay_files(
             .map_err(|source| ReplayError::MissingRank { rank, path: path.clone(), source })?;
         sources.push(Box::new(src));
     }
-    run(sources, platform, hosts, cfg)
+    run(sources, platform, hosts, cfg, extra)
 }
 
 /// Replays binary per-process traces `SG_process<rank>.btrace` from
@@ -154,7 +189,7 @@ pub fn replay_binary_files(
             .map_err(|source| ReplayError::MissingRank { rank, path: path.clone(), source })?;
         sources.push(Box::new(src));
     }
-    run(sources, platform, hosts, cfg)
+    run(sources, platform, hosts, cfg, None)
 }
 
 #[cfg(test)]
@@ -326,6 +361,36 @@ mod tests {
             assert!(r.start >= 0.0 && r.end <= out.simulated_time + 1e-12);
             assert!(r.start <= r.end);
         }
+    }
+
+    #[test]
+    fn extra_observer_composes_with_record_collection() {
+        struct Count(Arc<Mutex<(u64, f64)>>);
+        impl Observer for Count {
+            fn record(&mut self, _rec: OpRecord) {
+                // panics: mutex poisoned only if another thread already panicked
+                self.0.lock().unwrap().0 += 1;
+            }
+            fn engine_ended(&mut self, time: f64) {
+                // panics: mutex poisoned only if another thread already panicked
+                self.0.lock().unwrap().1 = time;
+            }
+        }
+        let state = Arc::new(Mutex::new((0u64, 0.0f64)));
+        let (p, hosts) = mycluster(4);
+        let cfg = ReplayConfig { collect_records: true, ..plain_cfg() };
+        let out = replay_memory_observed(
+            &ring_trace(),
+            p,
+            &hosts,
+            &cfg,
+            Some(Box::new(Count(state.clone()))),
+        )
+        .unwrap();
+        let (seen, ended) = *state.lock().unwrap();
+        // Both sinks saw every record, and the collector still filled.
+        assert_eq!(seen, out.records.unwrap().len() as u64);
+        assert_eq!(ended, out.simulated_time);
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub const ALLREDUCE: u32 = 8;
 pub const BARRIER: u32 = 9;
 pub const WAIT: u32 = 10;
 
+/// Every tag the replay layer emits, in numeric order.
+pub const ALL: [u32; 10] =
+    [COMPUTE, SEND, ISEND, RECV, IRECV, BCAST, REDUCE, ALLREDUCE, BARRIER, WAIT];
+
 /// Human-readable name for a tag.
 pub fn name(tag: u32) -> &'static str {
     match tag {
@@ -27,6 +31,12 @@ pub fn name(tag: u32) -> &'static str {
         WAIT => "wait",
         _ => "other",
     }
+}
+
+/// Inverse of [`name`]: resolves an action name back to its tag (used
+/// by `tit-profile` to re-aggregate a timed-trace CSV).
+pub fn from_name(s: &str) -> Option<u32> {
+    ALL.iter().copied().find(|&t| name(t) == s)
 }
 
 /// True when the tag denotes communication (for profile aggregation).
@@ -52,5 +62,13 @@ mod tests {
         assert!(!is_comm(COMPUTE));
         assert!(is_comm(SEND));
         assert!(is_comm(BARRIER));
+    }
+
+    #[test]
+    fn from_name_round_trips_every_tag() {
+        for t in ALL {
+            assert_eq!(from_name(name(t)), Some(t), "tag {t}");
+        }
+        assert_eq!(from_name("no-such-action"), None);
     }
 }

@@ -367,6 +367,9 @@ impl Engine {
             })
             .collect();
         if blocked.is_empty() {
+            if let Some(obs) = self.observer.as_mut() {
+                obs.engine_ended(self.clock);
+            }
             Ok(self.clock)
         } else {
             Err(SimError::Deadlock { time: self.clock, blocked })
@@ -482,6 +485,11 @@ impl Engine {
         if !self.actors[aid].alive {
             return;
         }
+        if wake == Wake::Start {
+            if let Some(obs) = self.observer.as_mut() {
+                obs.actor_started(aid, self.clock);
+            }
+        }
         // panics: kernel invariant; violation means simulator state corruption
         let mut boxed = self.actors[aid].actor.take().expect("actor re-entered");
         let step = {
@@ -493,12 +501,18 @@ impl Engine {
             Step::Done => {
                 self.actors[aid].alive = false;
                 self.actors[aid].waiting = None;
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.actor_ended(aid, self.clock);
+                }
             }
             Step::Fail { reason } => {
                 // The failure channel: the actor saw unrecoverable bad
                 // input. Retire it and abort the run with a typed error.
                 self.actors[aid].alive = false;
                 self.actors[aid].waiting = None;
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.actor_ended(aid, self.clock);
+                }
                 self.fail(SimError::ActorFailure { actor: aid, time: self.clock, reason });
             }
             Step::Wait(op) => {
@@ -552,6 +566,14 @@ impl Engine {
             )
         };
         self.ops_completed += 1;
+        debug_assert!(
+            rec.end >= rec.start,
+            "op record with end {} before start {} (actor {}, tag {})",
+            rec.end,
+            rec.start,
+            rec.actor,
+            rec.tag
+        );
         if let Some(obs) = self.observer.as_mut() {
             obs.record(rec);
         }
@@ -586,6 +608,9 @@ impl Engine {
             mailbox: Some(mb),
             state: OpState::Pending,
         }));
+        if let Some(obs) = self.observer.as_mut() {
+            obs.op_started(sender, tag, self.clock);
+        }
         let eager = size <= self.net.eager_threshold;
         let src_host = self.actors[sender].host;
         let dst_host = match self.actors.get(mb.dst as usize) {
@@ -653,6 +678,9 @@ impl Engine {
             mailbox: Some(mb),
             state: OpState::Pending,
         }));
+        if let Some(obs) = self.observer.as_mut() {
+            obs.op_started(receiver, tag, self.clock);
+        }
         let matched = self
             .mailboxes
             .get_mut(&mb)
@@ -835,6 +863,9 @@ impl Ctx<'_> {
             mailbox: None,
             state: OpState::Pending,
         }));
+        if let Some(obs) = self.eng.observer.as_mut() {
+            obs.op_started(self.actor, tag, self.eng.clock);
+        }
         if flops <= 0.0 {
             self.eng.complete_op(op);
             return op;
@@ -883,6 +914,9 @@ impl Ctx<'_> {
             mailbox: None,
             state: OpState::Pending,
         }));
+        if let Some(obs) = self.eng.observer.as_mut() {
+            obs.op_started(self.actor, tag, self.eng.clock);
+        }
         if dt <= 0.0 {
             self.eng.complete_op(op);
         } else {
@@ -1381,6 +1415,65 @@ mod tests {
         // check the engine's completion counter.
         drop(obs);
         assert_eq!(eng.ops_completed(), 1);
+    }
+
+    #[test]
+    fn observer_receives_lifecycle_events_in_order() {
+        use crate::observer::Observer;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Debug, PartialEq)]
+        enum Ev {
+            ActorStart(usize),
+            OpStart(usize, u32),
+            Record(usize, u32),
+            ActorEnd(usize),
+            EngineEnd,
+        }
+        struct Log(Rc<RefCell<Vec<Ev>>>);
+        impl Observer for Log {
+            fn record(&mut self, rec: OpRecord) {
+                assert!(rec.end >= rec.start);
+                self.0.borrow_mut().push(Ev::Record(rec.actor, rec.tag));
+            }
+            fn actor_started(&mut self, actor: usize, _t: f64) {
+                self.0.borrow_mut().push(Ev::ActorStart(actor));
+            }
+            fn actor_ended(&mut self, actor: usize, _t: f64) {
+                self.0.borrow_mut().push(Ev::ActorEnd(actor));
+            }
+            fn op_started(&mut self, actor: usize, tag: u32, _t: f64) {
+                self.0.borrow_mut().push(Ev::OpStart(actor, tag));
+            }
+            fn engine_ended(&mut self, _t: f64) {
+                self.0.borrow_mut().push(Ev::EngineEnd);
+            }
+        }
+
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        eng.set_observer(Box::new(Log(log.clone())));
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.execute_tagged(1e9, 42)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        eng.run_checked().unwrap();
+        let evs = log.borrow();
+        assert_eq!(
+            *evs,
+            vec![
+                Ev::ActorStart(0),
+                Ev::OpStart(0, 42),
+                Ev::Record(0, 42),
+                Ev::ActorEnd(0),
+                Ev::EngineEnd,
+            ]
+        );
     }
 
     #[test]

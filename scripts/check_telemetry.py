@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate tit-replay observability outputs (stdlib only).
+
+Usage: check_telemetry.py TIMELINE.json PROFILE.json METRICS.json
+
+Checks that
+  * the timeline parses as Chrome trace-event JSON, its complete events
+    ("ph":"X") are monotone in end time (ts+dur) and carry sane fields;
+  * the profile parses, declares schema titobs-profile-v1, and every
+    rank's per-tag times/counts sum to the rank totals;
+  * the metrics file parses, declares schema titobs-metrics-v1 and
+    contains the replay counters.
+
+Exits 0 when all pass, 1 with a message otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_timeline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    xs = [e for e in events if e.get("ph") == "X"]
+    if not xs:
+        fail(f"{path}: no complete ('X') events")
+    last_end = float("-inf")
+    for e in xs:
+        for key in ("name", "ts", "dur", "tid"):
+            if key not in e:
+                fail(f"{path}: X event missing {key}: {e}")
+        if e["dur"] < 0:
+            fail(f"{path}: negative duration: {e}")
+        end = e["ts"] + e["dur"]
+        # ts and dur are rounded to 3 decimals (nanoseconds); two
+        # rounded ends can disagree by up to 2e-3 us without violating
+        # the engine's completion-order contract.
+        if end < last_end - 2e-3:
+            fail(f"{path}: events not in completion order at {e}")
+        last_end = max(last_end, end)
+    other = doc.get("otherData", {})
+    if "simulated_time_s" not in other:
+        fail(f"{path}: otherData.simulated_time_s missing")
+    print(f"check_telemetry: {path}: {len(xs)} events, "
+          f"simulated {other['simulated_time_s']} s")
+    return xs
+
+
+def check_profile(path, expect_ops=None):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "titobs-profile-v1":
+        fail(f"{path}: bad schema {doc.get('schema')!r}")
+    ranks = doc.get("ranks")
+    if not isinstance(ranks, list) or len(ranks) != doc.get("num_ranks"):
+        fail(f"{path}: ranks/num_ranks mismatch")
+    total_ops = 0
+    for r in ranks:
+        tag_time = sum(t["time"] for t in r["tags"])
+        tag_count = sum(t["count"] for t in r["tags"])
+        busy = r["compute_time"] + r["comm_time"]
+        if abs(tag_time - busy) > 1e-9 * max(busy, 1.0):
+            fail(f"{path}: rank {r['rank']}: tag times {tag_time} != busy {busy}")
+        if tag_count != r["compute_ops"] + r["comm_ops"]:
+            fail(f"{path}: rank {r['rank']}: tag counts != op counts")
+        for t in r["tags"]:
+            if sum(t["hist"]) != t["count"]:
+                fail(f"{path}: rank {r['rank']} tag {t['tag']}: histogram "
+                     f"mass {sum(t['hist'])} != count {t['count']}")
+        total_ops += tag_count
+    if total_ops != doc.get("total_ops"):
+        fail(f"{path}: total_ops {doc.get('total_ops')} != sum {total_ops}")
+    if expect_ops is not None and total_ops != expect_ops:
+        fail(f"{path}: total_ops {total_ops} != timeline events {expect_ops}")
+    print(f"check_telemetry: {path}: {len(ranks)} ranks, {total_ops} ops")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "titobs-metrics-v1":
+        fail(f"{path}: bad schema {doc.get('schema')!r}")
+    counters = doc.get("counters", {})
+    values = doc.get("values", {})
+    for key in ("replay.ops", "replay.actions"):
+        if key not in counters:
+            fail(f"{path}: counter {key} missing")
+    if "replay.simulated_time" not in values:
+        fail(f"{path}: value replay.simulated_time missing")
+    if "wall_timers" in doc:
+        fail(f"{path}: deterministic metrics must not embed wall timers")
+    print(f"check_telemetry: {path}: {len(counters)} counters, "
+          f"{len(values)} values")
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    timeline, profile, metrics = sys.argv[1:4]
+    xs = check_timeline(timeline)
+    check_profile(profile, expect_ops=len(xs))
+    check_metrics(metrics)
+    print("check_telemetry: OK")
+
+
+if __name__ == "__main__":
+    main()

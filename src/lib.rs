@@ -18,3 +18,4 @@ pub use tit_extract as extract;
 pub use tit_platform as platform;
 pub use tit_replay as replay;
 pub use titlint as lint;
+pub use titobs as obs;
