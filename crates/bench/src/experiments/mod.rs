@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod ingest;
 pub mod largetrace;
 pub mod table2;
 pub mod table3;

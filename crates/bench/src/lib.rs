@@ -15,6 +15,7 @@
 //! | [`experiments::fig7`]   | acquisition-time breakdown |
 //! | [`experiments::fig8`]   | replay accuracy |
 //! | [`experiments::fig9`]   | replay (simulation) time |
+//! | [`experiments::ingest`] | serial vs parallel trace loading |
 //! | [`experiments::largetrace`] | §6.5 class D × 1024 |
 //! | [`experiments::ablations`]  | design-choice ablations |
 
@@ -24,7 +25,7 @@ pub mod experiments;
 pub mod perf;
 pub mod table;
 
-pub use perf::{write_bench_json, PerfRecord};
+pub use perf::{write_bench_json, write_ingest_json, IngestRecord, PerfRecord};
 pub use table::Table;
 
 use npb::{Class, LuConfig};

@@ -61,9 +61,122 @@ pub fn write_bench_json(
     w.flush()
 }
 
+/// One ingestion measurement: the same trace directory loaded by the
+/// serial oracle and by the parallel fast path.
+#[derive(Debug, Clone)]
+pub struct IngestRecord {
+    /// What was loaded, e.g. `"LU.B x 64"`.
+    pub label: String,
+    /// Per-rank trace files in the directory.
+    pub files: usize,
+    /// Actions parsed (identical on both paths by construction).
+    pub actions: u64,
+    /// Total bytes of the trace files.
+    pub bytes: u64,
+    /// Serial load wall-clock, seconds (best of the repeats).
+    pub serial_wall: f64,
+    /// Parallel load wall-clock, seconds (best of the repeats).
+    pub parallel_wall: f64,
+    /// Worker threads the parallel path actually used.
+    pub jobs: usize,
+}
+
+impl IngestRecord {
+    /// Parallel ingestion throughput, actions per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.parallel_wall > 0.0 {
+            self.actions as f64 / self.parallel_wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Serial wall over parallel wall; 1.0 when either is unmeasurable.
+    pub fn speedup(&self) -> f64 {
+        if self.serial_wall > 0.0 && self.parallel_wall > 0.0 {
+            self.serial_wall / self.parallel_wall
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Writes ingestion records as `BENCH_ingest.json`:
+/// `{"bench":name,"peak_records_per_sec":…,"runs":[…]}` — the same
+/// envelope as [`write_bench_json`], with per-run serial/parallel walls,
+/// worker count and speedup.
+pub fn write_ingest_json(
+    path: &Path,
+    name: &str,
+    records: &[IngestRecord],
+) -> std::io::Result<()> {
+    let peak = records.iter().map(IngestRecord::records_per_sec).fold(0.0, f64::max);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "{{\"bench\":\"{name}\",\"peak_records_per_sec\":{peak},\"runs\":[")?;
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(
+            w,
+            "\n{{\"label\":\"{}\",\"files\":{},\"actions\":{},\"bytes\":{},\"serial_wall\":{},\"parallel_wall\":{},\"jobs\":{},\"speedup\":{},\"records_per_sec\":{}}}",
+            r.label,
+            r.files,
+            r.actions,
+            r.bytes,
+            r.serial_wall,
+            r.parallel_wall,
+            r.jobs,
+            r.speedup(),
+            r.records_per_sec()
+        )?;
+    }
+    writeln!(w, "\n]}}")?;
+    w.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ingest_json_is_balanced_and_carries_speedup() {
+        let dir = std::env::temp_dir().join(format!("titr-iperf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ingest.json");
+        let recs = vec![IngestRecord {
+            label: "ring x 4".into(),
+            files: 4,
+            actions: 1200,
+            bytes: 40_000,
+            serial_wall: 0.4,
+            parallel_wall: 0.1,
+            jobs: 4,
+        }];
+        write_ingest_json(&path, "ingest", &recs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\":\"ingest\""));
+        assert!(text.contains("\"speedup\":4"));
+        assert!(text.contains("\"peak_records_per_sec\":12000"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(recs[0].speedup(), 4.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unmeasurable_ingest_walls_report_unit_speedup() {
+        let r = IngestRecord {
+            label: "x".into(),
+            files: 1,
+            actions: 10,
+            bytes: 100,
+            serial_wall: 0.0,
+            parallel_wall: 0.0,
+            jobs: 1,
+        };
+        assert_eq!(r.speedup(), 1.0);
+        assert_eq!(r.records_per_sec(), 0.0);
+    }
 
     #[test]
     fn bench_json_is_balanced_and_carries_peak() {

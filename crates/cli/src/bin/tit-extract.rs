@@ -4,6 +4,9 @@
 //! ```text
 //! tit-extract --tau TAU_DIR --np N --out TI_DIR [--threads T] [--bundle FILE] [--arity K]
 //! ```
+//!
+//! `--jobs` is accepted as a synonym for `--threads` (`0` = one worker
+//! per CPU), matching `tit-replay`/`tit-lint`.
 
 use std::path::PathBuf;
 use tit_cli::Args;
@@ -11,7 +14,7 @@ use tit_extract::gather::{bundle, gather_plan};
 use tit_extract::tau2ti;
 
 const USAGE: &str =
-    "tit-extract --tau DIR --np N --out DIR [--threads T] [--bundle FILE] [--arity K] [--binary]";
+    "tit-extract --tau DIR --np N --out DIR [--threads T | --jobs T] [--bundle FILE] [--arity K] [--binary]";
 
 fn main() {
     let args = Args::from_env();
@@ -22,10 +25,9 @@ fn main() {
         std::process::exit(2);
     }
     let out = PathBuf::from(args.require("out", USAGE));
-    let threads: usize = args.get_or(
-        "threads",
-        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1),
-    );
+    // `--jobs` is the workspace-wide spelling; `--threads` predates it.
+    let threads =
+        tit_core::ingest::effective_jobs(args.get_or("threads", args.get_or("jobs", 0)));
 
     let t0 = std::time::Instant::now();
     let stats = match tau2ti(&tau, np, &out, threads) {

@@ -4,7 +4,11 @@
 //! ```text
 //! tit-lint --trace-dir DIR --np N [--format text|json]
 //!          [--deny-warnings] [--allow CODES] [--warn CODES] [--error CODES]
+//!          [--jobs N]
 //! ```
+//!
+//! `--jobs N` parses the per-rank files on N worker threads (`0` = one
+//! per CPU); the report is identical to the serial default.
 //!
 //! `CODES` is a comma-separated list of stable lint codes (`TL0003`) or
 //! `all`. Exit status: 0 when the trace is clean (or carries only
@@ -13,9 +17,9 @@
 
 use std::path::PathBuf;
 use tit_cli::Args;
-use titlint::{lint_dir, LintCode, LintConfig, Severity};
+use titlint::{lint_dir_jobs, LintCode, LintConfig, Severity};
 
-const USAGE: &str = "tit-lint --trace-dir DIR --np N [--format text|json] [--deny-warnings] [--allow CODES] [--warn CODES] [--error CODES]";
+const USAGE: &str = "tit-lint --trace-dir DIR --np N [--format text|json] [--deny-warnings] [--allow CODES] [--warn CODES] [--error CODES] [--jobs N]";
 
 fn apply_levels(cfg: &mut LintConfig, spec: &str, level: Severity) {
     for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
@@ -57,7 +61,7 @@ fn main() {
         apply_levels(&mut cfg, spec, Severity::Error);
     }
 
-    let report = lint_dir(&dir, np, &cfg);
+    let report = lint_dir_jobs(&dir, np, &cfg, args.get_or("jobs", 1));
     match args.get_or("format", "text".to_string()).as_str() {
         "text" => print!("{}", report.render_text()),
         "json" => println!("{}", report.to_json()),

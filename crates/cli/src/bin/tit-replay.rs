@@ -7,6 +7,7 @@
 //!            [--collectives binomial|flat] [--network mpi|flow|constant]
 //!            [--timed-trace out.csv] [--timeline out.json]
 //!            [--profile [out.json]] [--metrics out.json] [--lint]
+//!            [--jobs N]
 //! ```
 //!
 //! Without `--platform`, a bordereau-like cluster of `--nodes` (default
@@ -24,6 +25,14 @@
 //! text table), and `--metrics` writes a deterministic metrics JSON.
 //! Only `--paje` still buffers records (its writer needs them sorted by
 //! rank).
+//!
+//! `--jobs N` selects the parallel ingestion fast path: the per-rank
+//! trace files are parsed by N worker threads (`--jobs 0` = one per
+//! CPU) into the compact struct-of-arrays form and replayed from
+//! memory. The default `--jobs 1` streams the files serially during the
+//! replay (constant memory). Both paths produce identical results; the
+//! ingest counters (`ingest.files`, `ingest.actions`, `ingest.bytes`,
+//! `ingest.jobs`, `wall.ingest`) land in `--metrics` output.
 
 use std::path::PathBuf;
 use tit_cli::Args;
@@ -31,10 +40,10 @@ use tit_platform::deployment::Deployment;
 use tit_platform::desc::PlatformDesc;
 use tit_platform::presets;
 use tit_replay::collectives::CollectiveAlgo;
-use tit_replay::{replay_files_observed, tags, ReplayConfig};
+use tit_replay::{replay_compact_observed, replay_files_observed, tags, ReplayConfig};
 use titobs::{Metrics, Profile, Timeline, TimelineFormat};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--paje FILE] [--lint]";
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--paje FILE] [--lint] [--jobs N]";
 
 fn open_writer(path: &str) -> std::io::BufWriter<std::fs::File> {
     match std::fs::File::create(path) {
@@ -169,7 +178,28 @@ fn main() {
     let extra: Option<Box<dyn simkern::observer::Observer>> =
         if fan.is_empty() { None } else { Some(Box::new(fan)) };
 
-    let out = match replay_files_observed(&dir, np, platform, &hosts, &cfg, extra) {
+    // `--jobs 1` (the default) streams each file during the replay;
+    // any other value takes the parallel ingestion fast path.
+    let jobs: usize = args.get_or("jobs", 1);
+    let result = if jobs == 1 {
+        replay_files_observed(&dir, np, platform, &hosts, &cfg, extra)
+    } else {
+        let loaded = metrics.time("wall.ingest", || tit_core::load_compact_exact(&dir, np, jobs));
+        match loaded {
+            Ok(compact) => {
+                metrics.incr("ingest.files", np as u64);
+                metrics.incr("ingest.actions", compact.num_actions() as u64);
+                metrics.incr("ingest.bytes", compact.heap_bytes() as u64);
+                metrics.set_value("ingest.jobs", tit_core::ingest::effective_jobs(jobs) as f64);
+                replay_compact_observed(&std::sync::Arc::new(compact), platform, &hosts, &cfg, extra)
+            }
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let out = match result {
         Ok(o) => o,
         Err(e) => {
             eprintln!("replay failed: {e}");

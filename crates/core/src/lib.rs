@@ -19,9 +19,10 @@
 //! This crate provides the action vocabulary ([`Action`], Table 1 of the
 //! paper), parsing and serialisation ([`codec`]), whole-trace containers
 //! and streaming per-process readers/writers ([`trace`]), statistics
-//! ([`stats`]), structural validation ([`validate()`]) and the block
+//! ([`stats`]), structural validation ([`validate()`]), the block
 //! compressor used for the paper's Section 6.5 compressed-size figure
-//! ([`compress`]).
+//! ([`compress`]), a struct-of-arrays interned form for the replay hot
+//! path ([`compact`]) and parallel per-rank file ingestion ([`ingest`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -29,12 +30,16 @@
 pub mod action;
 pub mod binfmt;
 pub mod codec;
+pub mod compact;
 pub mod compress;
+pub mod ingest;
 pub mod stats;
 pub mod trace;
 pub mod validate;
 
 pub use action::{Action, Pid};
+pub use compact::{CompactError, CompactTrace};
+pub use ingest::{load_compact_exact, load_exact, load_per_process_jobs, IngestError};
 pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};
 pub use codec::{format_action, parse_line, ParseError};
 pub use stats::TraceStats;

@@ -14,7 +14,14 @@ use std::time::Duration;
 #[derive(Debug)]
 pub enum PipelineError {
     /// A per-rank input file is missing or unreadable.
-    MissingRank { rank: usize, path: PathBuf, source: std::io::Error },
+    MissingRank {
+        /// The rank whose input file is unavailable.
+        rank: usize,
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
     /// The gathered bundle is structurally corrupt.
     Bundle {
         /// The bundle file.
@@ -22,12 +29,25 @@ pub enum PipelineError {
         /// The entry being decoded when the corruption was hit, if the
         /// manifest got that far.
         entry: Option<String>,
+        /// What was structurally wrong.
         detail: String,
     },
     /// An I/O failure with the file it happened on.
-    Io { path: PathBuf, source: std::io::Error },
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
     /// A retried operation failed on every attempt.
-    RetriesExhausted { what: String, attempts: u32, last: Box<PipelineError> },
+    RetriesExhausted {
+        /// The operation that kept failing.
+        what: String,
+        /// How many times it was attempted.
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<PipelineError>,
+    },
 }
 
 impl PipelineError {
@@ -106,6 +126,7 @@ pub struct RetryPolicy {
     pub attempts: u32,
     /// Sleep before retry `k` is `base_backoff * 2^(k-1)`, capped.
     pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
     pub max_backoff: Duration,
 }
 

@@ -34,10 +34,12 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
+    /// A generator starting from `seed`.
     pub fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
+    /// Next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.state;
@@ -60,6 +62,7 @@ impl SplitMix64 {
 /// What faults to inject, and how often. Probabilities are per file.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultSpec {
+    /// Seed of the deterministic damage stream.
     pub seed: u64,
     /// Probability a file loses a random-length tail.
     pub truncate: f64,
@@ -79,10 +82,40 @@ impl FaultSpec {
 /// One injected fault, for the report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
-    Truncated { path: PathBuf, from: u64, to: u64 },
-    BitFlip { path: PathBuf, offset: u64, bit: u8 },
-    DroppedRank { rank: usize, path: PathBuf },
-    ShortTransfer { path: PathBuf, from: u64, to: u64 },
+    /// The file lost its tail: size went `from` → `to`.
+    Truncated {
+        /// The damaged file.
+        path: PathBuf,
+        /// Size before, bytes.
+        from: u64,
+        /// Size after, bytes.
+        to: u64,
+    },
+    /// One bit was flipped in place.
+    BitFlip {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the flip.
+        offset: u64,
+        /// Bit index within that byte.
+        bit: u8,
+    },
+    /// A rank's file was deleted outright.
+    DroppedRank {
+        /// The rank that lost its file.
+        rank: usize,
+        /// The deleted path.
+        path: PathBuf,
+    },
+    /// A copy stopped early: size went `from` → `to`.
+    ShortTransfer {
+        /// The damaged file.
+        path: PathBuf,
+        /// Intended size, bytes.
+        from: u64,
+        /// Actually transferred size, bytes.
+        to: u64,
+    },
 }
 
 /// Seeded injector. Every method consumes randomness from the same
@@ -94,6 +127,7 @@ pub struct Injector {
 }
 
 impl Injector {
+    /// An injector with its own damage stream seeded by `seed`.
     pub fn new(seed: u64) -> Self {
         Injector { rng: SplitMix64::new(seed) }
     }
@@ -234,6 +268,7 @@ pub struct Flaky {
 }
 
 impl Flaky {
+    /// Fails the next `failures` trips, then succeeds forever.
     pub fn new(failures: u32) -> Self {
         Flaky { remaining: std::cell::Cell::new(failures) }
     }

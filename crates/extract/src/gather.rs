@@ -18,7 +18,9 @@ use std::path::{Path, PathBuf};
 pub struct Transfer {
     /// Gathering step (0-based); transfers in a step run concurrently.
     pub step: usize,
+    /// Sending node index.
     pub from: usize,
+    /// Receiving node index.
     pub to: usize,
     /// Bytes moved (the sender's accumulated subtree).
     pub bytes: f64,
@@ -27,8 +29,11 @@ pub struct Transfer {
 /// A full gathering schedule with its modelled duration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GatherPlan {
+    /// K-nomial arity of the tree.
     pub arity: usize,
+    /// Number of gathering steps.
     pub steps: usize,
+    /// Every transfer of the schedule.
     pub transfers: Vec<Transfer>,
     /// Modelled wall time: per step, the slowest receiver (its NIC
     /// serialises its children), summed over steps.

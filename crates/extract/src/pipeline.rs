@@ -33,8 +33,9 @@ pub struct ExtractCostModel {
     pub per_action: f64,
     /// K-nomial arity of the gathering tree.
     pub arity: usize,
-    /// Gathering link bandwidth (bytes/s) and per-transfer latency.
+    /// Gathering link bandwidth, bytes/s.
     pub gather_bw: f64,
+    /// Gathering per-transfer latency, seconds.
     pub gather_lat: f64,
 }
 
@@ -53,13 +54,18 @@ impl Default for ExtractCostModel {
 /// Modelled host-platform seconds of each acquisition step (Figure 7).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineCosts {
+    /// The uninstrumented emulated run.
     pub application: f64,
+    /// Instrumented minus uninstrumented run time.
     pub tracing_overhead: f64,
+    /// Modelled `tau2simgrid` CPU time (slowest node bounds the step).
     pub extraction: f64,
+    /// Modelled K-nomial gathering schedule time.
     pub gathering: f64,
 }
 
 impl PipelineCosts {
+    /// Sum of all four steps.
     pub fn total(&self) -> f64 {
         self.application + self.tracing_overhead + self.extraction + self.gathering
     }
@@ -75,9 +81,13 @@ impl PipelineCosts {
 /// Everything the pipeline produced.
 #[derive(Debug)]
 pub struct PipelineResult {
+    /// Modelled host-platform seconds of each step.
     pub costs: PipelineCosts,
+    /// What the instrumented run produced.
     pub acquisition: AcquisitionResult,
+    /// Extraction throughput statistics.
     pub extract: ExtractStats,
+    /// The gathering schedule.
     pub gather: GatherPlan,
     /// Directory with the `SG_process<N>.trace` files.
     pub ti_dir: PathBuf,
@@ -119,6 +129,25 @@ pub fn run_pipeline_metered(
     work_dir: &Path,
     metrics: &titobs::Metrics,
 ) -> Result<PipelineResult, PipelineError> {
+    run_pipeline_jobs(program, nproc, mode, cfg, cost, work_dir, metrics, 0)
+}
+
+/// [`run_pipeline_metered`] with an explicit worker-thread count for the
+/// extraction step (`0` = one per CPU, the metered default; `1` = the
+/// serial oracle). Adds the ingest-side counters to the registry:
+/// `ingest.files` (per-rank TI trace files written), `ingest.bytes`
+/// (their total size) and the `ingest.jobs` gauge.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_jobs(
+    program: &dyn Fn(usize, usize) -> Box<dyn OpStream>,
+    nproc: usize,
+    mode: AcquisitionMode,
+    cfg: &EmulConfig,
+    cost: &ExtractCostModel,
+    work_dir: &Path,
+    metrics: &titobs::Metrics,
+    jobs: usize,
+) -> Result<PipelineResult, PipelineError> {
     let tau_dir = work_dir.join("tau");
     let ti_dir = work_dir.join("ti");
     std::fs::create_dir_all(work_dir)?;
@@ -134,12 +163,15 @@ pub fn run_pipeline_metered(
     metrics.set_value("acquire.exec_time", acquisition.exec_time);
 
     // Step 3: extraction (real), with its host-time model.
-    let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+    let threads = tit_core::ingest::effective_jobs(jobs);
     let extract = metrics.time("wall.extract", || tau2ti(&tau_dir, nproc, &ti_dir, threads))?;
     let extraction = extraction_time(&tau_dir, nproc, mode, cost)?;
     metrics.incr("extract.records_read", extract.records_read);
     metrics.incr("extract.actions_written", extract.actions_written);
     metrics.incr("extract.ti_bytes", extract.ti_bytes);
+    metrics.incr("ingest.files", nproc as u64);
+    metrics.incr("ingest.bytes", extract.ti_bytes);
+    metrics.set_value("ingest.jobs", threads as f64);
 
     // Step 4: gathering (modelled schedule + real bundle).
     let node_sizes = per_node_ti_sizes(&ti_dir, nproc, mode)?;

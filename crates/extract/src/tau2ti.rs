@@ -27,7 +27,9 @@ use tit_core::Action;
 /// Extraction statistics (inputs of the Figure 7 cost model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExtractStats {
+    /// TAU records read through the TFR callbacks.
     pub records_read: u64,
+    /// Time-independent actions formatted and written.
     pub actions_written: u64,
     /// Bytes of the produced time-independent traces.
     pub ti_bytes: u64,

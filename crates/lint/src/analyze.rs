@@ -24,7 +24,7 @@
 
 use crate::finding::{Finding, LintCode, Location, Report, Severity};
 use crate::schedule::schedule;
-use crate::source::{load_dir, SourceMap};
+use crate::source::{load_dir_jobs, SourceMap};
 use crate::LintConfig;
 use std::path::Path;
 use tit_core::{collective_sequences, match_p2p, Action, TiTrace};
@@ -57,7 +57,14 @@ pub fn analyze_with(
 /// findings (TL0015, TL0016) merged into the report, and the analysis
 /// runs on everything that did parse.
 pub fn lint_dir(dir: &Path, nproc: usize, cfg: &LintConfig) -> Report {
-    let loaded = load_dir(dir, nproc);
+    lint_dir_jobs(dir, nproc, cfg, 1)
+}
+
+/// [`lint_dir`] loading up to `jobs` rank files concurrently (`0` = one
+/// worker per CPU). The report is identical to the serial one — loading
+/// parallelises per file, the analysis itself is unchanged.
+pub fn lint_dir_jobs(dir: &Path, nproc: usize, cfg: &LintConfig, jobs: usize) -> Report {
+    let loaded = load_dir_jobs(dir, nproc, jobs);
     let missing: Vec<usize> = loaded
         .findings
         .iter()

@@ -56,7 +56,7 @@ mod finding;
 mod schedule;
 mod source;
 
-pub use analyze::{analyze, analyze_with, lint_dir};
+pub use analyze::{analyze, analyze_with, lint_dir, lint_dir_jobs};
 pub use finding::{Finding, LintCode, LintConfig, Location, Report, Severity};
 pub use schedule::{schedule, Blocked, ScheduleOutcome};
-pub use source::{load_dir, LoadedDir, SourceMap};
+pub use source::{load_dir, load_dir_jobs, LoadedDir, SourceMap};

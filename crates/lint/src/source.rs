@@ -75,87 +75,126 @@ pub struct LoadedDir {
     pub findings: Vec<Finding>,
 }
 
+/// One rank file parsed in isolation: everything [`load_dir`] needs to
+/// merge it deterministically, whatever thread produced it.
+struct RankLoad {
+    path: PathBuf,
+    /// Whether the file opened (only opened files get a SourceMap id,
+    /// matching the serial loader's numbering).
+    opened: bool,
+    /// This rank's parsed actions with their 1-based line numbers.
+    actions: Vec<(tit_core::Action, usize)>,
+    findings: Vec<Finding>,
+}
+
+/// Parses `rank`'s file totally: defects become findings, foreign-pid
+/// lines are reported (never re-attributed), own lines are kept with
+/// their line numbers. Each file only ever contributes to its own rank,
+/// which is what makes per-file parallelism safe.
+fn load_rank_file(dir: &Path, rank: usize) -> RankLoad {
+    let path = dir.join(process_trace_filename(rank));
+    let mut out =
+        RankLoad { path: path.clone(), opened: false, actions: Vec::new(), findings: Vec::new() };
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            out.findings.push(Finding::new(
+                LintCode::MissingRankFile,
+                Location {
+                    rank,
+                    file: Some(path.display().to_string()),
+                    ..Location::default()
+                },
+                format!("cannot open p{rank}'s trace: {e}"),
+            ));
+            return out;
+        }
+    };
+    out.opened = true;
+    let reader = std::io::BufReader::with_capacity(1 << 20, file);
+    for (line_no, line) in reader.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                out.findings.push(Finding::new(
+                    LintCode::ParseFailure,
+                    Location {
+                        rank,
+                        file: Some(path.display().to_string()),
+                        line: Some(line_no),
+                        ..Location::default()
+                    },
+                    format!("unreadable data: {e}"),
+                ));
+                break; // the stream is gone; keep what parsed
+            }
+        };
+        match parse_line(&line, line_no) {
+            // In the per-rank layout every line must carry the
+            // file's own rank; a contradicting pid means the file
+            // was damaged or mis-gathered, and trusting either side
+            // of the contradiction would mis-attribute the action.
+            Ok(Some((pid, _))) if pid != rank => {
+                out.findings.push(Finding::new(
+                    LintCode::RankMismatch,
+                    Location {
+                        rank,
+                        file: Some(path.display().to_string()),
+                        line: Some(line_no),
+                        ..Location::default()
+                    },
+                    format!("line declares p{pid} inside p{rank}'s trace file"),
+                ));
+            }
+            Ok(Some((_, action))) => out.actions.push((action, line_no)),
+            Ok(None) => {}
+            Err(e) => {
+                out.findings.push(Finding::new(
+                    LintCode::ParseFailure,
+                    Location {
+                        rank,
+                        file: Some(path.display().to_string()),
+                        line: Some(line_no),
+                        ..Location::default()
+                    },
+                    e.message,
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Loads `SG_process0.trace` … `SG_process<nproc-1>.trace` from `dir`.
 ///
 /// Never fails: defects become findings in [`LoadedDir::findings`] and
 /// the affected lines are skipped, so the analyzer still sees everything
 /// that did parse.
 pub fn load_dir(dir: &Path, nproc: usize) -> LoadedDir {
+    load_dir_jobs(dir, nproc, 1)
+}
+
+/// [`load_dir`] parsing up to `jobs` rank files concurrently (`0` = one
+/// worker per CPU). The merge happens in rank order, so the trace, the
+/// SourceMap file numbering and the finding order are identical to the
+/// serial loader's whatever the thread interleaving.
+pub fn load_dir_jobs(dir: &Path, nproc: usize, jobs: usize) -> LoadedDir {
+    let loads = tit_core::ingest::for_each_rank(nproc, jobs, |rank| {
+        Ok::<_, std::convert::Infallible>(load_rank_file(dir, rank))
+    });
+    let loads = loads.unwrap_or_else(|e| match e {});
     let mut out = LoadedDir { trace: TiTrace::new(nproc), ..LoadedDir::default() };
-    for rank in 0..nproc {
-        let path = dir.join(process_trace_filename(rank));
-        let file = match std::fs::File::open(&path) {
-            Ok(f) => f,
-            Err(e) => {
-                out.findings.push(Finding::new(
-                    LintCode::MissingRankFile,
-                    Location {
-                        rank,
-                        file: Some(path.display().to_string()),
-                        ..Location::default()
-                    },
-                    format!("cannot open p{rank}'s trace: {e}"),
-                ));
-                continue;
-            }
-        };
-        let file_id = out.sources.add_file(path.clone());
-        let reader = std::io::BufReader::with_capacity(1 << 20, file);
-        for (line_no, line) in reader.lines().enumerate() {
-            let line_no = line_no + 1;
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    out.findings.push(Finding::new(
-                        LintCode::ParseFailure,
-                        Location {
-                            rank,
-                            file: Some(path.display().to_string()),
-                            line: Some(line_no),
-                            ..Location::default()
-                        },
-                        format!("unreadable data: {e}"),
-                    ));
-                    break; // the stream is gone; keep what parsed
-                }
-            };
-            match parse_line(&line, line_no) {
-                // In the per-rank layout every line must carry the
-                // file's own rank; a contradicting pid means the file
-                // was damaged or mis-gathered, and trusting either side
-                // of the contradiction would mis-attribute the action.
-                Ok(Some((pid, _))) if pid != rank => {
-                    out.findings.push(Finding::new(
-                        LintCode::RankMismatch,
-                        Location {
-                            rank,
-                            file: Some(path.display().to_string()),
-                            line: Some(line_no),
-                            ..Location::default()
-                        },
-                        format!("line declares p{pid} inside p{rank}'s trace file"),
-                    ));
-                }
-                Ok(Some((pid, action))) => {
-                    out.trace.push(pid, action);
-                    let index = out.trace.actions[pid].len() - 1;
-                    out.sources.record(pid, index, file_id, line_no);
-                }
-                Ok(None) => {}
-                Err(e) => {
-                    out.findings.push(Finding::new(
-                        LintCode::ParseFailure,
-                        Location {
-                            rank,
-                            file: Some(path.display().to_string()),
-                            line: Some(line_no),
-                            ..Location::default()
-                        },
-                        e.message,
-                    ));
-                }
+    for (rank, load) in loads.into_iter().enumerate() {
+        if load.opened {
+            let file_id = out.sources.add_file(load.path);
+            for (action, line_no) in load.actions {
+                out.trace.push(rank, action);
+                let index = out.trace.actions[rank].len() - 1;
+                out.sources.record(rank, index, file_id, line_no);
             }
         }
+        out.findings.extend(load.findings);
     }
     out
 }
@@ -210,6 +249,41 @@ mod tests {
             .unwrap();
         assert_eq!(mismatch.primary.line, Some(2));
         assert!(mismatch.message.contains("declares p1"), "{}", mismatch.message);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_load_is_indistinguishable_from_serial() {
+        // Defects everywhere: rank 1 missing, rank 2 with a foreign pid
+        // and a bad keyword — the merge must still reproduce the serial
+        // trace, finding order and file:line map exactly.
+        let dir = tmp("par");
+        std::fs::write(
+            dir.join("SG_process0.trace"),
+            "p0 compute 10\np0 send p2 64\np0 recv p2\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("SG_process2.trace"),
+            "p2 recv p0\np1 compute 9\np2 frobnicate\np2 send p0 64\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("SG_process3.trace"), "p3 barrier\n").unwrap();
+        let serial = load_dir(&dir, 4);
+        for jobs in [0, 2, 4, 16] {
+            let par = load_dir_jobs(&dir, 4, jobs);
+            assert_eq!(par.trace, serial.trace, "jobs={jobs}");
+            assert_eq!(par.findings, serial.findings, "jobs={jobs}");
+            for rank in 0..4 {
+                for index in 0..=serial.trace.actions[rank].len() {
+                    assert_eq!(
+                        par.sources.lookup(rank, index),
+                        serial.sources.lookup(rank, index),
+                        "jobs={jobs} rank={rank} index={index}"
+                    );
+                }
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,18 +16,31 @@ pub enum ReplayError {
     /// A per-rank trace file could not be opened — the gather stage lost
     /// or never produced this rank's trace.
     MissingRank {
+        /// The rank whose trace file is unavailable.
         rank: usize,
+        /// The path that failed to open.
         path: PathBuf,
+        /// The underlying I/O failure.
         source: std::io::Error,
     },
     /// A rank's trace failed mid-replay: unreadable data, a malformed
     /// line (the detail carries file, line number and offending
     /// keyword), or a structurally impossible action sequence (e.g.
     /// `wait` with no pending request).
-    Trace { rank: usize, detail: String },
+    Trace {
+        /// The rank whose trace is defective.
+        rank: usize,
+        /// Human-readable description, naming file/line where known.
+        detail: String,
+    },
     /// The deployment maps a different number of hosts than the trace
     /// has processes.
-    Deployment { procs: usize, hosts: usize },
+    Deployment {
+        /// Processes in the trace.
+        procs: usize,
+        /// Hosts in the deployment.
+        hosts: usize,
+    },
     /// The simulation kernel aborted: a deadlock (with wait-for
     /// diagnostics per blocked rank) or a protocol violation.
     Sim(SimError),

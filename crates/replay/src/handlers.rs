@@ -17,23 +17,70 @@ use tit_core::Action;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MicroOp {
     /// Compute `flops` on the local host (blocking).
-    Exec { flops: f64, tag: u32 },
+    Exec {
+        /// Floating-point operations to burn.
+        flops: f64,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Blocking point-to-point send on the application channel.
-    Send { dst: usize, bytes: f64, tag: u32 },
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Message volume in bytes.
+        bytes: f64,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Blocking point-to-point receive on the application channel.
-    Recv { src: usize, tag: u32 },
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Blocking send on the collective channel.
-    CollSend { dst: usize, bytes: f64, tag: u32 },
+    CollSend {
+        /// Destination rank.
+        dst: usize,
+        /// Message volume in bytes.
+        bytes: f64,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Blocking receive on the collective channel.
-    CollRecv { src: usize, tag: u32 },
+    CollRecv {
+        /// Source rank.
+        src: usize,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Non-blocking send: enqueue a request for a later `wait`.
-    IsendReq { dst: usize, bytes: f64, tag: u32 },
+    IsendReq {
+        /// Destination rank.
+        dst: usize,
+        /// Message volume in bytes.
+        bytes: f64,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Non-blocking receive: enqueue a request for a later `wait`.
-    IrecvReq { src: usize, tag: u32 },
+    IrecvReq {
+        /// Source rank.
+        src: usize,
+        /// Observer tag attributed to the resulting kernel op.
+        tag: u32,
+    },
     /// Complete the oldest pending request.
-    WaitReq { tag: u32 },
+    WaitReq {
+        /// Observer tag attributed to the wait itself.
+        tag: u32,
+    },
     /// Update the communicator size.
-    SetCommSize { nproc: usize },
+    SetCommSize {
+        /// New communicator size.
+        nproc: usize,
+    },
 }
 
 /// Context a handler sees when expanding an action.
@@ -52,6 +99,7 @@ pub struct ExpandCtx {
 pub struct ExpandError {
     /// The action keyword that failed to expand.
     pub keyword: String,
+    /// Why the expansion is impossible.
     pub detail: String,
 }
 

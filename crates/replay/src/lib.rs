@@ -15,6 +15,7 @@
 //! ([`process`]).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod collectives;
 pub mod error;
@@ -27,6 +28,7 @@ pub mod tags;
 pub use error::ReplayError;
 pub use handlers::{ExpandError, MicroOp, Registry};
 pub use simulator::{
-    replay_binary_files, replay_files, replay_files_observed, replay_memory,
-    replay_memory_observed, ReplayConfig, ReplayOutcome,
+    replay_binary_files, replay_compact, replay_compact_observed, replay_files,
+    replay_files_jobs, replay_files_observed, replay_memory, replay_memory_observed,
+    ReplayConfig, ReplayOutcome,
 };

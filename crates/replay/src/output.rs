@@ -30,13 +30,18 @@ pub fn write_timed_trace<W: Write>(records: &[OpRecord], w: &mut W) -> std::io::
 /// Per-rank time split between computation and communication.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankProfile {
+    /// Simulated seconds spent in CPU bursts.
     pub compute_time: f64,
+    /// Simulated seconds spent in communication operations.
     pub comm_time: f64,
+    /// Number of compute operations.
     pub compute_ops: u64,
+    /// Number of communication operations.
     pub comm_ops: u64,
 }
 
 impl RankProfile {
+    /// Total busy time: compute plus communication.
     pub fn total_time(&self) -> f64 {
         self.compute_time + self.comm_time
     }

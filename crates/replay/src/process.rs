@@ -28,6 +28,7 @@ pub trait ActionSource: Send {
 pub struct VecSource(std::vec::IntoIter<Action>);
 
 impl VecSource {
+    /// Wraps an owned action list.
     pub fn new(actions: Vec<Action>) -> Self {
         VecSource(actions.into_iter())
     }
@@ -36,6 +37,34 @@ impl VecSource {
 impl ActionSource for VecSource {
     fn next_action(&mut self) -> std::io::Result<Option<Action>> {
         Ok(self.0.next())
+    }
+}
+
+/// One rank's slice of a shared interned [`tit_core::CompactTrace`] — the
+/// zero-copy source behind [`replay_compact`](crate::replay_compact).
+/// Cloning the `Arc` per rank lets all actors stream from one
+/// struct-of-arrays allocation.
+pub struct CompactSource {
+    trace: Arc<tit_core::CompactTrace>,
+    rank: usize,
+    index: usize,
+}
+
+impl CompactSource {
+    /// A source over `rank`'s actions in `trace`. Ranks beyond
+    /// `trace.num_processes()` simply yield an empty stream.
+    pub fn new(trace: Arc<tit_core::CompactTrace>, rank: usize) -> Self {
+        CompactSource { trace, rank, index: 0 }
+    }
+}
+
+impl ActionSource for CompactSource {
+    fn next_action(&mut self) -> std::io::Result<Option<Action>> {
+        let a = self.trace.get(self.rank, self.index);
+        if a.is_some() {
+            self.index += 1;
+        }
+        Ok(a)
     }
 }
 
@@ -125,6 +154,8 @@ pub struct ReplayActor {
 }
 
 impl ReplayActor {
+    /// Builds the actor for `rank`, incrementing `actions_replayed`
+    /// once per action pulled from `src`.
     pub fn new(
         rank: usize,
         src: Box<dyn ActionSource>,
@@ -229,6 +260,23 @@ mod tests {
         assert_eq!(s.next_action().unwrap(), Some(Action::Wait));
         assert_eq!(s.next_action().unwrap(), Some(Action::Barrier));
         assert_eq!(s.next_action().unwrap(), None);
+    }
+
+    #[test]
+    fn compact_source_streams_one_rank() {
+        let mut c = tit_core::CompactTrace::new();
+        c.begin_process();
+        c.push(&Action::Barrier).unwrap();
+        c.begin_process();
+        c.push(&Action::Wait).unwrap();
+        c.push(&Action::Compute { flops: 2.0 }).unwrap();
+        let c = Arc::new(c);
+        let mut s1 = CompactSource::new(Arc::clone(&c), 1);
+        assert_eq!(s1.next_action().unwrap(), Some(Action::Wait));
+        assert_eq!(s1.next_action().unwrap(), Some(Action::Compute { flops: 2.0 }));
+        assert_eq!(s1.next_action().unwrap(), None);
+        let mut beyond = CompactSource::new(c, 9);
+        assert_eq!(beyond.next_action().unwrap(), None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::collectives::CollectiveAlgo;
 use crate::error::ReplayError;
 use crate::handlers::Registry;
-use crate::process::{ActionSource, FileSource, ReplayActor, VecSource};
+use crate::process::{ActionSource, CompactSource, FileSource, ReplayActor, VecSource};
 use simkern::netmodel::NetworkConfig;
 use simkern::observer::{Fanout, Observer, OpRecord};
 use simkern::resource::HostId;
@@ -172,6 +172,63 @@ pub fn replay_files_observed(
     run(sources, platform, hosts, cfg, extra)
 }
 
+/// Replays a shared interned [`CompactTrace`](tit_core::CompactTrace):
+/// the fast path for repeated or memory-bound replays. Ranks stream
+/// straight out of the struct-of-arrays storage (~16 bytes/action, no
+/// per-rank copies), so a folded ×8 class-D-scale trace loads once and
+/// replays many times.
+pub fn replay_compact(
+    trace: &Arc<tit_core::CompactTrace>,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+) -> Result<ReplayOutcome, ReplayError> {
+    replay_compact_observed(trace, platform, hosts, cfg, None)
+}
+
+/// Like [`replay_compact`], with an extra [`Observer`] installed for the
+/// run (see [`replay_memory_observed`]).
+pub fn replay_compact_observed(
+    trace: &Arc<tit_core::CompactTrace>,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+    extra: Option<Box<dyn Observer>>,
+) -> Result<ReplayOutcome, ReplayError> {
+    let sources: Vec<Box<dyn ActionSource>> = (0..trace.num_processes())
+        .map(|rank| {
+            Box::new(CompactSource::new(Arc::clone(trace), rank)) as Box<dyn ActionSource>
+        })
+        .collect();
+    run(sources, platform, hosts, cfg, extra)
+}
+
+/// Like [`replay_files`], but ingests the `nproc` per-rank files in
+/// parallel (`jobs` worker threads, `0` = one per CPU) into a
+/// [`CompactTrace`](tit_core::CompactTrace) first and replays that.
+/// Trades the streaming path's constant memory for load throughput; the
+/// result is identical — same simulated time, same per-file errors
+/// ([`ReplayError::MissingRank`] for an absent file,
+/// [`ReplayError::Trace`] for a defective one).
+pub fn replay_files_jobs(
+    dir: &Path,
+    nproc: usize,
+    jobs: usize,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+    extra: Option<Box<dyn Observer>>,
+) -> Result<ReplayOutcome, ReplayError> {
+    let compact = tit_core::load_compact_exact(dir, nproc, jobs).map_err(|e| {
+        if e.source.kind() == std::io::ErrorKind::NotFound {
+            ReplayError::MissingRank { rank: e.rank, path: e.path, source: e.source }
+        } else {
+            ReplayError::Trace { rank: e.rank, detail: e.source.to_string() }
+        }
+    })?;
+    replay_compact_observed(&Arc::new(compact), platform, hosts, cfg, extra)
+}
+
 /// Replays binary per-process traces `SG_process<rank>.btrace` from
 /// `dir` (the paper's future-work format; see `tit_core::binfmt`).
 pub fn replay_binary_files(
@@ -328,6 +385,58 @@ mod tests {
         let fil = replay_files(&dir, 4, p2, &hosts, &plain_cfg()).unwrap();
         assert_eq!(mem.simulated_time, fil.simulated_time);
         assert_eq!(mem.actions_replayed, fil.actions_replayed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_replay_matches_memory_replay() {
+        let t = ring_trace();
+        let compact = Arc::new(tit_core::CompactTrace::from_trace(&t).unwrap());
+        let (p1, hosts) = mycluster(4);
+        let (p2, _) = mycluster(4);
+        let mem = replay_memory(&t, p1, &hosts, &plain_cfg()).unwrap();
+        let cmp = replay_compact(&compact, p2, &hosts, &plain_cfg()).unwrap();
+        assert_eq!(mem.simulated_time, cmp.simulated_time);
+        assert_eq!(mem.actions_replayed, cmp.actions_replayed);
+    }
+
+    #[test]
+    fn parallel_file_replay_matches_streaming_replay() {
+        let dir = std::env::temp_dir().join(format!("titr-pjobs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = ring_trace();
+        t.save_per_process(&dir).unwrap();
+        let (p1, hosts) = mycluster(4);
+        let (p2, _) = mycluster(4);
+        let streaming = replay_files(&dir, 4, p1, &hosts, &plain_cfg()).unwrap();
+        let parallel =
+            replay_files_jobs(&dir, 4, 3, p2, &hosts, &plain_cfg(), None).unwrap();
+        assert_eq!(streaming.simulated_time, parallel.simulated_time);
+        assert_eq!(streaming.actions_replayed, parallel.actions_replayed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_file_replay_reports_missing_and_defective_ranks() {
+        let dir = std::env::temp_dir().join(format!("titr-pjobs-err-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ring_trace().save_per_process(&dir).unwrap();
+        let (p1, hosts5) = mycluster(5);
+        let err = replay_files_jobs(&dir, 5, 2, p1, &hosts5, &plain_cfg(), None).unwrap_err();
+        match err {
+            ReplayError::MissingRank { rank, .. } => assert_eq!(rank, 4),
+            other => panic!("expected MissingRank, got {other}"),
+        }
+        std::fs::write(dir.join("SG_process2.trace"), "p2 frobnicate\n").unwrap();
+        let (p2, hosts4) = mycluster(4);
+        let err = replay_files_jobs(&dir, 4, 2, p2, &hosts4, &plain_cfg(), None).unwrap_err();
+        match err {
+            ReplayError::Trace { rank, detail } => {
+                assert_eq!(rank, 2);
+                assert!(detail.contains("frobnicate"), "{detail}");
+            }
+            other => panic!("expected Trace, got {other}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,15 +1,30 @@
 //! Observer tags identifying replayed action kinds in timed traces and
 //! profiles.
+//!
+//! The numeric values agree with `tit_core::compact::tag` for every
+//! keyword both layers know (asserted by a parity test): a tag read
+//! from a timed trace and a tag interned in a
+//! [`CompactTrace`](tit_core::CompactTrace) mean the same action.
 
+/// A CPU burst (`compute`).
 pub const COMPUTE: u32 = 1;
+/// A blocking send (`send`).
 pub const SEND: u32 = 2;
+/// A non-blocking send (`Isend`).
 pub const ISEND: u32 = 3;
+/// A blocking receive (`recv`).
 pub const RECV: u32 = 4;
+/// A non-blocking receive (`Irecv`).
 pub const IRECV: u32 = 5;
+/// A broadcast rooted at rank 0 (`bcast`).
 pub const BCAST: u32 = 6;
+/// A reduction to rank 0 (`reduce`).
 pub const REDUCE: u32 = 7;
+/// A reduction followed by a broadcast (`allReduce`).
 pub const ALLREDUCE: u32 = 8;
+/// A synchronisation barrier (`barrier`).
 pub const BARRIER: u32 = 9;
+/// Completion of the oldest pending non-blocking request (`wait`).
 pub const WAIT: u32 = 10;
 
 /// Every tag the replay layer emits, in numeric order.
@@ -62,6 +77,18 @@ mod tests {
         assert!(!is_comm(COMPUTE));
         assert!(is_comm(SEND));
         assert!(is_comm(BARRIER));
+    }
+
+    #[test]
+    fn tags_agree_with_core_interning() {
+        // A timed-trace tag and a CompactTrace tag must mean the same
+        // action; `comm_size` exists only on the core side (it never
+        // reaches the kernel, so the observer never sees it).
+        use tit_core::compact::tag;
+        for t in ALL {
+            assert_eq!(tag::keyword(t), Some(name(t)), "tag {t}");
+        }
+        assert_eq!(tag::COMM_SIZE, WAIT + 1);
     }
 
     #[test]

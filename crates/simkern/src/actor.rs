@@ -39,6 +39,7 @@ pub enum Step {
     /// [`crate::error::SimError::ActorFailure`] naming this actor. The
     /// reason should say *what* was malformed and *where* (file, line).
     Fail {
+        /// What was malformed and where (file, line) when known.
         reason: String,
     },
 }

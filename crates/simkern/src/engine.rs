@@ -55,8 +55,11 @@ pub type ActorId = usize;
 /// mailbox, which mirrors MPI's non-overtaking guarantee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MailboxKey {
+    /// Sending rank.
     pub src: u32,
+    /// Receiving rank.
     pub dst: u32,
+    /// Channel discriminator (application vs. collective traffic).
     pub chan: u8,
 }
 
@@ -266,6 +269,7 @@ impl Engine {
         self.net = net;
     }
 
+    /// The active network configuration.
     pub fn network_config(&self) -> &NetworkConfig {
         &self.net
     }
@@ -280,6 +284,7 @@ impl Engine {
         self.observer.take()
     }
 
+    /// The simulated platform.
     pub fn platform(&self) -> &Platform {
         &self.platform
     }

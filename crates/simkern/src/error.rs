@@ -14,9 +14,13 @@ use crate::engine::{ActorId, MailboxKey};
 /// What kind of operation an actor was blocked on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
+    /// A CPU burst.
     Compute,
+    /// A message emission.
     Send,
+    /// A message reception.
     Recv,
+    /// A timed sleep.
     Sleep,
 }
 
@@ -80,17 +84,22 @@ pub enum SimError {
     /// An actor reported a failure through the failure channel
     /// ([`crate::Step::Fail`]) — e.g. a corrupt trace line.
     ActorFailure {
+        /// The failing actor (its rank for replay actors).
         actor: ActorId,
         /// Simulated time at which the failure was reported.
         time: f64,
+        /// The actor's own description of what went wrong.
         reason: String,
     },
     /// The engine caught an actor doing something structurally invalid
     /// (waiting on a foreign or unknown operation, sending to a rank
     /// that was never spawned).
     Protocol {
+        /// The offending actor.
         actor: ActorId,
+        /// Simulated time of the violation.
         time: f64,
+        /// What invariant was broken.
         detail: String,
     },
 }

@@ -19,18 +19,22 @@ pub struct IndexedHeap {
 const ABSENT: usize = usize::MAX;
 
 impl IndexedHeap {
+    /// An empty heap.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Number of queued entries.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
+    /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
+    /// True when `key` is currently queued.
     pub fn contains(&self, key: usize) -> bool {
         self.pos.get(key).is_some_and(|&p| p != ABSENT)
     }

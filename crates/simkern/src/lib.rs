@@ -77,6 +77,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod actor;
 pub mod idxheap;

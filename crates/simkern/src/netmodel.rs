@@ -88,6 +88,7 @@ impl PiecewiseModel {
         self.segments.iter().position(|s| size < s.max_size).unwrap_or(self.segments.len() - 1)
     }
 
+    /// The fitted segments, in increasing size order.
     pub fn segments(&self) -> &[Segment] {
         &self.segments
     }

@@ -38,6 +38,7 @@ pub enum Sharing {
 /// measures.
 #[derive(Debug, Clone)]
 pub struct Host {
+    /// Host name (used in platform descriptions and diagnostics).
     pub name: String,
     /// Per-core computing power in flop/s.
     pub speed: f64,
@@ -48,11 +49,13 @@ pub struct Host {
 /// A network link.
 #[derive(Debug, Clone)]
 pub struct Link {
+    /// Link name (used in platform descriptions and diagnostics).
     pub name: String,
     /// Bandwidth in bytes/s.
     pub bandwidth: f64,
     /// Latency in seconds.
     pub latency: f64,
+    /// How concurrent flows share the bandwidth.
     pub sharing: Sharing,
 }
 
@@ -60,6 +63,7 @@ pub struct Link {
 /// [`Router`].
 #[derive(Debug, Clone, Default)]
 pub struct RouteSpec {
+    /// Links traversed, in order.
     pub links: Vec<LinkId>,
 }
 
@@ -80,6 +84,7 @@ pub struct TableRouter {
 }
 
 impl TableRouter {
+    /// An empty route table.
     pub fn new() -> Self {
         Self::default()
     }
@@ -104,7 +109,9 @@ impl Router for TableRouter {
 /// Loopback characteristics for messages between processes on one host.
 #[derive(Debug, Clone, Copy)]
 pub struct Loopback {
+    /// Memory-copy bandwidth in bytes/s.
     pub bandwidth: f64,
+    /// Intra-node latency in seconds.
     pub latency: f64,
 }
 
@@ -118,8 +125,11 @@ impl Default for Loopback {
 
 /// An immutable simulated platform: hosts, links, routing.
 pub struct Platform {
+    /// All hosts, indexed by [`HostId`].
     pub hosts: Vec<Host>,
+    /// All links, indexed by [`LinkId`].
     pub links: Vec<Link>,
+    /// Intra-node communication characteristics.
     pub loopback: Loopback,
     router: Box<dyn Router>,
 }
@@ -136,14 +146,17 @@ impl std::fmt::Debug for Platform {
 }
 
 impl Platform {
+    /// Number of hosts.
     pub fn num_hosts(&self) -> usize {
         self.hosts.len()
     }
 
+    /// The host `id` refers to.
     pub fn host(&self, id: HostId) -> &Host {
         &self.hosts[id.0 as usize]
     }
 
+    /// The link `id` refers to.
     pub fn link(&self, id: LinkId) -> &Link {
         &self.links[id.0 as usize]
     }
@@ -225,6 +238,7 @@ impl Default for PlatformBuilder {
 }
 
 impl PlatformBuilder {
+    /// An empty builder.
     pub fn new() -> Self {
         PlatformBuilder {
             hosts: Vec::new(),

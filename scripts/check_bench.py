@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate (docs/BENCHMARKS.md).
+
+Usage: check_bench.py FRESH.json BASELINE.json
+
+Compares a freshly produced BENCH_*.json against the committed
+baseline:
+
+  1. fresh peak_records_per_sec must be >= 0.5 x baseline's (a >2x
+     throughput regression fails; improvements never fail);
+  2. for ingest records only: the largest run's speedup must be >= 2.0
+     when that run used >= 4 worker threads (the PR 4 acceptance
+     criterion; vacuous on 1- and 2-core machines);
+  3. envelope sanity: same bench name, non-empty runs, finite positive
+     peak.
+
+Exit status: 0 pass, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import math
+import sys
+
+PEAK_FLOOR = 0.5
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_MIN_JOBS = 4
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def sane(doc, path):
+    for key in ("bench", "peak_records_per_sec", "runs"):
+        if key not in doc:
+            print(f"check_bench: {path}: missing {key!r}", file=sys.stderr)
+            sys.exit(2)
+    peak = doc["peak_records_per_sec"]
+    if not (isinstance(peak, (int, float)) and math.isfinite(peak) and peak > 0):
+        print(f"check_bench: {path}: bad peak {peak!r}", file=sys.stderr)
+        sys.exit(2)
+    if not doc["runs"]:
+        print(f"check_bench: {path}: empty runs", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh, base = load(fresh_path), load(base_path)
+    sane(fresh, fresh_path)
+    sane(base, base_path)
+
+    if fresh["bench"] != base["bench"]:
+        print(
+            f"check_bench: bench mismatch: fresh {fresh['bench']!r} "
+            f"vs baseline {base['bench']!r}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+    failed = False
+    fp, bp = fresh["peak_records_per_sec"], base["peak_records_per_sec"]
+    ratio = fp / bp
+    verdict = "OK" if ratio >= PEAK_FLOOR else "FAIL"
+    print(
+        f"[{fresh['bench']}] peak {fp:.0f} rec/s vs baseline {bp:.0f} "
+        f"({ratio:.2f}x, floor {PEAK_FLOOR}x): {verdict}"
+    )
+    if ratio < PEAK_FLOOR:
+        failed = True
+
+    if fresh["bench"] == "ingest":
+        # The acceptance run is the largest input of the sweep.
+        run = max(fresh["runs"], key=lambda r: r.get("files", 0))
+        jobs = run.get("jobs", 0)
+        speedup = run.get("speedup", 0.0)
+        if jobs >= SPEEDUP_MIN_JOBS:
+            verdict = "OK" if speedup >= SPEEDUP_FLOOR else "FAIL"
+            print(
+                f"[ingest] {run.get('label', '?')}: speedup {speedup:.2f}x "
+                f"with {jobs} jobs (floor {SPEEDUP_FLOOR}x): {verdict}"
+            )
+            if speedup < SPEEDUP_FLOOR:
+                failed = True
+        else:
+            print(
+                f"[ingest] {run.get('label', '?')}: speedup check skipped "
+                f"({jobs} job(s) < {SPEEDUP_MIN_JOBS})"
+            )
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

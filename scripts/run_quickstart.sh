@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the README Quickstart exactly as written: every `$ `-prefixed
+# line of the "## Quickstart" section is extracted and executed from
+# the repo root, so the walkthrough cannot rot. Quickstart commands
+# must therefore each fit on a single line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+readme=README.md
+mapfile -t cmds < <(awk '
+  /^## Quickstart/ { in_qs = 1; next }
+  /^## / && in_qs  { exit }
+  in_qs && /^\$ /  { print substr($0, 3) }
+' "$readme")
+
+if [ "${#cmds[@]}" -eq 0 ]; then
+  echo "run_quickstart: no \$-prefixed commands found under '## Quickstart' in $readme" >&2
+  exit 2
+fi
+
+for cmd in "${cmds[@]}"; do
+  echo "+ $cmd"
+  bash -c "$cmd"
+done
+echo "run_quickstart: ${#cmds[@]} command(s) OK"
