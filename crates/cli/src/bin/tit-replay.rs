@@ -8,6 +8,8 @@
 //!            [--timed-trace out.csv] [--timeline out.json]
 //!            [--profile [out.json]] [--metrics out.json] [--lint]
 //!            [--jobs N]
+//!            [--checkpoint ck.tick --checkpoint-every N] [--resume ck.tick]
+//!            [--max-wall SECS] [--degraded]
 //! ```
 //!
 //! Without `--platform`, a bordereau-like cluster of `--nodes` (default
@@ -24,7 +26,8 @@
 //! writes the per-rank profile as JSON (a bare `--profile` prints the
 //! text table), and `--metrics` writes a deterministic metrics JSON.
 //! Only `--paje` still buffers records (its writer needs them sorted by
-//! rank).
+//! rank). Every file output is written atomically (tmp + rename): a
+//! crash mid-replay never leaves a half-written artifact behind.
 //!
 //! `--jobs N` selects the parallel ingestion fast path: the per-rank
 //! trace files are parsed by N worker threads (`--jobs 0` = one per
@@ -33,21 +36,64 @@
 //! replay (constant memory). Both paths produce identical results; the
 //! ingest counters (`ingest.files`, `ingest.actions`, `ingest.bytes`,
 //! `ingest.jobs`, `wall.ingest`) land in `--metrics` output.
+//!
+//! # Checkpoint / resume (DESIGN.md §5f)
+//!
+//! `--checkpoint FILE --checkpoint-every N` snapshots the full replay
+//! state into a versioned `TICK1` file (atomically replaced) every `N`
+//! replayed actions; `--resume FILE` restarts from such a snapshot and
+//! reaches the **bit-identical** final simulated time of an
+//! uninterrupted run. `--max-wall SECS` is a watchdog: when the budget
+//! expires the replay writes a final checkpoint and exits with code 3
+//! (partial success) instead of being lost. `--stop-after-checkpoints
+//! K` pauses deterministically after the K-th snapshot (the hook the
+//! chaos harness uses to simulate crashes). Checkpointing requires the
+//! serial path (`--jobs 1`).
+//!
+//! # Degraded mode
+//!
+//! `--degraded` replays whatever a damaged trace directory still
+//! carries instead of failing hard: unparseable file tails are trimmed,
+//! missing ranks are stubbed out, and the run reports a completeness
+//! ratio (actions replayed / actions expected) plus per-rank
+//! degradation reasons (also in `--metrics` output). Exit code 3 when
+//! the ratio is below 1.0, 0 for an undamaged input.
+//!
+//! # Exit codes
+//!
+//! `0` success — `1` runtime failure — `2` usage error — `3` partial
+//! success (watchdog pause or degraded replay with completeness < 1).
 
-use std::path::PathBuf;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 use tit_cli::Args;
+use tit_core::AtomicFile;
 use tit_platform::deployment::Deployment;
 use tit_platform::desc::PlatformDesc;
 use tit_platform::presets;
 use tit_replay::collectives::CollectiveAlgo;
-use tit_replay::{replay_compact_observed, replay_files_observed, tags, ReplayConfig};
+use tit_replay::{
+    replay_compact_observed, replay_files_checkpointed, replay_files_degraded,
+    replay_files_observed, resume_files, tags, CheckpointPolicy, CheckpointedStatus,
+    DegradationReason, PauseReason, ReplayConfig,
+};
 use titobs::{Metrics, Profile, Timeline, TimelineFormat};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--paje FILE] [--lint] [--jobs N]";
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
 
-fn open_writer(path: &str) -> std::io::BufWriter<std::fs::File> {
-    match std::fs::File::create(path) {
-        Ok(f) => std::io::BufWriter::new(f),
+/// Exit code for partial success: a watchdog pause or a degraded
+/// replay that lost actions.
+const EXIT_PARTIAL: i32 = 3;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn open_atomic(path: &str) -> BufWriter<AtomicFile> {
+    match AtomicFile::create(Path::new(path)) {
+        Ok(f) => BufWriter::with_capacity(1 << 16, f),
         Err(e) => {
             eprintln!("cannot create {path}: {e}");
             std::process::exit(1);
@@ -55,8 +101,17 @@ fn open_writer(path: &str) -> std::io::BufWriter<std::fs::File> {
     }
 }
 
-fn write_or_die(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
+/// Flushes and atomically publishes a streamed output file.
+fn commit_atomic(w: BufWriter<AtomicFile>, path: &str) {
+    let r = w.into_inner().map_err(std::io::IntoInnerError::into_error).and_then(AtomicFile::commit);
+    if let Err(e) = r {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn write_atomic_or_die(path: &str, contents: &str) {
+    if let Err(e) = tit_core::write_atomic(Path::new(path), contents.as_bytes()) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
@@ -67,8 +122,41 @@ fn main() {
     let dir = PathBuf::from(args.require("trace-dir", USAGE));
     let np: usize = args.get_or("np", 0);
     if np == 0 {
-        eprintln!("missing --np\nusage: {USAGE}");
-        std::process::exit(2);
+        usage_error("missing --np");
+    }
+
+    // Robustness-mode flags and their interactions (exit 2 on misuse).
+    let degraded = args.has_flag("degraded");
+    let checkpoint = args.get("checkpoint").map(str::to_owned);
+    let resume = args.get("resume").map(str::to_owned);
+    let every: u64 = args.get_or("checkpoint-every", 0);
+    let max_wall: Option<f64> = args.get("max-wall").map(|s| match s.parse::<f64>() {
+        Ok(v) if v >= 0.0 => v,
+        _ => usage_error("--max-wall wants a non-negative number of seconds"),
+    });
+    let stop_after: Option<u64> = args.get("stop-after-checkpoints").map(|s| match s.parse() {
+        Ok(v) => v,
+        Err(_) => usage_error("--stop-after-checkpoints wants a count"),
+    });
+    let jobs: usize = args.get_or("jobs", 1);
+    let checkpointing = checkpoint.is_some() || resume.is_some();
+    if degraded && checkpointing {
+        usage_error("--degraded cannot be combined with --checkpoint/--resume");
+    }
+    if degraded && (every != 0 || max_wall.is_some() || stop_after.is_some()) {
+        usage_error("--degraded cannot be combined with checkpointing options");
+    }
+    if (every != 0 || max_wall.is_some() || stop_after.is_some()) && checkpoint.is_none() {
+        usage_error("--checkpoint-every/--max-wall/--stop-after-checkpoints need --checkpoint FILE");
+    }
+    if (degraded || checkpointing) && jobs != 1 {
+        usage_error("--degraded and checkpointing require the serial path (--jobs 1)");
+    }
+    if (degraded || checkpointing) && args.get("paje").is_some() {
+        usage_error("--paje is not available with --degraded or checkpointing");
+    }
+    if degraded && (args.has_flag("lint") || args.get("lint").is_some()) {
+        usage_error("--lint refuses damaged traces; it cannot be combined with --degraded");
     }
 
     let metrics = Metrics::new();
@@ -143,7 +231,7 @@ fn main() {
     let mut fan = simkern::observer::Fanout::new();
     let timeline = match args.get("timeline") {
         Some(path) => {
-            let tl = Timeline::new(open_writer(path), np, TimelineFormat::ChromeJson, tags::name)
+            let tl = Timeline::new(open_atomic(path), np, TimelineFormat::ChromeJson, tags::name)
                 .unwrap_or_else(|e| {
                     eprintln!("cannot start timeline {path}: {e}");
                     std::process::exit(1);
@@ -155,7 +243,7 @@ fn main() {
     };
     let timed = match args.get("timed-trace") {
         Some(path) => {
-            let tl = Timeline::new(open_writer(path), np, TimelineFormat::Csv, tags::name)
+            let tl = Timeline::new(open_atomic(path), np, TimelineFormat::Csv, tags::name)
                 .unwrap_or_else(|e| {
                     eprintln!("cannot start timed trace {path}: {e}");
                     std::process::exit(1);
@@ -178,39 +266,135 @@ fn main() {
     let extra: Option<Box<dyn simkern::observer::Observer>> =
         if fan.is_empty() { None } else { Some(Box::new(fan)) };
 
-    // `--jobs 1` (the default) streams each file during the replay;
-    // any other value takes the parallel ingestion fast path.
-    let jobs: usize = args.get_or("jobs", 1);
-    let result = if jobs == 1 {
-        replay_files_observed(&dir, np, platform, &hosts, &cfg, extra)
-    } else {
-        let loaded = metrics.time("wall.ingest", || tit_core::load_compact_exact(&dir, np, jobs));
-        match loaded {
-            Ok(compact) => {
-                metrics.incr("ingest.files", np as u64);
-                metrics.incr("ingest.actions", compact.num_actions() as u64);
-                metrics.incr("ingest.bytes", compact.heap_bytes() as u64);
-                metrics.set_value("ingest.jobs", tit_core::ingest::effective_jobs(jobs) as f64);
-                replay_compact_observed(&std::sync::Arc::new(compact), platform, &hosts, &cfg, extra)
-            }
+    let policy = checkpoint.as_ref().map(|p| CheckpointPolicy {
+        path: PathBuf::from(p),
+        every_actions: every,
+        max_wall: max_wall.map(Duration::from_secs_f64),
+        stop_after_checkpoints: stop_after,
+    });
+
+    // Run the selected mode; every branch converges on the same
+    // (simulated time, actions, wall, exit code) summary.
+    let mut exit_code = 0;
+    let mut paje_records = None;
+    let (sim_time, actions, wall) = if degraded {
+        let out = match replay_files_degraded(&dir, np, platform, &hosts, &cfg, extra) {
+            Ok(o) => o,
             Err(e) => {
                 eprintln!("replay failed: {e}");
                 std::process::exit(1);
             }
+        };
+        let ratio = out.completeness();
+        metrics.set_value("degraded.completeness", ratio);
+        let mut stubbed = 0;
+        let mut trimmed = 0;
+        for r in &out.ranks {
+            if r.reason == DegradationReason::MissingFile {
+                stubbed += 1;
+            }
+            trimmed += r.lines_trimmed;
+            metrics.set_note(
+                &format!("degraded.rank{}", r.rank),
+                &format!("{}: {}", r.reason, r.detail),
+            );
         }
-    };
-    let out = match result {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("replay failed: {e}");
-            std::process::exit(1);
+        metrics.incr("degraded.ranks_stubbed", stubbed);
+        metrics.incr("degraded.actions_trimmed", trimmed);
+        println!(
+            "completeness:     {ratio:.6} ({}/{} actions)",
+            out.actions_replayed, out.actions_expected
+        );
+        for r in &out.ranks {
+            println!(
+                "degraded rank {}:  {} ({} actions kept, {} lines trimmed) {}",
+                r.rank, r.reason, r.actions_kept, r.lines_trimmed, r.detail
+            );
         }
+        if let Some(f) = &out.failure {
+            println!("replay cut short: {f}");
+        }
+        if out.is_partial() {
+            exit_code = EXIT_PARTIAL;
+        }
+        (out.simulated_time, out.actions_replayed, out.wall_time)
+    } else if checkpointing {
+        let result = if let Some(ckfile) = &resume {
+            resume_files(&dir, np, platform, &hosts, &cfg, extra, Path::new(ckfile), policy.as_ref())
+        } else {
+            // panics: `checkpointing` implies one of the two is set
+            replay_files_checkpointed(&dir, np, platform, &hosts, &cfg, extra, policy.as_ref().unwrap())
+        };
+        let out = match result {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        metrics.incr("checkpoint.writes", out.checkpoints_written);
+        if out.resumed {
+            metrics.incr("checkpoint.resume", 1);
+            // panics: `out.resumed` implies --resume was given
+            println!("resumed from:     {}", resume.as_ref().unwrap());
+        }
+        if let Some(ckfile) = &checkpoint {
+            println!("checkpoints:      {} written to {ckfile}", out.checkpoints_written);
+        }
+        let sim = match out.status {
+            CheckpointedStatus::Finished { simulated_time } => simulated_time,
+            CheckpointedStatus::Paused { simulated_time, reason } => {
+                let why = match reason {
+                    PauseReason::WallLimit => "wall-clock budget expired",
+                    PauseReason::StopAfter => "checkpoint count reached",
+                };
+                println!("paused:           {why}; resume with --resume");
+                exit_code = EXIT_PARTIAL;
+                simulated_time
+            }
+        };
+        (sim, out.actions_replayed, out.wall_time)
+    } else {
+        // `--jobs 1` (the default) streams each file during the replay;
+        // any other value takes the parallel ingestion fast path.
+        let result = if jobs == 1 {
+            replay_files_observed(&dir, np, platform, &hosts, &cfg, extra)
+        } else {
+            let loaded =
+                metrics.time("wall.ingest", || tit_core::load_compact_exact(&dir, np, jobs));
+            match loaded {
+                Ok(compact) => {
+                    metrics.incr("ingest.files", np as u64);
+                    metrics.incr("ingest.actions", compact.num_actions() as u64);
+                    metrics.incr("ingest.bytes", compact.heap_bytes() as u64);
+                    metrics.set_value("ingest.jobs", tit_core::ingest::effective_jobs(jobs) as f64);
+                    replay_compact_observed(&std::sync::Arc::new(compact), platform, &hosts, &cfg, extra)
+                }
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        let out = match result {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        paje_records = out.records;
+        (out.simulated_time, out.actions_replayed, out.wall_time)
     };
-    println!("simulated time:   {:.6} s", out.simulated_time);
-    println!("actions replayed: {}", out.actions_replayed);
-    println!("simulation wall:  {:.3} s", out.wall_time.as_secs_f64());
+    println!("simulated time:   {sim_time:.6} s");
+    println!("actions replayed: {actions}");
+    println!("simulation wall:  {:.3} s", wall.as_secs_f64());
 
-    if let Some((tl, path)) = &timeline {
+    // The observer fanout was consumed (and dropped) by the replay, so
+    // the timelines are the sole owners of their writers: finish each
+    // one, reclaim the AtomicFile, and publish it. Partial runs (pause,
+    // degraded) still commit — the file describes what did replay.
+    if let Some((tl, path)) = timeline {
         match tl.finish() {
             Ok(summary) => {
                 debug_assert!(summary.monotone, "engine emitted out-of-order records");
@@ -221,21 +405,33 @@ fn main() {
                 std::process::exit(1);
             }
         }
-    }
-    if let Some((tl, path)) = &timed {
-        match tl.finish() {
-            Ok(_) => println!("timed trace:      {path}"),
-            Err(e) => {
-                eprintln!("cannot write timed trace {path}: {e}");
+        match tl.into_writer() {
+            Some(w) => commit_atomic(w, path),
+            None => {
+                eprintln!("cannot write timeline {path}: writer still shared");
                 std::process::exit(1);
             }
         }
+    }
+    if let Some((tl, path)) = timed {
+        if let Err(e) = tl.finish() {
+            eprintln!("cannot write timed trace {path}: {e}");
+            std::process::exit(1);
+        }
+        match tl.into_writer() {
+            Some(w) => commit_atomic(w, path),
+            None => {
+                eprintln!("cannot write timed trace {path}: writer still shared");
+                std::process::exit(1);
+            }
+        }
+        println!("timed trace:      {path}");
     }
     if let Some(p) = &profile {
         let report = p.snapshot();
         match args.get("profile") {
             Some(path) => {
-                write_or_die(path, &report.to_json());
+                write_atomic_or_die(path, &report.to_json());
                 println!("profile:          {path}");
             }
             None => {
@@ -245,24 +441,22 @@ fn main() {
         }
     }
     if let Some(path) = args.get("metrics") {
-        metrics.incr("replay.actions", out.actions_replayed);
-        metrics.set_value("replay.simulated_time", out.simulated_time);
-        write_or_die(path, &metrics.to_json());
+        metrics.incr("replay.actions", actions);
+        metrics.set_value("replay.simulated_time", sim_time);
+        write_atomic_or_die(path, &metrics.to_json());
         println!("metrics:          {path}");
     }
 
-    if let Some(records) = &out.records {
+    if let Some(records) = &paje_records {
         if let Some(path) = args.get("paje") {
-            let w = std::fs::File::create(path).and_then(|f| {
-                let mut w = std::io::BufWriter::new(f);
-                tit_replay::output::write_paje(records, np, out.simulated_time, &mut w)
-                    .map(|()| w)
-            });
-            if let Err(e) = w {
+            let mut w = open_atomic(path);
+            if let Err(e) = tit_replay::output::write_paje(records, np, sim_time, &mut w) {
                 eprintln!("cannot write paje trace {path}: {e}");
                 std::process::exit(1);
             }
+            commit_atomic(w, path);
             println!("paje trace:       {path}");
         }
     }
+    std::process::exit(exit_code);
 }

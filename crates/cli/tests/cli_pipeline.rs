@@ -349,6 +349,123 @@ fn observability_outputs_are_reproducible_and_well_formed() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Exit-code contract: 0 success, 1 runtime failure, 2 usage error,
+/// 3 partial success — exercised end to end through the binary,
+/// together with checkpoint/resume and degraded mode.
+#[test]
+fn exit_codes_cover_success_runtime_usage_and_partial() {
+    let traces = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/traces/ring4");
+    let dir = std::env::temp_dir().join(format!("titr-cliexit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = env!("CARGO_BIN_EXE_tit-replay");
+    let s = |p: &PathBuf| p.to_str().unwrap().to_owned();
+
+    // Exit 0: a clean uninterrupted replay (the reference run).
+    let ref_csv = dir.join("ref.csv");
+    let out = Command::new(bin)
+        .args(["--trace-dir", traces.to_str().unwrap(), "--np", "4",
+               "--timed-trace", &s(&ref_csv)])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let ref_stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let sim_line = ref_stdout.lines().find(|l| l.starts_with("simulated time:")).unwrap().to_owned();
+
+    // Exit 1: runtime failure (missing trace directory).
+    let (code, _) = run_code(bin, &["--trace-dir", "/definitely/not/here", "--np", "2"]);
+    assert_eq!(code, Some(1));
+
+    // Exit 2: usage errors — conflicting and incomplete robustness flags.
+    let ck = dir.join("ck.tick");
+    for bad in [
+        vec!["--degraded", "--checkpoint", "/tmp/x.tick"],
+        vec!["--checkpoint", "/tmp/x.tick", "--jobs", "2"],
+        vec!["--checkpoint-every", "5"],
+        vec!["--degraded", "--lint"],
+        vec!["--degraded", "--paje", "/tmp/x.paje"],
+    ] {
+        let mut argv = vec!["--trace-dir", traces.to_str().unwrap(), "--np", "4"];
+        argv.extend(bad.iter().copied());
+        let (code, stderr) = run_code(bin, &argv);
+        assert_eq!(code, Some(2), "argv {bad:?} must be a usage error; stderr:\n{stderr}");
+    }
+
+    // Exit 3 (partial): a deterministic mid-run pause after the first
+    // checkpoint, then a resume that lands on the identical simulated
+    // time — and whose timed trace continues the paused one so that
+    // prefix + suffix reproduce the uninterrupted CSV byte-for-byte.
+    let part_a = dir.join("part-a.csv");
+    let out = Command::new(bin)
+        .args(["--trace-dir", traces.to_str().unwrap(), "--np", "4",
+               "--checkpoint", &s(&ck), "--checkpoint-every", "5",
+               "--stop-after-checkpoints", "1", "--timed-trace", &s(&part_a)])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(3), "pause is a partial success:\n{text}");
+    assert!(text.contains("paused:"), "{text}");
+    assert!(ck.exists(), "checkpoint file must exist");
+
+    let part_b = dir.join("part-b.csv");
+    let metrics = dir.join("resume-metrics.json");
+    let out = Command::new(bin)
+        .args(["--trace-dir", traces.to_str().unwrap(), "--np", "4",
+               "--resume", &s(&ck), "--timed-trace", &s(&part_b),
+               "--metrics", &s(&metrics)])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(0), "resumed run finishes:\n{text}");
+    assert!(text.contains(&sim_line), "resume must land on the reference time:\n{text}\nvs {sim_line}");
+    let a = std::fs::read_to_string(&part_a).unwrap();
+    let b = std::fs::read_to_string(&part_b).unwrap();
+    let (hdr, b_rows) = b.split_once('\n').unwrap();
+    assert_eq!(hdr, "rank,action,start,end,volume");
+    let stitched = format!("{a}{b_rows}");
+    assert_eq!(stitched, std::fs::read_to_string(&ref_csv).unwrap(),
+        "paused + resumed timed traces must stitch into the reference");
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(m.contains("\"checkpoint.resume\":1"), "{m}");
+
+    // Exit 3 (degraded): damage the bundle — truncate one rank mid-line
+    // and delete another — and replay what's left.
+    let damaged = dir.join("damaged");
+    std::fs::create_dir_all(&damaged).unwrap();
+    for r in 0..4 {
+        let name = format!("SG_process{r}.trace");
+        std::fs::copy(traces.join(&name), damaged.join(&name)).unwrap();
+    }
+    let victim = damaged.join("SG_process2.trace");
+    let body = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &body[..body.len() / 2]).unwrap();
+    std::fs::remove_file(damaged.join("SG_process3.trace")).unwrap();
+    let dmetrics = dir.join("degraded-metrics.json");
+    let out = Command::new(bin)
+        .args(["--trace-dir", damaged.to_str().unwrap(), "--np", "4",
+               "--degraded", "--metrics", &s(&dmetrics)])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(3), "damaged bundle is partial:\n{text}");
+    assert!(text.contains("completeness:"), "{text}");
+    assert!(!text.contains("completeness:     1.000000"), "ratio must drop:\n{text}");
+    let m = std::fs::read_to_string(&dmetrics).unwrap();
+    assert!(m.contains("\"degraded.ranks_stubbed\":1"), "{m}");
+    assert!(m.contains("\"degraded.completeness\":"), "{m}");
+    assert!(m.contains("\"degraded.rank3\":\"missing-file"), "{m}");
+
+    // Degraded mode on an undamaged bundle: complete, exit 0.
+    let out = Command::new(bin)
+        .args(["--trace-dir", traces.to_str().unwrap(), "--np", "4", "--degraded"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(out.status.code(), Some(0), "undamaged input stays exit 0:\n{text}");
+    assert!(text.contains("completeness:     1.000000"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn acquire_rejects_unknown_mode() {
     let (ok, text) = run(

@@ -1,0 +1,172 @@
+//! Crash-safe file writing: tmp + fsync + rename.
+//!
+//! Every artifact the pipeline leaves behind — gathered bundles, timed
+//! traces, profiles, metrics, checkpoints — must either exist complete
+//! or not exist at all. A run killed mid-write must never leave a
+//! truncated file that a later stage would misparse (the paper's
+//! campaigns replay for hours; PR 1's fault model showed truncation is
+//! the most common damage). The recipe is the classic one: write to a
+//! same-directory temporary sibling, flush, `fsync`, then atomically
+//! rename over the destination. The rename is atomic on POSIX; the
+//! directory fsync afterwards is best-effort (not all platforms allow
+//! it) and only affects durability, not atomicity.
+//!
+//! [`AtomicFile`] is the streaming form (`impl Write`), used by writers
+//! that produce output incrementally; [`write_atomic`] is the one-shot
+//! convenience for rendered strings.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A file that only appears at its destination on [`commit`].
+///
+/// Writes stream into a temporary sibling (`<name>.tmp<pid>` in the
+/// same directory, so the final rename cannot cross a filesystem).
+/// Dropping without committing removes the temporary: an interrupted
+/// run leaves nothing behind at the destination path.
+///
+/// [`commit`]: AtomicFile::commit
+#[derive(Debug)]
+pub struct AtomicFile {
+    tmp_path: PathBuf,
+    dest: PathBuf,
+    file: Option<File>,
+}
+
+impl AtomicFile {
+    /// Opens a temporary sibling of `dest` for writing.
+    pub fn create(dest: &Path) -> io::Result<AtomicFile> {
+        let file_name = dest
+            .file_name()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("atomic write target {} has no file name", dest.display()),
+                )
+            })?
+            .to_owned();
+        let mut tmp_name = file_name;
+        tmp_name.push(format!(".tmp{}", std::process::id()));
+        let tmp_path = dest.with_file_name(tmp_name);
+        let file = File::create(&tmp_path)?;
+        Ok(AtomicFile { tmp_path, dest: dest.to_path_buf(), file: Some(file) })
+    }
+
+    /// Flushes, fsyncs and renames the temporary over the destination.
+    /// Nothing is visible at the destination until this returns `Ok`.
+    pub fn commit(mut self) -> io::Result<()> {
+        // panics: `file` is only taken here and in Drop, which cannot both run
+        let file = self.file.take().expect("atomic file committed twice");
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp_path, &self.dest)?;
+        // Durability of the rename itself: fsync the directory when the
+        // platform allows opening one (best-effort — atomicity already
+        // holds without it).
+        if let Some(dir) = self.dest.parent() {
+            let dir = if dir.as_os_str().is_empty() { Path::new(".") } else { dir };
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // panics: `file` is present until commit consumes self
+        self.file.as_mut().expect("write after commit").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // panics: `file` is present until commit consumes self
+        self.file.as_mut().expect("write after commit").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Uncommitted: remove the temporary, keep the destination
+            // (whatever state it was in) untouched.
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// Writes `bytes` to `dest` atomically (tmp + fsync + rename).
+pub fn write_atomic(dest: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = AtomicFile::create(dest)?;
+    f.write_all(bytes)?;
+    f.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("titc-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn commit_makes_content_visible() {
+        let d = tmp_dir("commit");
+        let dest = d.join("out.txt");
+        write_atomic(&dest, b"hello").unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"hello");
+        // No stray temporary left behind.
+        assert_eq!(std::fs::read_dir(&d).unwrap().count(), 1);
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_leaves_destination_untouched() {
+        let d = tmp_dir("drop");
+        let dest = d.join("out.txt");
+        std::fs::write(&dest, b"old").unwrap();
+        {
+            let mut f = AtomicFile::create(&dest).unwrap();
+            f.write_all(b"half-written new conten").unwrap();
+            // dropped uncommitted
+        }
+        assert_eq!(std::fs::read(&dest).unwrap(), b"old");
+        assert_eq!(std::fs::read_dir(&d).unwrap().count(), 1, "tmp cleaned up");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn commit_replaces_existing_file() {
+        let d = tmp_dir("replace");
+        let dest = d.join("out.txt");
+        std::fs::write(&dest, b"old").unwrap();
+        let mut f = AtomicFile::create(&dest).unwrap();
+        f.write_all(b"new").unwrap();
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"new");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn streaming_writes_accumulate() {
+        let d = tmp_dir("stream");
+        let dest = d.join("out.bin");
+        let mut f = AtomicFile::create(&dest).unwrap();
+        for chunk in [b"ab".as_slice(), b"cd", b"ef"] {
+            f.write_all(chunk).unwrap();
+        }
+        f.commit().unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"abcdef");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn target_without_file_name_is_rejected() {
+        assert!(AtomicFile::create(Path::new("/")).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! The `TICK1` checkpoint container and its little binary codec.
+//!
+//! Long replays (the paper's §6.5 runs a 1024-process LU class-D trace)
+//! must survive interruption: a checkpoint written every N actions lets
+//! a killed run resume instead of restarting from zero. This module
+//! owns the *container* — a versioned, checksummed file written
+//! atomically — while the replay layer owns the *payload* (the engine
+//! snapshot serialization), keeping `tit-core` free of simulation
+//! dependencies.
+//!
+//! # File layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       5     magic "TICK1"
+//! 5       4     format version, u32 LE (currently 1)
+//! 9       8     payload length, u64 LE
+//! 17      8     FNV-1a-64 checksum of the payload, u64 LE
+//! 25      n     payload bytes
+//! ```
+//!
+//! Everything is little-endian. The checksum is integrity-only (bit
+//! rot, truncation), not authentication. Files are written through
+//! [`crate::atomicio::write_atomic`], so a crash during a checkpoint
+//! write leaves the *previous* checkpoint intact — the resume path
+//! never sees a half-written file, and even a damaged one fails closed
+//! through the checksum.
+//!
+//! [`Enc`]/[`Dec`] are the deterministic byte codec payloads are built
+//! with: fixed-width little-endian integers, `f64` as raw IEEE-754
+//! bits (round-trips NaN and signed zero — bit-identical resume depends
+//! on it), and length-prefixed byte strings.
+
+use std::io;
+use std::path::Path;
+
+/// Container magic.
+pub const MAGIC: &[u8; 5] = b"TICK1";
+
+/// Current container format version.
+pub const VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 5 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit hash — the workspace's standard tiny checksum (also
+/// used by the trace compressor): well-spread, dependency-free, and
+/// stable across platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `payload` as a `TICK1` file at `path`, atomically.
+pub fn write_checkpoint(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    crate::atomicio::write_atomic(path, &bytes)
+}
+
+fn bad(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
+
+/// Reads and validates a `TICK1` file, returning its payload. Magic,
+/// version, length and checksum mismatches all surface as
+/// `InvalidData` naming what was wrong.
+pub fn read_checkpoint(path: &Path) -> io::Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(bad(format!(
+            "checkpoint {} is {} bytes, shorter than the {HEADER_LEN}-byte header",
+            path.display(),
+            bytes.len()
+        )));
+    }
+    if &bytes[..5] != MAGIC {
+        return Err(bad(format!("checkpoint {} has wrong magic", path.display())));
+    }
+    let version = u32::from_le_bytes(bytes[5..9].try_into().unwrap_or([0; 4]));
+    if version != VERSION {
+        return Err(bad(format!(
+            "checkpoint {} has format version {version}, this build reads {VERSION}",
+            path.display()
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[9..17].try_into().unwrap_or([0; 8]));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != len {
+        return Err(bad(format!(
+            "checkpoint {} declares {len} payload bytes but carries {} (truncated?)",
+            path.display(),
+            payload.len()
+        )));
+    }
+    let sum = u64::from_le_bytes(bytes[17..25].try_into().unwrap_or([0; 8]));
+    let actual = fnv1a(payload);
+    if sum != actual {
+        return Err(bad(format!(
+            "checkpoint {} checksum mismatch: header {sum:#018x}, payload {actual:#018x}",
+            path.display()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Deterministic byte encoder for checkpoint payloads.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits — exact round-trip,
+    /// including NaN payloads and signed zeros.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends an `Option` discriminant followed by the value when set.
+    pub fn opt_usize(&mut self, v: Option<usize>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.usize(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked decoder over a checkpoint payload: every take validates the
+/// remaining length, so truncated or corrupt payloads error instead of
+/// panicking.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                format!(
+                    "checkpoint payload truncated: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                )
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().map_err(|_| "u32 slice".to_string())?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().map_err(|_| "u64 slice".to_string())?))
+    }
+
+    /// Reads a `usize` (stored as `u64`; errors when it would not fit).
+    pub fn usize(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("usize value {v} overflows this platform"))
+    }
+
+    /// Reads an `f64` from raw bits.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Reads an optional `usize` written by [`Enc::opt_usize`].
+    pub fn opt_usize(&mut self) -> Result<Option<usize>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.usize()?)),
+            d => Err(format!("invalid Option discriminant {d}")),
+        }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Errors unless the payload was fully consumed — catches payloads
+    /// with trailing garbage (e.g. a version skew in the producer).
+    pub fn expect_done(&self) -> Result<(), String> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(format!(
+                "checkpoint payload has {} trailing bytes",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("titc-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn codec_round_trips_every_type() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.usize(12345);
+        e.f64(-0.0);
+        e.f64(f64::INFINITY);
+        e.f64(1.000_000_000_000_000_2);
+        e.bytes(b"payload");
+        e.opt_usize(None);
+        e.opt_usize(Some(9));
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.usize().unwrap(), 12345);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.f64().unwrap(), f64::INFINITY);
+        assert_eq!(d.f64().unwrap().to_bits(), 1.000_000_000_000_000_2f64.to_bits());
+        assert_eq!(d.bytes().unwrap(), b"payload");
+        assert_eq!(d.opt_usize().unwrap(), None);
+        assert_eq!(d.opt_usize().unwrap(), Some(9));
+        d.expect_done().unwrap();
+    }
+
+    #[test]
+    fn decoder_errors_on_truncation_not_panics() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes[..5]);
+        assert!(d.u64().is_err());
+        // Length prefix larger than the buffer.
+        let mut e = Enc::new();
+        e.usize(1 << 40);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert!(d.bytes().is_err());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let d = tmp_dir("roundtrip");
+        let p = d.join("state.tick");
+        write_checkpoint(&p, b"engine state here").unwrap();
+        assert_eq!(read_checkpoint(&p).unwrap(), b"engine state here");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn container_rejects_damage() {
+        let d = tmp_dir("damage");
+        let p = d.join("state.tick");
+        write_checkpoint(&p, b"engine state here").unwrap();
+        let good = std::fs::read(&p).unwrap();
+
+        // Truncated payload.
+        std::fs::write(&p, &good[..good.len() - 3]).unwrap();
+        let e = read_checkpoint(&p).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("truncated"), "{e}");
+
+        // Flipped payload bit.
+        let mut flipped = good.clone();
+        *flipped.last_mut().unwrap() ^= 0x10;
+        std::fs::write(&p, &flipped).unwrap();
+        let e = read_checkpoint(&p).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "{e}");
+
+        // Wrong magic.
+        let mut wrong = good.clone();
+        wrong[0] = b'X';
+        std::fs::write(&p, &wrong).unwrap();
+        assert!(read_checkpoint(&p).unwrap_err().to_string().contains("magic"));
+
+        // Future version.
+        let mut newer = good;
+        newer[5] = 99;
+        std::fs::write(&p, &newer).unwrap();
+        assert!(read_checkpoint(&p).unwrap_err().to_string().contains("version"));
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a-64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

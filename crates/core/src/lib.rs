@@ -22,13 +22,17 @@
 //! ([`stats`]), structural validation ([`validate()`]), the block
 //! compressor used for the paper's Section 6.5 compressed-size figure
 //! ([`compress`]), a struct-of-arrays interned form for the replay hot
-//! path ([`compact`]) and parallel per-rank file ingestion ([`ingest`]).
+//! path ([`compact`]), parallel per-rank file ingestion ([`ingest`]),
+//! crash-safe output writing ([`atomicio`]) and the versioned `TICK1`
+//! checkpoint container ([`checkpoint`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod action;
+pub mod atomicio;
 pub mod binfmt;
+pub mod checkpoint;
 pub mod codec;
 pub mod compact;
 pub mod compress;
@@ -38,6 +42,7 @@ pub mod trace;
 pub mod validate;
 
 pub use action::{Action, Pid};
+pub use atomicio::{write_atomic, AtomicFile};
 pub use compact::{CompactError, CompactTrace};
 pub use ingest::{load_compact_exact, load_exact, load_per_process_jobs, IngestError};
 pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};

@@ -12,6 +12,7 @@
 use crate::error::{with_retry, PipelineError, RetryPolicy};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use tit_core::AtomicFile;
 
 /// One transfer of the gathering schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,15 +96,18 @@ pub fn gather_plan(sizes: &[f64], arity: usize, bw: f64, lat: f64) -> GatherPlan
 /// Concatenates files into one bundle: a text manifest line
 /// (`name size\n`) before each file's raw bytes, ending with `END`.
 ///
+/// The bundle is written through [`AtomicFile`] (tmp + fsync +
+/// rename): a gather killed mid-write leaves no half-bundle behind for
+/// a later unbundle to misparse — the destination either carries the
+/// previous complete bundle or the new one.
+///
 /// An unreadable input surfaces as [`PipelineError::MissingRank`]
 /// naming the file's position in `files` (= the rank, in pipeline
 /// order); bundle-side write failures carry the bundle path.
 pub fn bundle(files: &[PathBuf], out: &Path) -> Result<u64, PipelineError> {
     let werr = |e| PipelineError::io(out, e);
-    let mut w = std::io::BufWriter::with_capacity(
-        1 << 20,
-        std::fs::File::create(out).map_err(werr)?,
-    );
+    let mut w =
+        std::io::BufWriter::with_capacity(1 << 20, AtomicFile::create(out).map_err(werr)?);
     let mut total = 0u64;
     for (rank, f) in files.iter().enumerate() {
         let missing = |e| PipelineError::MissingRank { rank, path: f.clone(), source: e };
@@ -119,7 +123,8 @@ pub fn bundle(files: &[PathBuf], out: &Path) -> Result<u64, PipelineError> {
         total += size;
     }
     writeln!(w, "END").map_err(werr)?;
-    w.flush().map_err(werr)?;
+    let atomic = w.into_inner().map_err(|e| werr(e.into_error()))?;
+    atomic.commit().map_err(werr)?;
     Ok(total)
 }
 
@@ -152,25 +157,52 @@ pub fn bundle_with_retry_metered(
     })
 }
 
-/// Splits a bundle back into its files under `dir`.
-///
-/// Every corruption is a typed [`PipelineError::Bundle`] naming the
-/// bundle file, the entry being decoded (when the manifest got that
-/// far) and what went wrong — a short gather transfer shows up as a
-/// `truncated` entry or a missing `END` marker, never as a partial
-/// silent success.
-pub fn unbundle(bundle_path: &Path, dir: &Path) -> Result<Vec<PathBuf>, PipelineError> {
-    let corrupt = |entry: Option<&str>, detail: String| PipelineError::Bundle {
-        path: bundle_path.to_path_buf(),
-        entry: entry.map(str::to_owned),
-        detail,
+/// Where an unbundle scan stopped early: the entry being decoded when
+/// the corruption was found (when the manifest got that far) and the
+/// diagnosis.
+#[derive(Debug, Clone)]
+struct BundleDamage {
+    entry: Option<String>,
+    detail: String,
+}
+
+/// Result of [`unbundle_degraded`]: whatever the damage left intact,
+/// quantified.
+#[derive(Debug)]
+pub struct DegradedUnbundle {
+    /// Entries recovered completely, in bundle order.
+    pub files: Vec<PathBuf>,
+    /// Where the scan stopped, `None` for an undamaged bundle (the
+    /// `END` marker was reached).
+    pub damage: Option<String>,
+}
+
+impl DegradedUnbundle {
+    /// True when the bundle decoded end-to-end.
+    pub fn is_complete(&self) -> bool {
+        self.damage.is_none()
+    }
+}
+
+/// The shared scan: recovers complete entries in order until the `END`
+/// marker (`Ok(None)`) or the first corruption (`Ok(Some(damage))`).
+/// Entry files are written through [`AtomicFile`], so a truncated
+/// entry never appears on disk — recovered files are always complete.
+/// Environment failures (unreadable bundle, unwritable `dir`) stay
+/// hard errors in both modes.
+fn scan_bundle(
+    bundle_path: &Path,
+    dir: &Path,
+    out: &mut Vec<PathBuf>,
+) -> Result<Option<BundleDamage>, PipelineError> {
+    let damage = |entry: Option<&str>, detail: String| {
+        Ok(Some(BundleDamage { entry: entry.map(str::to_owned), detail }))
     };
     std::fs::create_dir_all(dir).map_err(|e| PipelineError::io(dir, e))?;
     let mut r = std::io::BufReader::with_capacity(
         1 << 20,
         std::fs::File::open(bundle_path).map_err(|e| PipelineError::io(bundle_path, e))?,
     );
-    let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
     loop {
         let mut header = Vec::new();
@@ -179,10 +211,10 @@ pub fn unbundle(bundle_path: &Path, dir: &Path) -> Result<Vec<PathBuf>, Pipeline
         loop {
             let k = r.read(&mut b).map_err(|e| PipelineError::io(bundle_path, e))?;
             if k == 0 {
-                return Err(corrupt(
+                return damage(
                     None,
                     format!("bundle without END marker after {} entr(ies)", out.len()),
-                ));
+                );
             }
             if b[0] == b'\n' {
                 break;
@@ -191,37 +223,75 @@ pub fn unbundle(bundle_path: &Path, dir: &Path) -> Result<Vec<PathBuf>, Pipeline
         }
         let header = String::from_utf8_lossy(&header).into_owned();
         if header.trim() == "END" {
-            return Ok(out);
+            return Ok(None);
         }
-        let (name, size) = header
-            .rsplit_once(' ')
-            .ok_or_else(|| corrupt(None, format!("bad manifest line {header:?}")))?;
-        let size: u64 = size
-            .parse()
-            .map_err(|_| corrupt(Some(name), format!("bad size in manifest line {header:?}")))?;
+        let Some((name, size)) = header.rsplit_once(' ') else {
+            return damage(None, format!("bad manifest line {header:?}"));
+        };
+        let Ok(size) = size.parse::<u64>() else {
+            return damage(Some(name), format!("bad size in manifest line {header:?}"));
+        };
         if name.contains('/') || name.contains("..") {
-            return Err(corrupt(Some(name), "unsafe entry name".into()));
+            return damage(Some(name), "unsafe entry name".into());
         }
         if !seen.insert(name.to_owned()) {
-            return Err(corrupt(Some(name), "duplicate entry".into()));
+            return damage(Some(name), "duplicate entry".into());
         }
         let path = dir.join(name);
         let mut w = std::io::BufWriter::new(
-            std::fs::File::create(&path).map_err(|e| PipelineError::io(&path, e))?,
+            AtomicFile::create(&path).map_err(|e| PipelineError::io(&path, e))?,
         );
         let copied = {
             let mut taken = (&mut r).take(size);
             std::io::copy(&mut taken, &mut w).map_err(|e| PipelineError::io(&path, e))?
         };
         if copied != size {
-            return Err(corrupt(
-                Some(name),
-                format!("truncated entry ({copied} of {size} bytes)"),
-            ));
+            // Dropping the uncommitted AtomicFile discards the partial
+            // entry: nothing appears at `path`.
+            return damage(Some(name), format!("truncated entry ({copied} of {size} bytes)"));
         }
-        w.flush().map_err(|e| PipelineError::io(&path, e))?;
+        let atomic = w.into_inner().map_err(|e| PipelineError::io(&path, e.into_error()))?;
+        atomic.commit().map_err(|e| PipelineError::io(&path, e))?;
         out.push(path);
     }
+}
+
+/// Splits a bundle back into its files under `dir`.
+///
+/// Every corruption is a typed [`PipelineError::Bundle`] naming the
+/// bundle file, the entry being decoded (when the manifest got that
+/// far) and what went wrong — a short gather transfer shows up as a
+/// `truncated` entry or a missing `END` marker, never as a partial
+/// silent success. Use [`unbundle_degraded`] to salvage the complete
+/// leading entries of a damaged bundle instead.
+pub fn unbundle(bundle_path: &Path, dir: &Path) -> Result<Vec<PathBuf>, PipelineError> {
+    let mut out = Vec::new();
+    match scan_bundle(bundle_path, dir, &mut out)? {
+        None => Ok(out),
+        Some(d) => Err(PipelineError::Bundle {
+            path: bundle_path.to_path_buf(),
+            entry: d.entry,
+            detail: d.detail,
+        }),
+    }
+}
+
+/// Degraded-mode unbundle: recovers every *complete* entry up to the
+/// first corruption instead of refusing the whole bundle. A short
+/// gather transfer (the bundle cut mid-stream) loses the tail; the
+/// intact leading ranks still extract, and the damage report says what
+/// stopped the scan. Entries are written atomically, so a recovered
+/// file is never itself truncated.
+pub fn unbundle_degraded(
+    bundle_path: &Path,
+    dir: &Path,
+) -> Result<DegradedUnbundle, PipelineError> {
+    let mut files = Vec::new();
+    let damage = scan_bundle(bundle_path, dir, &mut files)?.map(|d| match d.entry {
+        Some(e) => format!("entry {e:?}: {}", d.detail),
+        None => d.detail,
+    });
+    Ok(DegradedUnbundle { files, damage })
 }
 
 #[cfg(test)]
@@ -344,6 +414,73 @@ mod tests {
             }
             e => panic!("expected MissingRank, got {e}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_bundle_write_leaves_no_half_bundle() {
+        let dir = std::env::temp_dir().join(format!("titr-batomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let p0 = dir.join("SG_process0.trace");
+        std::fs::write(&p0, "p0 compute 1\n").unwrap();
+        let gone = dir.join("SG_process1.trace"); // never written
+        let bpath = dir.join("traces.bundle");
+        // The write aborts after rank 0 was already streamed — the
+        // destination must not exist at all.
+        bundle(&[p0, gone], &bpath).unwrap_err();
+        assert!(!bpath.exists(), "aborted bundle left {bpath:?}");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() == 1,
+            "no stray temporary either"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_unbundle_recovers_leading_entries_of_a_cut_bundle() {
+        let dir = std::env::temp_dir().join(format!("titr-dunb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for i in 0..4 {
+            let p = dir.join(format!("SG_process{i}.trace"));
+            std::fs::write(&p, format!("p{i} compute 12345\n").repeat(32)).unwrap();
+            files.push(p);
+        }
+        let bpath = dir.join("traces.bundle");
+        bundle(&files, &bpath).unwrap();
+        let good = std::fs::read(&bpath).unwrap();
+        // Keep the manifest+payload of the first two entries plus half
+        // of the third: ranks 0 and 1 must extract bit-exact, rank 2's
+        // partial payload must not appear on disk at all.
+        let entry = "p0 compute 12345\n".len() * 32;
+        let manifest0 = format!("SG_process0.trace {entry}\n").len();
+        let cut = 2 * (manifest0 + entry) + manifest0 + entry / 2;
+        std::fs::write(&bpath, &good[..cut]).unwrap();
+
+        let out_dir = dir.join("out");
+        let got = unbundle_degraded(&bpath, &out_dir).unwrap();
+        assert!(!got.is_complete());
+        assert_eq!(got.files.len(), 2);
+        for (recovered, original) in got.files.iter().zip(&files) {
+            assert_eq!(
+                std::fs::read(recovered).unwrap(),
+                std::fs::read(original).unwrap()
+            );
+        }
+        assert!(
+            !out_dir.join("SG_process2.trace").exists(),
+            "partial entry must not be committed"
+        );
+        let damage = got.damage.unwrap();
+        assert!(damage.contains("truncated"), "{damage}");
+
+        // An undamaged bundle reports complete recovery.
+        std::fs::write(&bpath, &good).unwrap();
+        let clean = unbundle_degraded(&bpath, &dir.join("out2")).unwrap();
+        assert!(clean.is_complete());
+        assert_eq!(clean.files.len(), 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

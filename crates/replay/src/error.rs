@@ -44,6 +44,13 @@ pub enum ReplayError {
     /// The simulation kernel aborted: a deadlock (with wait-for
     /// diagnostics per blocked rank) or a protocol violation.
     Sim(SimError),
+    /// A checkpoint file could not be written, read, decoded, or does
+    /// not match this run's platform/config/trace (fingerprint or
+    /// cursor mismatch). Resume fails closed instead of diverging.
+    Checkpoint {
+        /// What was wrong, naming the file where known.
+        detail: String,
+    },
 }
 
 impl ReplayError {
@@ -76,6 +83,7 @@ impl std::fmt::Display for ReplayError {
                 )
             }
             ReplayError::Sim(e) => write!(f, "{e}"),
+            ReplayError::Checkpoint { detail } => write!(f, "checkpoint: {detail}"),
         }
     }
 }

@@ -18,15 +18,24 @@
 #![deny(missing_docs)]
 
 pub mod collectives;
+pub mod degraded;
 pub mod error;
 pub mod handlers;
 pub mod output;
 pub mod process;
+pub mod resume;
 pub mod simulator;
 pub mod tags;
 
+pub use degraded::{
+    replay_files_degraded, DegradationReason, DegradedOutcome, RankDegradation,
+};
 pub use error::ReplayError;
 pub use handlers::{ExpandError, MicroOp, Registry};
+pub use resume::{
+    replay_files_checkpointed, resume_files, CheckpointPolicy, CheckpointedOutcome,
+    CheckpointedStatus, PauseReason, ReplayCheckpoint,
+};
 pub use simulator::{
     replay_binary_files, replay_compact, replay_compact_observed, replay_files,
     replay_files_jobs, replay_files_observed, replay_memory, replay_memory_observed,

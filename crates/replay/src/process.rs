@@ -15,6 +15,7 @@ use simkern::{Actor, Step, Wake};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use tit_core::checkpoint::{Dec, Enc};
 use tit_core::trace::ProcessTraceReader;
 use tit_core::Action;
 
@@ -151,6 +152,11 @@ pub struct ReplayActor {
     expand_buf: Vec<MicroOp>,
     requests: VecDeque<OpId>,
     actions_replayed: Arc<AtomicU64>,
+    /// Actions this actor itself has pulled from `src` — the resume
+    /// cursor. Unlike the shared `actions_replayed` counter this is
+    /// per-rank, so a restored actor knows how far to fast-forward its
+    /// own stream.
+    cursor: u64,
 }
 
 impl ReplayActor {
@@ -173,7 +179,76 @@ impl ReplayActor {
             expand_buf: Vec::new(),
             requests: VecDeque::new(),
             actions_replayed,
+            cursor: 0,
         }
+    }
+
+    /// Serializes one queued micro-op (checkpoint payload).
+    fn enc_micro(e: &mut Enc, op: &MicroOp) {
+        match *op {
+            MicroOp::Exec { flops, tag } => {
+                e.u8(0);
+                e.f64(flops);
+                e.u32(tag);
+            }
+            MicroOp::Send { dst, bytes, tag } => {
+                e.u8(1);
+                e.usize(dst);
+                e.f64(bytes);
+                e.u32(tag);
+            }
+            MicroOp::Recv { src, tag } => {
+                e.u8(2);
+                e.usize(src);
+                e.u32(tag);
+            }
+            MicroOp::CollSend { dst, bytes, tag } => {
+                e.u8(3);
+                e.usize(dst);
+                e.f64(bytes);
+                e.u32(tag);
+            }
+            MicroOp::CollRecv { src, tag } => {
+                e.u8(4);
+                e.usize(src);
+                e.u32(tag);
+            }
+            MicroOp::IsendReq { dst, bytes, tag } => {
+                e.u8(5);
+                e.usize(dst);
+                e.f64(bytes);
+                e.u32(tag);
+            }
+            MicroOp::IrecvReq { src, tag } => {
+                e.u8(6);
+                e.usize(src);
+                e.u32(tag);
+            }
+            MicroOp::WaitReq { tag } => {
+                e.u8(7);
+                e.u32(tag);
+            }
+            MicroOp::SetCommSize { nproc } => {
+                e.u8(8);
+                e.usize(nproc);
+            }
+        }
+    }
+
+    /// Deserializes one micro-op written by [`Self::enc_micro`].
+    fn dec_micro(d: &mut Dec<'_>) -> Result<MicroOp, String> {
+        Ok(match d.u8()? {
+            0 => MicroOp::Exec { flops: d.f64()?, tag: d.u32()? },
+            1 => MicroOp::Send { dst: d.usize()?, bytes: d.f64()?, tag: d.u32()? },
+            2 => MicroOp::Recv { src: d.usize()?, tag: d.u32()? },
+            3 => MicroOp::CollSend { dst: d.usize()?, bytes: d.f64()?, tag: d.u32()? },
+            4 => MicroOp::CollRecv { src: d.usize()?, tag: d.u32()? },
+            5 => MicroOp::IsendReq { dst: d.usize()?, bytes: d.f64()?, tag: d.u32()? },
+            6 => MicroOp::IrecvReq { src: d.usize()?, tag: d.u32()? },
+            7 => MicroOp::WaitReq { tag: d.u32()? },
+            8 => MicroOp::SetCommSize { nproc: d.usize()? },
+            k => return Err(format!("unknown micro-op discriminant {k}")),
+        })
     }
 
     /// Runs one micro-op; `Ok(Some(step))` when it blocks the actor,
@@ -240,6 +315,7 @@ impl Actor for ReplayActor {
                 Err(e) => return Step::Fail { reason: format!("trace read failed: {e}") },
             };
             self.actions_replayed.fetch_add(1, Ordering::Relaxed);
+            self.cursor += 1;
             let ectx = ExpandCtx { rank: self.rank, nproc: self.nproc, algo: self.algo };
             self.expand_buf.clear();
             if let Err(e) = self.registry.expand(&ectx, &action, &mut self.expand_buf) {
@@ -247,6 +323,73 @@ impl Actor for ReplayActor {
             }
             self.micro.extend(self.expand_buf.drain(..));
         }
+    }
+
+    fn export_state(&self) -> Option<Vec<u8>> {
+        let mut e = Enc::new();
+        e.usize(self.rank);
+        e.usize(self.nproc);
+        e.u64(self.cursor);
+        e.usize(self.micro.len());
+        for op in &self.micro {
+            Self::enc_micro(&mut e, op);
+        }
+        e.usize(self.requests.len());
+        for &op in &self.requests {
+            e.usize(op.to_raw());
+        }
+        Some(e.finish())
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut d = Dec::new(state);
+        let rank = d.usize()?;
+        if rank != self.rank {
+            return Err(format!(
+                "checkpointed state for rank {rank} restored into rank {}",
+                self.rank
+            ));
+        }
+        let nproc = d.usize()?;
+        let cursor = d.u64()?;
+        let n_micro = d.usize()?;
+        let mut micro = VecDeque::with_capacity(n_micro.min(1 << 16));
+        for _ in 0..n_micro {
+            micro.push_back(Self::dec_micro(&mut d)?);
+        }
+        let n_req = d.usize()?;
+        let mut requests = VecDeque::with_capacity(n_req.min(1 << 16));
+        for _ in 0..n_req {
+            requests.push_back(OpId::from_raw(d.usize()?));
+        }
+        d.expect_done()?;
+        // Fast-forward the action stream to the cursor without touching
+        // the shared counter — the resumed total is restored from the
+        // checkpoint, not re-counted.
+        for i in 0..cursor {
+            match self.src.next_action() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Err(format!(
+                        "rank {}: trace ended at action {i} but the checkpoint \
+                         consumed {cursor} — trace changed since the checkpoint",
+                        self.rank
+                    ));
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "rank {}: trace read failed while fast-forwarding to \
+                         action {cursor}: {e}",
+                        self.rank
+                    ));
+                }
+            }
+        }
+        self.nproc = nproc;
+        self.cursor = cursor;
+        self.micro = micro;
+        self.requests = requests;
+        Ok(())
     }
 }
 

@@ -48,6 +48,22 @@ pub enum Step {
 pub trait Actor {
     /// Resumes the actor. `wake` says why it was scheduled.
     fn step(&mut self, ctx: &mut Ctx<'_>, wake: Wake) -> Step;
+
+    /// Serializes the actor's own state for a checkpoint, or `None`
+    /// when this actor type does not support checkpointing (the
+    /// default). [`crate::Engine::export_state`] fails if any *alive*
+    /// actor returns `None`, so opting out is safe but makes the whole
+    /// engine uncheckpointable while such an actor runs.
+    fn export_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously produced by
+    /// [`export_state`](Actor::export_state) into a freshly-constructed
+    /// actor. The default rejects, matching the default export.
+    fn import_state(&mut self, _state: &[u8]) -> Result<(), String> {
+        Err("this actor type does not support checkpoint restore".into())
+    }
 }
 
 /// Blanket helper: an actor from a closure, for tests and examples.

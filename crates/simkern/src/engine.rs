@@ -43,6 +43,21 @@ use crate::slab::Slab;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpId(pub(crate) usize);
 
+impl OpId {
+    /// The raw slab key, for checkpoint serialization only.
+    pub fn to_raw(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw key captured by
+    /// [`to_raw`](OpId::to_raw). A forged or stale key is safe: waiting
+    /// on an op that does not exist or belongs to another actor is a
+    /// checked protocol error, not a panic.
+    pub fn from_raw(raw: usize) -> Self {
+        OpId(raw)
+    }
+}
+
 /// Index of a spawned actor (the replayer spawns rank order, so this is
 /// the MPI rank).
 pub type ActorId = usize;
@@ -220,6 +235,20 @@ pub struct Engine {
     /// protocol violation caught by the engine); checked after every
     /// run-queue drain.
     failure: Option<SimError>,
+    /// Start wakes already enqueued? Restored engines resume with this
+    /// set so actors are not started a second time.
+    started: bool,
+}
+
+/// How a [`Engine::run_until`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunStatus {
+    /// The simulation ran to completion at this simulated time.
+    Completed(f64),
+    /// The pause guard requested a stop at this simulated time; the
+    /// engine is at a safe point and can be checkpointed or resumed
+    /// with another `run_until` call.
+    Paused(f64),
 }
 
 impl Engine {
@@ -261,6 +290,7 @@ impl Engine {
             observer: None,
             ops_completed: 0,
             failure: None,
+            started: false,
         }
     }
 
@@ -313,14 +343,35 @@ impl Engine {
         self.actors.len() - 1
     }
 
-    /// Runs the simulation to completion. This is the only entry point:
-    /// every way a run can fail — deadlock, an actor reporting corrupt
-    /// input through [`Step::Fail`], a protocol violation — comes back
-    /// as a typed [`SimError`]; the engine never panics on bad input.
-    /// Returns the simulated makespan in seconds.
+    /// Runs the simulation to completion. Every way a run can fail —
+    /// deadlock, an actor reporting corrupt input through
+    /// [`Step::Fail`], a protocol violation — comes back as a typed
+    /// [`SimError`]; the engine never panics on bad input. Returns the
+    /// simulated makespan in seconds.
     pub fn run_checked(&mut self) -> Result<f64, SimError> {
-        for a in 0..self.actors.len() {
-            self.runq.push_back((a, Wake::Start));
+        match self.run_until(&mut |_| false)? {
+            RunStatus::Completed(t) => Ok(t),
+            // panics: the guard above never requests a pause
+            RunStatus::Paused(_) => unreachable!("run_checked paused without a guard"),
+        }
+    }
+
+    /// Runs the simulation until completion or until `pause` asks for a
+    /// stop. The guard is consulted at every *safe point* — the top of
+    /// the engine loop, where the run queue is drained, no failure is
+    /// pending and activity rates are current — which is exactly where
+    /// [`Engine::export_state`] is allowed. A paused engine continues
+    /// with another `run_until` call; the guard is never consulted on
+    /// an already-finished simulation.
+    pub fn run_until(
+        &mut self,
+        pause: &mut dyn FnMut(&Engine) -> bool,
+    ) -> Result<RunStatus, SimError> {
+        if !self.started {
+            self.started = true;
+            for a in 0..self.actors.len() {
+                self.runq.push_back((a, Wake::Start));
+            }
         }
         loop {
             self.drain_runq();
@@ -333,6 +384,12 @@ impl Engine {
             // first — they can only start new work, never unfinish it).
             let t_ev = self.heap.peek().map(|Reverse(e)| e.time);
             let t_act = self.completions.peek().map(|(t, _)| t);
+            if t_ev.is_none() && t_act.is_none() {
+                break;
+            }
+            if pause(self) {
+                return Ok(RunStatus::Paused(self.clock));
+            }
             match (t_ev, t_act) {
                 (None, None) => break,
                 (Some(te), ta) if ta.map(|ta| te <= ta).unwrap_or(true) => {
@@ -375,7 +432,7 @@ impl Engine {
             if let Some(obs) = self.observer.as_mut() {
                 obs.engine_ended(self.clock);
             }
-            Ok(self.clock)
+            Ok(RunStatus::Completed(self.clock))
         } else {
             Err(SimError::Deadlock { time: self.clock, blocked })
         }
@@ -798,6 +855,354 @@ impl Engine {
     /// after a well-formed replay).
     pub fn pending_mailbox_entries(&self) -> usize {
         self.mailboxes.values().map(|m| m.comms.len() + m.recvs.len()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint support
+
+    /// Captures the engine's full raw state at a safe point (see
+    /// [`crate::snapshot`] for why layouts are captured verbatim).
+    /// Fails when the engine is mid-step (pending run queue, pending
+    /// failure, stale rates, never started) or when an alive actor does
+    /// not support checkpointing.
+    pub fn export_state(&self) -> Result<crate::snapshot::EngineSnapshot, String> {
+        use crate::snapshot as snap;
+        if !self.started {
+            return Err("engine snapshot requested before the run started".into());
+        }
+        if !self.runq.is_empty() {
+            return Err("engine snapshot requested with a non-empty run queue".into());
+        }
+        if self.failure.is_some() {
+            return Err("engine snapshot requested with a pending failure".into());
+        }
+        let lmm = self.lmm.export_snapshot()?;
+
+        let mut events: Vec<snap::EventSnap> = self
+            .heap
+            .iter()
+            .map(|Reverse(e)| snap::EventSnap {
+                time: e.time,
+                seq: e.seq,
+                kind: match e.kind {
+                    EventKind::LatencyDone { comm } => snap::EventKindSnap::LatencyDone { comm },
+                    EventKind::SleepDone { op } => snap::EventKindSnap::SleepDone { op: op.0 },
+                },
+            })
+            .collect();
+        // (time, seq) is a total order — seq is unique — so sorting
+        // gives deterministic bytes and an order-independent rebuild.
+        events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+
+        let activities = snap::SlabSnap {
+            slots: self
+                .activities
+                .slots()
+                .map(|s| {
+                    s.map(|a| snap::ActivitySnap {
+                        var: a.var.0,
+                        remaining: a.remaining,
+                        rate: a.rate,
+                        t_last: a.t_last,
+                        owner: match a.owner {
+                            Owner::Exec { op } => snap::OwnerSnap::Exec { op: op.0 },
+                            Owner::Comm { comm } => snap::OwnerSnap::Comm { comm },
+                        },
+                    })
+                })
+                .collect(),
+            free: self.activities.free_list().to_vec(),
+        };
+        let ops = snap::SlabSnap {
+            slots: self
+                .ops
+                .slots()
+                .map(|s| {
+                    s.map(|o| snap::OpSnap {
+                        actor: o.actor,
+                        kind: o.kind,
+                        tag: o.tag,
+                        t_start: o.t_start,
+                        volume: o.volume,
+                        mailbox: o.mailbox,
+                        complete: o.state == OpState::Complete,
+                    })
+                })
+                .collect(),
+            free: self.ops.free_list().to_vec(),
+        };
+        let comms = snap::SlabSnap {
+            slots: self
+                .comms
+                .slots()
+                .map(|s| {
+                    s.map(|c| snap::CommSnap {
+                        size: c.size,
+                        src_host: c.src_host.0,
+                        dst_host: c.dst_host.0,
+                        send_op: c.send_op.0,
+                        recv_op: c.recv_op.map(|o| o.0),
+                        eager: c.eager,
+                        state: match c.state {
+                            CommState::Unlaunched => snap::CommStateSnap::Unlaunched,
+                            CommState::InFlight => snap::CommStateSnap::InFlight,
+                            CommState::Arrived => snap::CommStateSnap::Arrived,
+                        },
+                    })
+                })
+                .collect(),
+            free: self.comms.free_list().to_vec(),
+        };
+
+        // Mailbox iteration order is nondeterministic (hash map); sort
+        // by key for deterministic snapshot bytes. Restoring into a
+        // hash map is safe: all engine accesses are keyed lookups.
+        let mut mailboxes: Vec<snap::MailboxSnap> = self
+            .mailboxes
+            .iter()
+            .filter(|(_, m)| !m.comms.is_empty() || !m.recvs.is_empty())
+            .map(|(k, m)| snap::MailboxSnap {
+                key: *k,
+                comms: m.comms.iter().copied().collect(),
+                recvs: m.recvs.iter().map(|&(op, a)| (op.0, a)).collect(),
+            })
+            .collect();
+        mailboxes.sort_by_key(|m| (m.key.src, m.key.dst, m.key.chan));
+
+        let mut actors = Vec::with_capacity(self.actors.len());
+        for (i, slot) in self.actors.iter().enumerate() {
+            let state = if slot.alive {
+                let actor = slot
+                    .actor
+                    .as_ref()
+                    .ok_or_else(|| format!("actor {i} is mid-step"))?;
+                Some(actor.export_state().ok_or_else(|| {
+                    format!("actor {i} does not support checkpointing")
+                })?)
+            } else {
+                None
+            };
+            actors.push(snap::ActorSnap {
+                host: slot.host.0,
+                waiting: slot.waiting.map(|o| o.0),
+                alive: slot.alive,
+                phase: slot.phase,
+                state,
+            });
+        }
+
+        Ok(snap::EngineSnapshot {
+            clock: self.clock,
+            seq: self.seq,
+            ops_completed: self.ops_completed,
+            events,
+            completions: self.completions.raw().to_vec(),
+            lmm,
+            activities,
+            ops,
+            comms,
+            mailboxes,
+            actors,
+        })
+    }
+
+    /// Restores a snapshot into this engine. The engine must be freshly
+    /// built over the *same* platform and network configuration, with
+    /// the same actors spawned in the same order (their own state is
+    /// re-imported through [`Actor::import_state`]). On success the
+    /// engine continues from the captured safe point via
+    /// [`Engine::run_until`] and evolves bit-identically to the
+    /// original. On error the engine must be discarded: restoration is
+    /// not transactional.
+    pub fn restore_state(
+        &mut self,
+        snapshot: &crate::snapshot::EngineSnapshot,
+    ) -> Result<(), String> {
+        use crate::snapshot as snap;
+        snapshot.validate()?;
+        if snapshot.actors.len() != self.actors.len() {
+            return Err(format!(
+                "snapshot has {} actors, engine spawned {}",
+                snapshot.actors.len(),
+                self.actors.len()
+            ));
+        }
+        for (i, (a, slot)) in snapshot.actors.iter().zip(&self.actors).enumerate() {
+            if a.host != slot.host.0 {
+                return Err(format!(
+                    "actor {i} pinned to host {} in the snapshot but {} in the engine",
+                    a.host, slot.host.0
+                ));
+            }
+        }
+
+        let lmm = lmm::System::restore_snapshot(&snapshot.lmm)?;
+        // The platform constraints were allocated by `Engine::new` in
+        // deterministic order; the snapshot must still contain them.
+        for &c in &self.cpu_cnst {
+            if !snapshot.lmm.cnsts.get(c.0).is_some_and(Option::is_some) {
+                return Err(format!("snapshot lost cpu constraint {}", c.0));
+            }
+        }
+        for c in self.link_cnst.iter().flatten() {
+            if !snapshot.lmm.cnsts.get(c.0).is_some_and(Option::is_some) {
+                return Err(format!("snapshot lost link constraint {}", c.0));
+            }
+        }
+
+        let activities = Slab::from_raw(
+            snapshot
+                .activities
+                .slots
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|a| Activity {
+                        var: lmm::VarId(a.var),
+                        remaining: a.remaining,
+                        rate: a.rate,
+                        t_last: a.t_last,
+                        owner: match a.owner {
+                            snap::OwnerSnap::Exec { op } => Owner::Exec { op: OpId(op) },
+                            snap::OwnerSnap::Comm { comm } => Owner::Comm { comm },
+                        },
+                    })
+                })
+                .collect(),
+            snapshot.activities.free.clone(),
+        )?;
+        let ops = Slab::from_raw(
+            snapshot
+                .ops
+                .slots
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|o| Op {
+                        actor: o.actor,
+                        kind: o.kind,
+                        tag: o.tag,
+                        t_start: o.t_start,
+                        volume: o.volume,
+                        mailbox: o.mailbox,
+                        state: if o.complete { OpState::Complete } else { OpState::Pending },
+                    })
+                })
+                .collect(),
+            snapshot.ops.free.clone(),
+        )?;
+        let nhosts = self.platform.num_hosts() as u32;
+        for c in snapshot.comms.slots.iter().flatten() {
+            if c.src_host >= nhosts || c.dst_host >= nhosts {
+                return Err(format!(
+                    "comm references host {}->{} outside the platform",
+                    c.src_host, c.dst_host
+                ));
+            }
+        }
+        let comms = Slab::from_raw(
+            snapshot
+                .comms
+                .slots
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|c| Comm {
+                        size: c.size,
+                        src_host: HostId(c.src_host),
+                        dst_host: HostId(c.dst_host),
+                        send_op: OpId(c.send_op),
+                        recv_op: c.recv_op.map(OpId),
+                        eager: c.eager,
+                        state: match c.state {
+                            snap::CommStateSnap::Unlaunched => CommState::Unlaunched,
+                            snap::CommStateSnap::InFlight => CommState::InFlight,
+                            snap::CommStateSnap::Arrived => CommState::Arrived,
+                        },
+                    })
+                })
+                .collect(),
+            snapshot.comms.free.clone(),
+        )?;
+        let completions =
+            crate::idxheap::IndexedHeap::from_raw(snapshot.completions.clone())?;
+
+        let mut var_act = Vec::new();
+        for (act, a) in activities.iter() {
+            if a.var.0 >= var_act.len() {
+                var_act.resize(a.var.0 + 1, usize::MAX);
+            }
+            if var_act[a.var.0] != usize::MAX {
+                return Err(format!("lmm variable {} owned by two activities", a.var.0));
+            }
+            var_act[a.var.0] = act;
+        }
+
+        let mut mailboxes: HashMap<MailboxKey, Mailbox> = HashMap::new();
+        for m in &snapshot.mailboxes {
+            if mailboxes.contains_key(&m.key) {
+                return Err(format!(
+                    "duplicate mailbox {}->{} chan {}",
+                    m.key.src, m.key.dst, m.key.chan
+                ));
+            }
+            mailboxes.insert(
+                m.key,
+                Mailbox {
+                    comms: m.comms.iter().copied().collect(),
+                    recvs: m.recvs.iter().map(|&(op, a)| (OpId(op), a)).collect(),
+                },
+            );
+        }
+
+        let mut heap = BinaryHeap::with_capacity(snapshot.events.len());
+        for e in &snapshot.events {
+            heap.push(Reverse(Event {
+                time: e.time,
+                seq: e.seq,
+                kind: match e.kind {
+                    snap::EventKindSnap::LatencyDone { comm } => EventKind::LatencyDone { comm },
+                    snap::EventKindSnap::SleepDone { op } => {
+                        EventKind::SleepDone { op: OpId(op) }
+                    }
+                },
+            }));
+        }
+
+        // Re-import the per-actor state before committing any engine
+        // field, so a failed import leaves a recognizably broken engine
+        // rather than a half-restored one.
+        for (i, (a, slot)) in snapshot.actors.iter().zip(self.actors.iter_mut()).enumerate() {
+            if a.alive {
+                let state = a
+                    .state
+                    .as_ref()
+                    .ok_or_else(|| format!("alive actor {i} has no state in the snapshot"))?;
+                let actor = slot
+                    .actor
+                    .as_mut()
+                    .ok_or_else(|| format!("engine actor {i} is mid-step"))?;
+                actor.import_state(state)?;
+            }
+            slot.waiting = a.waiting.map(OpId);
+            slot.alive = a.alive;
+            slot.phase = a.phase;
+        }
+
+        self.clock = snapshot.clock;
+        self.seq = snapshot.seq;
+        self.ops_completed = snapshot.ops_completed;
+        self.heap = heap;
+        self.completions = completions;
+        self.lmm = lmm;
+        self.activities = activities;
+        self.ops = ops;
+        self.comms = comms;
+        self.mailboxes = mailboxes;
+        self.runq.clear();
+        self.route_cache.clear();
+        self.var_act = var_act;
+        self.changed_vars.clear();
+        self.failure = None;
+        self.started = true;
+        Ok(())
     }
 }
 
@@ -1479,6 +1884,127 @@ mod tests {
                 Ev::EngineEnd,
             ]
         );
+    }
+
+    /// A checkpointable ping-pong actor: all its state lives in the
+    /// engine-side phase counter, so its own exported state is empty.
+    struct PingPong {
+        rank: usize,
+        rounds: u64,
+    }
+    impl Actor for PingPong {
+        fn step(&mut self, ctx: &mut Ctx<'_>, _wake: Wake) -> Step {
+            let k = ctx.phase();
+            if k >= self.rounds {
+                return Step::Done;
+            }
+            ctx.set_phase(k + 1);
+            // Rank 0 sends on even phases and receives on odd ones;
+            // rank 1 mirrors, so the exchange is balanced.
+            let sending = k.is_multiple_of(2) == (self.rank == 0);
+            if sending {
+                if self.rank == 0 {
+                    ctx.execute(1e7); // fire-and-forget CPU burst
+                }
+                let mb = MailboxKey::p2p(self.rank, 1 - self.rank);
+                Step::Wait(ctx.isend(mb, 2e6))
+            } else {
+                let mb = MailboxKey::p2p(1 - self.rank, self.rank);
+                Step::Wait(ctx.irecv(mb))
+            }
+        }
+        fn export_state(&self) -> Option<Vec<u8>> {
+            Some(Vec::new())
+        }
+        fn import_state(&mut self, _state: &[u8]) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    fn pingpong_engine() -> Engine {
+        let (p, hs) = simple_platform(2);
+        let mut eng = Engine::new(p);
+        eng.spawn(Box::new(PingPong { rank: 0, rounds: 8 }), hs[0]);
+        eng.spawn(Box::new(PingPong { rank: 1, rounds: 8 }), hs[1]);
+        eng
+    }
+
+    #[test]
+    fn pause_export_restore_resumes_bit_identically() {
+        // Reference: uninterrupted run.
+        let mut reference = pingpong_engine();
+        let t_ref = reference.run_checked().unwrap();
+        let ops_ref = reference.ops_completed();
+
+        // Interrupted run: pause at every distinct ops_completed level,
+        // snapshot, restore into a fresh engine, continue there.
+        for pause_at in 1..ops_ref {
+            let mut eng = pingpong_engine();
+            let status = eng
+                .run_until(&mut |e: &Engine| e.ops_completed() >= pause_at)
+                .unwrap();
+            let t_pause = match status {
+                RunStatus::Paused(t) => t,
+                RunStatus::Completed(t) => {
+                    // The threshold can land after the last event; then
+                    // the run just completes and must match directly.
+                    assert_eq!(t.to_bits(), t_ref.to_bits());
+                    continue;
+                }
+            };
+            let snap = eng.export_state().unwrap();
+            snap.validate().unwrap();
+
+            let mut resumed = pingpong_engine();
+            resumed.restore_state(&snap).unwrap();
+            assert_eq!(resumed.clock().to_bits(), t_pause.to_bits());
+            let t_res = resumed.run_checked().unwrap();
+            assert_eq!(
+                t_res.to_bits(),
+                t_ref.to_bits(),
+                "resume from ops={pause_at} diverged: {t_res} vs {t_ref}"
+            );
+            assert_eq!(resumed.ops_completed(), ops_ref);
+        }
+    }
+
+    #[test]
+    fn export_refuses_unsupported_actors_and_unstarted_engines() {
+        let (p, hs) = simple_platform(1);
+        let mut eng = Engine::new(p);
+        eng.spawn(
+            Box::new(FnActor(|ctx: &mut Ctx, wake| match wake {
+                Wake::Start => Step::Wait(ctx.sleep(1.0)),
+                Wake::Op(_) => Step::Done,
+            })),
+            hs[0],
+        );
+        // Not started yet.
+        assert!(eng.export_state().is_err());
+        // Started but the FnActor cannot checkpoint.
+        let status = eng.run_until(&mut |_| true).unwrap();
+        assert!(matches!(status, RunStatus::Paused(_)));
+        let err = eng.export_state().unwrap_err();
+        assert!(err.contains("does not support"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_actor_sets() {
+        let mut eng = pingpong_engine();
+        eng.run_until(&mut |_| true).unwrap();
+        let snap = eng.export_state().unwrap();
+
+        // Wrong actor count.
+        let (p, hs) = simple_platform(2);
+        let mut other = Engine::new(p);
+        other.spawn(Box::new(PingPong { rank: 0, rounds: 8 }), hs[0]);
+        assert!(other.restore_state(&snap).is_err());
+
+        // Corrupted cross-reference fails validation.
+        let mut bad = snap.clone();
+        bad.actors[0].waiting = Some(9999);
+        let mut fresh = pingpong_engine();
+        assert!(fresh.restore_state(&bad).is_err());
     }
 
     #[test]

@@ -92,6 +92,38 @@ impl IndexedHeap {
         Some((prio, key))
     }
 
+    /// The raw heap array in its internal order.
+    ///
+    /// Checkpoint support: under equal priorities, which entry `pop`
+    /// yields depends on the array layout, so snapshots must capture it
+    /// verbatim and restore with [`from_raw`](Self::from_raw) — not
+    /// re-insert entries, which could permute ties.
+    pub fn raw(&self) -> &[(f64, usize)] {
+        &self.heap
+    }
+
+    /// Rebuilds a heap from a raw array captured by [`raw`](Self::raw).
+    /// Validates the min-heap invariant and key uniqueness.
+    pub fn from_raw(heap: Vec<(f64, usize)>) -> Result<Self, String> {
+        let mut pos = Vec::new();
+        for (i, &(p, key)) in heap.iter().enumerate() {
+            if p.is_nan() {
+                return Err(format!("heap restore: NaN priority for key {key}"));
+            }
+            if i > 0 && heap[(i - 1) / 2].0 > p {
+                return Err(format!("heap restore: order violated at index {i}"));
+            }
+            if key >= pos.len() {
+                pos.resize(key + 1, ABSENT);
+            }
+            if pos[key] != ABSENT {
+                return Err(format!("heap restore: duplicate key {key}"));
+            }
+            pos[key] = i;
+        }
+        Ok(IndexedHeap { heap, pos })
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
@@ -185,6 +217,28 @@ mod tests {
         h.remove(1);
         h.remove(1);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_tie_order() {
+        let mut h = IndexedHeap::new();
+        for (k, p) in [(3, 5.0), (1, 5.0), (7, 5.0), (2, 5.0), (9, 1.0)] {
+            h.set(k, p);
+        }
+        h.remove(9); // force a layout shaped by removal history
+        let mut r = IndexedHeap::from_raw(h.raw().to_vec()).unwrap();
+        // Equal-priority pops must come out in the same order.
+        while let Some(a) = h.pop() {
+            assert_eq!(r.pop(), Some(a));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn raw_restore_rejects_bad_arrays() {
+        assert!(IndexedHeap::from_raw(vec![(2.0, 0), (1.0, 1)]).is_err());
+        assert!(IndexedHeap::from_raw(vec![(1.0, 0), (2.0, 0)]).is_err());
+        assert!(IndexedHeap::from_raw(vec![(f64::NAN, 0)]).is_err());
     }
 
     #[test]

@@ -88,9 +88,11 @@ pub mod netmodel;
 pub mod observer;
 pub mod resource;
 pub mod slab;
+pub mod snapshot;
 
 pub use actor::{Actor, Ctx, Step, Wake};
-pub use engine::{Engine, MailboxKey, OpId};
+pub use engine::{Engine, MailboxKey, OpId, RunStatus};
+pub use snapshot::EngineSnapshot;
 pub use error::{OpKind, SimError, WaitFor};
 pub use netmodel::{NetworkConfig, PiecewiseModel, Segment};
 pub use resource::{HostId, LinkId, Platform, PlatformBuilder, Route};

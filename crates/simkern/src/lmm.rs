@@ -197,6 +197,116 @@ impl System {
     }
 
     // ------------------------------------------------------------------
+    // Checkpoint support
+
+    /// Captures the system's raw layout for a checkpoint. Must be
+    /// called on a *clean* system (`!is_dirty()`): scratch state is not
+    /// captured, so a pending incremental solve would be lost.
+    ///
+    /// The per-constraint `vars` order and the slab free-lists are part
+    /// of the snapshot because [`fill`](System::solve) subtracts shares
+    /// in `vars` order — floating-point subtraction is order-sensitive,
+    /// so restoring a permuted layout would drift the solved rates by
+    /// ulps and break bit-identical resume.
+    pub fn export_snapshot(&self) -> Result<LmmSnapshot, String> {
+        if self.dirty {
+            return Err("lmm snapshot requested while system is dirty".into());
+        }
+        Ok(LmmSnapshot {
+            cnsts: self
+                .cnsts
+                .slots()
+                .map(|s| {
+                    s.map(|c| CnstSnap { capacity: c.capacity, vars: c.vars.clone() })
+                })
+                .collect(),
+            cnst_free: self.cnsts.free_list().to_vec(),
+            vars: self
+                .vars
+                .slots()
+                .map(|s| {
+                    s.map(|v| VarSnap {
+                        bound: v.bound,
+                        cnsts: v.cnsts.iter().map(|c| c.0).collect(),
+                        value: v.value,
+                    })
+                })
+                .collect(),
+            var_free: self.vars.free_list().to_vec(),
+        })
+    }
+
+    /// Rebuilds a system from a snapshot, byte-exact: slab layouts,
+    /// free-lists and per-constraint variable order are restored
+    /// verbatim; scratch state is reset; the system starts clean.
+    pub fn restore_snapshot(snap: &LmmSnapshot) -> Result<Self, String> {
+        let cnsts = Slab::from_raw(
+            snap.cnsts
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|c| Cnst {
+                        capacity: c.capacity,
+                        vars: c.vars.clone(),
+                        remaining: c.capacity,
+                        nactive: 0,
+                        queued_dirty: false,
+                        visited: false,
+                    })
+                })
+                .collect(),
+            snap.cnst_free.clone(),
+        )?;
+        let vars = Slab::from_raw(
+            snap.vars
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|v| Var {
+                        bound: v.bound,
+                        cnsts: v.cnsts.iter().map(|&c| CnstId(c)).collect(),
+                        value: v.value,
+                        fixed: false,
+                        visited: false,
+                    })
+                })
+                .collect(),
+            snap.var_free.clone(),
+        )?;
+        // Cross-validate the bipartite references.
+        for (c, cn) in cnsts.iter() {
+            for &v in &cn.vars {
+                let var = vars.get(v).ok_or_else(|| {
+                    format!("lmm restore: constraint {c} references missing variable {v}")
+                })?;
+                if !var.cnsts.iter().any(|x| x.0 == c) {
+                    return Err(format!(
+                        "lmm restore: constraint {c} lists variable {v} but not vice versa"
+                    ));
+                }
+            }
+        }
+        for (v, var) in vars.iter() {
+            if var.bound.is_nan() || var.bound <= 0.0 {
+                return Err(format!("lmm restore: variable {v} has non-positive bound"));
+            }
+            for c in &var.cnsts {
+                if !cnsts.contains(c.0) {
+                    return Err(format!(
+                        "lmm restore: variable {v} references missing constraint {}",
+                        c.0
+                    ));
+                }
+            }
+        }
+        Ok(System {
+            cnsts,
+            vars,
+            dirty_cnsts: Vec::new(),
+            dirty_free_vars: Vec::new(),
+            dirty: false,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Incremental solve
 
     /// Re-solves only the islands touched since the last solve. Appends
@@ -378,6 +488,42 @@ impl System {
     }
 }
 
+/// Raw layout of one constraint, as captured for a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnstSnap {
+    /// Resource capacity (flop/s or bytes/s).
+    pub capacity: f64,
+    /// Crossing variables in internal (swap-remove-shaped) order.
+    pub vars: Vec<usize>,
+}
+
+/// Raw layout of one variable, as captured for a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSnap {
+    /// Rate cap (`f64::INFINITY` when unbounded).
+    pub bound: f64,
+    /// Crossed constraint keys.
+    pub cnsts: Vec<usize>,
+    /// Solved rate at capture time.
+    pub value: f64,
+}
+
+/// Full raw layout of a clean [`System`]: slab slots in index order
+/// (vacant = `None`) plus the free-lists. See
+/// [`System::export_snapshot`] for why the layout, not just the
+/// contents, must survive a round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmmSnapshot {
+    /// Constraint slots in index order.
+    pub cnsts: Vec<Option<CnstSnap>>,
+    /// Constraint slab free-list, internal order.
+    pub cnst_free: Vec<usize>,
+    /// Variable slots in index order.
+    pub vars: Vec<Option<VarSnap>>,
+    /// Variable slab free-list, internal order.
+    pub var_free: Vec<usize>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +638,63 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut s = System::new();
         s.new_constraint(0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint round-trip
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact() {
+        let mut s = System::new();
+        let ca = s.new_constraint(100.0);
+        let cb = s.new_constraint(50.0);
+        let v1 = s.new_variable(f64::INFINITY, vec![ca, cb]);
+        let v2 = s.new_variable(30.0, vec![ca]);
+        let v3 = s.new_variable(f64::INFINITY, vec![cb]);
+        let mut changed = Vec::new();
+        s.solve_dirty(&mut changed);
+        // Shape the internal layout with a removal + reuse.
+        s.remove_variable(v2);
+        changed.clear();
+        s.solve_dirty(&mut changed);
+
+        let snap = s.export_snapshot().unwrap();
+        let mut r = System::restore_snapshot(&snap).unwrap();
+        assert_eq!(s.rate(v1).to_bits(), r.rate(v1).to_bits());
+        assert_eq!(s.rate(v3).to_bits(), r.rate(v3).to_bits());
+
+        // Future evolution must match bit-for-bit: add a variable to
+        // both systems and compare every solved rate exactly.
+        let n1 = s.new_variable(f64::INFINITY, vec![ca, cb]);
+        let n2 = r.new_variable(f64::INFINITY, vec![ca, cb]);
+        assert_eq!(n1, n2, "slab index reuse must match");
+        let mut ch1 = Vec::new();
+        let mut ch2 = Vec::new();
+        s.solve_dirty(&mut ch1);
+        r.solve_dirty(&mut ch2);
+        for v in [v1, v3, n1] {
+            assert_eq!(s.rate(v).to_bits(), r.rate(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_refuses_dirty_system() {
+        let mut s = System::new();
+        let c = s.new_constraint(10.0);
+        s.new_variable(f64::INFINITY, vec![c]);
+        assert!(s.is_dirty());
+        assert!(s.export_snapshot().is_err());
+    }
+
+    #[test]
+    fn restore_rejects_dangling_references() {
+        let snap = LmmSnapshot {
+            cnsts: vec![Some(CnstSnap { capacity: 1.0, vars: vec![5] })],
+            cnst_free: vec![],
+            vars: vec![],
+            var_free: vec![],
+        };
+        assert!(System::restore_snapshot(&snap).is_err());
     }
 
     // ------------------------------------------------------------------

@@ -117,6 +117,62 @@ impl<T> Slab<T> {
         self.free.clear();
         self.len = 0;
     }
+
+    /// Iterates over every slot in index order, vacant ones as `None`.
+    ///
+    /// Checkpoint support: together with [`free_list`](Self::free_list)
+    /// this exposes the *exact* internal layout, so a snapshot restored
+    /// with [`from_raw`](Self::from_raw) reuses freed indices in the
+    /// same order as the original — a requirement for bit-identical
+    /// resumed simulations.
+    pub fn slots(&self) -> impl Iterator<Item = Option<&T>> {
+        self.entries.iter().map(|e| match e {
+            Entry::Occupied(v) => Some(v),
+            Entry::Vacant => None,
+        })
+    }
+
+    /// The free-list in its internal (pop-from-back) order.
+    pub fn free_list(&self) -> &[usize] {
+        &self.free
+    }
+
+    /// Rebuilds a slab from a raw slot layout and free-list, as captured
+    /// by [`slots`](Self::slots)/[`free_list`](Self::free_list). The
+    /// vacant positions of `slots` must equal the set of indices in
+    /// `free` (checked), so that insertion order after restore matches
+    /// the original exactly.
+    pub fn from_raw(slots: Vec<Option<T>>, free: Vec<usize>) -> Result<Self, String> {
+        let mut vacant = 0usize;
+        for (i, s) in slots.iter().enumerate() {
+            if s.is_none() {
+                vacant += 1;
+                if !free.contains(&i) {
+                    return Err(format!("slab restore: vacant slot {i} missing from free-list"));
+                }
+            }
+        }
+        if vacant != free.len() {
+            return Err(format!(
+                "slab restore: {} free-list entries for {vacant} vacant slots",
+                free.len()
+            ));
+        }
+        for &f in &free {
+            if f >= slots.len() || slots[f].is_some() {
+                return Err(format!("slab restore: free-list entry {f} is not a vacant slot"));
+            }
+        }
+        let len = slots.len() - vacant;
+        let entries = slots
+            .into_iter()
+            .map(|s| match s {
+                Some(v) => Entry::Occupied(v),
+                None => Entry::Vacant,
+            })
+            .collect();
+        Ok(Slab { entries, free, len })
+    }
 }
 
 impl<T> std::ops::Index<usize> for Slab<T> {
@@ -183,6 +239,33 @@ mod tests {
         assert_eq!(items, vec![20, 30]);
         s.try_remove(c);
         assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_free_order() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        let c = s.insert("c");
+        s.try_remove(a);
+        s.try_remove(c);
+        // Capture and restore the raw layout.
+        let slots: Vec<Option<&str>> = s.slots().map(Option::<&&str>::copied).collect();
+        let free = s.free_list().to_vec();
+        let mut r = Slab::from_raw(slots, free).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[b], "b");
+        // Index reuse order must match the original slab's.
+        let k1 = s.insert("x");
+        let k2 = s.insert("y");
+        assert_eq!((r.insert("x"), r.insert("y")), (k1, k2));
+    }
+
+    #[test]
+    fn raw_restore_rejects_inconsistent_free_list() {
+        assert!(Slab::from_raw(vec![Some(1), None], vec![]).is_err());
+        assert!(Slab::from_raw(vec![Some(1), None], vec![0]).is_err());
+        assert!(Slab::<i32>::from_raw(vec![None], vec![0, 0]).is_err());
     }
 
     #[test]

@@ -19,6 +19,24 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     values: BTreeMap<String, f64>,
     timers: BTreeMap<String, f64>,
+    notes: BTreeMap<String, String>,
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Handle to a metrics registry. Clones share the same underlying state.
@@ -77,6 +95,21 @@ impl Metrics {
         self.inner.lock().unwrap().values.get(key).copied()
     }
 
+    /// Sets the free-form note `key` — a short deterministic string such
+    /// as a per-rank degradation reason. Notes render in the `"notes"`
+    /// section of [`Metrics::to_json`].
+    pub fn set_note(&self, key: &str, text: &str) {
+        // panics: mutex poisoned only if another thread already panicked
+        self.inner.lock().unwrap().notes.insert(key.to_owned(), text.to_owned());
+    }
+
+    /// Current note `key`, if set.
+    #[must_use]
+    pub fn note(&self, key: &str) -> Option<String> {
+        // panics: mutex poisoned only if another thread already panicked
+        self.inner.lock().unwrap().notes.get(key).cloned()
+    }
+
     /// Accumulated wall-clock seconds in timer `key` (0 when absent).
     #[must_use]
     pub fn wall(&self, key: &str) -> f64 {
@@ -94,7 +127,7 @@ impl Metrics {
         Box::new(MetricsObserver { metrics: self.clone(), prefix: prefix.to_owned() })
     }
 
-    /// Serialises counters and gauge values as deterministic JSON
+    /// Serialises counters, gauge values and notes as deterministic JSON
     /// (`titobs-metrics-v1`): keys sorted, **no wall-clock timers** —
     /// identical runs produce byte-identical output. See `DESIGN.md`
     /// §5d for the schema.
@@ -115,6 +148,13 @@ impl Metrics {
                 out.push(',');
             }
             out.push_str(&format!("\n\"{k}\":{v}"));
+        }
+        out.push_str("},\"notes\":{");
+        for (i, (k, v)) in g.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n\"{}\":\"{}\"", json_escape(k), json_escape(v)));
         }
         out.push_str("}}\n");
         out
@@ -155,6 +195,9 @@ impl Metrics {
         }
         for (k, v) in &g.timers {
             out.push_str(&format!("{k:<32} {v:.6}s (wall)\n"));
+        }
+        for (k, v) in &g.notes {
+            out.push_str(&format!("{k:<32} {v}\n"));
         }
         out
     }
@@ -236,6 +279,25 @@ mod tests {
         let t = m.to_json_with_timers();
         assert!(t.contains("wall.secs"));
         assert_eq!(t.matches('{').count(), t.matches('}').count());
+    }
+
+    #[test]
+    fn notes_render_escaped_in_json() {
+        let m = Metrics::new();
+        m.set_note("degraded.rank0", "missing-file: SG_process0.trace");
+        m.set_note("weird", "a\"b\\c\nd");
+        assert_eq!(m.note("degraded.rank0").as_deref(), Some("missing-file: SG_process0.trace"));
+        assert_eq!(m.note("absent"), None);
+        let j = m.to_json();
+        assert!(j.contains("\"notes\":{"));
+        assert!(j.contains("\"degraded.rank0\":\"missing-file: SG_process0.trace\""));
+        assert!(j.contains("\"weird\":\"a\\\"b\\\\c\\nd\""));
+        // the timers splice still produces balanced JSON with notes present
+        m.observe_wall("w", 1.0);
+        let t = m.to_json_with_timers();
+        assert_eq!(t.matches('{').count(), t.matches('}').count());
+        assert!(t.ends_with("}}\n"));
+        assert!(m.render_text().contains("degraded.rank0"));
     }
 
     #[test]

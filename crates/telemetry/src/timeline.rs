@@ -194,6 +194,20 @@ impl<W: Write + 'static> Timeline<W> {
             simulated_time: g.simulated_time,
         })
     }
+
+    /// Reclaims the underlying writer, consuming the timeline. Returns
+    /// `None` while any [`Timeline::sink`] observer is still alive (the
+    /// writer is shared with it). Call after the engine run and
+    /// [`Timeline::finish`]: this is how a crash-safe writer (e.g.
+    /// `tit_core::AtomicFile`) gets back to its owner to be committed —
+    /// the timeline only becomes visible on disk once the trailer is
+    /// complete.
+    pub fn into_writer(self) -> Option<W> {
+        Arc::try_unwrap(self.inner).ok().map(|m| {
+            // panics: mutex poisoned only if another thread already panicked
+            m.into_inner().unwrap().w
+        })
+    }
 }
 
 impl<W: Write> Observer for TimelineSink<W> {
@@ -355,6 +369,26 @@ mod tests {
         sink.record(OpRecord { actor: 0, tag: 1, start: 0.0, end: 1.0, volume: 0.0 });
         drop(sink);
         assert!(!tl.finish().unwrap().monotone);
+    }
+
+    #[test]
+    fn into_writer_reclaims_writer_after_sinks_drop() {
+        let tl = Timeline::new(Vec::new(), 1, TimelineFormat::Csv, demo_name).unwrap();
+        let mut sink = tl.sink();
+        sink.record(OpRecord { actor: 0, tag: 1, start: 0.0, end: 1.0, volume: 8.0 });
+        drop(sink);
+        tl.finish().unwrap();
+        let bytes = tl.into_writer().expect("no sinks alive");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("rank,action,start,end,volume"));
+        assert!(text.contains("0,compute,"));
+    }
+
+    #[test]
+    fn into_writer_refuses_while_sink_alive() {
+        let tl = Timeline::new(Vec::new(), 1, TimelineFormat::Csv, demo_name).unwrap();
+        let _sink = tl.sink();
+        assert!(tl.into_writer().is_none());
     }
 
     #[test]

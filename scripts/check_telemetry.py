@@ -2,6 +2,7 @@
 """Validate tit-replay observability outputs (stdlib only).
 
 Usage: check_telemetry.py TIMELINE.json PROFILE.json METRICS.json
+       check_telemetry.py --robustness DEGRADED_METRICS.json RESUME_METRICS.json
 
 Checks that
   * the timeline parses as Chrome trace-event JSON, its complete events
@@ -10,6 +11,12 @@ Checks that
     rank's per-tag times/counts sum to the rank totals;
   * the metrics file parses, declares schema titobs-metrics-v1 and
     contains the replay counters.
+
+With --robustness, instead checks the DESIGN.md §5f counters: the
+degraded metrics must carry degraded.ranks_stubbed /
+degraded.actions_trimmed, a degraded.completeness value in [0, 1], and
+at least one per-rank degradation note; the resume metrics must carry
+checkpoint.writes >= 1 and checkpoint.resume == 1.
 
 Exits 0 when all pass, 1 with a message otherwise.
 """
@@ -101,7 +108,50 @@ def check_metrics(path):
           f"{len(values)} values")
 
 
+def load_v1(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "titobs-metrics-v1":
+        fail(f"{path}: bad schema {doc.get('schema')!r}")
+    if "wall_timers" in doc:
+        fail(f"{path}: deterministic metrics must not embed wall timers")
+    return doc
+
+
+def check_robustness(degraded_path, resume_path):
+    doc = load_v1(degraded_path)
+    counters, values = doc.get("counters", {}), doc.get("values", {})
+    for key in ("degraded.ranks_stubbed", "degraded.actions_trimmed"):
+        if key not in counters:
+            fail(f"{degraded_path}: counter {key} missing")
+    ratio = values.get("degraded.completeness")
+    if ratio is None or not 0.0 <= ratio <= 1.0:
+        fail(f"{degraded_path}: degraded.completeness {ratio!r} not in [0, 1]")
+    notes = doc.get("notes", {})
+    rank_notes = [k for k in notes if k.startswith("degraded.rank")]
+    if counters["degraded.ranks_stubbed"] + counters["degraded.actions_trimmed"] > 0 \
+            and not rank_notes:
+        fail(f"{degraded_path}: degradation counted but no per-rank notes")
+    print(f"check_telemetry: {degraded_path}: completeness {ratio}, "
+          f"{counters['degraded.ranks_stubbed']} stubbed, "
+          f"{counters['degraded.actions_trimmed']} trimmed, "
+          f"{len(rank_notes)} rank note(s)")
+
+    doc = load_v1(resume_path)
+    counters = doc.get("counters", {})
+    if counters.get("checkpoint.resume") != 1:
+        fail(f"{resume_path}: checkpoint.resume != 1")
+    if "checkpoint.writes" not in counters:
+        fail(f"{resume_path}: counter checkpoint.writes missing")
+    print(f"check_telemetry: {resume_path}: resumed, "
+          f"{counters['checkpoint.writes']} checkpoint write(s)")
+
+
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--robustness":
+        check_robustness(sys.argv[2], sys.argv[3])
+        print("check_telemetry: OK")
+        return
     if len(sys.argv) != 4:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
