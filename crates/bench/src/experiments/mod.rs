@@ -6,5 +6,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod ingest;
 pub mod largetrace;
+pub mod serve;
 pub mod table2;
 pub mod table3;

@@ -16,6 +16,7 @@
 //! | [`experiments::fig8`]   | replay accuracy |
 //! | [`experiments::fig9`]   | replay (simulation) time |
 //! | [`experiments::ingest`] | serial vs parallel trace loading |
+//! | [`experiments::serve`]  | daemon throughput / tail latency |
 //! | [`experiments::largetrace`] | §6.5 class D × 1024 |
 //! | [`experiments::ablations`]  | design-choice ablations |
 
@@ -25,7 +26,7 @@ pub mod experiments;
 pub mod perf;
 pub mod table;
 
-pub use perf::{write_bench_json, write_ingest_json, IngestRecord, PerfRecord};
+pub use perf::{write_bench_json, write_ingest_json, write_serve_json, IngestRecord, PerfRecord};
 pub use table::Table;
 
 use npb::{Class, LuConfig};

@@ -135,6 +135,42 @@ pub fn write_ingest_json(
     w.flush()
 }
 
+/// Writes serving records as `BENCH_serve.json`:
+/// `{"bench":name,"peak_records_per_sec":…,"runs":[…]}` — the same
+/// envelope as [`write_bench_json`] (so `scripts/check_bench.py` gates
+/// it unchanged), with per-run concurrency, sustained request rate and
+/// p99 latency. `records_per_sec` counts replayed trace actions, the
+/// cross-benchmark throughput currency (docs/BENCHMARKS.md).
+pub fn write_serve_json(
+    path: &Path,
+    name: &str,
+    records: &[crate::experiments::serve::ServeRecord],
+) -> std::io::Result<()> {
+    use crate::experiments::serve::ServeRecord;
+    let peak = records.iter().map(ServeRecord::records_per_sec).fold(0.0, f64::max);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "{{\"bench\":\"{name}\",\"peak_records_per_sec\":{peak},\"runs\":[")?;
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(
+            w,
+            "\n{{\"label\":\"{}x\",\"concurrency\":{},\"requests\":{},\"actions\":{},\"wall_time\":{},\"req_per_sec\":{},\"p99_ms\":{},\"records_per_sec\":{}}}",
+            r.concurrency,
+            r.concurrency,
+            r.requests,
+            r.actions,
+            r.wall_time,
+            r.req_per_sec(),
+            r.p99_ms,
+            r.records_per_sec()
+        )?;
+    }
+    writeln!(w, "\n]}}")?;
+    w.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +239,38 @@ mod tests {
         assert!(text.contains("\"peak_records_per_sec\":2000"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_json_is_balanced_and_carries_peak() {
+        use crate::experiments::serve::ServeRecord;
+        let dir = std::env::temp_dir().join(format!("titr-sperf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        let recs = vec![
+            ServeRecord {
+                concurrency: 1,
+                requests: 48,
+                actions: 720,
+                wall_time: 0.5,
+                p99_ms: 12.0,
+            },
+            ServeRecord {
+                concurrency: 4,
+                requests: 48,
+                actions: 720,
+                wall_time: 0.25,
+                p99_ms: 20.0,
+            },
+        ];
+        write_serve_json(&path, "serve", &recs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\":\"serve\""));
+        assert!(text.contains("\"peak_records_per_sec\":2880"));
+        assert!(text.contains("\"p99_ms\":12"));
+        assert!(text.contains("\"req_per_sec\":96"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -66,9 +66,8 @@
 
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
 use tit_cli::Args;
-use tit_core::AtomicFile;
+use tit_core::{AtomicFile, Budget};
 use tit_platform::deployment::Deployment;
 use tit_platform::desc::PlatformDesc;
 use tit_platform::presets;
@@ -130,9 +129,11 @@ fn main() {
     let checkpoint = args.get("checkpoint").map(str::to_owned);
     let resume = args.get("resume").map(str::to_owned);
     let every: u64 = args.get_or("checkpoint-every", 0);
-    let max_wall: Option<f64> = args.get("max-wall").map(|s| match s.parse::<f64>() {
-        Ok(v) if v >= 0.0 => v,
-        _ => usage_error("--max-wall wants a non-negative number of seconds"),
+    let max_wall: Budget = args.get("max-wall").map_or_else(Budget::unlimited, |s| {
+        match s.parse::<f64>() {
+            Ok(v) if v >= 0.0 => Budget::from_secs_f64(v),
+            _ => usage_error("--max-wall wants a non-negative number of seconds"),
+        }
     });
     let stop_after: Option<u64> = args.get("stop-after-checkpoints").map(|s| match s.parse() {
         Ok(v) => v,
@@ -143,10 +144,10 @@ fn main() {
     if degraded && checkpointing {
         usage_error("--degraded cannot be combined with --checkpoint/--resume");
     }
-    if degraded && (every != 0 || max_wall.is_some() || stop_after.is_some()) {
+    if degraded && (every != 0 || !max_wall.is_unlimited() || stop_after.is_some()) {
         usage_error("--degraded cannot be combined with checkpointing options");
     }
-    if (every != 0 || max_wall.is_some() || stop_after.is_some()) && checkpoint.is_none() {
+    if (every != 0 || !max_wall.is_unlimited() || stop_after.is_some()) && checkpoint.is_none() {
         usage_error("--checkpoint-every/--max-wall/--stop-after-checkpoints need --checkpoint FILE");
     }
     if (degraded || checkpointing) && jobs != 1 {
@@ -269,7 +270,7 @@ fn main() {
     let policy = checkpoint.as_ref().map(|p| CheckpointPolicy {
         path: PathBuf::from(p),
         every_actions: every,
-        max_wall: max_wall.map(Duration::from_secs_f64),
+        max_wall,
         stop_after_checkpoints: stop_after,
     });
 

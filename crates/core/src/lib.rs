@@ -23,8 +23,10 @@
 //! compressor used for the paper's Section 6.5 compressed-size figure
 //! ([`compress`]), a struct-of-arrays interned form for the replay hot
 //! path ([`compact`]), parallel per-rank file ingestion ([`ingest`]),
-//! crash-safe output writing ([`atomicio`]) and the versioned `TICK1`
-//! checkpoint container ([`checkpoint`]).
+//! crash-safe output writing ([`atomicio`]), the versioned `TICK1`
+//! checkpoint container ([`checkpoint`]), wall-clock budgets shared by
+//! the CLI watchdog and the serving layer ([`deadline`]) and a small
+//! LRU cache for fingerprint-keyed shared state ([`lru`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -36,7 +38,9 @@ pub mod checkpoint;
 pub mod codec;
 pub mod compact;
 pub mod compress;
+pub mod deadline;
 pub mod ingest;
+pub mod lru;
 pub mod stats;
 pub mod trace;
 pub mod validate;
@@ -44,6 +48,8 @@ pub mod validate;
 pub use action::{Action, Pid};
 pub use atomicio::{write_atomic, AtomicFile};
 pub use compact::{CompactError, CompactTrace};
+pub use deadline::{Budget, Deadline};
+pub use lru::Lru;
 pub use ingest::{load_compact_exact, load_exact, load_per_process_jobs, IngestError};
 pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};
 pub use codec::{format_action, parse_line, ParseError};

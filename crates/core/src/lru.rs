@@ -1,0 +1,179 @@
+//! A small deterministic LRU cache.
+//!
+//! The serving layer keeps parsed platforms and interned compact traces
+//! in memory, keyed by their content fingerprint (the `TICK1` FNV-1a-64
+//! of [`crate::checkpoint::fnv1a`]), so that a thousand what-if requests
+//! against one bundle parse it once. The cache is deliberately tiny and
+//! boring: a `HashMap` plus a monotonic recency stamp, with an `O(len)`
+//! eviction scan. Capacities here are tens of entries (distinct
+//! platforms/traces a daemon juggles), not millions — a linked-list LRU
+//! would buy nothing but unsafe code or index gymnastics.
+//!
+//! Values are returned by clone; callers store `Arc<T>` so a hit is a
+//! refcount bump and an evicted entry stays alive for requests already
+//! holding it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Least-recently-used cache with a fixed capacity.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// An empty cache holding at most `cap` entries (`cap == 0` caches
+    /// nothing: every insert is immediately evicted).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Lru { cap, tick: 0, map: HashMap::new() }
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The fixed capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(stamp, v)| {
+            *stamp = tick;
+            v.clone()
+        })
+    }
+
+    /// True when `key` is cached; does **not** touch recency.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key → value` as most-recently-used, evicting the least
+    /// recently used entry when over capacity. Returns the evicted
+    /// pair, if any (the new entry itself when `cap == 0`).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.tick += 1;
+        self.map.insert(key, (self.tick, value));
+        if self.map.len() <= self.cap {
+            return None;
+        }
+        // Over capacity by exactly one: scan out the oldest stamp. Ties
+        // are impossible (the tick is monotonic), so eviction order is
+        // deterministic regardless of HashMap iteration order.
+        let oldest = self
+            .map
+            .iter()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(k, _)| k.clone());
+        let k = oldest?;
+        let (_, v) = self.map.remove(&k)?;
+        Some((k, v))
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_len() {
+        let mut c: Lru<u64, &str> = Lru::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.insert(1, "one"), None);
+        assert_eq!(c.insert(2, "two"), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some("one"));
+        assert!(c.contains(&2));
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: Lru<u64, u64> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so 2 is the LRU entry.
+        assert_eq!(c.get(&1), Some(10));
+        let evicted = c.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(c.contains(&1) && c.contains(&3) && !c.contains(&2));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_and_value() {
+        let mut c: Lru<u64, u64> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 becomes LRU
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.insert(3, 30), Some((2, 20)));
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c: Lru<u64, u64> = Lru::new(0);
+        assert_eq!(c.insert(1, 10), Some((1, 10)));
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn contains_does_not_refresh() {
+        let mut c: Lru<u64, u64> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.contains(&1)); // no recency bump
+        assert_eq!(c.insert(3, 30), Some((1, 10)), "1 stayed LRU");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c: Lru<u64, u64> = Lru::new(4);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic_over_many_entries() {
+        // Insert 100, capacity 10: survivors must be exactly the last 10.
+        let mut c: Lru<u64, u64> = Lru::new(10);
+        for i in 0..100u64 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 10);
+        for i in 90..100 {
+            assert!(c.contains(&i), "entry {i} must survive");
+        }
+        for i in 0..90 {
+            assert!(!c.contains(&i), "entry {i} must be evicted");
+        }
+    }
+}

@@ -23,6 +23,7 @@ pub mod error;
 pub mod handlers;
 pub mod output;
 pub mod process;
+pub mod request;
 pub mod resume;
 pub mod simulator;
 pub mod tags;
@@ -32,6 +33,10 @@ pub use degraded::{
 };
 pub use error::ReplayError;
 pub use handlers::{ExpandError, MicroOp, Registry};
+pub use request::{
+    compact_sources, replay_compact_request, run_request, PausedReplay, RequestOutcome,
+    RequestPolicy, RequestStatus,
+};
 pub use resume::{
     replay_files_checkpointed, resume_files, CheckpointPolicy, CheckpointedOutcome,
     CheckpointedStatus, PauseReason, ReplayCheckpoint,

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tit_core::checkpoint::{fnv1a, read_checkpoint, write_checkpoint, Dec, Enc};
+use tit_core::{Budget, Deadline};
 use tit_core::trace::process_trace_filename;
 
 /// When and where to write checkpoints during a replay.
@@ -46,9 +47,10 @@ pub struct CheckpointPolicy {
     /// Write a checkpoint every this many replayed actions (`0` = only
     /// on watchdog expiry).
     pub every_actions: u64,
-    /// Watchdog: when the wall-clock budget expires, write a final
-    /// checkpoint at the next safe point and stop.
-    pub max_wall: Option<Duration>,
+    /// Watchdog: when the wall-clock [`Budget`] expires, write a final
+    /// checkpoint at the next safe point and stop. The budget starts
+    /// ticking when the replay does, not when the policy is built.
+    pub max_wall: Budget,
     /// Stop (successfully, with state saved) after this many checkpoint
     /// writes — the deterministic stand-in for `kill -9` used by the
     /// resume differential tests.
@@ -567,7 +569,8 @@ pub fn run_checkpointed(
     };
 
     let t0 = Instant::now();
-    let deadline = policy.and_then(|p| p.max_wall).map(|w| t0 + w);
+    let deadline = policy.map_or_else(Deadline::unlimited, |p| p.max_wall.start());
+    let limited = !deadline.is_unlimited();
     let every = policy.map_or(0, |p| p.every_actions);
     let mut written: u64 = 0;
     let mut last_mark = counter.load(Ordering::Relaxed);
@@ -577,7 +580,7 @@ pub fn run_checkpointed(
             let mark = last_mark;
             let mut guard = move |_: &Engine| {
                 (every > 0 && counter.load(Ordering::Relaxed).saturating_sub(mark) >= every)
-                    || deadline.is_some_and(|dl| Instant::now() >= dl)
+                    || (limited && deadline.expired())
             };
             engine.run_until(&mut guard).map_err(ReplayError::from)?
         };
@@ -611,7 +614,7 @@ pub fn run_checkpointed(
                         resumed,
                     })
                 };
-                if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                if limited && deadline.expired() {
                     return finish(PauseReason::WallLimit);
                 }
                 if p.stop_after_checkpoints.is_some_and(|k| written >= k) {
@@ -731,7 +734,7 @@ mod tests {
         let policy = CheckpointPolicy {
             path: d.join("state.tick"),
             every_actions: 7,
-            max_wall: None,
+            max_wall: Budget::unlimited(),
             stop_after_checkpoints: None,
         };
         let ck = replay_files_checkpointed(&d, 4, p2, &hosts, &plain_cfg(), None, &policy)
@@ -764,7 +767,7 @@ mod tests {
                 let policy = CheckpointPolicy {
                     path: ckpath.clone(),
                     every_actions: every,
-                    max_wall: None,
+                    max_wall: Budget::unlimited(),
                     stop_after_checkpoints: Some(stop_at),
                 };
                 let first =
@@ -822,7 +825,7 @@ mod tests {
         let policy = CheckpointPolicy {
             path: ckpath.clone(),
             every_actions: 3,
-            max_wall: None,
+            max_wall: Budget::unlimited(),
             stop_after_checkpoints: Some(1),
         };
         replay_files_checkpointed(&d, 4, p1, &hosts, &plain_cfg(), None, &policy).unwrap();
@@ -853,7 +856,7 @@ mod tests {
         let policy = CheckpointPolicy {
             path: ckpath.clone(),
             every_actions: 3,
-            max_wall: None,
+            max_wall: Budget::unlimited(),
             stop_after_checkpoints: Some(1),
         };
         replay_files_checkpointed(&d, 4, p1, &hosts, &plain_cfg(), None, &policy).unwrap();
@@ -877,7 +880,7 @@ mod tests {
         let policy = CheckpointPolicy {
             path: ckpath.clone(),
             every_actions: 0,
-            max_wall: Some(Duration::ZERO),
+            max_wall: Budget::limited(Duration::ZERO),
             stop_after_checkpoints: None,
         };
         let out = replay_files_checkpointed(&d, 4, p1, &hosts, &plain_cfg(), None, &policy)

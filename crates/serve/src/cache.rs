@@ -1,0 +1,139 @@
+//! Shared immutable trace state behind an LRU cache.
+//!
+//! A thousand what-if requests against one trace bundle must parse it
+//! once: loaded traces are interned as `Arc<CompactTrace>` (immutable,
+//! struct-of-arrays — see PR 4) and cached in a [`tit_core::Lru`]
+//! keyed by the FNV-1a-64 trace reference key
+//! ([`crate::proto::ReplayRequest::trace_key`]). A hit is a refcount
+//! bump; an evicted trace stays alive for requests already replaying
+//! it.
+//!
+//! Loads go through the extract pipeline's bounded
+//! [`retry policy`](tit_extract::error::RetryPolicy): transient I/O
+//! failures (EINTR, timeouts, reset mounts) are retried with
+//! deterministic exponential backoff, permanent ones (missing rank
+//! file, parse error) fail the request immediately.
+//!
+//! Two racing requests for the same uncached key may both load it
+//! (last insert wins); that wastes one parse but never blocks loads of
+//! *other* keys behind a long parse, and both results are identical by
+//! construction.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use tit_core::{load_compact_exact, CompactTrace, Lru};
+use tit_extract::error::{with_retry, PipelineError, RetryPolicy};
+
+/// The daemon's trace cache.
+pub struct TraceCache {
+    lru: Mutex<Lru<u64, Arc<CompactTrace>>>,
+    retry: RetryPolicy,
+}
+
+impl TraceCache {
+    /// A cache holding at most `cap` traces, loading under `retry`.
+    #[must_use]
+    pub fn new(cap: usize, retry: RetryPolicy) -> Self {
+        TraceCache { lru: Mutex::new(Lru::new(cap)), retry }
+    }
+
+    /// Cached traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        // panics: mutex poisoned only if another thread already panicked
+        self.lru.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the trace for `key`, loading (with bounded retry) and
+    /// interning it on a miss. The boolean is `true` on a cache hit.
+    pub fn get_or_load(
+        &self,
+        key: u64,
+        dir: &Path,
+        np: usize,
+    ) -> Result<(Arc<CompactTrace>, bool), PipelineError> {
+        // panics: mutex poisoned only if another thread already panicked
+        if let Some(t) = self.lru.lock().unwrap().get(&key) {
+            return Ok((t, true));
+        }
+        let what = format!("load trace {} (np={np})", dir.display());
+        let trace = with_retry(&self.retry, &what, |_attempt| {
+            load_compact_exact(dir, np, 1)
+                .map_err(|e| PipelineError::io(e.path.clone(), e.source))
+        })?;
+        let trace = Arc::new(trace);
+        // panics: mutex poisoned only if another thread already panicked
+        self.lru.lock().unwrap().insert(key, Arc::clone(&trace));
+        Ok((trace, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tit_core::{Action, ProcessTraceWriter};
+
+    fn write_ring(dir: &Path, n: usize, iters: usize) {
+        std::fs::create_dir_all(dir).unwrap();
+        for r in 0..n {
+            let mut w = ProcessTraceWriter::create(dir, r).unwrap();
+            for _ in 0..iters {
+                w.write(&Action::Compute { flops: 1e6 }).unwrap();
+                w.write(&Action::Send { dst: (r + 1) % n, bytes: 1e6 }).unwrap();
+                w.write(&Action::Recv { src: (r + n - 1) % n, bytes: None }).unwrap();
+            }
+            w.finish().unwrap();
+        }
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tit-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_same_trace() {
+        let d = tmp("hit");
+        write_ring(&d, 3, 2);
+        let cache = TraceCache::new(4, RetryPolicy::default());
+        let (t1, hit1) = cache.get_or_load(42, &d, 3).unwrap();
+        let (t2, hit2) = cache.get_or_load(42, &d, 3).unwrap();
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&t1, &t2), "a hit is a refcount bump, not a reload");
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_trace_is_a_permanent_error() {
+        let cache = TraceCache::new(4, RetryPolicy::default());
+        let err = cache
+            .get_or_load(7, Path::new("/nonexistent/trace/dir"), 2)
+            .unwrap_err();
+        assert!(!err.is_transient());
+        assert!(cache.is_empty(), "failures are not cached");
+    }
+
+    #[test]
+    fn eviction_keeps_the_cache_bounded() {
+        let d = tmp("evict");
+        write_ring(&d, 2, 1);
+        let cache = TraceCache::new(2, RetryPolicy::default());
+        for key in 0..5u64 {
+            cache.get_or_load(key, &d, 2).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // The two most recent keys survive.
+        assert!(cache.get_or_load(4, &d, 2).unwrap().1);
+        assert!(cache.get_or_load(3, &d, 2).unwrap().1);
+        assert!(!cache.get_or_load(0, &d, 2).unwrap().1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

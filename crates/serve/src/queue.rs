@@ -1,0 +1,185 @@
+//! Bounded admission queue with explicit load-shedding.
+//!
+//! The daemon's memory is bounded by construction: a request is either
+//! admitted into this fixed-capacity queue or refused on the spot with
+//! an `overloaded` response — there is no unbounded buffer anywhere on
+//! the request path. Preempted jobs *re-enter* past the capacity check
+//! (they were already admitted once; refusing them would leak the work
+//! and violate the at-most-`cap + workers` in-flight bound by at most
+//! the preemption cap).
+//!
+//! Closing the queue ([`Admission::close`]) is the drain half: no new
+//! admissions, blocked workers wake, and [`Admission::pop`] returns
+//! `None` once the backlog is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The queue is at capacity: shed with an `overloaded` response.
+    Full,
+    /// The daemon is draining: shed with a `draining` response.
+    Draining,
+}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    open: bool,
+}
+
+/// A bounded MPMC queue with a hard admission capacity.
+pub struct Admission<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+// panics: the queue mutex is poisoned only if another thread already
+// panicked while holding it; propagating the panic is the correct
+// response in every method below.
+impl<T> Admission<T> {
+    /// An open queue admitting at most `cap` waiting jobs.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Admission {
+            cap,
+            state: Mutex::new(State { jobs: VecDeque::new(), open: true }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The admission capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently waiting.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        // panics: mutex poisoned only if another thread already panicked
+        self.state.lock().unwrap().jobs.len()
+    }
+
+    /// Admits `job`, or refuses it (returning it to the caller so the
+    /// shed response can reuse it). Returns the queue depth after
+    /// admission.
+    pub fn submit(&self, job: T) -> Result<usize, (T, Refusal)> {
+        // panics: mutex poisoned only if another thread already panicked
+        let mut st = self.state.lock().unwrap();
+        if !st.open {
+            return Err((job, Refusal::Draining));
+        }
+        if st.jobs.len() >= self.cap {
+            return Err((job, Refusal::Full));
+        }
+        st.jobs.push_back(job);
+        let depth = st.jobs.len();
+        drop(st);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Re-enters a preempted job at the back of the queue, bypassing
+    /// the capacity check (see the module docs for why this cannot
+    /// unbound memory). Works on a draining queue: admitted work is
+    /// finished, not dropped.
+    pub fn requeue(&self, job: T) {
+        // panics: mutex poisoned only if another thread already panicked
+        let mut st = self.state.lock().unwrap();
+        st.jobs.push_back(job);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Takes the next job, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed *and* empty — the
+    /// worker's signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        // panics: mutex poisoned only if another thread already panicked
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if !st.open {
+                return None;
+            }
+            // panics: mutex poisoned only if another thread already panicked
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Stops admission (drain). Idempotent; wakes every blocked
+    /// worker.
+    pub fn close(&self) {
+        // panics: mutex poisoned only if another thread already panicked
+        self.state.lock().unwrap().open = false;
+        self.cv.notify_all();
+    }
+
+    /// True once [`close`](Admission::close) has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        // panics: mutex poisoned only if another thread already panicked
+        !self.state.lock().unwrap().open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_above_capacity_and_recovers() {
+        let q: Admission<u32> = Admission::new(2);
+        assert_eq!(q.submit(1), Ok(1));
+        assert_eq!(q.submit(2), Ok(2));
+        assert_eq!(q.submit(3), Err((3, Refusal::Full)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.submit(3), Ok(2), "capacity frees as jobs drain");
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity() {
+        let q: Admission<u32> = Admission::new(1);
+        assert_eq!(q.submit(1), Ok(1));
+        q.requeue(2);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_refuses_new_work_but_drains_old() {
+        let q: Admission<u32> = Admission::new(4);
+        q.submit(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.submit(2), Err((2, Refusal::Draining)));
+        q.requeue(3); // preempted work still lands
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None, "closed and empty");
+    }
+
+    #[test]
+    fn pop_blocks_until_submit_or_close() {
+        let q: Arc<Admission<u32>> = Arc::new(Admission::new(4));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(7));
+
+        let q3 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q3.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -438,6 +438,21 @@ impl Engine {
         }
     }
 
+    /// Runs until completion or until at least `max_ops` more
+    /// operations have completed, pausing at the next safe point — the
+    /// cooperative-preemption slice used by the serving layer. A slice
+    /// boundary is a full safe point: [`Engine::export_state`] is legal
+    /// there, so a long simulation can be snapshotted, requeued behind
+    /// newer work and later resumed bit-identically. `max_ops == 0`
+    /// runs to completion.
+    pub fn run_ops(&mut self, max_ops: u64) -> Result<RunStatus, SimError> {
+        if max_ops == 0 {
+            return self.run_until(&mut |_| false);
+        }
+        let target = self.ops_completed.saturating_add(max_ops);
+        self.run_until(&mut |e| e.ops_completed() >= target)
+    }
+
     /// Records the first failure of the run (later ones are byproducts of
     /// the aborted state and would only obscure the root cause).
     fn fail(&mut self, e: SimError) {
@@ -1427,6 +1442,48 @@ mod tests {
         }
         let t = eng.run_checked().unwrap();
         assert!((t - 1.0).abs() < 1e-9, "2 cores run 2 tasks in parallel: got {t}");
+    }
+
+    #[test]
+    fn run_ops_slices_pause_at_safe_points_and_finish_identically() {
+        // A chain of short computes: run_checked's result must equal a
+        // sliced run that pauses every operation, and each pause must be
+        // a legal snapshot point.
+        fn chatty(n: usize) -> Box<dyn Actor> {
+            let mut left = n;
+            Box::new(FnActor(move |ctx: &mut Ctx, _wake| {
+                if left == 0 {
+                    return Step::Done;
+                }
+                left -= 1;
+                Step::Wait(ctx.execute(1e6))
+            }))
+        }
+        let (p1, hs1) = simple_platform(1);
+        let mut reference = Engine::new(p1);
+        reference.spawn(chatty(10), hs1[0]);
+        let expect = reference.run_checked().unwrap();
+
+        let (p2, hs2) = simple_platform(1);
+        let mut eng = Engine::new(p2);
+        eng.spawn(chatty(10), hs2[0]);
+        let mut pauses = 0;
+        let t = loop {
+            match eng.run_ops(1).unwrap() {
+                RunStatus::Completed(t) => break t,
+                RunStatus::Paused(_) => pauses += 1,
+            }
+        };
+        assert_eq!(t.to_bits(), expect.to_bits(), "sliced run diverged");
+        assert!(pauses >= 9, "one-op slices must pause repeatedly, got {pauses}");
+        // max_ops == 0 runs to completion in one call.
+        let (p3, hs3) = simple_platform(1);
+        let mut eng0 = Engine::new(p3);
+        eng0.spawn(chatty(10), hs3[0]);
+        match eng0.run_ops(0).unwrap() {
+            RunStatus::Completed(t0) => assert_eq!(t0.to_bits(), expect.to_bits()),
+            RunStatus::Paused(_) => panic!("run_ops(0) must not pause"),
+        }
     }
 
     #[test]

@@ -65,6 +65,26 @@ impl Metrics {
         self.inner.lock().unwrap().values.insert(key.to_owned(), v);
     }
 
+    /// Sets the gauge `key` to `v` — the level-style alias of
+    /// [`Metrics::set_value`] (a gauge reports a *current level*, where
+    /// a counter only ever goes up). Gauges render in the `"values"`
+    /// section of [`Metrics::to_json`] in deterministic sorted-key
+    /// order.
+    pub fn gauge_set(&self, key: &str, v: f64) {
+        self.set_value(key, v);
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge `key`, created at
+    /// zero. This is what counters cannot express: a queue-depth or
+    /// in-flight gauge moves both ways — `gauge_add(+1)` on entry,
+    /// `gauge_add(-1)` on exit — and its instantaneous level is the
+    /// value reported.
+    pub fn gauge_add(&self, key: &str, delta: f64) {
+        // panics: mutex poisoned only if another thread already panicked
+        let mut g = self.inner.lock().unwrap();
+        *g.values.entry(key.to_owned()).or_insert(0.0) += delta;
+    }
+
     /// Adds `seconds` to the wall-clock timer `key` (created at zero).
     pub fn observe_wall(&self, key: &str, seconds: f64) {
         // panics: mutex poisoned only if another thread already panicked
@@ -279,6 +299,36 @@ mod tests {
         let t = m.to_json_with_timers();
         assert!(t.contains("wall.secs"));
         assert_eq!(t.matches('{').count(), t.matches('}').count());
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_render_deterministically() {
+        let m = Metrics::new();
+        // A queue-depth gauge rises and falls; counters cannot do this.
+        m.gauge_add("serve.queue_depth", 1.0);
+        m.gauge_add("serve.queue_depth", 1.0);
+        m.gauge_add("serve.queue_depth", -1.0);
+        assert_eq!(m.value("serve.queue_depth"), Some(1.0));
+        m.gauge_set("serve.in_flight", 3.0);
+        m.gauge_add("serve.in_flight", -2.0);
+        assert_eq!(m.value("serve.in_flight"), Some(1.0));
+        // gauge_set overwrites, gauge_add accumulates from zero.
+        m.gauge_set("serve.queue_depth", 0.0);
+        assert_eq!(m.value("serve.queue_depth"), Some(0.0));
+        m.gauge_add("fresh", -2.5);
+        assert_eq!(m.value("fresh"), Some(-2.5));
+        // Deterministic rendering: gauges land in "values", keys sorted.
+        let a = m.to_json();
+        assert_eq!(a, m.to_json());
+        assert!(a.contains("\"serve.in_flight\":1"));
+        assert!(
+            a.find("\"fresh\"").unwrap() < a.find("\"serve.in_flight\"").unwrap(),
+            "values must render in sorted key order: {a}"
+        );
+        assert!(
+            a.find("\"serve.in_flight\"").unwrap() < a.find("\"serve.queue_depth\"").unwrap(),
+            "values must render in sorted key order: {a}"
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Chaos harness for the replay daemon (docs/SERVING.md).
+#
+# Part 1 — mixed burst: a deliberately undersized daemon (one worker,
+# a two-slot queue, a slow-job delay) is hit with a pipelined burst of
+# valid replays, malformed lines, an oversized line and garbage. Every
+# line must get a typed response — `ok`, `overloaded`, or `error` —
+# with at least one shed and at least one served; the daemon must stay
+# alive (a ping afterwards succeeds), drain cleanly on stdin EOF with
+# exit 0, and flush metrics whose serve.* counters balance
+# (check_telemetry.py --serve).
+#
+# Part 2 — SIGKILL and restart: a daemon with in-flight work is killed
+# with SIGKILL (no handler can run — the crash-safety claim is that
+# outputs are atomic-rename-only, so nothing can be half-written). The
+# metrics path must afterwards be either absent or valid JSON, with no
+# orphaned `.tmp*` siblings; a fresh daemon on the same metrics path
+# must start, serve, and drain normally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-./target/release/tit-serve}
+[ -x "$BIN" ] || BIN=./target/debug/tit-serve
+if [ ! -x "$BIN" ]; then
+  echo "chaos_serve: build tit-serve first (cargo build -p tit-serve)" >&2
+  exit 2
+fi
+
+src=examples/traces/ring4
+work=$(mktemp -d)
+trap 'rm -rf "$work"; kill $(jobs -p) 2>/dev/null || true' EXIT
+
+# start_daemon EXTRA_ARGS... — launch the daemon with its stdin on a
+# pipe (close the pipe to drain it), wait for the listening line, and
+# set $port / $pid / $stdin_fd.
+start_daemon() {
+  rm -f "$work/stdin"; mkfifo "$work/stdin"
+  "$BIN" --drain-on-stdin "$@" <"$work/stdin" >"$work/daemon.out" 2>&1 &
+  pid=$!
+  exec {stdin_fd}>"$work/stdin"
+  for _ in $(seq 100); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$work/daemon.out")
+    [ -n "$port" ] && return 0
+    sleep 0.1
+  done
+  echo "chaos_serve: FAIL: daemon did not report a port" >&2
+  cat "$work/daemon.out" >&2
+  exit 1
+}
+
+echo "chaos_serve: part 1 — mixed burst against an undersized daemon"
+start_daemon --workers 1 --queue-cap 2 --job-delay-ms 100 --metrics "$work/m1.json"
+
+python3 - "$port" "$src" <<'EOF'
+import json, socket, sys
+
+port, trace = int(sys.argv[1]), sys.argv[2]
+valid = json.dumps({"op": "replay", "id": "v", "trace_dir": trace, "np": 4})
+burst = []
+for i in range(8):
+    burst.append(valid.replace('"v"', f'"v{i}"'))
+burst.append("this is not json")
+burst.append(json.dumps({"op": "replay", "id": "bad-np", "trace_dir": trace, "np": 0}))
+burst.append('{"pad":"' + "x" * (2 << 20) + '"}')
+burst.append(json.dumps({"op": "replay", "id": "nodir", "trace_dir": trace + "-missing", "np": 4}))
+
+s = socket.create_connection(("127.0.0.1", port), timeout=60)
+f = s.makefile("rw", encoding="utf-8", newline="\n")
+for line in burst:
+    f.write(line + "\n")
+f.flush()
+
+statuses = []
+for _ in burst:
+    resp = f.readline()
+    assert resp.endswith("\n"), f"connection died mid-burst: {resp!r}"
+    statuses.append(json.loads(resp)["status"])
+
+counts = {st: statuses.count(st) for st in set(statuses)}
+print(f"chaos_serve:   burst statuses: {counts}")
+assert set(counts) <= {"ok", "overloaded", "error"}, counts
+assert counts.get("ok", 0) >= 1, "no request was served"
+assert counts.get("overloaded", 0) >= 1, "the burst never shed"
+assert counts.get("error", 0) >= 3, "malformed inputs must get typed errors"
+
+# The daemon survived the burst: a fresh connection still answers.
+s2 = socket.create_connection(("127.0.0.1", port), timeout=10)
+f2 = s2.makefile("rw", encoding="utf-8", newline="\n")
+f2.write('{"op":"ping"}\n'); f2.flush()
+assert json.loads(f2.readline())["status"] == "ok"
+EOF
+
+exec {stdin_fd}>&-   # stdin EOF => graceful drain
+wait "$pid" || { echo "chaos_serve: FAIL: daemon exited non-zero after drain" >&2; exit 1; }
+grep -q "panicked" "$work/daemon.out" && { echo "chaos_serve: FAIL: daemon panicked" >&2; exit 1; }
+python3 scripts/check_telemetry.py --serve "$work/m1.json"
+
+echo "chaos_serve: part 2 — SIGKILL with work in flight, then restart"
+start_daemon --workers 1 --job-delay-ms 2000 --metrics "$work/m2.json"
+python3 - "$port" "$src" <<'EOF'
+import json, socket, sys
+port, trace = int(sys.argv[1]), sys.argv[2]
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+req = json.dumps({"op": "replay", "id": "doomed", "trace_dir": trace, "np": 4})
+s.sendall((req + "\n").encode())   # fire and do not wait: the job runs ~2 s
+EOF
+sleep 0.5                          # let the worker pick the job up
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+exec {stdin_fd}>&- || true
+
+if ls "$work"/m2.json.tmp* >/dev/null 2>&1; then
+  echo "chaos_serve: FAIL: orphaned tmp file after SIGKILL" >&2
+  exit 1
+fi
+if [ -f "$work/m2.json" ]; then
+  python3 -m json.tool "$work/m2.json" >/dev/null \
+    || { echo "chaos_serve: FAIL: corrupt metrics after SIGKILL" >&2; exit 1; }
+fi
+echo "chaos_serve:   no partial or corrupt files left behind"
+
+start_daemon --workers 1 --metrics "$work/m2.json"
+python3 - "$port" "$src" <<'EOF'
+import json, socket, sys
+port, trace = int(sys.argv[1]), sys.argv[2]
+s = socket.create_connection(("127.0.0.1", port), timeout=60)
+f = s.makefile("rw", encoding="utf-8", newline="\n")
+req = json.dumps({"op": "replay", "id": "reborn", "trace_dir": trace, "np": 4})
+f.write(req + "\n"); f.flush()
+resp = json.loads(f.readline())
+assert resp["status"] == "ok", resp
+print(f"chaos_serve:   restarted daemon served: simulated {resp['simulated_time']} s")
+EOF
+exec {stdin_fd}>&-
+wait "$pid" || { echo "chaos_serve: FAIL: restarted daemon exited non-zero" >&2; exit 1; }
+if ls "$work"/m2.json.tmp* >/dev/null 2>&1; then
+  echo "chaos_serve: FAIL: orphaned tmp file after clean drain" >&2
+  exit 1
+fi
+python3 scripts/check_telemetry.py --serve "$work/m2.json"
+echo "chaos_serve: OK"

@@ -3,6 +3,7 @@
 
 Usage: check_telemetry.py TIMELINE.json PROFILE.json METRICS.json
        check_telemetry.py --robustness DEGRADED_METRICS.json RESUME_METRICS.json
+       check_telemetry.py --serve SERVE_METRICS.json
 
 Checks that
   * the timeline parses as Chrome trace-event JSON, its complete events
@@ -11,6 +12,13 @@ Checks that
     rank's per-tag times/counts sum to the rank totals;
   * the metrics file parses, declares schema titobs-metrics-v1 and
     contains the replay counters.
+
+With --serve, instead checks a drained tit-serve metrics flush
+(docs/SERVING.md): schema titobs-metrics-v1, serve.requests >= 1, the
+terminal-outcome counters summing exactly to serve.admitted (every
+admitted request resolves exactly once — ok, partial or error — no
+matter how often it was preempted and requeued), and a drained queue
+(serve.queue_depth == 0).
 
 With --robustness, instead checks the DESIGN.md §5f counters: the
 degraded metrics must carry degraded.ranks_stubbed /
@@ -147,7 +155,40 @@ def check_robustness(degraded_path, resume_path):
           f"{counters['checkpoint.writes']} checkpoint write(s)")
 
 
+def check_serve(path):
+    doc = load_v1(path)
+    counters, values = doc.get("counters", {}), doc.get("values", {})
+    requests = counters.get("serve.requests", 0)
+    if requests < 1:
+        fail(f"{path}: serve.requests {requests} < 1")
+    admitted = counters.get("serve.admitted", 0)
+    terminal = sum(counters.get(k, 0) for k in (
+        "serve.ok",
+        "serve.partial_deadline",
+        "serve.partial_damaged",
+        "serve.errors",
+    ))
+    if terminal != admitted:
+        fail(f"{path}: terminal outcomes {terminal} != serve.admitted {admitted}")
+    depth = values.get("serve.queue_depth")
+    if depth != 0:
+        fail(f"{path}: serve.queue_depth {depth!r} != 0 after drain")
+    extras = ", ".join(
+        f"{k.split('.', 1)[1]} {counters[k]}"
+        for k in ("serve.shed", "serve.preemptions", "serve.bad_requests",
+                  "serve.oversized", "serve.cache_hits")
+        if k in counters
+    )
+    print(f"check_telemetry: {path}: {requests} request(s), "
+          f"{admitted} admitted, all resolved"
+          + (f" ({extras})" if extras else ""))
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--serve":
+        check_serve(sys.argv[2])
+        print("check_telemetry: OK")
+        return
     if len(sys.argv) == 4 and sys.argv[1] == "--robustness":
         check_robustness(sys.argv[2], sys.argv[3])
         print("check_telemetry: OK")

@@ -105,7 +105,7 @@ proptest! {
         let policy = CheckpointPolicy {
             path: ck.clone(),
             every_actions: every,
-            max_wall: None,
+            max_wall: tit_core::Budget::unlimited(),
             stop_after_checkpoints: Some(1),
         };
         let profile = Profile::new(nproc, tags::name, tags::is_comm);
