@@ -1,0 +1,160 @@
+//! Synthetic time-independent trace generator.
+//!
+//! ```text
+//! tit-gen --out DIR --np N --pattern ring|stencil|allreduce|lu
+//!         [--iters K] [--flops F] [--bytes B] [--class S|W|A|B|C]
+//! ```
+//!
+//! Writes a per-process trace set (`trace_rank_N.txt` files) into
+//! `--out DIR` for quick experiments with `tit-replay`, `tit-lint`,
+//! and `tit-analyze` when no acquired trace is at hand. Patterns:
+//!
+//! - `ring` — the paper's Figure-1 shape: rank 0 computes, sends to
+//!   rank 1 and receives from the last rank; every other rank
+//!   receives, computes, forwards. Deadlock-free for any message size.
+//! - `stencil` — 1-D periodic halo exchange: each iteration posts
+//!   `Irecv` from both neighbours, sends both halos, waits twice, then
+//!   computes. Deadlock-free because the receives are pre-posted.
+//! - `allreduce` — compute + `allReduce` per iteration (collective-
+//!   dominated traces for the pattern classifier);
+//! - `lu` — the NPB LU skeleton for `--class` (default `S`; power-of-
+//!   two `--np`), `--iters` overriding the class iteration count. This
+//!   is how the `tit-analyze` acceptance measurement regenerates its
+//!   LU.B trace sets (docs/ANALYSIS.md).
+//!
+//! Defaults: `--iters 1`, `--flops 1e6` per compute, `--bytes 1e4` per
+//! message. Exit codes: `0` success, `1` I/O failure, `2` usage error.
+
+use std::path::PathBuf;
+use tit_cli::Args;
+use tit_core::{Action, TiTrace};
+
+const USAGE: &str = "tit-gen --out DIR --np N --pattern ring|stencil|allreduce|lu [--iters K] [--flops F] [--bytes B] [--class S|W|A|B|C]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn ring(np: usize, iters: usize, flops: f64, bytes: f64) -> TiTrace {
+    let mut t = TiTrace::new(np);
+    for _ in 0..iters {
+        for rank in 0..np {
+            let next = (rank + 1) % np;
+            let prev = (rank + np - 1) % np;
+            if rank == 0 {
+                t.push(rank, Action::Compute { flops });
+                t.push(rank, Action::Send { dst: next, bytes });
+                t.push(rank, Action::Recv { src: prev, bytes: None });
+            } else {
+                t.push(rank, Action::Recv { src: prev, bytes: None });
+                t.push(rank, Action::Compute { flops });
+                t.push(rank, Action::Send { dst: next, bytes });
+            }
+        }
+    }
+    t
+}
+
+fn stencil(np: usize, iters: usize, flops: f64, bytes: f64) -> TiTrace {
+    let mut t = TiTrace::new(np);
+    for _ in 0..iters {
+        for rank in 0..np {
+            let left = (rank + np - 1) % np;
+            let right = (rank + 1) % np;
+            t.push(rank, Action::Irecv { src: left, bytes: None });
+            t.push(rank, Action::Irecv { src: right, bytes: None });
+            t.push(rank, Action::Send { dst: right, bytes });
+            t.push(rank, Action::Send { dst: left, bytes });
+            t.push(rank, Action::Wait);
+            t.push(rank, Action::Wait);
+            t.push(rank, Action::Compute { flops });
+        }
+    }
+    t
+}
+
+fn allreduce(np: usize, iters: usize, flops: f64, bytes: f64) -> TiTrace {
+    let mut t = TiTrace::new(np);
+    for _ in 0..iters {
+        for rank in 0..np {
+            t.push(rank, Action::Compute { flops });
+            t.push(rank, Action::AllReduce { vcomm: bytes, vcomp: bytes });
+        }
+    }
+    t
+}
+
+fn main() {
+    let args = Args::from_env();
+    let out = PathBuf::from(args.require("out", USAGE));
+    let np: usize = args.get_or("np", 0);
+    if np == 0 {
+        usage_error("missing --np");
+    }
+    let iters: usize = args.get_or("iters", 1);
+    let flops: f64 = args.get_or("flops", 1e6);
+    let bytes: f64 = args.get_or("bytes", 1e4);
+    if !(flops.is_finite() && flops >= 0.0 && bytes.is_finite() && bytes >= 0.0) {
+        usage_error("--flops and --bytes want non-negative finite numbers");
+    }
+
+    let pattern = args.require("pattern", USAGE);
+    let mut trace = match pattern.as_str() {
+        "ring" => {
+            if np < 2 {
+                usage_error("--pattern ring needs --np >= 2");
+            }
+            ring(np, iters, flops, bytes)
+        }
+        "stencil" => {
+            if np < 3 {
+                usage_error("--pattern stencil needs --np >= 3");
+            }
+            stencil(np, iters, flops, bytes)
+        }
+        "allreduce" => allreduce(np, iters, flops, bytes),
+        "lu" => {
+            if np < 2 || !np.is_power_of_two() {
+                usage_error("--pattern lu needs a power-of-two --np >= 2");
+            }
+            let class: npb::Class = match args.get_or("class", "S".to_string()).parse() {
+                Ok(c) => c,
+                Err(e) => usage_error(&e),
+            };
+            let mut cfg = npb::LuConfig::new(class, np);
+            if args.get("iters").is_some() {
+                cfg = cfg.with_itmax(iters);
+            }
+            npb::program_trace(&cfg.program(), np)
+        }
+        other => usage_error(&format!("unknown pattern {other:?}")),
+    };
+    // Collectives (and tit-replay/tit-analyze) need the communicator
+    // size declared before anything else; the LU stream declares its
+    // own.
+    if pattern != "lu" {
+        for rank in (0..np).rev() {
+            trace.actions[rank].insert(0, Action::CommSize { nproc: np });
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    match trace.save_per_process(&out) {
+        Ok(files) => {
+            println!(
+                "wrote {} ({} files, {} actions, pattern {pattern})",
+                out.display(),
+                files.len(),
+                trace.num_actions()
+            );
+        }
+        Err(e) => {
+            eprintln!("cannot write trace set: {e}");
+            std::process::exit(1);
+        }
+    }
+}

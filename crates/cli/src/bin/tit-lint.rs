@@ -34,7 +34,7 @@ fn apply_levels(cfg: &mut LintConfig, spec: &str, level: Severity) {
                 cfg.set_level(code, level);
             }
             None => {
-                eprintln!("unknown lint code {item:?} (codes are TL0001..TL0018)");
+                eprintln!("unknown lint code {item:?} (codes are TL0001..TL0020)");
                 std::process::exit(2);
             }
         }

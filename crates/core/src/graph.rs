@@ -1,0 +1,422 @@
+//! A small weighted-DAG arena for static trace analyses.
+//!
+//! `tit-analyze` models a trace as a happens-before graph: one node per
+//! event (operation completion), one weighted edge per precedence
+//! constraint, where the weight is the minimum delay between the
+//! predecessor's completion and the successor's. The analyses it needs
+//! are all single-pass over a topological order: earliest completion
+//! times (longest weighted paths from the sources), latest times
+//! against a deadline (whence per-node slack), and extraction of one
+//! critical path.
+//!
+//! The arena is built in two phases: [`DagBuilder`] accepts nodes and
+//! edges in any order (cross-rank edges are only known after matching,
+//! which happens long after both endpoints exist), then
+//! [`DagBuilder::build`] runs Kahn's algorithm once, producing a
+//! [`Dag`] with a frozen topological order and a compact CSR successor
+//! table. A cycle — which for the happens-before construction is
+//! exactly a guaranteed communication deadlock — is a typed
+//! [`CycleError`] naming stuck nodes, never a panic or a hang.
+//!
+//! Multi-million-node graphs are the norm (one node per trace action),
+//! so the layout is built around minimising resident memory and copies:
+//! producers that already hold edge lists *donate* them by move
+//! ([`DagBuilder::donate_edges`]) instead of re-pushing, the CSR keeps
+//! a single direction (successors, split into a target array and a
+//! weight array so traversal-only passes touch 4 bytes per edge), the
+//! offset table doubles as the fill cursor (no cloned cursor array),
+//! and the donated edge lists are freed before Kahn's queue allocates.
+//! Predecessor queries are never needed: earliest/latest times relax
+//! along successor edges, and the critical path is recovered from the
+//! best-predecessor links recorded during the earliest sweep.
+
+/// Index of a node in its [`Dag`]/[`DagBuilder`].
+pub type NodeId = u32;
+
+/// `(pred, succ, weight)`: the constraint that `succ` completes no
+/// earlier than `weight` seconds after `pred`.
+pub type Edge = (NodeId, NodeId, f64);
+
+/// Sentinel in `Earliest::best_pred` for "no predecessor".
+const NO_PRED: NodeId = NodeId::MAX;
+
+/// Accumulates nodes and weighted edges in arbitrary order.
+#[derive(Debug, Clone)]
+pub struct DagBuilder<P> {
+    payloads: Vec<P>,
+    /// Edge lists moved in whole by producers, in donation order.
+    chunks: Vec<Vec<Edge>>,
+    /// Edges added one at a time after the last donation.
+    tail: Vec<Edge>,
+}
+
+impl<P> Default for DagBuilder<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> DagBuilder<P> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        DagBuilder { payloads: Vec::new(), chunks: Vec::new(), tail: Vec::new() }
+    }
+
+    /// Pre-allocates for `nodes` more nodes and `edges` more
+    /// individually-added edges (donated chunks bring their own
+    /// storage).
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.payloads.reserve(nodes);
+        self.tail.reserve(edges);
+    }
+
+    /// Adds a node carrying `payload`; returns its id.
+    pub fn add_node(&mut self, payload: P) -> NodeId {
+        assert!(self.payloads.len() < u32::MAX as usize, "DAG node count overflows u32");
+        self.payloads.push(payload);
+        (self.payloads.len() - 1) as NodeId
+    }
+
+    /// Adds the constraint `succ` completes no earlier than `weight`
+    /// seconds after `pred`. Both nodes must already exist.
+    pub fn add_edge(&mut self, pred: NodeId, succ: NodeId, weight: f64) {
+        debug_assert!((pred as usize) < self.payloads.len());
+        debug_assert!((succ as usize) < self.payloads.len());
+        self.tail.push((pred, succ, weight));
+    }
+
+    /// Moves a whole edge list into the builder without copying the
+    /// edges one by one — the cheap path for producers (the analyzer's
+    /// per-rank pass) that already materialized their edges. Insertion
+    /// order is preserved relative to [`DagBuilder::add_edge`]: the
+    /// donated edges sort after everything added before this call.
+    pub fn donate_edges(&mut self, edges: Vec<Edge>) {
+        debug_assert!(edges.iter().all(
+            |&(p, s, _)| (p as usize) < self.payloads.len() && (s as usize) < self.payloads.len()
+        ));
+        if !self.tail.is_empty() {
+            self.chunks.push(std::mem::take(&mut self.tail));
+        }
+        if !edges.is_empty() {
+            self.chunks.push(edges);
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum::<usize>() + self.tail.len()
+    }
+
+    /// Freezes the graph: verifies acyclicity (Kahn's algorithm) and
+    /// builds the CSR successor table plus a topological order.
+    pub fn build(mut self) -> Result<Dag<P>, CycleError> {
+        let n = self.payloads.len();
+        let m = self.num_edges();
+        assert!(m < u32::MAX as usize, "DAG edge count overflows u32");
+        if !self.tail.is_empty() {
+            self.chunks.push(std::mem::take(&mut self.tail));
+        }
+        let chunks = self.chunks;
+
+        // Successor CSR by counting sort. `succ_off` is used three
+        // ways in place — out-degree counts, then fill cursors, then
+        // (after a shift) the final offsets — to avoid a cloned cursor
+        // array on multi-hundred-MB graphs.
+        let mut succ_off = vec![0u32; n + 1];
+        for chunk in &chunks {
+            for &(p, _, _) in chunk {
+                succ_off[p as usize] += 1;
+            }
+        }
+        let mut sum = 0u32;
+        for slot in &mut succ_off {
+            let c = *slot;
+            *slot = sum;
+            sum += c;
+        }
+        let mut targets = vec![0 as NodeId; m];
+        let mut weights = vec![0.0f64; m];
+        let mut indegree = vec![0u32; n];
+        for chunk in &chunks {
+            for &(p, s, w) in chunk {
+                let i = succ_off[p as usize] as usize;
+                targets[i] = s;
+                weights[i] = w;
+                succ_off[p as usize] += 1;
+                indegree[s as usize] += 1;
+            }
+        }
+        // Each cursor now sits at the *end* of its bucket: shift right
+        // to recover the start offsets.
+        for i in (1..=n).rev() {
+            succ_off[i] = succ_off[i - 1];
+        }
+        if n > 0 {
+            succ_off[0] = 0;
+        }
+        // The edge lists are no longer needed; free them before
+        // Kahn's structures allocate.
+        drop(chunks);
+
+        // Kahn, FIFO seeded in id order: deterministic topo order.
+        let mut topo = Vec::with_capacity(n);
+        let mut queue: std::collections::VecDeque<NodeId> =
+            (0..n as u32).filter(|&v| indegree[v as usize] == 0).collect();
+        while let Some(v) = queue.pop_front() {
+            topo.push(v);
+            let (a, b) = (succ_off[v as usize] as usize, succ_off[v as usize + 1] as usize);
+            for &s in &targets[a..b] {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck: Vec<NodeId> =
+                (0..n as u32).filter(|&v| indegree[v as usize] > 0).take(16).collect();
+            return Err(CycleError { stuck });
+        }
+        Ok(Dag { payloads: self.payloads, topo, succ_off, targets, weights })
+    }
+}
+
+/// The builder found a cycle: the graph is not a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Up to 16 node ids left with unresolved predecessors (members or
+    /// downstream victims of a cycle), in id order.
+    pub stuck: Vec<NodeId>,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dependency cycle involving {} or more node(s)", self.stuck.len())
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Earliest completion times plus the back-links needed to walk a
+/// critical path, as produced by [`Dag::earliest`].
+#[derive(Debug, Clone)]
+pub struct Earliest {
+    /// Per-node earliest completion time (longest weighted path from
+    /// any source, sources completing at 0).
+    pub times: Vec<f64>,
+    /// Per node, the predecessor that last *strictly* tightened its
+    /// earliest time during the topological sweep (`u32::MAX` for
+    /// sources).
+    best_pred: Vec<NodeId>,
+}
+
+/// A frozen weighted DAG: payloads, a topological order, and a CSR
+/// successor table (targets and weights in separate arrays, so
+/// structure-only passes stream 4 bytes per edge).
+#[derive(Debug, Clone)]
+pub struct Dag<P> {
+    payloads: Vec<P>,
+    topo: Vec<NodeId>,
+    succ_off: Vec<u32>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+}
+
+impl<P> Dag<P> {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The payload attached to `v`.
+    pub fn payload(&self, v: NodeId) -> &P {
+        &self.payloads[v as usize]
+    }
+
+    /// The `(succ, weight)` edges out of `v`.
+    pub fn succs(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let (a, b) = (self.succ_off[v as usize] as usize, self.succ_off[v as usize + 1] as usize);
+        self.targets[a..b].iter().copied().zip(self.weights[a..b].iter().copied())
+    }
+
+    /// Earliest completion time per node — the longest weighted path
+    /// from any source, with sources completing at 0 — plus the
+    /// back-links for [`Dag::critical_path`]. Times are identical to a
+    /// max-over-predecessors recurrence (`max` over finite floats is
+    /// order-independent); only the tie-break among equally-critical
+    /// back-links depends on the sweep order, deterministically.
+    pub fn earliest(&self) -> Earliest {
+        let n = self.payloads.len();
+        let mut times = vec![0.0f64; n];
+        let mut best_pred = vec![NO_PRED; n];
+        for &v in &self.topo {
+            let tv = times[v as usize];
+            for (s, w) in self.succs(v) {
+                let t = tv + w;
+                if t > times[s as usize] {
+                    times[s as usize] = t;
+                    best_pred[s as usize] = v;
+                }
+            }
+        }
+        Earliest { times, best_pred }
+    }
+
+    /// The makespan lower bound: the largest earliest time (0 for an
+    /// empty graph).
+    pub fn longest_path(&self, times: &[f64]) -> f64 {
+        times.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// Latest completion time per node such that every node still
+    /// finishes by `deadline`. `slack(v) = latest[v] - earliest[v]`.
+    pub fn latest(&self, deadline: f64) -> Vec<f64> {
+        let mut l = vec![deadline; self.payloads.len()];
+        for &v in self.topo.iter().rev() {
+            let mut lv = l[v as usize];
+            for (s, w) in self.succs(v) {
+                let t = l[s as usize] - w;
+                if t < lv {
+                    lv = t;
+                }
+            }
+            l[v as usize] = lv;
+        }
+        l
+    }
+
+    /// One critical path, source → sink: starts from the first node
+    /// attaining the makespan and follows the recorded back-links.
+    /// Deterministic for a deterministic build order.
+    pub fn critical_path(&self, e: &Earliest) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        if self.payloads.is_empty() {
+            return path;
+        }
+        let mut v = 0 as NodeId;
+        let mut best = f64::NEG_INFINITY;
+        for (i, &t) in e.times.iter().enumerate() {
+            if t > best {
+                best = t;
+                v = i as NodeId;
+            }
+        }
+        loop {
+            path.push(v);
+            match e.best_pred[v as usize] {
+                NO_PRED => break,
+                u => v = u,
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_longest_path_and_slack() {
+        // a → b (3) → d (1); a → c (1) → d (1): critical a-b-d = 4.
+        let mut g = DagBuilder::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 3.0);
+        g.add_edge(a, c, 1.0);
+        g.add_edge(b, d, 1.0);
+        g.add_edge(c, d, 1.0);
+        let dag = g.build().unwrap();
+        let e = dag.earliest();
+        assert_eq!(e.times, vec![0.0, 3.0, 1.0, 4.0]);
+        assert_eq!(dag.longest_path(&e.times), 4.0);
+        let l = dag.latest(4.0);
+        // c may finish as late as 3 (slack 2); a, b, d are tight.
+        assert_eq!(l, vec![0.0, 3.0, 3.0, 4.0]);
+        let path = dag.critical_path(&e);
+        assert_eq!(path, vec![a, b, d]);
+    }
+
+    #[test]
+    fn out_of_order_edges_are_fine() {
+        let mut g = DagBuilder::new();
+        let x = g.add_node(0);
+        let y = g.add_node(1);
+        // Edge goes "backwards" in id order: y precedes x.
+        g.add_edge(y, x, 2.0);
+        let dag = g.build().unwrap();
+        let e = dag.earliest();
+        assert_eq!(e.times[x as usize], 2.0);
+        assert_eq!(e.times[y as usize], 0.0);
+    }
+
+    #[test]
+    fn donated_chunks_merge_with_single_edges() {
+        let mut g = DagBuilder::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.donate_edges(vec![(b, c, 2.0), (a, c, 0.5)]);
+        g.donate_edges(Vec::new()); // empty donation is a no-op
+        g.add_edge(c, d, 3.0);
+        assert_eq!(g.num_edges(), 4);
+        let dag = g.build().unwrap();
+        assert_eq!(dag.num_edges(), 4);
+        let e = dag.earliest();
+        assert_eq!(e.times, vec![0.0, 1.0, 3.0, 6.0]);
+        assert_eq!(dag.critical_path(&e), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn cycle_is_a_typed_error() {
+        let mut g = DagBuilder::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, a, 1.0);
+        let err = g.build().unwrap_err();
+        assert_eq!(err.stuck, vec![a, b]);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g: DagBuilder<()> = DagBuilder::new();
+        let dag = g.build().unwrap();
+        assert_eq!(dag.longest_path(&dag.earliest().times), 0.0);
+        assert!(dag.critical_path(&dag.earliest()).is_empty());
+
+        let mut g = DagBuilder::new();
+        g.add_node(());
+        g.add_node(());
+        let dag = g.build().unwrap();
+        assert_eq!(dag.earliest().times, vec![0.0, 0.0]);
+        assert_eq!(dag.critical_path(&dag.earliest()).len(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_take_the_max() {
+        let mut g = DagBuilder::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, b, 5.0);
+        let dag = g.build().unwrap();
+        assert_eq!(dag.earliest().times[b as usize], 5.0);
+    }
+}

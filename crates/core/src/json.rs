@@ -1,0 +1,102 @@
+//! Minimal JSON encoding helpers shared by every hand-rolled emitter.
+//!
+//! The repository's report writers (`titlint` findings, `titobs`
+//! metrics/profiles, `tit-analyze` reports) emit JSON by hand to stay
+//! dependency-free. The two defect classes such emitters historically
+//! grow — unescaped control characters in strings and raw `NaN`/`inf`
+//! in number position, both of which make the document unparseable —
+//! are fixed here once: [`escape_into`]/[`push_string`] produce the
+//! escapes RFC 8259 requires, and [`push_f64`] maps every non-finite
+//! `f64` to `null` (JSON has no NaN or infinity literal).
+
+use std::fmt::Write as _;
+
+/// Appends the RFC 8259 string-escape of `s` to `out`, **without**
+/// surrounding quotes.
+///
+/// `"` and `\` are backslash-escaped, `\n`/`\r`/`\t` use their short
+/// forms, and every other control character below U+0020 becomes a
+/// `\u00XX` escape. All other characters pass through verbatim.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `s` as a complete JSON string (quotes included) to `out`.
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Returns `s` as a complete JSON string (quotes included).
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_string(&mut out, s);
+    out
+}
+
+/// Appends `v` in JSON number position: finite values print with
+/// Rust's shortest round-trip `Display`, non-finite values (which JSON
+/// cannot represent) become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Returns `v` formatted as by [`push_f64`].
+pub fn fmt_f64(v: f64) -> String {
+    let mut out = String::new();
+    push_f64(&mut out, v);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_required_by_rfc_8259() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escaped("a\nb\rc\td"), "\"a\\nb\\rc\\td\"");
+        assert_eq!(escaped("\u{1}\u{1f}"), "\"\\u0001\\u001f\"");
+        // Characters at and above U+0020 pass through, including
+        // non-ASCII ones.
+        assert_eq!(escaped("é☃"), "\"é☃\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(-3e-9), "-0.000000003");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn push_variants_append() {
+        let mut out = String::from("x:");
+        push_string(&mut out, "y\nz");
+        out.push(',');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "x:\"y\\nz\",null");
+    }
+}

@@ -25,8 +25,10 @@
 //! path ([`compact`]), parallel per-rank file ingestion ([`ingest`]),
 //! crash-safe output writing ([`atomicio`]), the versioned `TICK1`
 //! checkpoint container ([`checkpoint`]), wall-clock budgets shared by
-//! the CLI watchdog and the serving layer ([`deadline`]) and a small
-//! LRU cache for fingerprint-keyed shared state ([`lru`]).
+//! the CLI watchdog and the serving layer ([`deadline`]), a small
+//! LRU cache for fingerprint-keyed shared state ([`lru`]), a weighted
+//! DAG arena for happens-before analyses ([`graph`]) and the JSON
+//! escape/number helpers every hand-rolled emitter shares ([`json`]).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -39,7 +41,9 @@ pub mod codec;
 pub mod compact;
 pub mod compress;
 pub mod deadline;
+pub mod graph;
 pub mod ingest;
+pub mod json;
 pub mod lru;
 pub mod stats;
 pub mod trace;
@@ -49,6 +53,7 @@ pub use action::{Action, Pid};
 pub use atomicio::{write_atomic, AtomicFile};
 pub use compact::{CompactError, CompactTrace};
 pub use deadline::{Budget, Deadline};
+pub use graph::{CycleError, Dag, DagBuilder, NodeId};
 pub use lru::Lru;
 pub use ingest::{load_compact_exact, load_exact, load_per_process_jobs, IngestError};
 pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};

@@ -110,8 +110,16 @@ fn scan_actions(trace: &TiTrace, findings: &mut Vec<Finding>) {
                             ),
                         ));
                     } else if peer == rank {
+                        // Self-sends get their own code: a blocking
+                        // rendezvous self-send can never complete, so
+                        // the send side is the actionable half.
+                        let code = if matches!(a, Action::Send { .. } | Action::Isend { .. }) {
+                            LintCode::SelfSend
+                        } else {
+                            LintCode::SelfMessage
+                        };
                         findings.push(Finding::new(
-                            LintCode::SelfMessage,
+                            code,
                             loc(),
                             format!("p{rank} {}s to itself", a.keyword()),
                         ));
@@ -173,7 +181,8 @@ fn scan_actions(trace: &TiTrace, findings: &mut Vec<Finding>) {
 }
 
 /// Volume sanity for one action: NaN/infinite (TL0010), negative
-/// (TL0011), zero-byte point-to-point (TL0012).
+/// (TL0011), zero-byte point-to-point send (TL0012), zero-volume
+/// collective payload or zero-annotated receive (TL0020).
 fn lint_volumes(a: &Action, rank: usize, index: usize, findings: &mut Vec<Finding>) {
     let checked: Vec<(&str, f64)> = match *a {
         Action::Compute { flops } => vec![("flops", flops)],
@@ -209,6 +218,22 @@ fn lint_volumes(a: &Action, rank: usize, index: usize, findings: &mut Vec<Findin
                 LintCode::ZeroVolumeComm,
                 loc,
                 format!("{} on p{rank} transfers zero bytes", a.keyword()),
+            ));
+        } else if v == 0.0
+            && what != "combining flops"
+            && matches!(
+                a,
+                Action::Recv { .. }
+                    | Action::Irecv { .. }
+                    | Action::Bcast { .. }
+                    | Action::Reduce { .. }
+                    | Action::AllReduce { .. }
+            )
+        {
+            findings.push(Finding::new(
+                LintCode::ZeroVolumeTransfer,
+                loc,
+                format!("{} on p{rank} declares a zero-byte transfer", a.keyword()),
             ));
         }
     }
@@ -556,6 +581,56 @@ mod tests {
     }
 
     #[test]
+    fn zero_volume_transfers_warn_separately_from_sends() {
+        // TL0020 covers zero-payload collectives and zero-annotated
+        // receives; the zero-byte *send* stays TL0012.
+        let mut t = TiTrace::new(2);
+        for r in 0..2usize {
+            t.push(r, Action::CommSize { nproc: 2 });
+            t.push(r, Action::Bcast { bytes: 0.0 });
+            t.push(r, Action::AllReduce { vcomm: 0.0, vcomp: 8.0 });
+        }
+        t.push(0, Action::Send { dst: 1, bytes: 8.0 });
+        t.push(1, Action::Recv { src: 0, bytes: Some(0.0) });
+        let report = analyze(&t);
+        let zv: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.code == LintCode::ZeroVolumeTransfer)
+            .collect();
+        // bcast ×2 + allReduce ×2 + the annotated recv.
+        assert_eq!(zv.len(), 5, "{}", report.render_text());
+        assert!(zv.iter().all(|f| f.severity == Severity::Warn));
+        // The zero vcomp-free allReduce must NOT fire for its flops,
+        // and no TL0012 fires (the only send carries 8 bytes)...
+        assert!(!codes(&report).contains(&LintCode::ZeroVolumeComm));
+        // ...and the recv's declared 0 bytes also contradicts the
+        // matched 8-byte send (TL0014 stays independent).
+        assert!(codes(&report).contains(&LintCode::RecvBytesMismatch));
+        let json = report.to_json();
+        assert!(json.contains("\"code\":\"TL0020\""), "{json}");
+        assert!(report.render_text().contains("TL0020"));
+    }
+
+    #[test]
+    fn self_send_is_its_own_code() {
+        let mut t = TiTrace::new(2);
+        t.push(0, Action::Isend { dst: 0, bytes: 4.0 });
+        t.push(0, Action::Wait);
+        t.push(1, Action::Compute { flops: 1.0 });
+        let report = analyze(&t);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::SelfSend)
+            .expect("self-send finding");
+        assert_eq!(f.severity, Severity::Warn);
+        assert_eq!(f.primary.rank, 0);
+        assert!(f.message.contains("itself"), "{}", f.message);
+        assert!(report.to_json().contains("\"code\":\"TL0019\""));
+    }
+
+    #[test]
     fn recv_bytes_mismatch_points_at_both_endpoints() {
         let mut t = TiTrace::new(2);
         t.push(0, Action::Send { dst: 1, bytes: 100.0 });
@@ -579,14 +654,19 @@ mod tests {
         t.push(0, Action::Recv { src: 0, bytes: None });
         t.push(1, Action::Compute { flops: 1.0 });
         let report = analyze(&t);
+        // The send side is TL0019, the receive side TL0013.
+        let self_sends =
+            report.findings.iter().filter(|f| f.code == LintCode::SelfSend).count();
         let self_msgs =
             report.findings.iter().filter(|f| f.code == LintCode::SelfMessage).count();
-        assert_eq!(self_msgs, 2);
+        assert_eq!(self_sends, 1);
+        assert_eq!(self_msgs, 1);
         let empty: Vec<&Finding> =
             report.findings.iter().filter(|f| f.code == LintCode::EmptyRank).collect();
         assert_eq!(empty.len(), 1);
         assert_eq!(empty[0].primary.rank, 2);
         assert!(report.findings.iter().all(|f| f.code == LintCode::SelfMessage
+            || f.code == LintCode::SelfSend
             || f.code == LintCode::EmptyRank
             || f.severity == Severity::Error));
     }
@@ -646,10 +726,12 @@ mod tests {
         t.push(1, Action::Compute { flops: 1.0 });
         let mut cfg = LintConfig::default();
         cfg.set_level(LintCode::SelfMessage, Severity::Allow);
+        cfg.set_level(LintCode::SelfSend, Severity::Allow);
         cfg.set_level(LintCode::EmptyRank, Severity::Error);
         let report = analyze_with(&t, None, &cfg);
         let c = codes(&report);
         assert!(!c.contains(&LintCode::SelfMessage), "{c:?}");
+        assert!(!c.contains(&LintCode::SelfSend), "{c:?}");
         let empty = report.findings.iter().find(|f| f.code == LintCode::EmptyRank).unwrap();
         assert_eq!(empty.severity, Severity::Error);
         assert!(report.has_errors());

@@ -84,11 +84,21 @@ pub enum LintCode {
     /// TL0018: a line in a per-rank trace file declares a different
     /// process id than the file's rank.
     RankMismatch,
+    /// TL0019: a rank sending to itself (`send`/`Isend` with
+    /// `dst == rank`) — under the replayer's mailbox discipline the
+    /// message can only be consumed by the same rank's later receive,
+    /// which a blocking self-send above the eager threshold never
+    /// reaches.
+    SelfSend,
+    /// TL0020: a collective with zero payload, or a receive explicitly
+    /// annotated with zero bytes — usually an extraction bug (the
+    /// zero-byte point-to-point *send* case is TL0012).
+    ZeroVolumeTransfer,
 }
 
 impl LintCode {
     /// Every lint in the catalogue, in code order.
-    pub const ALL: [LintCode; 18] = [
+    pub const ALL: [LintCode; 20] = [
         LintCode::MissingRecv,
         LintCode::MissingSend,
         LintCode::DeadlockCycle,
@@ -107,6 +117,8 @@ impl LintCode {
         LintCode::ParseFailure,
         LintCode::EmptyRank,
         LintCode::RankMismatch,
+        LintCode::SelfSend,
+        LintCode::ZeroVolumeTransfer,
     ];
 
     /// The stable code string (`TL0001`…).
@@ -130,6 +142,8 @@ impl LintCode {
             LintCode::ParseFailure => "TL0016",
             LintCode::EmptyRank => "TL0017",
             LintCode::RankMismatch => "TL0018",
+            LintCode::SelfSend => "TL0019",
+            LintCode::ZeroVolumeTransfer => "TL0020",
         }
     }
 
@@ -144,7 +158,9 @@ impl LintCode {
             LintCode::ZeroVolumeComm
             | LintCode::SelfMessage
             | LintCode::RecvBytesMismatch
-            | LintCode::EmptyRank => Severity::Warn,
+            | LintCode::EmptyRank
+            | LintCode::SelfSend
+            | LintCode::ZeroVolumeTransfer => Severity::Warn,
             _ => Severity::Error,
         }
     }
@@ -170,6 +186,8 @@ impl LintCode {
             LintCode::ParseFailure => "unparseable trace line",
             LintCode::EmptyRank => "rank has no actions",
             LintCode::RankMismatch => "trace line owned by a different rank",
+            LintCode::SelfSend => "rank sends to itself",
+            LintCode::ZeroVolumeTransfer => "zero-volume collective or annotated receive",
         }
     }
 }
@@ -411,23 +429,10 @@ fn json_location_fields(loc: &Location, out: &mut String) {
     }
 }
 
-/// Minimal JSON string encoder (the escapes RFC 8259 requires).
+/// JSON string encoder: the shared `tit-core` helper, so every emitter
+/// in the repository produces identical RFC 8259 escapes.
 fn json_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    tit_core::json::push_string(out, s);
 }
 
 #[cfg(test)]

@@ -72,7 +72,7 @@ pub struct RouteSpec {
 /// Implementations live both here (explicit table for small platforms) and
 /// in `tit-platform` (cluster and multi-site topologies built from the
 /// paper's XML descriptions).
-pub trait Router: Send {
+pub trait Router: Send + Sync {
     /// Appends the links of the `src → dst` route to `out`.
     fn route(&self, src: HostId, dst: HostId, out: &mut Vec<LinkId>);
 }

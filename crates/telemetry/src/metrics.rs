@@ -13,6 +13,7 @@ use simkern::observer::{Observer, OpRecord};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use tit_core::json;
 
 #[derive(Default)]
 struct Inner {
@@ -22,21 +23,10 @@ struct Inner {
     notes: BTreeMap<String, String>,
 }
 
-/// Escapes `s` for embedding inside a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+/// Appends `key` as an escaped JSON object key followed by a colon.
+fn push_key(out: &mut String, key: &str) {
+    json::push_string(out, key);
+    out.push(':');
 }
 
 /// Handle to a metrics registry. Clones share the same underlying state.
@@ -160,21 +150,27 @@ impl Metrics {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\n\"{k}\":{v}"));
+            out.push('\n');
+            push_key(&mut out, k);
+            out.push_str(&format!("{v}"));
         }
         out.push_str("},\"values\":{");
         for (i, (k, v)) in g.values.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\n\"{k}\":{v}"));
+            out.push('\n');
+            push_key(&mut out, k);
+            json::push_f64(&mut out, *v);
         }
         out.push_str("},\"notes\":{");
         for (i, (k, v)) in g.notes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\n\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            out.push('\n');
+            push_key(&mut out, k);
+            json::push_string(&mut out, v);
         }
         out.push_str("}}\n");
         out
@@ -194,7 +190,9 @@ impl Metrics {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\n\"{k}\":{v}"));
+            out.push('\n');
+            push_key(&mut out, k);
+            json::push_f64(&mut out, *v);
         }
         out.push_str("}}\n");
         out

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate a tit-analyze JSON report (stdlib only).
+
+Usage: check_analysis.py REPORT.json [--pattern NAME] [--simulated SECS]
+
+Checks that
+
+  * the report parses and declares schema tit-analyze-v1;
+  * the graph counts are coherent (>= one node per process, no
+    negative tallies);
+  * the makespan bounds are finite with 0 <= lower <= upper, and the
+    critical-path length equals the lower bound;
+  * every rank row is present with a non-negative slack;
+  * the structure block carries a known pattern name and, when a
+    communication matrix is included, it is square with one row per
+    process.
+
+With --pattern NAME the classified pattern must match NAME exactly
+(the CI pins the bundled ring and a generated stencil). With
+--simulated SECS the bounds must sandwich that replayed makespan:
+lower <= SECS <= upper — the cross-tool form of the oracle the test
+suite enforces in-process.
+
+Exits 0 when all pass, 1 with a message otherwise, 2 on usage errors.
+"""
+
+import json
+import math
+import sys
+
+PATTERNS = {
+    "compute_only",
+    "ring",
+    "stencil",
+    "allreduce_dominated",
+    "master_worker",
+    "irregular",
+}
+# Relative slop for float drift between the analyzer and the engine.
+EPS = 1e-9
+
+
+def fail(msg):
+    print(f"check_analysis: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def need(obj, key, where):
+    if not isinstance(obj, dict) or key not in obj:
+        fail(f"{where}: missing key {key!r}")
+    return obj[key]
+
+
+def finite(v, where):
+    if not isinstance(v, (int, float)) or not math.isfinite(v):
+        fail(f"{where}: expected a finite number, got {v!r}")
+    return float(v)
+
+
+def main():
+    args = sys.argv[1:]
+    expect_pattern = None
+    simulated = None
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--pattern":
+            i += 1
+            expect_pattern = args[i] if i < len(args) else sys.exit(2)
+        elif args[i] == "--simulated":
+            i += 1
+            try:
+                simulated = float(args[i])
+            except (IndexError, ValueError):
+                print(__doc__.strip(), file=sys.stderr)
+                sys.exit(2)
+        else:
+            paths.append(args[i])
+        i += 1
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    path = paths[0]
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    if need(doc, "schema", path) != "tit-analyze-v1":
+        fail(f"{path}: unexpected schema {doc['schema']!r}")
+    np = need(doc, "processes", path)
+    if not isinstance(np, int) or np < 1:
+        fail(f"{path}: bad process count {np!r}")
+
+    graph = need(doc, "graph", path)
+    nodes = need(graph, "nodes", "graph")
+    edges = need(graph, "edges", "graph")
+    if nodes < np:
+        fail(f"graph: {nodes} nodes for {np} processes (need >= one each)")
+    if edges < 0 or need(graph, "flows", "graph") < 0:
+        fail("graph: negative tallies")
+
+    bounds = need(doc, "bounds", path)
+    lower = finite(need(bounds, "lower_s", "bounds"), "bounds.lower_s")
+    upper = finite(need(bounds, "upper_s", "bounds"), "bounds.upper_s")
+    if not 0 <= lower <= upper:
+        fail(f"bounds: want 0 <= lower <= upper, got [{lower}, {upper}]")
+
+    cp = need(doc, "critical_path", path)
+    length = finite(need(cp, "length_s", "critical_path"), "critical_path.length_s")
+    if abs(length - lower) > EPS * max(1.0, lower):
+        fail(f"critical path length {length} != lower bound {lower}")
+    for dom in need(cp, "dominators", "critical_path"):
+        need(dom, "rank", "dominator")
+        need(dom, "action", "dominator")
+        if finite(need(dom, "seconds", "dominator"), "dominator.seconds") < 0:
+            fail("dominator with negative seconds")
+
+    ranks = need(doc, "ranks", path)
+    if len(ranks) != np:
+        fail(f"ranks: {len(ranks)} rows for {np} processes")
+    for row in ranks:
+        if finite(need(row, "slack_s", "rank"), "rank.slack_s") < 0:
+            fail(f"rank {row.get('rank')}: negative slack")
+
+    structure = need(doc, "structure", path)
+    pattern = need(structure, "pattern", "structure")
+    if pattern not in PATTERNS:
+        fail(f"structure: unknown pattern {pattern!r}")
+    if expect_pattern is not None and pattern != expect_pattern:
+        fail(f"structure: classified {pattern!r}, expected {expect_pattern!r}")
+    matrix = structure.get("matrix")
+    if matrix is not None:
+        if len(matrix) != np or any(len(row) != np for row in matrix):
+            fail(f"structure: matrix is not {np}x{np}")
+
+    if simulated is not None:
+        slop = EPS * max(1.0, abs(simulated))
+        if not (lower <= simulated + slop and simulated <= upper + slop):
+            fail(
+                f"bounds do not sandwich the replay: "
+                f"{lower} <= {simulated} <= {upper} is false"
+            )
+
+    print(
+        f"check_analysis: OK: {path}: {np} processes, pattern {pattern}, "
+        f"bounds [{lower:.6e}, {upper:.6e}]"
+    )
+
+
+if __name__ == "__main__":
+    main()

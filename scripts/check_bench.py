@@ -49,6 +49,20 @@ def sane(doc, path):
         sys.exit(2)
 
 
+def require(run, key, path):
+    """A missing or renamed run key must fail loudly (exit 2), not
+    silently neutralize the gate via a default."""
+    if key not in run:
+        label = run.get("label", "?")
+        print(
+            f"check_bench: {path}: run {label!r} missing key {key!r} "
+            "(renamed in the emitter? update this gate alongside it)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return run[key]
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -78,21 +92,24 @@ def main():
         failed = True
 
     if fresh["bench"] == "ingest":
-        # The acceptance run is the largest input of the sweep.
-        run = max(fresh["runs"], key=lambda r: r.get("files", 0))
-        jobs = run.get("jobs", 0)
-        speedup = run.get("speedup", 0.0)
+        # The acceptance run is the largest input of the sweep. Every
+        # key is required: a silent default here once turned the
+        # speedup gate into a no-op.
+        run = max(fresh["runs"], key=lambda r: require(r, "files", fresh_path))
+        label = require(run, "label", fresh_path)
+        jobs = require(run, "jobs", fresh_path)
+        speedup = require(run, "speedup", fresh_path)
         if jobs >= SPEEDUP_MIN_JOBS:
             verdict = "OK" if speedup >= SPEEDUP_FLOOR else "FAIL"
             print(
-                f"[ingest] {run.get('label', '?')}: speedup {speedup:.2f}x "
+                f"[ingest] {label}: speedup {speedup:.2f}x "
                 f"with {jobs} jobs (floor {SPEEDUP_FLOOR}x): {verdict}"
             )
             if speedup < SPEEDUP_FLOOR:
                 failed = True
         else:
             print(
-                f"[ingest] {run.get('label', '?')}: speedup check skipped "
+                f"[ingest] {label}: speedup check skipped "
                 f"({jobs} job(s) < {SPEEDUP_MIN_JOBS})"
             )
 

@@ -17,5 +17,6 @@ pub use tit_core as trace;
 pub use tit_extract as extract;
 pub use tit_platform as platform;
 pub use tit_replay as replay;
+pub use titanalyze as analyze;
 pub use titlint as lint;
 pub use titobs as obs;

@@ -1,0 +1,152 @@
+//! The hand-rolled JSON emitters (titlint reports, titobs metrics,
+//! titanalyze reports) must always produce *valid* JSON — control
+//! characters escaped, non-finite floats mapped to `null` — no matter
+//! what ends up inside a finding message or a metrics note. The
+//! validator is `tit-serve`'s own strict parser: if the daemon could
+//! not re-read an artifact, the emitter is broken.
+
+use proptest::prelude::*;
+use tit_serve::json::parse;
+use titr::lint::{Finding, LintCode, Location, Report, Severity};
+use titr::obs::Metrics;
+
+/// Strings that stress the escaper: quotes, backslashes, newlines, raw
+/// control characters, and multi-byte UTF-8.
+fn arb_nasty_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('\r'),
+            Just('\t'),
+            Just('\u{0}'),
+            Just('\u{1}'),
+            Just('\u{1f}'),
+            Just('é'),
+            Just('𝕊'),
+            Just('a'),
+            Just('/'),
+            Just('{'),
+        ],
+        0..24,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Floats including the non-finite values the emitters must neutralize.
+fn arb_float() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(0.0),
+        Just(-0.0),
+        -1e300..1e300f64,
+    ]
+}
+
+proptest! {
+    /// A lint report with arbitrary messages and file names parses back.
+    #[test]
+    fn lint_report_json_is_always_parseable(
+        msgs in proptest::collection::vec((arb_nasty_string(), arb_nasty_string()), 0..6),
+    ) {
+        let findings = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, (msg, file))| Finding {
+                code: LintCode::SelfMessage,
+                severity: Severity::Warn,
+                message: msg.clone(),
+                primary: Location {
+                    rank: i,
+                    index: Some(i),
+                    keyword: Some("send"),
+                    file: Some(file.clone()),
+                    line: Some(i + 1),
+                },
+                related: vec![],
+            })
+            .collect::<Vec<_>>();
+        let n = findings.len();
+        let report = Report { findings, num_processes: n.max(1), num_actions: n };
+        let text = report.to_json();
+        let json = parse(&text).expect("lint JSON must parse");
+        let arr = json.get("findings").and_then(|f| f.as_arr()).expect("findings array");
+        prop_assert_eq!(arr.len(), n);
+        for (i, (msg, _)) in msgs.iter().enumerate() {
+            let got = arr[i].get("message").and_then(|m| m.as_str()).expect("message string");
+            prop_assert_eq!(got, msg.as_str());
+        }
+    }
+
+    /// Metrics with arbitrary keys, notes, and (possibly non-finite)
+    /// values parse back; non-finite values read back as null.
+    #[test]
+    fn metrics_json_is_always_parseable(
+        entries in proptest::collection::vec((arb_nasty_string(), arb_float()), 0..6),
+        notes in proptest::collection::vec((arb_nasty_string(), arb_nasty_string()), 0..4),
+    ) {
+        // Duplicate generated keys overwrite (set_value semantics);
+        // dedupe the expectations the same way.
+        let entries: std::collections::BTreeMap<String, f64> =
+            entries.into_iter().map(|(k, v)| (format!("v.{k}"), v)).collect();
+        let notes: std::collections::BTreeMap<String, String> =
+            notes.into_iter().map(|(k, t)| (format!("n.{k}"), t)).collect();
+        let m = Metrics::new();
+        m.incr("counter.one", 7);
+        for (k, v) in &entries {
+            m.set_value(k, *v);
+        }
+        for (k, text) in &notes {
+            m.set_note(k, text);
+        }
+        let out = m.to_json();
+        let json = parse(&out).expect("metrics JSON must parse");
+        prop_assert_eq!(
+            json.get("counters").and_then(|c| c.get("counter.one")).and_then(tit_serve::json::Json::as_u64),
+            Some(7)
+        );
+        // Finite values round-trip; non-finite ones became null (so the
+        // file stays machine-readable instead of carrying bare NaN).
+        let vals = json.get("values").expect("values object");
+        for (k, v) in &entries {
+            let got = vals.get(k).expect("value present").as_f64();
+            if v.is_finite() {
+                prop_assert_eq!(got, Some(*v));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+        let ns = json.get("notes").expect("notes object");
+        for (k, text) in &notes {
+            let got = ns.get(k).and_then(|v| v.as_str());
+            prop_assert_eq!(got, Some(text.as_str()));
+        }
+    }
+}
+
+/// The analyzer report JSON parses too, with bounds where expected.
+#[test]
+fn analyze_report_json_is_parseable() {
+    use titr::analyze::{analyze, AnalyzeConfig};
+    use titr::npb::ring::RingConfig;
+    use titr::platform::deployment::Deployment;
+    use titr::platform::desc::PlatformDesc;
+    use titr::platform::presets;
+
+    let trace = RingConfig::default().trace();
+    let np = trace.num_processes();
+    let desc = PlatformDesc::single(presets::bordereau_one_core(np));
+    let platform = desc.build();
+    let hosts = Deployment::round_robin(&desc.host_names(), np).host_ids(&platform);
+    let a = analyze(&trace, &platform, &hosts, &AnalyzeConfig::default()).unwrap();
+    let json = parse(&a.to_json()).expect("analyze JSON must parse");
+    assert_eq!(json.get("schema").and_then(|s| s.as_str()), Some("tit-analyze-v1"));
+    let lower = json.get("bounds").and_then(|b| b.get("lower_s")).and_then(tit_serve::json::Json::as_f64);
+    let upper = json.get("bounds").and_then(|b| b.get("upper_s")).and_then(tit_serve::json::Json::as_f64);
+    assert!(lower.unwrap() > 0.0 && upper.unwrap() >= lower.unwrap());
+    let ranks = json.get("ranks").and_then(|r| r.as_arr()).unwrap();
+    assert_eq!(ranks.len(), np);
+}
