@@ -10,6 +10,8 @@ fn main() {
         ("Figure 9", tit_bench::experiments::fig9::run, 0.1),
         ("Section 6.5", tit_bench::experiments::largetrace::run, 0.00667),
         ("Ablations", tit_bench::experiments::ablations::run, 0.2),
+        ("Observer overhead", tit_bench::experiments::observer::run, 0.1),
+        ("Kernel profile", tit_bench::experiments::kprof::run, 0.1),
     ] {
         let s0 = std::time::Instant::now();
         println!("================================================================");

@@ -2,6 +2,11 @@ fn main() {
     let scale = tit_bench::scale_from_args(0.1);
     let (report, points) = tit_bench::experiments::fig9::sweep(scale);
     print!("{report}");
+    // The observer-overhead guard rides along: same workload family,
+    // and its ratios belong in the same BENCH_replay.json record.
+    let overhead = tit_bench::experiments::observer::measure(npb::Class::B, 16, scale, 3);
+    println!();
+    print!("{}", tit_bench::experiments::observer::report(&overhead));
     // Machine-readable performance record alongside the text report.
     let records: Vec<tit_bench::PerfRecord> = points
         .iter()
@@ -13,7 +18,7 @@ fn main() {
         })
         .collect();
     let path = std::path::Path::new("BENCH_replay.json");
-    match tit_bench::write_bench_json(path, "replay", &records) {
+    match tit_bench::write_replay_bench_json(path, "replay", &records, Some(&overhead)) {
         Ok(()) => println!("\nperf record: {}", path.display()),
         Err(e) => eprintln!("cannot write {}: {e}", path.display()),
     }

@@ -1,0 +1,13 @@
+//! Kernel self-profiling sweep (docs/OBSERVABILITY.md). `--scale S`
+//! rescales itmax; writes `KPROF_replay.json` next to the text report.
+fn main() {
+    let scale = tit_bench::scale_from_args(0.1);
+    let (report, points) = tit_bench::experiments::kprof::sweep(scale);
+    print!("{report}");
+    let json = tit_bench::experiments::kprof::sweep_json(&points);
+    let path = std::path::Path::new("KPROF_replay.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nkernel profile record: {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}

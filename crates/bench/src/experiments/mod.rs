@@ -5,7 +5,9 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod ingest;
+pub mod kprof;
 pub mod largetrace;
+pub mod observer;
 pub mod serve;
 pub mod table2;
 pub mod table3;

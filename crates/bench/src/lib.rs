@@ -19,6 +19,8 @@
 //! | [`experiments::serve`]  | daemon throughput / tail latency |
 //! | [`experiments::largetrace`] | §6.5 class D × 1024 |
 //! | [`experiments::ablations`]  | design-choice ablations |
+//! | [`experiments::observer`]   | observer-overhead guard |
+//! | [`experiments::kprof`]      | kernel self-profiling sweep |
 
 #![forbid(unsafe_code)]
 
@@ -26,7 +28,10 @@ pub mod experiments;
 pub mod perf;
 pub mod table;
 
-pub use perf::{write_bench_json, write_ingest_json, write_serve_json, IngestRecord, PerfRecord};
+pub use perf::{
+    write_bench_json, write_ingest_json, write_replay_bench_json, write_serve_json, IngestRecord,
+    ObserverOverhead, PerfRecord,
+};
 pub use table::Table;
 
 use npb::{Class, LuConfig};

@@ -33,12 +33,57 @@ impl PerfRecord {
     }
 }
 
+/// Observer-overhead measurement (see `experiments::observer`): the
+/// same replay timed detached, with a no-op observer, and with a live
+/// time-resolved sink. Ratios are gated by `scripts/check_bench.py`.
+#[derive(Debug, Clone)]
+pub struct ObserverOverhead {
+    /// What was measured, e.g. `"LU.B x 16"`.
+    pub label: String,
+    /// Trace actions replayed per run.
+    pub actions: u64,
+    /// Best wall time with no observer attached, seconds.
+    pub wall_detached: f64,
+    /// Best wall time with an all-hooks no-op observer, seconds.
+    pub wall_noop: f64,
+    /// Best wall time with a `titobs::TimeResolved` sink attached.
+    pub wall_timeres: f64,
+    /// Runs per variant (each wall is the minimum over these).
+    pub repeats: u32,
+}
+
+impl ObserverOverhead {
+    /// No-op observer wall over detached wall; 1.0 when unmeasurable.
+    pub fn noop_ratio(&self) -> f64 {
+        if self.wall_detached > 0.0 { self.wall_noop / self.wall_detached } else { 1.0 }
+    }
+
+    /// Time-resolved sink wall over detached wall; 1.0 when
+    /// unmeasurable.
+    pub fn timeres_ratio(&self) -> f64 {
+        if self.wall_detached > 0.0 { self.wall_timeres / self.wall_detached } else { 1.0 }
+    }
+}
+
 /// Writes `records` as a `BENCH_*.json` file:
 /// `{"bench":name,"peak_records_per_sec":…,"runs":[…]}`.
 pub fn write_bench_json(
     path: &Path,
     name: &str,
     records: &[PerfRecord],
+) -> std::io::Result<()> {
+    write_replay_bench_json(path, name, records, None)
+}
+
+/// Like [`write_bench_json`], optionally appending an
+/// `"observer_overhead"` section after the runs array — same envelope
+/// (`scripts/check_bench.py` gates the peak unchanged) plus the
+/// overhead walls and ratios the observer gate reads.
+pub fn write_replay_bench_json(
+    path: &Path,
+    name: &str,
+    records: &[PerfRecord],
+    overhead: Option<&ObserverOverhead>,
 ) -> std::io::Result<()> {
     let peak = records.iter().map(PerfRecord::records_per_sec).fold(0.0, f64::max);
     let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -57,7 +102,22 @@ pub fn write_bench_json(
             r.records_per_sec()
         )?;
     }
-    writeln!(w, "\n]}}")?;
+    write!(w, "\n]")?;
+    if let Some(o) = overhead {
+        write!(
+            w,
+            ",\n\"observer_overhead\":{{\"label\":\"{}\",\"actions\":{},\"repeats\":{},\"wall_detached\":{},\"wall_noop\":{},\"wall_timeres\":{},\"noop_ratio\":{},\"timeres_ratio\":{}}}",
+            o.label,
+            o.actions,
+            o.repeats,
+            o.wall_detached,
+            o.wall_noop,
+            o.wall_timeres,
+            o.noop_ratio(),
+            o.timeres_ratio()
+        )?;
+    }
+    writeln!(w, "}}")?;
     w.flush()
 }
 
@@ -272,6 +332,50 @@ mod tests {
         assert!(text.contains("\"req_per_sec\":96"));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_json_carries_observer_overhead_section() {
+        let dir = std::env::temp_dir().join(format!("titr-operf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_replay.json");
+        let recs = vec![PerfRecord {
+            label: "LU.B x 8".into(),
+            actions: 1000,
+            simulated_time: 1.0,
+            wall_time: 0.5,
+        }];
+        let o = ObserverOverhead {
+            label: "LU.B x 16".into(),
+            actions: 2000,
+            wall_detached: 0.1,
+            wall_noop: 0.101,
+            wall_timeres: 0.105,
+            repeats: 3,
+        };
+        write_replay_bench_json(&path, "replay", &recs, Some(&o)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"observer_overhead\":{"), "{text}");
+        assert!(text.contains("\"noop_ratio\":"), "{text}");
+        assert!(text.contains("\"timeres_ratio\":"), "{text}");
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert!((o.noop_ratio() - 1.01).abs() < 1e-9);
+        assert!((o.timeres_ratio() - 1.05).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unmeasurable_overhead_walls_report_unit_ratios() {
+        let o = ObserverOverhead {
+            label: "x".into(),
+            actions: 1,
+            wall_detached: 0.0,
+            wall_noop: 0.1,
+            wall_timeres: 0.1,
+            repeats: 1,
+        };
+        assert_eq!(o.noop_ratio(), 1.0);
+        assert_eq!(o.timeres_ratio(), 1.0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!            [--collectives binomial|flat] [--network mpi|flow|constant]
 //!            [--timed-trace out.csv] [--timeline out.json]
 //!            [--profile [out.json]] [--metrics out.json] [--lint]
+//!            [--time-resolved out.json] [--time-resolved-csv out.csv]
+//!            [--window SECS] [--kernel-profile out.json]
 //!            [--jobs N]
 //!            [--checkpoint ck.tick --checkpoint-every N] [--resume ck.tick]
 //!            [--max-wall SECS] [--degraded]
@@ -28,6 +30,17 @@
 //! Only `--paje` still buffers records (its writer needs them sorted by
 //! rank). Every file output is written atomically (tmp + rename): a
 //! crash mid-replay never leaves a half-written artifact behind.
+//!
+//! `--time-resolved FILE` adds the windowed view: simulated time is
+//! segmented at phase boundaries (every rank completed a collective)
+//! and, with `--window SECS`, at fixed-width marks; each window
+//! reports per-rank compute/comm time, bytes, operation counts,
+//! active-flow peaks and derived comm-ratio/imbalance metrics
+//! (`tit-timeres-v1` JSON; `--time-resolved-csv FILE` streams the
+//! per-rank rows). `--kernel-profile FILE` turns on the simulator's
+//! self-profiling — LMM solver work, event-heap traffic, wall time per
+//! engine phase printed to stdout; the file holds the deterministic
+//! counter core, byte-identical across runs and `--jobs` values.
 //!
 //! `--jobs N` selects the parallel ingestion fast path: the per-rank
 //! trace files are parsed by N worker threads (`--jobs 0` = one per
@@ -77,9 +90,9 @@ use tit_replay::{
     replay_files_observed, resume_files, tags, CheckpointPolicy, CheckpointedStatus,
     DegradationReason, PauseReason, ReplayConfig,
 };
-use titobs::{Metrics, Profile, Timeline, TimelineFormat};
+use titobs::{KernelReport, Metrics, Profile, TimeResolved, Timeline, TimelineFormat, WindowSpec};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--time-resolved FILE] [--time-resolved-csv FILE] [--window SECS] [--kernel-profile FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
 
 /// Exit code for partial success: a watchdog pause or a degraded
 /// replay that lost actions.
@@ -160,6 +173,22 @@ fn main() {
         usage_error("--lint refuses damaged traces; it cannot be combined with --degraded");
     }
 
+    // Time-resolved metrics and kernel self-profiling flags.
+    let time_resolved = args.get("time-resolved").map(str::to_owned);
+    let time_resolved_csv = args.get("time-resolved-csv").map(str::to_owned);
+    let want_timeres = time_resolved.is_some() || time_resolved_csv.is_some();
+    let window: Option<f64> = args.get("window").map(|s| match s.parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => v,
+        _ => usage_error("--window wants a positive number of simulated seconds"),
+    });
+    if window.is_some() && !want_timeres {
+        usage_error("--window needs --time-resolved or --time-resolved-csv");
+    }
+    let kernel_profile_path = args.get("kernel-profile").map(str::to_owned);
+    if kernel_profile_path.is_some() && (degraded || checkpointing) {
+        usage_error("--kernel-profile is not available with --degraded or checkpointing");
+    }
+
     let metrics = Metrics::new();
     if args.has_flag("lint") || args.get("lint").is_some() {
         let report = metrics.time("wall.lint", || {
@@ -223,7 +252,12 @@ fn main() {
     };
     // Only the paje writer needs the records buffered (it sorts by
     // rank); everything else streams through observers.
-    let cfg = ReplayConfig { network, algo, collect_records: args.get("paje").is_some() };
+    let cfg = ReplayConfig {
+        network,
+        algo,
+        collect_records: args.get("paje").is_some(),
+        kernel_profile: kernel_profile_path.is_some(),
+    };
 
     // Assemble the streaming observer set. `--profile` doubles as a
     // flag (text table to stdout) and a `--profile FILE` pair (JSON).
@@ -261,6 +295,19 @@ fn main() {
     } else {
         None
     };
+    let timeres = if want_timeres {
+        let csv = time_resolved_csv.as_deref().map(open_atomic);
+        let spec = WindowSpec { width: window, phases: true };
+        let tr = TimeResolved::new(csv, np, spec, tags::is_comm, tags::is_collective)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot start time-resolved metrics: {e}");
+                std::process::exit(1);
+            });
+        fan = fan.with(tr.sink());
+        Some(tr)
+    } else {
+        None
+    };
     if want_metrics_file {
         fan = fan.with(metrics.observer("replay"));
     }
@@ -278,6 +325,7 @@ fn main() {
     // (simulated time, actions, wall, exit code) summary.
     let mut exit_code = 0;
     let mut paje_records = None;
+    let mut kernel_profile_data = None;
     let (sim_time, actions, wall) = if degraded {
         let out = match replay_files_degraded(&dir, np, platform, &hosts, &cfg, extra) {
             Ok(o) => o,
@@ -385,6 +433,7 @@ fn main() {
             }
         };
         paje_records = out.records;
+        kernel_profile_data = out.kernel_profile;
         (out.simulated_time, out.actions_replayed, out.wall_time)
     };
     println!("simulated time:   {sim_time:.6} s");
@@ -440,6 +489,45 @@ fn main() {
                 print!("{}", report.render_tags_text());
             }
         }
+    }
+    if let Some(tr) = timeres {
+        let report = tr.finish().unwrap_or_else(|e| {
+            eprintln!("cannot write time-resolved metrics: {e}");
+            std::process::exit(1);
+        });
+        if let Some(path) = &time_resolved {
+            write_atomic_or_die(path, &report.to_json());
+            println!("time-resolved:    {path} ({} windows)", report.windows.len());
+        }
+        if let Some(path) = &time_resolved_csv {
+            match tr.into_writer() {
+                Some(w) => commit_atomic(w, path),
+                None => {
+                    eprintln!("cannot write time-resolved CSV {path}: writer still shared");
+                    std::process::exit(1);
+                }
+            }
+            println!("time-resolved csv: {path}");
+        }
+    }
+    if let Some(path) = &kernel_profile_path {
+        // The engine only hands the profile back on a completed run;
+        // the flag is rejected for the modes that pause early.
+        let Some(kp) = kernel_profile_data else {
+            eprintln!("kernel profile was not collected (replay did not complete)");
+            std::process::exit(1);
+        };
+        let report = KernelReport {
+            profile: kp,
+            num_ranks: np,
+            actions_replayed: actions,
+            simulated_time: sim_time,
+        };
+        print!("{}", report.render_text());
+        // The file holds the deterministic counter core (no wall
+        // section) so CI can byte-diff it across runs and --jobs.
+        write_atomic_or_die(path, &report.to_json());
+        println!("kernel profile:   {path}");
     }
     if let Some(path) = args.get("metrics") {
         metrics.incr("replay.actions", actions);

@@ -26,6 +26,11 @@ pub struct ReplayConfig {
     /// Record one timed entry per completed operation (Figure 4's
     /// "timed trace" output). Costs memory proportional to trace size.
     pub collect_records: bool,
+    /// Enable kernel self-profiling: the engine counts hot-loop work
+    /// (LMM solves, heap traffic) and attributes wall time to phases.
+    /// The simulated outcome is byte-identical either way; see
+    /// [`simkern::KernelProfile`].
+    pub kernel_profile: bool,
 }
 
 impl Default for ReplayConfig {
@@ -34,6 +39,7 @@ impl Default for ReplayConfig {
             network: NetworkConfig::mpi_cluster(),
             algo: CollectiveAlgo::Binomial,
             collect_records: false,
+            kernel_profile: false,
         }
     }
 }
@@ -49,6 +55,8 @@ pub struct ReplayOutcome {
     pub wall_time: std::time::Duration,
     /// Timed trace when `collect_records` was set.
     pub records: Option<Vec<OpRecord>>,
+    /// Kernel self-profile when `cfg.kernel_profile` was set.
+    pub kernel_profile: Option<simkern::KernelProfile>,
 }
 
 /// Observer pushing into a shared vector (so the caller keeps access
@@ -83,6 +91,9 @@ fn run(
         (false, Some(obs)) => engine.set_observer(obs),
         (false, None) => {}
     }
+    if cfg.kernel_profile {
+        engine.enable_kernel_profiling();
+    }
     let registry = Arc::new(Registry::with_defaults());
     let counter = Arc::new(AtomicU64::new(0));
     for (rank, src) in sources.into_iter().enumerate() {
@@ -93,6 +104,7 @@ fn run(
     let t0 = std::time::Instant::now();
     let simulated_time = engine.run_checked().map_err(ReplayError::from)?;
     let wall_time = t0.elapsed();
+    let kernel_profile = engine.take_kernel_profile();
     let records = if cfg.collect_records {
         // panics: mutex poisoned only if another thread already panicked
         Some(std::mem::take(&mut *records.lock().unwrap()))
@@ -104,6 +116,7 @@ fn run(
         actions_replayed: counter.load(Ordering::Relaxed),
         wall_time,
         records,
+        kernel_profile,
     })
 }
 
@@ -500,6 +513,22 @@ mod tests {
         // Both sinks saw every record, and the collector still filled.
         assert_eq!(seen, out.records.unwrap().len() as u64);
         assert_eq!(ended, out.simulated_time);
+    }
+
+    #[test]
+    fn kernel_profiling_does_not_perturb_simulation() {
+        let (p1, hosts) = mycluster(4);
+        let (p2, _) = mycluster(4);
+        let plain = replay_memory(&ring_trace(), p1, &hosts, &plain_cfg()).unwrap();
+        let cfg = ReplayConfig { kernel_profile: true, ..plain_cfg() };
+        let prof = replay_memory(&ring_trace(), p2, &hosts, &cfg).unwrap();
+        assert_eq!(plain.simulated_time, prof.simulated_time);
+        assert!(plain.kernel_profile.is_none(), "off by default");
+        let kp = prof.kernel_profile.expect("profile present when requested");
+        assert!(kp.ops_completed > 0);
+        assert!(kp.solver.solves > 0);
+        assert!(kp.heap_pushes >= kp.heap_pops);
+        assert!(kp.wall.total_s > 0.0);
     }
 
     #[test]

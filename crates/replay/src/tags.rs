@@ -59,6 +59,12 @@ pub fn is_comm(tag: u32) -> bool {
     matches!(tag, SEND | ISEND | RECV | IRECV | BCAST | REDUCE | ALLREDUCE | BARRIER | WAIT)
 }
 
+/// True when the tag denotes a collective operation — the phase
+/// boundaries the time-resolved windowing detects.
+pub fn is_collective(tag: u32) -> bool {
+    matches!(tag, BCAST | REDUCE | ALLREDUCE | BARRIER)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +83,14 @@ mod tests {
         assert!(!is_comm(COMPUTE));
         assert!(is_comm(SEND));
         assert!(is_comm(BARRIER));
+    }
+
+    #[test]
+    fn collectives_are_exactly_the_four_group_ops() {
+        let colls: Vec<_> = ALL.iter().copied().filter(|&t| is_collective(t)).collect();
+        assert_eq!(colls, [BCAST, REDUCE, ALLREDUCE, BARRIER]);
+        // Every collective is also communication.
+        assert!(colls.iter().all(|&t| is_comm(t)));
     }
 
     #[test]

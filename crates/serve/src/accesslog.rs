@@ -1,0 +1,264 @@
+//! Crash-safe structured access log: one NDJSON record per request
+//! event, appended atomically.
+//!
+//! The log answers "what happened to request X?" after the fact —
+//! including after a SIGKILL. The contract the chaos suite asserts:
+//!
+//! * every admitted request appears **exactly once** with a terminal
+//!   status (`ok`, `partial`, `error`, `shed`, or `lost`);
+//! * the file never contains torn interior lines: each record is one
+//!   `write(2)` to an `O_APPEND` descriptor under a lock, so records
+//!   from concurrent workers interleave only at line boundaries. A
+//!   process killed mid-write can leave at most one torn **final**
+//!   line, which the restart scan detects and skips;
+//! * on restart, any request that was admitted but has no terminal
+//!   record (the daemon died while it was queued or running) gets a
+//!   synthesized `done` record with status `lost` and `"restart":true`
+//!   — the admission is accounted for, never silently dropped.
+//!
+//! Record grammar (all single-line JSON objects):
+//!
+//! ```text
+//! {"event":"admit","seq":N,"id":"..."}
+//! {"event":"preempt","seq":N,"id":"...","hop":H}
+//! {"event":"done","seq":N,"id":"...","status":"ok|partial|error|shed|lost",
+//!  "queue_s":..,"load_s":..,"replay_s":..,"respond_s":..,"preemptions":P}
+//! ```
+//!
+//! `seq` is a server-assigned admission sequence number (unique per
+//! log file, monotone across restarts); `id` is the client's tag and
+//! may repeat. Span fields attribute the request's wall clock:
+//! `queue_s` waiting for a worker (including requeue hops), `load_s`
+//! loading/interning the trace, `replay_s` inside the engine,
+//! `respond_s` writing the response line.
+
+use crate::json::{obj, Json};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Wall-clock span attribution for one request, seconds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Spans {
+    /// Waiting in the admission queue (all hops).
+    pub queue_s: f64,
+    /// Loading/interning the trace (all hops).
+    pub load_s: f64,
+    /// Inside the simulation engine (all hops).
+    pub replay_s: f64,
+    /// Writing the response line.
+    pub respond_s: f64,
+}
+
+/// An open access log (see the module docs for the contract).
+pub struct AccessLog {
+    file: Mutex<File>,
+    seq: AtomicU64,
+    recovered: u64,
+}
+
+impl AccessLog {
+    /// Opens (creating if absent) the log at `path`, first scanning any
+    /// existing records and appending a `lost` terminal record for
+    /// every admission the previous process never terminated.
+    pub fn open(path: &Path) -> std::io::Result<AccessLog> {
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut open_admits: BTreeMap<u64, String> = BTreeMap::new();
+        let mut max_seq = 0u64;
+        for line in existing.lines() {
+            // A torn final line (daemon killed mid-write) fails to
+            // parse; skip it — its request is still in open_admits.
+            let Ok(v) = crate::json::parse(line) else { continue };
+            let seq = v.get("seq").and_then(Json::as_u64).unwrap_or(0);
+            max_seq = max_seq.max(seq);
+            match v.get("event") {
+                Some(Json::Str(ev)) if ev == "admit" => {
+                    let id = match v.get("id") {
+                        Some(Json::Str(s)) => s.clone(),
+                        _ => String::new(),
+                    };
+                    open_admits.insert(seq, id);
+                }
+                Some(Json::Str(ev)) if ev == "done" => {
+                    open_admits.remove(&seq);
+                }
+                _ => {}
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !existing.is_empty() && !existing.ends_with('\n') {
+            // Terminate the torn final line so new records do not
+            // concatenate onto the unparseable fragment.
+            file.write_all(b"\n")?;
+        }
+        let log = AccessLog {
+            file: Mutex::new(file),
+            seq: AtomicU64::new(max_seq + 1),
+            recovered: open_admits.len() as u64,
+        };
+        for (seq, id) in open_admits {
+            let mut pairs = vec![
+                ("event", Json::Str("done".into())),
+                ("seq", Json::Num(seq as f64)),
+                ("id", Json::Str(id)),
+                ("status", Json::Str("lost".into())),
+                ("restart", Json::Bool(true)),
+            ];
+            pairs.push(("preemptions", Json::Num(0.0)));
+            log.append(&obj(pairs))?;
+        }
+        Ok(log)
+    }
+
+    /// Admissions the restart scan found without a terminal record
+    /// (each got a synthesized `lost` record).
+    #[must_use]
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Assigns the next admission sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn append(&self, v: &Json) -> std::io::Result<()> {
+        let line = format!("{v}\n");
+        // panics: mutex poisoned only if another thread already panicked
+        let mut f = self.file.lock().unwrap();
+        // One write to an O_APPEND fd: concurrent appenders cannot
+        // interleave bytes, and a crash tears at most the last line.
+        f.write_all(line.as_bytes())
+    }
+
+    /// Records an admission. Errors are swallowed: the log never takes
+    /// a request down with it.
+    pub fn admit(&self, seq: u64, id: &str) {
+        let _ = self.append(&obj(vec![
+            ("event", Json::Str("admit".into())),
+            ("seq", Json::Num(seq as f64)),
+            ("id", Json::Str(id.into())),
+        ]));
+    }
+
+    /// Records a preemption hop (informational, non-terminal).
+    pub fn preempt(&self, seq: u64, id: &str, hop: u32) {
+        let _ = self.append(&obj(vec![
+            ("event", Json::Str("preempt".into())),
+            ("seq", Json::Num(seq as f64)),
+            ("id", Json::Str(id.into())),
+            ("hop", Json::Num(f64::from(hop))),
+        ]));
+    }
+
+    /// Records the terminal outcome of an admitted request.
+    pub fn done(&self, seq: u64, id: &str, status: &str, spans: Spans, preemptions: u32) {
+        let _ = self.append(&obj(vec![
+            ("event", Json::Str("done".into())),
+            ("seq", Json::Num(seq as f64)),
+            ("id", Json::Str(id.into())),
+            ("status", Json::Str(status.into())),
+            ("queue_s", Json::Num(spans.queue_s)),
+            ("load_s", Json::Num(spans.load_s)),
+            ("replay_s", Json::Num(spans.replay_s)),
+            ("respond_s", Json::Num(spans.respond_s)),
+            ("preemptions", Json::Num(f64::from(preemptions))),
+        ]));
+    }
+
+    /// Records a shed request: never admitted, one terminal record.
+    pub fn shed(&self, id: &str) {
+        let seq = self.next_seq();
+        self.done(seq, id, "shed", Spans::default(), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tit-accesslog-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn admit_done_round_trip_and_seq_monotone() {
+        let p = tmp("rt");
+        let _ = std::fs::remove_file(&p);
+        let log = AccessLog::open(&p).unwrap();
+        let s1 = log.next_seq();
+        let s2 = log.next_seq();
+        assert!(s2 > s1);
+        log.admit(s1, "a");
+        log.done(s1, "a", "ok", Spans { replay_s: 0.5, ..Spans::default() }, 0);
+        drop(log);
+        let text = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"admit\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"status\":\"ok\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"replay_s\":0.5"), "{}", lines[1]);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn restart_synthesizes_lost_records_and_skips_torn_line() {
+        let p = tmp("lost");
+        let _ = std::fs::remove_file(&p);
+        {
+            let log = AccessLog::open(&p).unwrap();
+            let s1 = log.next_seq();
+            let s2 = log.next_seq();
+            log.admit(s1, "finished");
+            log.done(s1, "finished", "ok", Spans::default(), 0);
+            log.admit(s2, "in-flight");
+            // Simulate a SIGKILL mid-write: a torn final line.
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(b"{\"event\":\"done\",\"seq\":9").unwrap();
+        }
+        let log = AccessLog::open(&p).unwrap();
+        assert_eq!(log.recovered(), 1, "one admission had no terminal record");
+        // New sequence numbers continue past everything seen.
+        assert!(log.next_seq() > 2);
+        drop(log);
+        let text = std::fs::read_to_string(&p).unwrap();
+        let lost: Vec<&str> =
+            text.lines().filter(|l| l.contains("\"status\":\"lost\"")).collect();
+        assert_eq!(lost.len(), 1);
+        assert!(lost[0].contains("\"id\":\"in-flight\""), "{}", lost[0]);
+        assert!(lost[0].contains("\"restart\":true"), "{}", lost[0]);
+        // Exactly-once: every admit has exactly one done.
+        let admits = text.lines().filter(|l| l.contains("\"event\":\"admit\"")).count();
+        let dones = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"done\"") && crate::json::parse(l).is_ok())
+            .count();
+        assert_eq!(admits, dones);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn shed_requests_get_one_terminal_record() {
+        let p = tmp("shed");
+        let _ = std::fs::remove_file(&p);
+        let log = AccessLog::open(&p).unwrap();
+        log.shed("busy");
+        drop(log);
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"status\":\"shed\""), "{text}");
+        // A shed is terminal on its own: a restart scan recovers nothing.
+        let log = AccessLog::open(&p).unwrap();
+        assert_eq!(log.recovered(), 0);
+        let _ = std::fs::remove_file(&p);
+    }
+}

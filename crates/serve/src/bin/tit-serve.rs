@@ -4,7 +4,7 @@
 //! tit-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--cache-cap N] [--slice N] [--max-line-bytes N]
 //!           [--preempt-backlog N] [--max-preemptions N]
-//!           [--metrics FILE] [--drain-on-stdin]
+//!           [--metrics FILE] [--access-log FILE] [--drain-on-stdin]
 //!           [--force-preempt] [--job-delay-ms N]
 //! ```
 //!
@@ -24,7 +24,7 @@ use std::time::Duration;
 use tit_cli::Args;
 use tit_serve::{Server, ServerConfig};
 
-const USAGE: &str = "tit-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--slice N] [--max-line-bytes N] [--preempt-backlog N] [--max-preemptions N] [--metrics FILE] [--drain-on-stdin] [--force-preempt] [--job-delay-ms N]";
+const USAGE: &str = "tit-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--slice N] [--max-line-bytes N] [--preempt-backlog N] [--max-preemptions N] [--metrics FILE] [--access-log FILE] [--drain-on-stdin] [--force-preempt] [--job-delay-ms N]";
 
 fn main() {
     let args = Args::from_env();
@@ -43,6 +43,7 @@ fn main() {
         max_preemptions: args.get_or("max-preemptions", defaults.max_preemptions),
         max_line_bytes: args.get_or("max-line-bytes", defaults.max_line_bytes),
         metrics_path: args.get("metrics").map(Into::into),
+        access_log: args.get("access-log").map(Into::into),
         force_preempt: args.has_flag("force-preempt"),
         job_delay: Duration::from_millis(args.get_or("job-delay-ms", 0)),
     };

@@ -23,6 +23,7 @@
 //! response lines whether it ran serially or across a contended pool
 //! (latency lives in the metrics, not the payload).
 
+use crate::accesslog::{AccessLog, Spans};
 use crate::json::{obj, Json};
 use crate::proto::{PlatformKind, ReplayRequest};
 use crate::queue::Admission;
@@ -58,6 +59,14 @@ pub struct Job {
     pub resume: Option<PausedReplay>,
     /// Where the response line goes.
     pub out: SharedWriter,
+    /// Access-log sequence number assigned at admission.
+    pub seq: u64,
+    /// When the request was admitted (span attribution anchor).
+    pub admitted: std::time::Instant,
+    /// Trace-load wall seconds accumulated across hops.
+    pub load_s: f64,
+    /// Engine wall seconds accumulated across hops.
+    pub replay_s: f64,
 }
 
 /// Everything a worker needs, shared across the pool.
@@ -73,6 +82,8 @@ pub struct Shared {
     /// Queue-pressure flag: workers preempt long jobs while it reads
     /// true.
     pub pressure: AtomicBool,
+    /// Structured per-request access log, when configured.
+    pub access: Option<AccessLog>,
 }
 
 /// Writes one response line; a dead client is the client's problem,
@@ -175,10 +186,19 @@ pub fn process_job(shared: &Arc<Shared>, mut job: Job) {
     let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &mut job)));
     match result {
         Ok(JobEnd::Responded(v)) => {
+            let t = std::time::Instant::now();
             respond(&job.out, &v);
+            let status = match v.get("status") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => "error".into(),
+            };
+            log_done(shared, &job, &status, t.elapsed().as_secs_f64());
         }
         Ok(JobEnd::Requeued) => {
             shared.metrics.incr("serve.preemptions", 1);
+            if let Some(log) = &shared.access {
+                log.preempt(job.seq, &job.req.id, job.preemptions);
+            }
             shared.queue.requeue(job);
             shared.metrics.gauge_set("serve.queue_depth", shared.queue.depth() as f64);
         }
@@ -189,9 +209,26 @@ pub fn process_job(shared: &Arc<Shared>, mut job: Job) {
                 .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
                 .unwrap_or("panic in request handler");
             shared.metrics.incr("serve.errors", 1);
+            let t = std::time::Instant::now();
             respond(&job.out, &error_response(&id, "internal", detail));
+            log_done(shared, &job, "error", t.elapsed().as_secs_f64());
         }
     }
+}
+
+/// Writes the terminal access-log record for a responded job: total
+/// wall since admission, split into queue/load/replay/respond spans
+/// (queue is the remainder — time not spent working).
+fn log_done(shared: &Arc<Shared>, job: &Job, status: &str, respond_s: f64) {
+    let Some(log) = &shared.access else { return };
+    let total = job.admitted.elapsed().as_secs_f64();
+    let spans = Spans {
+        queue_s: (total - job.load_s - job.replay_s - respond_s).max(0.0),
+        load_s: job.load_s,
+        replay_s: job.replay_s,
+        respond_s,
+    };
+    log.done(job.seq, &job.req.id, status, spans, job.preemptions);
 }
 
 enum JobEnd {
@@ -205,6 +242,7 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> JobEnd {
 
     // Deadline check up front: a request that spent its whole budget
     // queued returns a zero-work partial without starting the engine.
+    let t_load = std::time::Instant::now();
     let trace = match shared.cache.get_or_load(req.trace_key(), &req.trace_dir, req.np) {
         Ok((trace, hit)) => {
             shared
@@ -217,6 +255,7 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> JobEnd {
             return JobEnd::Responded(error_response(&req.id, "trace_load", &e.to_string()));
         }
     };
+    job.load_s += t_load.elapsed().as_secs_f64();
 
     let (platform, hosts) = build_platform(req);
     let policy = RequestPolicy {
@@ -226,6 +265,7 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> JobEnd {
     };
     let preempt_eligible = job.preemptions < shared.cfg.max_preemptions;
     let preempt = preempt_eligible.then_some(&shared.pressure);
+    let t_replay = std::time::Instant::now();
     let outcome = run_request(
         build_sources(&trace, req),
         trace.num_actions() as u64,
@@ -237,6 +277,7 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> JobEnd {
         preempt,
         job.resume.take(),
     );
+    job.replay_s += t_replay.elapsed().as_secs_f64();
     shared.metrics.observe_wall("serve.request_wall", t0.elapsed().as_secs_f64());
     match outcome {
         Ok(out) if matches!(out.status, RequestStatus::Preempted { .. }) => {
@@ -303,6 +344,7 @@ mod tests {
             queue: Admission::new(cfg.queue_cap),
             metrics: Metrics::new(),
             pressure: AtomicBool::new(false),
+            access: None,
             cfg,
         })
     }
@@ -336,6 +378,10 @@ mod tests {
             preemptions: 0,
             resume: None,
             out,
+            seq: 0,
+            admitted: std::time::Instant::now(),
+            load_s: 0.0,
+            replay_s: 0.0,
         }
     }
 
@@ -446,6 +492,7 @@ mod tests {
             queue: Admission::new(cfg.queue_cap),
             metrics: Metrics::new(),
             pressure: AtomicBool::new(true),
+            access: None,
             cfg,
         });
         let (out, buf) = sink();

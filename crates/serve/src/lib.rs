@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod accesslog;
 pub mod cache;
 pub mod exec;
 pub mod json;
@@ -39,6 +40,7 @@ pub mod proto;
 pub mod queue;
 pub mod server;
 
+pub use accesslog::{AccessLog, Spans};
 pub use cache::TraceCache;
 pub use exec::{Job, Shared, SharedWriter};
 pub use proto::{parse_request, PlatformKind, ReplayRequest, Request};
@@ -74,6 +76,10 @@ pub struct ServerConfig {
     pub max_line_bytes: usize,
     /// Where to atomically flush the `serve.*` metrics on drain.
     pub metrics_path: Option<PathBuf>,
+    /// Structured NDJSON access log: one record per request event,
+    /// crash-safe appends, `lost` recovery on restart (see
+    /// [`accesslog`]).
+    pub access_log: Option<PathBuf>,
     /// Test hook: hold the pressure flag high permanently, so every
     /// eligible job preempts at every slice (exercises resume).
     pub force_preempt: bool,
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             max_preemptions: 4,
             max_line_bytes: 1 << 20,
             metrics_path: None,
+            access_log: None,
             force_preempt: false,
             job_delay: Duration::ZERO,
         }

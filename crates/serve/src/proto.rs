@@ -28,6 +28,8 @@ pub enum Request {
     /// Graceful shutdown: stop admitting, finish in-flight work,
     /// flush metrics, exit.
     Drain,
+    /// Live observability snapshot (`titobs-metrics-v1` registry dump).
+    Metrics,
     /// A replay simulation.
     Replay(ReplayRequest),
 }
@@ -94,7 +96,12 @@ impl ReplayRequest {
             NetworkKind::Flow => simkern::NetworkConfig::default(),
             NetworkKind::Constant => simkern::NetworkConfig::constant(),
         };
-        ReplayConfig { network, algo: self.collectives, collect_records: false }
+        ReplayConfig {
+            network,
+            algo: self.collectives,
+            collect_records: false,
+            kernel_profile: false,
+        }
     }
 
     /// Cache key for the trace reference: FNV-1a-64 over the canonical
@@ -160,6 +167,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "drain" => Ok(Request::Drain),
+        "metrics" => Ok(Request::Metrics),
         "replay" => parse_replay(&v).map(Request::Replay),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -261,6 +269,7 @@ mod tests {
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! drain loses no durable state: the only file the daemon writes (the
 //! metrics snapshot) goes through [`tit_core::write_atomic`].
 
+use crate::accesslog::AccessLog;
 use crate::exec::{error_response, process_job, respond, Job, Shared, SharedWriter};
 use crate::json::{obj, Json};
 use crate::proto::{parse_request, Request};
@@ -46,14 +47,22 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let port = listener.local_addr()?.port();
+        let access = match &cfg.access_log {
+            Some(path) => Some(crate::accesslog::AccessLog::open(path)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: TraceCache::new(cfg.cache_cap, tit_extract::RetryPolicy::default()),
             queue: Admission::new(cfg.queue_cap),
             metrics: Metrics::new(),
             pressure: AtomicBool::new(cfg.force_preempt),
+            access,
             cfg,
         });
         shared.metrics.gauge_set("serve.queue_depth", 0.0);
+        if let Some(log) = &shared.access {
+            shared.metrics.incr("serve.lost_recovered", log.recovered());
+        }
         let draining = Arc::new(AtomicBool::new(false));
 
         let mut workers = Vec::new();
@@ -244,11 +253,35 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, draining: &Arc<Atom
                 draining.store(true, Ordering::SeqCst);
                 respond(&out, &obj(vec![("status", Json::Str("draining".into()))]));
             }
+            Ok(Request::Metrics) => {
+                // Live registry snapshot: re-parse the deterministic
+                // titobs rendering into a single-line protocol payload.
+                let snapshot = crate::json::parse(shared.metrics.to_json().trim())
+                    .unwrap_or(Json::Null);
+                respond(
+                    &out,
+                    &obj(vec![
+                        ("status", Json::Str("ok".into())),
+                        ("op", Json::Str("metrics".into())),
+                        ("metrics", snapshot),
+                    ]),
+                );
+            }
             Ok(Request::Replay(req)) => {
                 if draining.load(Ordering::SeqCst) {
                     shared.metrics.incr("serve.shed", 1);
+                    if let Some(log) = &shared.access {
+                        log.shed(&req.id);
+                    }
                     respond(&out, &shed_response(&req.id, Refusal::Draining, shared));
                     continue;
+                }
+                let seq = shared.access.as_ref().map_or(0, AccessLog::next_seq);
+                if let Some(log) = &shared.access {
+                    // Logged before submission: once a worker can see
+                    // the job, its done record must find an admit
+                    // record already on disk (order within the file).
+                    log.admit(seq, &req.id);
                 }
                 let job = Job {
                     deadline: req.budget().start(),
@@ -256,6 +289,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, draining: &Arc<Atom
                     preemptions: 0,
                     resume: None,
                     out: Arc::clone(&out),
+                    seq,
+                    admitted: std::time::Instant::now(),
+                    load_s: 0.0,
+                    replay_s: 0.0,
                 };
                 match shared.queue.submit(job) {
                     Ok(depth) => {
@@ -267,6 +304,17 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>, draining: &Arc<Atom
                     }
                     Err((job, refusal)) => {
                         shared.metrics.incr("serve.shed", 1);
+                        if let Some(log) = &shared.access {
+                            // Terminal record under the same seq as
+                            // the admit line above.
+                            log.done(
+                                job.seq,
+                                &job.req.id,
+                                "shed",
+                                crate::accesslog::Spans::default(),
+                                0,
+                            );
+                        }
                         respond(&job.out, &shed_response(&job.req.id, refusal, shared));
                     }
                 }

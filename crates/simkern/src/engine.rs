@@ -238,6 +238,10 @@ pub struct Engine {
     /// Start wakes already enqueued? Restored engines resume with this
     /// set so actors are not started a second time.
     started: bool,
+    /// Kernel self-profiling counters, allocated only while enabled so
+    /// the disabled path costs one untaken branch per phase. Excluded
+    /// from snapshots (profiling state, not simulation state).
+    kprof: Option<Box<crate::kprof::KernelProfile>>,
 }
 
 /// How a [`Engine::run_until`] call ended.
@@ -291,6 +295,7 @@ impl Engine {
             ops_completed: 0,
             failure: None,
             started: false,
+            kprof: None,
         }
     }
 
@@ -312,6 +317,25 @@ impl Engine {
     /// Takes the observer back (after `run`).
     pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
         self.observer.take()
+    }
+
+    /// Turns on kernel self-profiling (see [`crate::kprof`]). Counters
+    /// accumulate from this call on; the simulated outcome is
+    /// byte-identical with or without profiling.
+    pub fn enable_kernel_profiling(&mut self) {
+        if self.kprof.is_none() {
+            self.kprof = Some(Box::default());
+        }
+    }
+
+    /// Detaches and returns the kernel profile (after `run`), with the
+    /// solver counters and completed-op total filled in. `None` when
+    /// profiling was never enabled.
+    pub fn take_kernel_profile(&mut self) -> Option<crate::kprof::KernelProfile> {
+        let mut kp = self.kprof.take()?;
+        kp.solver = self.lmm.stats();
+        kp.ops_completed = self.ops_completed;
+        Some(*kp)
     }
 
     /// The simulated platform.
@@ -367,6 +391,18 @@ impl Engine {
         &mut self,
         pause: &mut dyn FnMut(&Engine) -> bool,
     ) -> Result<RunStatus, SimError> {
+        let t_run = self.kprof.as_ref().map(|_| std::time::Instant::now());
+        let result = self.run_loop(pause);
+        if let (Some(t0), Some(kp)) = (t_run, self.kprof.as_mut()) {
+            kp.wall.total_s += t0.elapsed().as_secs_f64();
+        }
+        result
+    }
+
+    fn run_loop(
+        &mut self,
+        pause: &mut dyn FnMut(&Engine) -> bool,
+    ) -> Result<RunStatus, SimError> {
         if !self.started {
             self.started = true;
             for a in 0..self.actors.len() {
@@ -374,11 +410,19 @@ impl Engine {
             }
         }
         loop {
+            let t0 = self.kprof.as_ref().map(|_| std::time::Instant::now());
             self.drain_runq();
+            if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
+                kp.wall.drain_s += t0.elapsed().as_secs_f64();
+            }
             if let Some(e) = self.failure.take() {
                 return Err(e);
             }
+            let t0 = self.kprof.as_ref().map(|_| std::time::Instant::now());
             self.resolve_if_dirty();
+            if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
+                kp.wall.solve_s += t0.elapsed().as_secs_f64();
+            }
             // Next event: the earlier of the timed-event queue and the
             // earliest predicted activity completion (ties: timed events
             // first — they can only start new work, never unfinish it).
@@ -393,21 +437,39 @@ impl Engine {
             match (t_ev, t_act) {
                 (None, None) => break,
                 (Some(te), ta) if ta.map(|ta| te <= ta).unwrap_or(true) => {
+                    let t0 = self.kprof.as_ref().map(|_| std::time::Instant::now());
                     // panics: kernel invariant; violation means simulator state corruption
                     let Reverse(ev) = self.heap.pop().unwrap();
                     debug_assert!(ev.time >= self.clock - 1e-9);
                     self.clock = self.clock.max(ev.time);
+                    if let Some(kp) = self.kprof.as_mut() {
+                        kp.heap_pops += 1;
+                        match ev.kind {
+                            EventKind::LatencyDone { .. } => kp.latency_events += 1,
+                            EventKind::SleepDone { .. } => kp.sleep_events += 1,
+                        }
+                    }
                     match ev.kind {
                         EventKind::LatencyDone { comm } => self.start_transfer(comm),
                         EventKind::SleepDone { op } => self.complete_op(op),
                     }
+                    if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
+                        kp.wall.events_s += t0.elapsed().as_secs_f64();
+                    }
                 }
                 _ => {
+                    let t0 = self.kprof.as_ref().map(|_| std::time::Instant::now());
                     // panics: kernel invariant; violation means simulator state corruption
                     let (t, act) = self.completions.pop().unwrap();
                     debug_assert!(t >= self.clock - 1e-9);
                     self.clock = self.clock.max(t);
+                    if let Some(kp) = self.kprof.as_mut() {
+                        kp.completion_pops += 1;
+                    }
                     self.finish_activity(act);
+                    if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
+                        kp.wall.completions_s += t0.elapsed().as_secs_f64();
+                    }
                 }
             }
         }
@@ -467,6 +529,10 @@ impl Engine {
     fn push_event(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
         self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+        if let Some(kp) = self.kprof.as_mut() {
+            kp.heap_pushes += 1;
+            kp.heap_peak = kp.heap_peak.max(self.heap.len() as u64);
+        }
     }
 
     /// Integrates an activity's progress up to the current clock.
@@ -508,6 +574,10 @@ impl Engine {
                 self.completions.remove(act);
             }
         }
+        if let Some(kp) = self.kprof.as_mut() {
+            kp.completion_updates += changed.len() as u64;
+            kp.completions_peak = kp.completions_peak.max(self.completions.len() as u64);
+        }
         self.changed_vars = changed;
     }
 
@@ -544,6 +614,9 @@ impl Engine {
             self.var_act.resize(var.0 + 1, usize::MAX);
         }
         self.var_act[var.0] = act;
+        if let Some(kp) = self.kprof.as_mut() {
+            kp.activities_peak = kp.activities_peak.max(self.activities.len() as u64);
+        }
         act
     }
 
@@ -561,6 +634,9 @@ impl Engine {
     fn step_actor(&mut self, aid: ActorId, wake: Wake) {
         if !self.actors[aid].alive {
             return;
+        }
+        if let Some(kp) = self.kprof.as_mut() {
+            kp.actor_steps += 1;
         }
         if wake == Wake::Start {
             if let Some(obs) = self.observer.as_mut() {

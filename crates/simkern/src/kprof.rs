@@ -1,0 +1,88 @@
+//! Kernel self-profiling: counters and wall-time attribution for the
+//! engine's hot loop.
+//!
+//! The question this module answers is *"why is replay slow at this
+//! scale?"* — BENCH_replay.json shows records/s **falling** with rank
+//! count, and without visibility into the LMM solver and the event
+//! machinery that open item is unactionable. When profiling is enabled
+//! ([`crate::Engine::enable_kernel_profiling`]), the engine counts the
+//! work its hot loop performs (solver islands, constraints and
+//! variables touched, event-heap traffic, completion-heap updates,
+//! peak structure sizes) and attributes wall-clock time to the four
+//! engine phases (run-queue drain, incremental solve, timed events,
+//! activity completions). When disabled — the default — the only cost
+//! is one untaken `Option` branch per phase, measured by the
+//! observer-overhead bench gate.
+//!
+//! Counters are profiling state, **not** simulation state: they are
+//! excluded from [`crate::snapshot::EngineSnapshot`] so enabling the
+//! profiler cannot perturb bit-identical checkpoint/resume, and the
+//! simulated outcome is byte-identical with and without it.
+
+use crate::lmm::SolverStats;
+
+/// Wall-clock seconds attributed to each engine phase, accumulated
+/// over every [`crate::Engine::run_until`] call since profiling was
+/// enabled. Phases are disjoint; `total_s` additionally covers loop
+/// bookkeeping between them, so `total_s >=` the sum of the parts.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct WallPhases {
+    /// Draining the run queue (stepping actors, posting operations).
+    pub drain_s: f64,
+    /// Incremental LMM solves + completion-prediction refresh.
+    pub solve_s: f64,
+    /// Timed-event dispatch (latency expiries, sleep expiries).
+    pub events_s: f64,
+    /// Activity-completion dispatch (transfers/computes finishing).
+    pub completions_s: f64,
+    /// Whole engine loop, end to end.
+    pub total_s: f64,
+}
+
+/// Counters and wall-phase attribution collected by the engine while
+/// kernel profiling is enabled. Retrieved (and detached) with
+/// [`crate::Engine::take_kernel_profile`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Actor steps executed (run-queue pops that reached the actor).
+    pub actor_steps: u64,
+    /// Timed events pushed onto the binary event heap.
+    pub heap_pushes: u64,
+    /// Timed events popped off the binary event heap.
+    pub heap_pops: u64,
+    /// Peak size of the timed-event heap.
+    pub heap_peak: u64,
+    /// Timed events that were flow-latency expiries.
+    pub latency_events: u64,
+    /// Timed events that were sleep expiries.
+    pub sleep_events: u64,
+    /// In-place completion-prediction updates (indexed-heap `set` or
+    /// `remove` after a rate change).
+    pub completion_updates: u64,
+    /// Activity completions popped off the indexed heap.
+    pub completion_pops: u64,
+    /// Peak size of the completion heap (== peak running activities).
+    pub completions_peak: u64,
+    /// Peak occupancy of the activity slab.
+    pub activities_peak: u64,
+    /// Operations completed over the profiled run.
+    pub ops_completed: u64,
+    /// Cumulative incremental-solver counters (solves, islands,
+    /// constraints/variables touched, rate changes).
+    pub solver: SolverStats,
+    /// Wall-clock attribution per engine phase.
+    pub wall: WallPhases,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_all_zero() {
+        let kp = KernelProfile::default();
+        assert_eq!(kp.actor_steps, 0);
+        assert_eq!(kp.solver.solves, 0);
+        assert_eq!(kp.wall.total_s, 0.0);
+    }
+}

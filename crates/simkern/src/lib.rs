@@ -83,6 +83,7 @@ pub mod actor;
 pub mod idxheap;
 pub mod engine;
 pub mod error;
+pub mod kprof;
 pub mod lmm;
 pub mod netmodel;
 pub mod observer;
@@ -92,6 +93,7 @@ pub mod snapshot;
 
 pub use actor::{Actor, Ctx, Step, Wake};
 pub use engine::{Engine, MailboxKey, OpId, RunStatus};
+pub use kprof::{KernelProfile, WallPhases};
 pub use snapshot::EngineSnapshot;
 pub use error::{OpKind, SimError, WaitFor};
 pub use netmodel::{NetworkConfig, PiecewiseModel, Segment};

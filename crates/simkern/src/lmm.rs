@@ -64,6 +64,24 @@ struct Var {
     visited: bool,
 }
 
+/// Cumulative counters over every incremental solve since the system
+/// was created (or restored from a snapshot — counters are *not* part
+/// of [`LmmSnapshot`]: they are profiling state, not simulation state,
+/// and must not perturb bit-identical checkpoint/resume).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Non-trivial [`System::solve_dirty`] calls (dirty on entry).
+    pub solves: u64,
+    /// Connected components (islands) re-solved across all solves.
+    pub islands: u64,
+    /// Constraints visited during island collection, summed.
+    pub constraints_touched: u64,
+    /// Variables visited during island collection, summed.
+    pub vars_touched: u64,
+    /// Variables whose rate actually changed, summed.
+    pub rate_changes: u64,
+}
+
 /// The sharing system: a set of constraints and variables.
 #[derive(Debug, Default)]
 pub struct System {
@@ -74,6 +92,7 @@ pub struct System {
     /// Dirty variables with no constraints (their rate is their bound).
     dirty_free_vars: Vec<usize>,
     dirty: bool,
+    stats: SolverStats,
 }
 
 impl System {
@@ -196,6 +215,11 @@ impl System {
         self.dirty
     }
 
+    /// Cumulative incremental-solve counters (see [`SolverStats`]).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
     // ------------------------------------------------------------------
     // Checkpoint support
 
@@ -303,6 +327,7 @@ impl System {
             dirty_cnsts: Vec::new(),
             dirty_free_vars: Vec::new(),
             dirty: false,
+            stats: SolverStats::default(),
         })
     }
 
@@ -317,6 +342,8 @@ impl System {
             return;
         }
         self.dirty = false;
+        self.stats.solves += 1;
+        let changed_before = changed.len();
 
         // Free variables: rate = bound, no sharing.
         let free = std::mem::take(&mut self.dirty_free_vars);
@@ -341,6 +368,7 @@ impl System {
                 continue;
             }
             cn.visited = true;
+            self.stats.islands += 1;
             queue.push(seed);
             while let Some(c) = queue.pop() {
                 comp_cnsts.push(c);
@@ -364,6 +392,9 @@ impl System {
             }
         }
 
+        self.stats.constraints_touched += comp_cnsts.len() as u64;
+        self.stats.vars_touched += comp_vars.len() as u64;
+
         // Solve the collected sub-system.
         let old: Vec<f64> = comp_vars.iter().map(|&v| self.vars[v].value).collect();
         self.fill(&comp_vars, &comp_cnsts);
@@ -372,6 +403,8 @@ impl System {
                 changed.push(VarId(v));
             }
         }
+
+        self.stats.rate_changes += (changed.len() - changed_before) as u64;
 
         // Clear the scratch marks.
         for &v in &comp_vars {

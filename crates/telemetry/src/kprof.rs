@@ -1,0 +1,218 @@
+//! Rendering for the simulation kernel's self-profile
+//! ([`simkern::KernelProfile`]) — the "why is replay slow at this
+//! scale" report.
+//!
+//! The ROADMAP's top open item is replay throughput *falling* with
+//! rank count. The raw counters (LMM solves, constraints and variables
+//! touched per solve, event-heap traffic, completion-heap churn, peak
+//! structure sizes) name the culprit: if `constraints_per_solve` grows
+//! with ranks, the solver's islands are coalescing; if heap traffic
+//! grows, the event queue is the problem. [`KernelReport::to_json`]
+//! renders the deterministic core (`tit-kprof-v1`): counters plus
+//! derived per-operation ratios, byte-identical across runs and
+//! `--jobs` values, suitable for CI diffing.
+//! [`KernelReport::to_json_with_walls`] appends the wall-clock phase
+//! attribution — meaningful for humans and benches, **not**
+//! reproducible across runs.
+
+use simkern::KernelProfile;
+
+/// A kernel self-profile plus the replay context needed for derived
+/// per-operation ratios.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelReport {
+    /// The engine's counters and wall-phase attribution.
+    pub profile: KernelProfile,
+    /// Ranks replayed.
+    pub num_ranks: usize,
+    /// Trace actions replayed (the throughput denominator).
+    pub actions_replayed: u64,
+    /// Simulated makespan, seconds.
+    pub simulated_time: f64,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    #[allow(clippy::cast_precision_loss)] // counters stay far below 2^52
+    if den > 0 {
+        num as f64 / den as f64
+    } else {
+        0.0
+    }
+}
+
+impl KernelReport {
+    /// Serialises the deterministic core as JSON (`tit-kprof-v1`):
+    /// engine and solver counters plus derived ratios, **no wall
+    /// clock** — identical replays produce byte-identical output. See
+    /// `docs/OBSERVABILITY.md` for the schema.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let p = &self.profile;
+        let s = &p.solver;
+        let mut out = String::with_capacity(768);
+        out.push_str("{\"schema\":\"tit-kprof-v1\"");
+        out.push_str(&format!(",\"num_ranks\":{}", self.num_ranks));
+        out.push_str(&format!(",\"actions_replayed\":{}", self.actions_replayed));
+        out.push_str(&format!(",\"simulated_time\":{}", self.simulated_time));
+        out.push_str(&format!(
+            ",\n\"engine\":{{\"actor_steps\":{},\"ops_completed\":{},\"heap_pushes\":{},\"heap_pops\":{},\"heap_peak\":{},\"latency_events\":{},\"sleep_events\":{},\"completion_updates\":{},\"completion_pops\":{},\"completions_peak\":{},\"activities_peak\":{}}}",
+            p.actor_steps,
+            p.ops_completed,
+            p.heap_pushes,
+            p.heap_pops,
+            p.heap_peak,
+            p.latency_events,
+            p.sleep_events,
+            p.completion_updates,
+            p.completion_pops,
+            p.completions_peak,
+            p.activities_peak
+        ));
+        out.push_str(&format!(
+            ",\n\"solver\":{{\"solves\":{},\"islands\":{},\"constraints_touched\":{},\"vars_touched\":{},\"rate_changes\":{}}}",
+            s.solves, s.islands, s.constraints_touched, s.vars_touched, s.rate_changes
+        ));
+        out.push_str(&format!(
+            ",\n\"derived\":{{\"constraints_per_solve\":{},\"vars_per_solve\":{},\"islands_per_solve\":{},\"solves_per_op\":{},\"heap_ops_per_op\":{},\"completion_updates_per_op\":{},\"rate_changes_per_solve\":{}}}}}\n",
+            ratio(s.constraints_touched, s.solves),
+            ratio(s.vars_touched, s.solves),
+            ratio(s.islands, s.solves),
+            ratio(s.solves, p.ops_completed),
+            ratio(p.heap_pushes + p.heap_pops, p.ops_completed),
+            ratio(p.completion_updates, p.ops_completed),
+            ratio(s.rate_changes, s.solves)
+        ));
+        out
+    }
+
+    /// Like [`KernelReport::to_json`] but with a `"wall"` section
+    /// appended — phase-attributed wall seconds and replay throughput.
+    /// Useful for benches and humans, **not** reproducible across runs.
+    #[must_use]
+    pub fn to_json_with_walls(&self) -> String {
+        let mut out = self.to_json();
+        // strip the trailing "}\n" and splice the wall object in
+        out.truncate(out.len() - 2);
+        let w = &self.profile.wall;
+        let rps = if w.total_s > 0.0 {
+            #[allow(clippy::cast_precision_loss)] // counters stay far below 2^52
+            let n = self.actions_replayed as f64;
+            n / w.total_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            ",\n\"wall\":{{\"drain_s\":{},\"solve_s\":{},\"events_s\":{},\"completions_s\":{},\"total_s\":{},\"records_per_sec\":{}}}}}\n",
+            w.drain_s, w.solve_s, w.events_s, w.completions_s, w.total_s, rps
+        ));
+        out
+    }
+
+    /// Renders a human-readable summary naming where the time and the
+    /// solver work went.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let p = &self.profile;
+        let s = &p.solver;
+        let w = &p.wall;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "kernel profile: {} ranks, {} actions, simulated {:.6}s\n",
+            self.num_ranks, self.actions_replayed, self.simulated_time
+        ));
+        out.push_str(&format!(
+            "  solver: {} solves, {} islands, {:.2} constraints/solve, {:.2} vars/solve, {} rate changes\n",
+            s.solves,
+            s.islands,
+            ratio(s.constraints_touched, s.solves),
+            ratio(s.vars_touched, s.solves),
+            s.rate_changes
+        ));
+        out.push_str(&format!(
+            "  events: {} heap pushes, {} pops, peak {}; {} latency, {} sleep\n",
+            p.heap_pushes, p.heap_pops, p.heap_peak, p.latency_events, p.sleep_events
+        ));
+        out.push_str(&format!(
+            "  completions: {} in-place updates, {} pops, peak {} active (slab peak {})\n",
+            p.completion_updates, p.completion_pops, p.completions_peak, p.activities_peak
+        ));
+        if w.total_s > 0.0 {
+            out.push_str(&format!(
+                "  wall: {:.3}s total = drain {:.3}s ({:.0}%) + solve {:.3}s ({:.0}%) + events {:.3}s ({:.0}%) + completions {:.3}s ({:.0}%)\n",
+                w.total_s,
+                w.drain_s,
+                100.0 * w.drain_s / w.total_s,
+                w.solve_s,
+                100.0 * w.solve_s / w.total_s,
+                w.events_s,
+                100.0 * w.events_s / w.total_s,
+                w.completions_s,
+                100.0 * w.completions_s / w.total_s
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> KernelReport {
+        let mut p = KernelProfile {
+            actor_steps: 100,
+            ops_completed: 50,
+            heap_pushes: 20,
+            heap_pops: 20,
+            heap_peak: 5,
+            completion_updates: 80,
+            completions_peak: 7,
+            ..Default::default()
+        };
+        p.solver.solves = 40;
+        p.solver.islands = 42;
+        p.solver.constraints_touched = 400;
+        p.solver.vars_touched = 200;
+        p.solver.rate_changes = 120;
+        p.wall.total_s = 2.0;
+        p.wall.solve_s = 1.5;
+        KernelReport { profile: p, num_ranks: 8, actions_replayed: 1000, simulated_time: 1.25 }
+    }
+
+    #[test]
+    fn deterministic_core_excludes_wall() {
+        let r = demo();
+        let a = r.to_json();
+        assert_eq!(a, r.to_json());
+        assert!(a.contains("\"schema\":\"tit-kprof-v1\""));
+        assert!(a.contains("\"constraints_per_solve\":10"));
+        assert!(!a.contains("\"wall\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn walls_section_splices_balanced() {
+        let r = demo();
+        let t = r.to_json_with_walls();
+        assert!(t.contains("\"wall\":{"));
+        assert!(t.contains("\"records_per_sec\":500"));
+        assert_eq!(t.matches('{').count(), t.matches('}').count());
+        assert!(t.ends_with("}\n"));
+    }
+
+    #[test]
+    fn zero_denominators_render_zero() {
+        let r = KernelReport::default();
+        let a = r.to_json();
+        assert!(a.contains("\"solves_per_op\":0"));
+        let text = r.render_text();
+        assert!(text.contains("solver: 0 solves"));
+    }
+
+    #[test]
+    fn text_report_names_phases() {
+        let text = demo().render_text();
+        assert!(text.contains("solve 1.500s (75%)"), "{text}");
+        assert!(text.contains("10.00 constraints/solve"), "{text}");
+    }
+}

@@ -20,6 +20,16 @@
 //!   wall-clock timers threaded through the
 //!   acquire → extract → gather → lint → replay pipeline, so every stage
 //!   reports events processed, bytes moved and retries taken.
+//! * [`timeres::TimeResolved`] — a **time-resolved** metrics engine:
+//!   segments simulated time into windows (fixed width and/or phase
+//!   boundaries detected at collective operations) and streams
+//!   per-window, per-rank compute/comm time, bytes, operation counts,
+//!   active-flow peaks and derived metrics (comm ratio, load imbalance)
+//!   in O(ranks + open window) memory.
+//! * [`kprof::KernelReport`] — renders the simulation kernel's
+//!   self-profile ([`simkern::KernelProfile`]): where the *wall* time
+//!   goes (solver vs event machinery) and how much work each solve
+//!   touches, the "why is replay slow at this scale" report.
 //!
 //! All three attach to one engine run through
 //! [`simkern::observer::Fanout`]; the caller keeps cheap handles and
@@ -44,13 +54,19 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod kprof;
 pub mod metrics;
 pub mod profile;
 pub mod timeline;
+pub mod timeres;
 
+pub use kprof::KernelReport;
 pub use metrics::Metrics;
 pub use profile::{Histogram, Profile, ProfileReport, RankProfile, TagStats, HIST_BUCKETS};
 pub use timeline::{SharedBuf, Timeline, TimelineFormat, TimelineSummary};
+pub use timeres::{
+    RankTotals, TimeResReport, TimeResolved, WindowKind, WindowSpec, WindowSummary, CSV_HEADER,
+};
 
 /// Maps an operation tag to a human-readable action name (the replay
 /// layer passes `tit_replay::tags::name`).

@@ -16,6 +16,12 @@
 # metrics path must afterwards be either absent or valid JSON, with no
 # orphaned `.tmp*` siblings; a fresh daemon on the same metrics path
 # must start, serve, and drain normally.
+#
+# Both parts also run with `--access-log` (docs/OBSERVABILITY.md): every
+# line of the log must parse, and every admitted request — served, shed,
+# preempted, or in flight at the SIGKILL — must appear exactly once with
+# a terminal status. The killed request surfaces after restart as a
+# synthesized `lost` record with `"restart":true`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,8 +54,53 @@ start_daemon() {
   exit 1
 }
 
+# check_access_log PATH MIN_SHED MIN_LOST — every line parses; every
+# admit has exactly one terminal record; a done without an admit is
+# only legal for drain-time sheds.
+check_access_log() {
+  python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+path, min_shed, min_lost = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+admits, dones, preempts = {}, {}, 0
+with open(path) as f:
+    lines = f.read().splitlines()
+for i, line in enumerate(lines):
+    try:
+        rec = json.loads(line)
+    except ValueError:
+        sys.exit(f"chaos_serve: FAIL: access log line {i} unparseable: {line!r}")
+    ev, seq = rec["event"], rec["seq"]
+    if ev == "admit":
+        assert seq not in admits, f"duplicate admit seq {seq}"
+        admits[seq] = rec["id"]
+    elif ev == "done":
+        assert seq not in dones, f"second terminal record for seq {seq}: {rec}"
+        assert rec["status"] in ("ok", "partial", "error", "shed", "lost"), rec
+        dones[seq] = rec
+    elif ev == "preempt":
+        preempts += 1
+    else:
+        sys.exit(f"chaos_serve: FAIL: unknown access log event {ev!r}")
+for seq, rid in admits.items():
+    assert seq in dones, f"admitted seq {seq} ({rid!r}) has no terminal record"
+for seq, rec in dones.items():
+    if seq not in admits:
+        assert rec["status"] == "shed", f"terminal record without admit: {rec}"
+    if rec["status"] != "lost":
+        spans = [rec[k] for k in ("queue_s", "load_s", "replay_s", "respond_s")]
+        assert all(s >= 0 for s in spans), f"negative span: {rec}"
+shed = sum(1 for r in dones.values() if r["status"] == "shed")
+lost = sum(1 for r in dones.values() if r["status"] == "lost")
+assert shed >= min_shed, f"expected >= {min_shed} shed record(s), saw {shed}"
+assert lost >= min_lost, f"expected >= {min_lost} lost record(s), saw {lost}"
+print(f"chaos_serve:   access log: {len(admits)} admitted, {len(dones)} terminal, "
+      f"{shed} shed, {lost} lost, {preempts} preempt hop(s) — exactly once")
+EOF
+}
+
 echo "chaos_serve: part 1 — mixed burst against an undersized daemon"
-start_daemon --workers 1 --queue-cap 2 --job-delay-ms 100 --metrics "$work/m1.json"
+start_daemon --workers 1 --queue-cap 2 --job-delay-ms 100 \
+  --metrics "$work/m1.json" --access-log "$work/al1.ndjson"
 
 python3 - "$port" "$src" <<'EOF'
 import json, socket, sys
@@ -88,15 +139,27 @@ s2 = socket.create_connection(("127.0.0.1", port), timeout=10)
 f2 = s2.makefile("rw", encoding="utf-8", newline="\n")
 f2.write('{"op":"ping"}\n'); f2.flush()
 assert json.loads(f2.readline())["status"] == "ok"
+
+# The live metrics op returns a titobs-metrics-v1 snapshot mid-flight.
+f2.write('{"op":"metrics"}\n'); f2.flush()
+m = json.loads(f2.readline())
+assert m["status"] == "ok" and m["op"] == "metrics", m
+snap = m["metrics"]
+assert snap.get("schema") == "titobs-metrics-v1", snap
+reqs = snap.get("counters", {}).get("serve.requests", 0)
+assert reqs >= 1, snap
+print(f"chaos_serve:   live metrics op: serve.requests = {reqs}")
 EOF
 
 exec {stdin_fd}>&-   # stdin EOF => graceful drain
 wait "$pid" || { echo "chaos_serve: FAIL: daemon exited non-zero after drain" >&2; exit 1; }
 grep -q "panicked" "$work/daemon.out" && { echo "chaos_serve: FAIL: daemon panicked" >&2; exit 1; }
 python3 scripts/check_telemetry.py --serve "$work/m1.json"
+check_access_log "$work/al1.ndjson" 1 0
 
 echo "chaos_serve: part 2 — SIGKILL with work in flight, then restart"
-start_daemon --workers 1 --job-delay-ms 2000 --metrics "$work/m2.json"
+start_daemon --workers 1 --job-delay-ms 2000 \
+  --metrics "$work/m2.json" --access-log "$work/al2.ndjson"
 python3 - "$port" "$src" <<'EOF'
 import json, socket, sys
 port, trace = int(sys.argv[1]), sys.argv[2]
@@ -119,7 +182,13 @@ if [ -f "$work/m2.json" ]; then
 fi
 echo "chaos_serve:   no partial or corrupt files left behind"
 
-start_daemon --workers 1 --metrics "$work/m2.json"
+# The restarted daemon scans the access log and synthesizes a `lost`
+# terminal record for the request the SIGKILL orphaned.
+start_daemon --workers 1 --metrics "$work/m2.json" --access-log "$work/al2.ndjson"
+grep -q '"status":"lost"' "$work/al2.ndjson" \
+  || { echo "chaos_serve: FAIL: no lost record synthesized on restart" >&2; exit 1; }
+grep -q '"restart":true' "$work/al2.ndjson" \
+  || { echo "chaos_serve: FAIL: lost record not marked restart:true" >&2; exit 1; }
 python3 - "$port" "$src" <<'EOF'
 import json, socket, sys
 port, trace = int(sys.argv[1]), sys.argv[2]
@@ -138,4 +207,5 @@ if ls "$work"/m2.json.tmp* >/dev/null 2>&1; then
   exit 1
 fi
 python3 scripts/check_telemetry.py --serve "$work/m2.json"
+check_access_log "$work/al2.ndjson" 0 1
 echo "chaos_serve: OK"

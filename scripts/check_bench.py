@@ -11,7 +11,12 @@ baseline:
   2. for ingest records only: the largest run's speedup must be >= 2.0
      when that run used >= 4 worker threads (the PR 4 acceptance
      criterion; vacuous on 1- and 2-core machines);
-  3. envelope sanity: same bench name, non-empty runs, finite positive
+  3. for replay records carrying an observer_overhead section: the
+     no-op observer must cost <= 2% wall and the attached time-resolved
+     sink <= 10% (docs/OBSERVABILITY.md) — skipped when the detached
+     wall is under MIN_OVERHEAD_WALL seconds, where timer noise
+     dominates any real ratio;
+  4. envelope sanity: same bench name, non-empty runs, finite positive
      peak.
 
 Exit status: 0 pass, 1 regression, 2 usage/parse error.
@@ -24,6 +29,9 @@ import sys
 PEAK_FLOOR = 0.5
 SPEEDUP_FLOOR = 2.0
 SPEEDUP_MIN_JOBS = 4
+NOOP_CEIL = 1.02
+TIMERES_CEIL = 1.10
+MIN_OVERHEAD_WALL = 0.03
 
 
 def load(path):
@@ -111,6 +119,37 @@ def main():
             print(
                 f"[ingest] {label}: speedup check skipped "
                 f"({jobs} job(s) < {SPEEDUP_MIN_JOBS})"
+            )
+
+    if fresh["bench"] == "replay" and "observer_overhead" in fresh:
+        o = fresh["observer_overhead"]
+        label = o.get("label", "?")
+        for key in ("wall_detached", "noop_ratio", "timeres_ratio"):
+            if key not in o:
+                print(
+                    f"check_bench: {fresh_path}: observer_overhead missing "
+                    f"{key!r} (renamed in the emitter? update this gate "
+                    "alongside it)",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+        wall = o["wall_detached"]
+        if wall >= MIN_OVERHEAD_WALL:
+            for name, ratio, ceil in (
+                ("no-op", o["noop_ratio"], NOOP_CEIL),
+                ("time-resolved", o["timeres_ratio"], TIMERES_CEIL),
+            ):
+                verdict = "OK" if ratio <= ceil else "FAIL"
+                print(
+                    f"[replay] observer overhead ({label}): {name} "
+                    f"{ratio:.3f}x (ceiling {ceil}x): {verdict}"
+                )
+                if ratio > ceil:
+                    failed = True
+        else:
+            print(
+                f"[replay] observer overhead ({label}): skipped — detached "
+                f"wall {wall:.3f}s < {MIN_OVERHEAD_WALL}s floor"
             )
 
     sys.exit(1 if failed else 0)

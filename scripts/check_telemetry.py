@@ -4,6 +4,8 @@
 Usage: check_telemetry.py TIMELINE.json PROFILE.json METRICS.json
        check_telemetry.py --robustness DEGRADED_METRICS.json RESUME_METRICS.json
        check_telemetry.py --serve SERVE_METRICS.json
+       check_telemetry.py --timeres TIMERES.json
+       check_telemetry.py --kprof KPROF.json
 
 Checks that
   * the timeline parses as Chrome trace-event JSON, its complete events
@@ -20,6 +22,19 @@ admitted request resolves exactly once — ok, partial or error — no
 matter how often it was preempted and requeued), and a drained queue
 (serve.queue_depth == 0).
 
+With --timeres, checks a tit-replay --time-resolved report
+(docs/OBSERVABILITY.md): schema tit-timeres-v1, no unknown top-level
+sections, windows in time order with balanced per-window op counts,
+derived metrics in range, and conservation — the per-window totals
+summed over the run must equal the whole-run per-rank totals.
+
+With --kprof, checks a kernel self-profiling report: schema
+tit-kprof-v1 (or a tit-kprof-sweep-v1 envelope of them, as
+KPROF_replay.json), no unknown top-level sections, engine/solver
+counter sanity (pops never exceed pushes, ops completed on a non-empty
+replay) and finite derived ratios. The wall section is optional — the
+deterministic core that CI byte-diffs must not carry it.
+
 With --robustness, instead checks the DESIGN.md §5f counters: the
 degraded metrics must carry degraded.ranks_stubbed /
 degraded.actions_trimmed, a degraded.completeness value in [0, 1], and
@@ -30,6 +45,7 @@ Exits 0 when all pass, 1 with a message otherwise.
 """
 
 import json
+import math
 import sys
 
 
@@ -184,7 +200,151 @@ def check_serve(path):
           + (f" ({extras})" if extras else ""))
 
 
+def no_unknown_sections(doc, path, known):
+    """A new top-level section must be added to this validator in the
+    same change that starts emitting it — an unknown key fails loudly
+    instead of being silently unvalidated."""
+    unknown = sorted(set(doc) - set(known))
+    if unknown:
+        fail(f"{path}: unknown top-level section(s) {unknown} "
+             "(new emitter field? teach this validator about it)")
+
+
+TIMERES_KEYS = ("schema", "num_ranks", "window_width", "phase_boundaries",
+                "simulated_time", "total_ops", "num_windows", "windows",
+                "ranks")
+
+WINDOW_KEYS = ("index", "start", "end", "kind", "ops", "compute_time",
+               "comm_time", "compute_ops", "comm_ops", "flops", "bytes",
+               "comm_ratio", "imbalance", "active_peak")
+
+RANK_KEYS = ("rank", "compute_time", "comm_time", "compute_ops",
+             "comm_ops", "flops", "bytes")
+
+
+def check_timeres(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "tit-timeres-v1":
+        fail(f"{path}: bad schema {doc.get('schema')!r}")
+    no_unknown_sections(doc, path, TIMERES_KEYS)
+    windows, ranks = doc.get("windows"), doc.get("ranks")
+    if not isinstance(windows, list):
+        fail(f"{path}: windows missing")
+    if doc.get("num_windows") != len(windows):
+        fail(f"{path}: num_windows {doc.get('num_windows')} != {len(windows)}")
+    if not isinstance(ranks, list) or len(ranks) != doc.get("num_ranks"):
+        fail(f"{path}: ranks/num_ranks mismatch")
+    prev_start = float("-inf")
+    sums = {k: 0 for k in ("compute_time", "comm_time", "compute_ops",
+                           "comm_ops", "flops", "bytes")}
+    for i, w in enumerate(windows):
+        no_unknown_sections(w, f"{path} window {i}", WINDOW_KEYS)
+        if w["index"] != i:
+            fail(f"{path}: window {i} has index {w['index']}")
+        if not w["start"] <= w["end"]:
+            fail(f"{path}: window {i} start {w['start']} > end {w['end']}")
+        if w["start"] < prev_start:
+            fail(f"{path}: window {i} out of time order")
+        prev_start = w["start"]
+        if w["ops"] != w["compute_ops"] + w["comm_ops"]:
+            fail(f"{path}: window {i} ops {w['ops']} != compute+comm")
+        if w["kind"] not in ("fixed", "phase", "final"):
+            fail(f"{path}: window {i} bad kind {w['kind']!r}")
+        if not 0.0 <= w["comm_ratio"] <= 1.0 + 1e-12:
+            fail(f"{path}: window {i} comm_ratio {w['comm_ratio']}")
+        if w["imbalance"] < 0.0:
+            fail(f"{path}: window {i} imbalance {w['imbalance']}")
+        for k in sums:
+            sums[k] += w[k]
+    totals = {k: 0 for k in sums}
+    for r in ranks:
+        no_unknown_sections(r, f"{path} rank {r.get('rank')}", RANK_KEYS)
+        for k in totals:
+            totals[k] += r[k]
+    for k in ("compute_ops", "comm_ops"):
+        if sums[k] != totals[k]:
+            fail(f"{path}: window {k} sum {sums[k]} != rank total {totals[k]}")
+    for k in ("compute_time", "comm_time", "flops", "bytes"):
+        if abs(sums[k] - totals[k]) > 1e-9 * max(abs(totals[k]), 1.0):
+            fail(f"{path}: window {k} sum {sums[k]} != rank total {totals[k]}")
+    print(f"check_telemetry: {path}: {len(windows)} window(s), "
+          f"{doc['total_ops']} ops conserved across {len(ranks)} rank(s)")
+
+
+KPROF_KEYS = ("schema", "num_ranks", "actions_replayed", "simulated_time",
+              "engine", "solver", "derived", "wall")
+
+KPROF_ENGINE = ("actor_steps", "ops_completed", "heap_pushes", "heap_pops",
+                "heap_peak", "latency_events", "sleep_events",
+                "completion_updates", "completion_pops", "completions_peak",
+                "activities_peak")
+
+KPROF_SOLVER = ("solves", "islands", "constraints_touched", "vars_touched",
+                "rate_changes")
+
+
+def check_kprof_doc(doc, path):
+    if doc.get("schema") != "tit-kprof-v1":
+        fail(f"{path}: bad schema {doc.get('schema')!r}")
+    no_unknown_sections(doc, path, KPROF_KEYS)
+    engine = doc.get("engine")
+    for section, keys in (("engine", KPROF_ENGINE), ("solver", KPROF_SOLVER)):
+        d = doc.get(section)
+        if not isinstance(d, dict):
+            fail(f"{path}: {section} section missing")
+        no_unknown_sections(d, f"{path} {section}", keys)
+        for k in keys:
+            v = d.get(k)
+            if not (isinstance(v, int) and v >= 0):
+                fail(f"{path}: {section}.{k} {v!r} not a counter")
+    if engine["heap_pops"] > engine["heap_pushes"]:
+        fail(f"{path}: heap pops {engine['heap_pops']} exceed pushes "
+             f"{engine['heap_pushes']}")
+    if doc.get("actions_replayed", 0) > 0 and engine["ops_completed"] == 0:
+        fail(f"{path}: actions replayed but ops_completed == 0")
+    derived = doc.get("derived")
+    if not isinstance(derived, dict) or not derived:
+        fail(f"{path}: derived section missing")
+    for k, v in derived.items():
+        if not (isinstance(v, (int, float)) and math.isfinite(v) and v >= 0):
+            fail(f"{path}: derived.{k} {v!r} not finite and non-negative")
+    wall = doc.get("wall")
+    if wall is not None:
+        parts = sum(wall.get(k, 0) for k in
+                    ("drain_s", "solve_s", "events_s", "completions_s"))
+        total = wall.get("total_s", 0)
+        if parts > total * (1 + 1e-6) + 1e-9:
+            fail(f"{path}: wall phases {parts} exceed total {total}")
+    return "with walls" if wall is not None else "deterministic core"
+
+
+def check_kprof(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") == "tit-kprof-sweep-v1":
+        no_unknown_sections(doc, path, ("schema", "bench", "runs"))
+        runs = doc.get("runs")
+        if not isinstance(runs, list) or not runs:
+            fail(f"{path}: sweep has no runs")
+        for i, run in enumerate(runs):
+            check_kprof_doc(run, f"{path} run {i}")
+        print(f"check_telemetry: {path}: kprof sweep, {len(runs)} run(s)")
+    else:
+        kind = check_kprof_doc(doc, path)
+        print(f"check_telemetry: {path}: kernel profile "
+              f"({doc['num_ranks']} ranks, {kind})")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--timeres":
+        check_timeres(sys.argv[2])
+        print("check_telemetry: OK")
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--kprof":
+        check_kprof(sys.argv[2])
+        print("check_telemetry: OK")
+        return
     if len(sys.argv) == 3 and sys.argv[1] == "--serve":
         check_serve(sys.argv[2])
         print("check_telemetry: OK")

@@ -50,7 +50,7 @@ fn assert_sandwich(trace: &TiTrace, tag: &str) {
             let cfg = AnalyzeConfig { network: net(), algo, ..Default::default() };
             let (lower, upper) = bounds(trace, &platform, &hosts, &cfg)
                 .unwrap_or_else(|e| panic!("{tag}/{net_name}: analysis failed: {e}"));
-            let rcfg = ReplayConfig { network: net(), algo, collect_records: false };
+            let rcfg = ReplayConfig { network: net(), algo, ..ReplayConfig::default() };
             let out = replay_memory(trace, platform, &hosts, &rcfg)
                 .unwrap_or_else(|e| panic!("{tag}/{net_name}: replay failed: {e}"));
             let sim = out.simulated_time;
