@@ -21,7 +21,7 @@ fn lmm_cluster_solve(c: &mut Criterion) {
                     let mut s = System::new();
                     let nics: Vec<_> = (0..n).map(|_| s.new_constraint(1.25e8)).collect();
                     for i in 0..n {
-                        s.new_variable(1.25e9, vec![nics[i], nics[(i + 1) % n]]);
+                        s.new_variable(1.25e9, &[nics[i], nics[(i + 1) % n]]);
                     }
                     s
                 },

@@ -1,6 +1,7 @@
 fn main() {
     let scale = tit_bench::scale_from_args(0.1);
-    let (report, points) = tit_bench::experiments::fig9::sweep(scale);
+    let max_ranks = tit_bench::max_ranks_from_args(1024);
+    let (report, points) = tit_bench::experiments::fig9::sweep(scale, max_ranks);
     print!("{report}");
     // The observer-overhead guard rides along: same workload family,
     // and its ratios belong in the same BENCH_replay.json record.
@@ -11,7 +12,7 @@ fn main() {
     let records: Vec<tit_bench::PerfRecord> = points
         .iter()
         .map(|p| tit_bench::PerfRecord {
-            label: format!("LU.{} x {}", p.class.name(), p.nproc),
+            label: p.label.clone(),
             actions: p.actions,
             simulated_time: p.simulated,
             wall_time: p.wall,

@@ -1,8 +1,10 @@
 //! Kernel self-profiling sweep (docs/OBSERVABILITY.md). `--scale S`
-//! rescales itmax; writes `KPROF_replay.json` next to the text report.
+//! rescales itmax, `--max-ranks N` truncates the sweep (CI smoke runs
+//! cap at 128); writes `KPROF_replay.json` next to the text report.
 fn main() {
     let scale = tit_bench::scale_from_args(0.1);
-    let (report, points) = tit_bench::experiments::kprof::sweep(scale);
+    let max_ranks = tit_bench::max_ranks_from_args(1024);
+    let (report, points) = tit_bench::experiments::kprof::sweep(scale, max_ranks);
     print!("{report}");
     let json = tit_bench::experiments::kprof::sweep_json(&points);
     let path = std::path::Path::new("KPROF_replay.json");

@@ -30,8 +30,10 @@ pub struct Point {
 }
 
 /// Replays LU `class`×`nproc` at `scale` with kernel profiling on.
+/// Rows beyond ×64 use generator-fed traces with itmax shrunk to hold
+/// action volume constant ([`crate::lu_sweep_instance`]).
 pub fn measure(class: Class, nproc: usize, scale: f64) -> Point {
-    let lu = crate::lu_instance(class, nproc, scale);
+    let lu = crate::lu_sweep_instance(class, nproc, scale);
     let trace = npb::program_trace(&lu.program(), nproc);
     let platform = PlatformDesc::single(presets::bordereau_one_core(nproc)).build();
     let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
@@ -54,17 +56,20 @@ pub fn measure(class: Class, nproc: usize, scale: f64) -> Point {
     }
 }
 
-/// Runs the sweep and renders the text exhibit.
+/// Runs the digest-sized sweep (capped at
+/// [`super::fig9::DIGEST_MAX_RANKS`]) and renders the text exhibit.
 pub fn run(scale: f64) -> String {
-    sweep(scale).0
+    sweep(scale, super::fig9::DIGEST_MAX_RANKS).0
 }
 
 /// Like [`run`], also returning the raw points (so the binary can emit
-/// `KPROF_replay.json`).
-pub fn sweep(scale: f64) -> (String, Vec<Point>) {
+/// `KPROF_replay.json`). Rows with more than `max_ranks` ranks are
+/// skipped.
+pub fn sweep(scale: f64, max_ranks: usize) -> (String, Vec<Point>) {
     let mut out = String::new();
     out.push_str(&format!(
-        "Kernel profile — LU class B sweep (scale {scale}, itmax {})\n\n",
+        "Kernel profile — LU class B sweep (scale {scale}, itmax {} up to x64, \
+         shrunk beyond to hold action volume)\n\n",
         crate::scaled_itmax(Class::B, scale)
     ));
     let mut t = Table::new(&[
@@ -80,7 +85,7 @@ pub fn sweep(scale: f64) -> (String, Vec<Point>) {
         "krec/s",
     ]);
     let mut points = Vec::new();
-    for nproc in [8usize, 16, 32, 64] {
+    for nproc in super::fig9::SWEEP_RANKS_B.into_iter().filter(|&n| n <= max_ranks) {
         let p = measure(Class::B, nproc, scale);
         let k = &p.report.profile;
         let w = &k.wall;
@@ -120,8 +125,10 @@ pub fn sweep(scale: f64) -> (String, Vec<Point>) {
             }
         };
         out.push_str(&format!(
-            "\nper-action growth x8->x64: solver constraints {:.2}x, heap ops {:.2}x\n\
+            "\nper-action growth x{}->x{}: solver constraints {:.2}x, heap ops {:.2}x\n\
              (values > 1 name superlinear kernel work — the throughput-drop culprit)\n",
+            first.report.num_ranks,
+            last.report.num_ranks,
             growth(&|p| p.report.profile.solver.constraints_touched),
             growth(&|p| p.report.profile.heap_pushes + p.report.profile.heap_pops),
         ));

@@ -35,6 +35,7 @@ pub use perf::{
 pub use table::Table;
 
 use npb::{Class, LuConfig};
+use tit_core::{Action, TiTrace};
 
 /// Scales a class's iteration count; minimum 2 so start-up effects do
 /// not dominate.
@@ -46,6 +47,73 @@ pub fn scaled_itmax(class: Class, scale: f64) -> usize {
 /// An LU instance at the given scale.
 pub fn lu_instance(class: Class, nproc: usize, scale: f64) -> LuConfig {
     LuConfig::new(class, nproc).with_itmax(scaled_itmax(class, scale))
+}
+
+/// Iteration count for a throughput-sweep row. Up to 64 ranks this is
+/// the class's scaled itmax (matching the paper's trace sizes); beyond
+/// that the count shrinks proportionally so the total action count
+/// stays roughly constant instead of growing linearly with ranks. The
+/// sweep measures per-action kernel cost versus rank count — holding
+/// trace volume fixed isolates that variable, and keeps the ×1024 row
+/// inside this box's memory budget. Floor of 2 as in [`scaled_itmax`].
+pub fn sweep_itmax(class: Class, nproc: usize, scale: f64) -> usize {
+    let base = scaled_itmax(class, scale);
+    if nproc <= 64 {
+        base
+    } else {
+        (base * 64 / nproc).max(2)
+    }
+}
+
+/// An LU instance sized for a sweep row at `nproc` ranks (the 128–1024
+/// rows have no file traces — the paper's LU captures stop at ×64 — so
+/// sweeps generate them with the same generator that backs `tit-gen`).
+pub fn lu_sweep_instance(class: Class, nproc: usize, scale: f64) -> LuConfig {
+    LuConfig::new(class, nproc).with_itmax(sweep_itmax(class, nproc, scale))
+}
+
+/// A disjoint-pairs ping-pong trace: rank `2i` exchanges messages with
+/// rank `2i+1` only, with per-pair volumes and compute grains staggered
+/// deterministically so completions do not all coincide.
+///
+/// This is the kernel scale-invariance probe (docs/KERNEL.md §2): every
+/// contention island is one pair's two NICs no matter how many ranks
+/// the platform has, so per-action kernel cost must stay flat from ×8
+/// to ×1024 — `scripts/check_bench.py` gates on exactly that. The LU
+/// rows cannot serve here: LU's pipelined wavefront chains flows
+/// through shared NICs into islands that grow with the machine, so its
+/// per-action cost is dominated by model physics, not kernel overhead.
+///
+/// Panics if `nproc` is odd (pairs need a partner).
+pub fn pairs_trace(nproc: usize, iters: usize) -> TiTrace {
+    assert!(nproc.is_multiple_of(2), "pairs_trace needs an even rank count");
+    let mut t = TiTrace::new(nproc);
+    for r in 0..nproc {
+        t.push(r, Action::CommSize { nproc });
+    }
+    for it in 0..iters {
+        for pair in 0..nproc / 2 {
+            let (even, odd) = (2 * pair, 2 * pair + 1);
+            let bytes = 65536.0 * (1.0 + (pair % 5) as f64 * 0.25);
+            let flops = 5e5 * (1.0 + ((pair + it) % 3) as f64 * 0.5);
+            t.push(even, Action::Send { dst: odd, bytes });
+            t.push(odd, Action::Recv { src: even, bytes: None });
+            t.push(odd, Action::Send { dst: even, bytes });
+            t.push(even, Action::Recv { src: odd, bytes: None });
+            t.push(even, Action::Compute { flops });
+            t.push(odd, Action::Compute { flops });
+        }
+    }
+    t
+}
+
+/// Iteration count for a pairs-sweep row: total action volume is held
+/// at roughly `12M x scale` actions regardless of rank count (each
+/// iteration contributes 6 actions per pair), so rows differ only in
+/// machine size — the variable the flatness gate isolates.
+pub fn pairs_iters(nproc: usize, scale: f64) -> usize {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+    ((12_000_000.0 * scale / (3.0 * nproc as f64)) as usize).max(2)
 }
 
 /// Extrapolation factor from a scaled run to the paper's full run.
@@ -81,6 +149,23 @@ pub fn scale_from_args(default: f64) -> f64 {
     default
 }
 
+/// Reads `--max-ranks` (default `default`) from raw program args. CI
+/// smoke runs cap the sweeps at ×128 (one beyond-paper row) so a
+/// pull-request run stays minutes, while baseline regeneration sweeps
+/// the full ×1024.
+pub fn max_ranks_from_args(default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-ranks" {
+            if let Some(v) = args.next() {
+                // panics: a bad CLI value aborts the bench run
+                return v.parse().expect("bad --max-ranks value");
+            }
+        }
+    }
+    default
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +182,30 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn zero_scale_rejected() {
         scaled_itmax(Class::B, 0.0);
+    }
+
+    #[test]
+    fn sweep_itmax_shrinks_beyond_64_ranks() {
+        assert_eq!(sweep_itmax(Class::B, 64, 0.1), 25);
+        assert_eq!(sweep_itmax(Class::B, 128, 0.1), 12);
+        assert_eq!(sweep_itmax(Class::B, 1024, 0.1), 2);
+    }
+
+    #[test]
+    fn pairs_trace_is_balanced_and_volume_is_rank_invariant() {
+        let t = pairs_trace(8, pairs_iters(8, 0.001));
+        assert_eq!(t.num_processes(), 8);
+        // Same total volume at a different rank count (within one
+        // iteration's worth of rounding).
+        let a8 = pairs_iters(8, 0.001) * 3 * 8;
+        let a16 = pairs_iters(16, 0.001) * 3 * 16;
+        let drift = (a8 as f64 - a16 as f64).abs() / a8 as f64;
+        assert!(drift < 0.05, "volumes drifted {drift}: {a8} vs {a16}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even rank count")]
+    fn odd_pairs_rejected() {
+        pairs_trace(7, 2);
     }
 }

@@ -5,6 +5,7 @@
 //! tit-replay --trace-dir DIR --np N
 //!            [--platform platform.xml] [--deploy deploy.xml] [--nodes N]
 //!            [--collectives binomial|flat] [--network mpi|flow|constant]
+//!            [--kernel incremental|reference]
 //!            [--timed-trace out.csv] [--timeline out.json]
 //!            [--profile [out.json]] [--metrics out.json] [--lint]
 //!            [--time-resolved out.json] [--time-resolved-csv out.csv]
@@ -41,6 +42,12 @@
 //! self-profiling — LMM solver work, event-heap traffic, wall time per
 //! engine phase printed to stdout; the file holds the deterministic
 //! counter core, byte-identical across runs and `--jobs` values.
+//!
+//! `--kernel reference` swaps the scale-invariant incremental kernel
+//! (the default) for the full-solve reference kernel it is
+//! differentially tested against. Both simulate bit-identically; the
+//! reference path exists as an oracle and for triaging suspected
+//! kernel bugs (docs/KERNEL.md).
 //!
 //! `--jobs N` selects the parallel ingestion fast path: the per-rank
 //! trace files are parsed by N worker threads (`--jobs 0` = one per
@@ -92,7 +99,7 @@ use tit_replay::{
 };
 use titobs::{KernelReport, Metrics, Profile, TimeResolved, Timeline, TimelineFormat, WindowSpec};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--time-resolved FILE] [--time-resolved-csv FILE] [--window SECS] [--kernel-profile FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
+const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--kernel incremental|reference] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--time-resolved FILE] [--time-resolved-csv FILE] [--window SECS] [--kernel-profile FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
 
 /// Exit code for partial success: a watchdog pause or a degraded
 /// replay that lost actions.
@@ -250,6 +257,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let kernel = match args.get_or("kernel", "incremental".to_string()).as_str() {
+        "incremental" => simkern::KernelMode::Incremental,
+        "reference" => simkern::KernelMode::Reference,
+        other => {
+            eprintln!("unknown kernel mode {other:?}");
+            std::process::exit(2);
+        }
+    };
     // Only the paje writer needs the records buffered (it sorts by
     // rank); everything else streams through observers.
     let cfg = ReplayConfig {
@@ -257,6 +272,7 @@ fn main() {
         algo,
         collect_records: args.get("paje").is_some(),
         kernel_profile: kernel_profile_path.is_some(),
+        kernel,
     };
 
     // Assemble the streaming observer set. `--profile` doubles as a

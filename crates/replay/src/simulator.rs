@@ -8,7 +8,7 @@ use crate::process::{ActionSource, CompactSource, FileSource, ReplayActor, VecSo
 use simkern::netmodel::NetworkConfig;
 use simkern::observer::{Fanout, Observer, OpRecord};
 use simkern::resource::HostId;
-use simkern::{Engine, Platform};
+use simkern::{Engine, KernelMode, Platform};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +31,12 @@ pub struct ReplayConfig {
     /// The simulated outcome is byte-identical either way; see
     /// [`simkern::KernelProfile`].
     pub kernel_profile: bool,
+    /// Kernel implementation. `Incremental` (default) is the
+    /// scale-invariant production path; `Reference` is the full-solve
+    /// oracle it is differentially tested against — both simulate
+    /// bit-identically (see [`simkern::KernelMode`] and
+    /// docs/KERNEL.md).
+    pub kernel: KernelMode,
 }
 
 impl Default for ReplayConfig {
@@ -40,6 +46,7 @@ impl Default for ReplayConfig {
             algo: CollectiveAlgo::Binomial,
             collect_records: false,
             kernel_profile: false,
+            kernel: KernelMode::Incremental,
         }
     }
 }
@@ -81,6 +88,7 @@ fn run(
         return Err(ReplayError::Deployment { procs: sources.len(), hosts: hosts.len() });
     }
     let mut engine = Engine::new(platform);
+    engine.set_kernel_mode(cfg.kernel);
     engine.set_network_config(cfg.network.clone());
     let records = Arc::new(Mutex::new(Vec::new()));
     match (cfg.collect_records, extra) {

@@ -101,6 +101,7 @@ impl ReplayRequest {
             algo: self.collectives,
             collect_records: false,
             kernel_profile: false,
+            kernel: simkern::KernelMode::Incremental,
         }
     }
 

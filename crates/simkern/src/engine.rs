@@ -28,16 +28,35 @@
 //! post time (buffered mode); larger sends complete when the transfer does
 //! (synchronous mode).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::actor::{Actor, Step, Wake};
 use crate::error::{OpKind, SimError, WaitFor};
+use crate::evqueue::EventQueue;
+use crate::fxhash::FxHashMap;
 use crate::lmm;
 use crate::netmodel::NetworkConfig;
 use crate::observer::{Observer, OpRecord};
 use crate::resource::{HostId, Platform, Route};
 use crate::slab::Slab;
+
+/// Which kernel implementation drives the run (docs/KERNEL.md §1).
+///
+/// Both modes are required to produce **bit-identical** simulated
+/// times, observer timelines and final states; `Reference` exists so
+/// the fast path can be differentially tested against a kernel simple
+/// enough to be obviously correct (tests/kernel_oracle.rs in the
+/// replay crate pins the pair on every workload family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Oracle path: full LMM re-solve on every change, eager
+    /// completion re-keying, binary event heap. O(platform) per event.
+    Reference,
+    /// Production path: incremental island solves, lazy completion
+    /// re-keying, arena pairing heap. O(island) per event.
+    #[default]
+    Incremental,
+}
 
 /// Handle to a posted operation (compute, isend, irecv, sleep).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -208,11 +227,14 @@ impl Ord for Event {
 pub struct Engine {
     platform: Platform,
     net: NetworkConfig,
+    mode: KernelMode,
     clock: f64,
     seq: u64,
-    heap: BinaryHeap<Reverse<Event>>,
+    events: EventQueue<Event>,
     /// Predicted completion time per running activity (indexed heap:
-    /// predictions are updated in place when rates change).
+    /// predictions are updated in place when rates change — or, in
+    /// [`KernelMode::Incremental`], lazily marked stale when the true
+    /// time only moved later; see docs/KERNEL.md §3).
     completions: crate::idxheap::IndexedHeap,
     lmm: lmm::System,
     cpu_cnst: Vec<lmm::CnstId>,
@@ -220,14 +242,22 @@ pub struct Engine {
     activities: Slab<Activity>,
     ops: Slab<Op>,
     comms: Slab<Comm>,
-    mailboxes: HashMap<MailboxKey, Mailbox>,
+    mailboxes: FxHashMap<MailboxKey, Mailbox>,
     actors: Vec<ActorSlot>,
     runq: VecDeque<(ActorId, Wake)>,
-    route_cache: HashMap<(u32, u32), Route>,
+    /// Interned routes: resolved once per (src, dst) pair, then
+    /// borrowed by index — no per-message route clone.
+    routes: Vec<Route>,
+    route_idx: FxHashMap<(u32, u32), u32>,
     /// Activity owning each solver variable (indexed by variable id).
     var_act: Vec<usize>,
     /// Scratch for the incremental solver.
     changed_vars: Vec<lmm::VarId>,
+    /// Scratch constraint list for posting activities (the solver
+    /// copies from the slice, so one buffer serves every post).
+    cnst_scratch: Vec<lmm::CnstId>,
+    /// Scratch activity ids for the reference full re-solve.
+    ref_scratch: Vec<usize>,
     observer: Option<Box<dyn Observer>>,
     /// Count of ops completed, for throughput reporting.
     ops_completed: u64,
@@ -275,9 +305,10 @@ impl Engine {
         Engine {
             platform,
             net: NetworkConfig::default(),
+            mode: KernelMode::Incremental,
             clock: 0.0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            events: EventQueue::pairing(),
             completions: crate::idxheap::IndexedHeap::new(),
             lmm,
             cpu_cnst,
@@ -285,12 +316,15 @@ impl Engine {
             activities: Slab::new(),
             ops: Slab::new(),
             comms: Slab::new(),
-            mailboxes: HashMap::new(),
+            mailboxes: FxHashMap::default(),
             actors: Vec::new(),
             runq: VecDeque::new(),
-            route_cache: HashMap::new(),
+            routes: Vec::new(),
+            route_idx: FxHashMap::default(),
             var_act: Vec::new(),
             changed_vars: Vec::new(),
+            cnst_scratch: Vec::new(),
+            ref_scratch: Vec::new(),
             observer: None,
             ops_completed: 0,
             failure: None,
@@ -302,6 +336,25 @@ impl Engine {
     /// Replaces the network configuration (before `run`).
     pub fn set_network_config(&mut self, net: NetworkConfig) {
         self.net = net;
+    }
+
+    /// Selects the kernel implementation (before `run`). Both modes
+    /// simulate bit-identically — see [`KernelMode`].
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        assert!(!self.started, "kernel mode switched mid-run");
+        if mode != self.mode {
+            self.mode = mode;
+            debug_assert!(self.events.is_empty());
+            self.events = match mode {
+                KernelMode::Reference => EventQueue::binary(),
+                KernelMode::Incremental => EventQueue::pairing(),
+            };
+        }
+    }
+
+    /// The active kernel implementation.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// The active network configuration.
@@ -423,35 +476,58 @@ impl Engine {
             if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
                 kp.wall.solve_s += t0.elapsed().as_secs_f64();
             }
+            self.refresh_stale_tops();
             // Next event: the earlier of the timed-event queue and the
             // earliest predicted activity completion (ties: timed events
             // first — they can only start new work, never unfinish it).
-            let t_ev = self.heap.peek().map(|Reverse(e)| e.time);
+            let t_ev = self.events.peek().map(|e| e.time);
             let t_act = self.completions.peek().map(|(t, _)| t);
             if t_ev.is_none() && t_act.is_none() {
                 break;
             }
             if pause(self) {
+                // A checkpoint captures the completion heap verbatim,
+                // so lazy lower bounds must become true predictions
+                // first (docs/KERNEL.md §3). Order-neutral: refreshing
+                // never changes what pops next.
+                self.flush_stale_completions();
                 return Ok(RunStatus::Paused(self.clock));
             }
             match (t_ev, t_act) {
                 (None, None) => break,
                 (Some(te), ta) if ta.map(|ta| te <= ta).unwrap_or(true) => {
                     let t0 = self.kprof.as_ref().map(|_| std::time::Instant::now());
-                    // panics: kernel invariant; violation means simulator state corruption
-                    let Reverse(ev) = self.heap.pop().unwrap();
-                    debug_assert!(ev.time >= self.clock - 1e-9);
-                    self.clock = self.clock.max(ev.time);
-                    if let Some(kp) = self.kprof.as_mut() {
-                        kp.heap_pops += 1;
-                        match ev.kind {
-                            EventKind::LatencyDone { .. } => kp.latency_events += 1,
-                            EventKind::SleepDone { .. } => kp.sleep_events += 1,
+                    // Batch: dispatch every timed event at exactly `te`
+                    // before re-checking the pause guard — one trip
+                    // through the loop head per *timestamp*, not per
+                    // event. The drain/resolve interleaving is the same
+                    // as the outer loop's, so the operation sequence
+                    // (and thus every simulated bit) is unchanged.
+                    loop {
+                        // panics: kernel invariant; violation means simulator state corruption
+                        let ev = self.events.pop().unwrap();
+                        debug_assert!(ev.time >= self.clock - 1e-9);
+                        self.clock = self.clock.max(ev.time);
+                        if let Some(kp) = self.kprof.as_mut() {
+                            kp.heap_pops += 1;
+                            match ev.kind {
+                                EventKind::LatencyDone { .. } => kp.latency_events += 1,
+                                EventKind::SleepDone { .. } => kp.sleep_events += 1,
+                            }
                         }
-                    }
-                    match ev.kind {
-                        EventKind::LatencyDone { comm } => self.start_transfer(comm),
-                        EventKind::SleepDone { op } => self.complete_op(op),
+                        match ev.kind {
+                            EventKind::LatencyDone { comm } => self.start_transfer(comm),
+                            EventKind::SleepDone { op } => self.complete_op(op),
+                        }
+                        self.drain_runq();
+                        if self.failure.is_some() {
+                            break;
+                        }
+                        self.resolve_if_dirty();
+                        match self.events.peek() {
+                            Some(e2) if e2.time == te => {}
+                            _ => break,
+                        }
                     }
                     if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
                         kp.wall.events_s += t0.elapsed().as_secs_f64();
@@ -459,14 +535,37 @@ impl Engine {
                 }
                 _ => {
                     let t0 = self.kprof.as_ref().map(|_| std::time::Instant::now());
-                    // panics: kernel invariant; violation means simulator state corruption
-                    let (t, act) = self.completions.pop().unwrap();
-                    debug_assert!(t >= self.clock - 1e-9);
-                    self.clock = self.clock.max(t);
-                    if let Some(kp) = self.kprof.as_mut() {
-                        kp.completion_pops += 1;
+                    // Batch same-deadline completions, same discipline
+                    // as the event batch above. Timed events keep tie
+                    // priority: an event pushed *during* the batch at
+                    // this timestamp sends control back to the outer
+                    // loop (new events are never earlier than the
+                    // clock, so nothing can be skipped).
+                    loop {
+                        // panics: kernel invariant; violation means simulator state corruption
+                        let (t, act) = self.completions.pop().unwrap();
+                        debug_assert!(t >= self.clock - 1e-9);
+                        self.clock = self.clock.max(t);
+                        if let Some(kp) = self.kprof.as_mut() {
+                            kp.completion_pops += 1;
+                        }
+                        self.finish_activity(act);
+                        self.drain_runq();
+                        if self.failure.is_some() {
+                            break;
+                        }
+                        self.resolve_if_dirty();
+                        self.refresh_stale_tops();
+                        match self.completions.peek() {
+                            Some((t2, _))
+                                if t2 == t
+                                    && !self
+                                        .events
+                                        .peek()
+                                        .is_some_and(|e| e.time <= t2) => {}
+                            _ => break,
+                        }
                     }
-                    self.finish_activity(act);
                     if let (Some(t0), Some(kp)) = (t0, self.kprof.as_mut()) {
                         kp.wall.completions_s += t0.elapsed().as_secs_f64();
                     }
@@ -528,10 +627,10 @@ impl Engine {
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.events.push(Event { time, seq: self.seq, kind });
         if let Some(kp) = self.kprof.as_mut() {
             kp.heap_pushes += 1;
-            kp.heap_peak = kp.heap_peak.max(self.heap.len() as u64);
+            kp.heap_peak = kp.heap_peak.max(self.events.len() as u64);
         }
     }
 
@@ -545,15 +644,66 @@ impl Engine {
         a.t_last = self.clock;
     }
 
-    /// Re-solves the touched resource islands and refreshes the
-    /// completion predictions of the activities whose rate changed.
+    /// Recomputes rates after an activity change and refreshes (or
+    /// lazily invalidates) the affected completion predictions.
     fn resolve_if_dirty(&mut self) {
         if !self.lmm.is_dirty() {
             return;
         }
+        match self.mode {
+            KernelMode::Reference => self.resolve_reference(),
+            KernelMode::Incremental => self.resolve_incremental(),
+        }
+        if let Some(kp) = self.kprof.as_mut() {
+            kp.completions_peak = kp.completions_peak.max(self.completions.len() as u64);
+        }
+    }
+
+    /// Oracle resolve: full system re-solve, eager re-key of every
+    /// activity whose rate changed. O(platform) per call — simple
+    /// enough to trust, slow enough to never ship.
+    fn resolve_reference(&mut self) {
+        self.lmm.solve();
+        let mut acts = std::mem::take(&mut self.ref_scratch);
+        acts.clear();
+        acts.extend(self.activities.iter().map(|(id, _)| id));
+        let mut updates = 0u64;
+        for &act in &acts {
+            let var = self.activities[act].var;
+            let new_rate = self.lmm.rate(var);
+            if new_rate == self.activities[act].rate {
+                continue;
+            }
+            updates += 1;
+            self.integrate(act);
+            let a = &mut self.activities[act];
+            a.rate = new_rate;
+            if new_rate > 0.0 {
+                let t = self.clock + a.remaining / new_rate;
+                self.completions.set(act, t);
+            } else {
+                self.completions.remove(act);
+            }
+        }
+        if let Some(kp) = self.kprof.as_mut() {
+            kp.completion_updates += updates;
+        }
+        self.ref_scratch = acts;
+    }
+
+    /// Production resolve: island-local re-solve; completion
+    /// predictions that moved *earlier* are re-keyed eagerly, ones that
+    /// moved *later* are only marked stale — their stored key remains a
+    /// lower bound, refreshed if the entry ever reaches the heap top
+    /// (docs/KERNEL.md §3). Most rate changes at scale are decreases on
+    /// activities far from the heap top whose rate changes again before
+    /// they surface, so the O(log n) re-key is skipped entirely.
+    fn resolve_incremental(&mut self) {
         let mut changed = std::mem::take(&mut self.changed_vars);
         changed.clear();
         self.lmm.solve_dirty(&mut changed);
+        let mut updates = 0u64;
+        let mut lazy = 0u64;
         for v in &changed {
             let act = *self
                 .var_act
@@ -567,18 +717,82 @@ impl Engine {
             let new_rate = self.lmm.rate(*v);
             let a = &mut self.activities[act];
             a.rate = new_rate;
+            let remaining = a.remaining;
             if new_rate > 0.0 {
-                let t = self.clock + a.remaining / new_rate;
-                self.completions.set(act, t);
+                let t = self.clock + remaining / new_rate;
+                match self.completions.priority(act) {
+                    Some(cur) if t > cur => {
+                        // Later than the stored key: defer. The key
+                        // stays a valid lower bound on `t`.
+                        self.completions.mark_stale(act);
+                        lazy += 1;
+                    }
+                    _ => {
+                        self.completions.set(act, t);
+                        updates += 1;
+                    }
+                }
             } else {
-                self.completions.remove(act);
+                // Rate zero: completion at infinity — every stored key
+                // is a lower bound. Defer; the top refresh removes the
+                // entry if the rate is still zero when it surfaces.
+                if self.completions.mark_stale(act) {
+                    lazy += 1;
+                }
             }
         }
         if let Some(kp) = self.kprof.as_mut() {
-            kp.completion_updates += changed.len() as u64;
-            kp.completions_peak = kp.completions_peak.max(self.completions.len() as u64);
+            kp.completion_updates += updates;
+            kp.lazy_rekeys += lazy;
         }
         self.changed_vars = changed;
+    }
+
+    /// True completion time of a live activity under its current rate
+    /// (`remaining` is integrated to `t_last`; the rate has not changed
+    /// since, so this reproduces the eager prediction bit-for-bit).
+    fn true_completion(&self, act: usize) -> Option<f64> {
+        let a = &self.activities[act];
+        (a.rate > 0.0).then(|| a.t_last + a.remaining / a.rate)
+    }
+
+    /// Re-keys stale entries that surfaced at the top of the completion
+    /// heap. Because stale keys are lower bounds, no fresh entry can be
+    /// hidden beneath a stale top — refreshing only the top yields the
+    /// exact eager pop sequence.
+    fn refresh_stale_tops(&mut self) {
+        let mut refreshed = 0u64;
+        while let Some((_, act)) = self.completions.peek() {
+            if !self.completions.is_stale(act) {
+                break;
+            }
+            match self.true_completion(act) {
+                Some(t) => self.completions.set(act, t),
+                None => self.completions.remove(act),
+            }
+            refreshed += 1;
+        }
+        if refreshed > 0 {
+            if let Some(kp) = self.kprof.as_mut() {
+                kp.stale_pops += refreshed;
+            }
+        }
+    }
+
+    /// Replaces every stale lower bound with the true prediction (and
+    /// drops rate-zero entries), so the heap's raw array is pure
+    /// simulation state again — required before a checkpoint capture.
+    fn flush_stale_completions(&mut self) {
+        if self.completions.stale_count() == 0 {
+            return;
+        }
+        let stale: Vec<usize> = self.completions.stale_keys().collect();
+        for act in stale {
+            match self.true_completion(act) {
+                Some(t) => self.completions.set(act, t),
+                None => self.completions.remove(act),
+            }
+        }
     }
 
     /// An activity's predicted completion has arrived: finish it.
@@ -621,6 +835,11 @@ impl Engine {
     }
 
     fn drain_runq(&mut self) {
+        if self.failure.is_some() {
+            // A failed run never steps another actor, even if entries
+            // were queued before the failure surfaced.
+            return;
+        }
         while let Some((aid, wake)) = self.runq.pop_front() {
             self.step_actor(aid, wake);
             if self.failure.is_some() {
@@ -740,13 +959,19 @@ impl Engine {
     // ------------------------------------------------------------------
     // Communications
 
-    fn route_for(&mut self, src: HostId, dst: HostId) -> Route {
-        if let Some(r) = self.route_cache.get(&(src.0, dst.0)) {
-            return r.clone();
+    /// Index of the interned route `src → dst`, resolving and interning
+    /// it on first use. Callers borrow `&self.routes[i]` — the hot path
+    /// never clones a route's link list.
+    fn route_index(&mut self, src: HostId, dst: HostId) -> usize {
+        if let Some(&i) = self.route_idx.get(&(src.0, dst.0)) {
+            return i as usize;
         }
         let r = self.platform.resolve_route(src, dst);
-        self.route_cache.insert((src.0, dst.0), r.clone());
-        r
+        self.routes.push(r);
+        let i = self.routes.len() - 1;
+        // panics: kernel invariant; violation means simulator state corruption
+        self.route_idx.insert((src.0, dst.0), u32::try_from(i).expect("route table fits u32"));
+        i
     }
 
     /// Posts a send. The mailbox's `dst` field must name the receiving
@@ -864,9 +1089,9 @@ impl Engine {
             c.state = CommState::InFlight;
             (c.size, c.src_host, c.dst_host)
         };
-        let route = self.route_for(src, dst);
+        let ri = self.route_index(src, dst);
         let (lat_factor, _) = self.net.piecewise.factors(size);
-        let latency = route.latency * lat_factor;
+        let latency = self.routes[ri].latency * lat_factor;
         if latency > 0.0 {
             let t = self.clock + latency;
             self.push_event(t, EventKind::LatencyDone { comm });
@@ -885,31 +1110,35 @@ impl Engine {
             self.flow_finished(comm);
             return;
         }
-        let route = self.route_for(src, dst);
+        let ri = self.route_index(src, dst);
         let (_, bw_factor) = self.net.piecewise.factors(size);
         let amount = size / bw_factor;
+        // Fill the constraint list into the reusable scratch buffer —
+        // the solver copies from the slice, so posting a flow performs
+        // no allocation (docs/KERNEL.md §5).
+        let mut cnsts = std::mem::take(&mut self.cnst_scratch);
+        cnsts.clear();
+        let route = &self.routes[ri];
         let mut bound = route.bound;
         if let Some(gamma) = self.net.tcp_gamma {
             if route.latency > 0.0 {
                 bound = bound.min(gamma / (2.0 * route.latency));
             }
         }
-        let cnsts: Vec<lmm::CnstId> = if self.net.contention {
-            route
-                .shared
-                .iter()
+        if self.net.contention {
+            for l in &route.shared {
                 // panics: kernel invariant; violation means simulator state corruption
-                .map(|l| self.link_cnst[l.0 as usize].expect("shared link without constraint"))
-                .collect()
+                cnsts.push(self.link_cnst[l.0 as usize].expect("shared link without constraint"));
+            }
         } else {
             // Contention-free: the flow runs at the narrowest link speed.
             bound = bound.min(route.min_bw);
-            Vec::new()
-        };
+        }
         if cnsts.is_empty() && bound.is_infinite() {
             bound = route.min_bw;
         }
-        let var = self.lmm.new_variable(bound, cnsts);
+        let var = self.lmm.new_variable(bound, &cnsts);
+        self.cnst_scratch = cnsts;
         self.add_activity(var, amount, Owner::Comm { comm });
     }
 
@@ -967,12 +1196,18 @@ impl Engine {
         if self.failure.is_some() {
             return Err("engine snapshot requested with a pending failure".into());
         }
+        if self.completions.stale_count() > 0 {
+            // Lazy lower bounds are evaluation state, not simulation
+            // state; `run_until` flushes them at every pause, so this
+            // only trips on captures outside a safe point.
+            return Err("engine snapshot requested with stale completion predictions".into());
+        }
         let lmm = self.lmm.export_snapshot()?;
 
         let mut events: Vec<snap::EventSnap> = self
-            .heap
+            .events
             .iter()
-            .map(|Reverse(e)| snap::EventSnap {
+            .map(|e| snap::EventSnap {
                 time: e.time,
                 seq: e.seq,
                 kind: match e.kind {
@@ -1226,7 +1461,7 @@ impl Engine {
             var_act[a.var.0] = act;
         }
 
-        let mut mailboxes: HashMap<MailboxKey, Mailbox> = HashMap::new();
+        let mut mailboxes: FxHashMap<MailboxKey, Mailbox> = FxHashMap::default();
         for m in &snapshot.mailboxes {
             if mailboxes.contains_key(&m.key) {
                 return Err(format!(
@@ -1243,9 +1478,16 @@ impl Engine {
             );
         }
 
-        let mut heap = BinaryHeap::with_capacity(snapshot.events.len());
+        // Rebuild the event queue for the engine's own kernel mode
+        // (the queue implementation is configuration, not state: both
+        // pop the same total (time, seq) order, so the snapshot is
+        // mode-portable).
+        let mut events = match self.mode {
+            KernelMode::Reference => EventQueue::binary(),
+            KernelMode::Incremental => EventQueue::pairing(),
+        };
         for e in &snapshot.events {
-            heap.push(Reverse(Event {
+            events.push(Event {
                 time: e.time,
                 seq: e.seq,
                 kind: match e.kind {
@@ -1254,7 +1496,7 @@ impl Engine {
                         EventKind::SleepDone { op: OpId(op) }
                     }
                 },
-            }));
+            });
         }
 
         // Re-import the per-actor state before committing any engine
@@ -1280,7 +1522,7 @@ impl Engine {
         self.clock = snapshot.clock;
         self.seq = snapshot.seq;
         self.ops_completed = snapshot.ops_completed;
-        self.heap = heap;
+        self.events = events;
         self.completions = completions;
         self.lmm = lmm;
         self.activities = activities;
@@ -1288,7 +1530,8 @@ impl Engine {
         self.comms = comms;
         self.mailboxes = mailboxes;
         self.runq.clear();
-        self.route_cache.clear();
+        self.routes.clear();
+        self.route_idx.clear();
         self.var_act = var_act;
         self.changed_vars.clear();
         self.failure = None;
@@ -1374,7 +1617,7 @@ impl Ctx<'_> {
         let h = &self.eng.platform.hosts[host.0 as usize];
         let bound = h.speed.min(rate_cap);
         let cnst = self.eng.cpu_cnst[host.0 as usize];
-        let var = self.eng.lmm.new_variable(bound, vec![cnst]);
+        let var = self.eng.lmm.new_variable(bound, &[cnst]);
         self.eng.add_activity(var, flops, Owner::Exec { op });
         op
     }

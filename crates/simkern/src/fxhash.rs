@@ -1,0 +1,136 @@
+//! A fast, deterministic hasher for the kernel's hot-path hash maps
+//! (mailbox and route lookups — one lookup per posted operation).
+//!
+//! `std`'s default SipHash is DoS-resistant but costs ~1.5ns/byte and
+//! dominates small-key map lookups. The kernel's keys are tiny, fixed
+//! size and attacker-free (rank pairs from a trace the user chose to
+//! replay), so we use the Firefox/rustc "Fx" multiply-rotate hash
+//! instead: a couple of arithmetic ops per 8-byte word, no per-process
+//! random state — the same key order every run, which also keeps any
+//! incidental iteration deterministic (the engine never relies on map
+//! iteration order in simulation paths; snapshots sort by key).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the rustc-hash crate: a 64-bit odd constant with
+/// good avalanche behaviour under `(h rot 5) ^ w * K`.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher. Deterministic across runs and
+/// platforms of the same pointer width.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            // panics: chunks_exact(8) yields exactly 8 bytes
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        assert_eq!(hash_of(b"hello world"), hash_of(b"hello world"));
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+        // Trailing zero bytes must still change the hash via the word
+        // mix (the tail is zero-padded, but an extra full word mixes).
+        assert_ne!(hash_of(&[1, 0, 0, 0, 0, 0, 0, 0]), hash_of(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7))), Some(&(i as usize)));
+        }
+        assert_eq!(m.get(&(5, 4)), None);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sanity-check avalanche on the kernel's actual key shape:
+        // sequential (src, dst) rank pairs should not collide in the
+        // low bits (what HashMap's bucket index uses).
+        let mut low7 = FxHashSet::default();
+        for src in 0..64u32 {
+            for dst in 0..64u32 {
+                let mut h = FxHasher::default();
+                h.write_u32(src);
+                h.write_u32(dst);
+                h.write_u8(0);
+                low7.insert(h.finish() & 0x7f);
+            }
+        }
+        assert!(low7.len() > 100, "low bits collapse: {} distinct", low7.len());
+    }
+}

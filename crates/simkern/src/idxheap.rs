@@ -1,22 +1,64 @@
-//! Indexed binary min-heap: `usize` keys with `f64` priorities and
-//! O(log n) decrease/increase-key.
+//! Indexed binary min-heap: `usize` keys with `f64` priorities,
+//! O(log n) decrease/increase-key, and *stale* entries for lazy
+//! re-keying (docs/KERNEL.md §3).
 //!
 //! The engine keeps one predicted completion time per running activity;
 //! when the solver changes an activity's rate, its prediction is
 //! *updated in place* instead of pushing a stale duplicate — keeping the
 //! event queue at O(active activities) regardless of how often rates
 //! change.
+//!
+//! # Ordering
+//!
+//! Entries are ordered by `(priority, key)` lexicographically — a
+//! *total* order, so the pop sequence is a pure function of the entry
+//! set, independent of insertion history or internal array layout.
+//! That totality is what lets the lazy path below provably reproduce
+//! the eager pop order: with layout-dependent tie-breaking, deferring
+//! an update could permute equal-priority pops.
+//!
+//! # Stale entries (lazy re-keying)
+//!
+//! Re-keying every activity after every rate change is the dominant
+//! heap cost at scale, and most of it is wasted: a rate *decrease*
+//! pushes the completion further away, and the activity's rate usually
+//! changes again before that date arrives. [`mark_stale`] records that
+//! an entry's priority is outdated **but still a lower bound** on the
+//! true value (the caller guarantees the true priority only moved up).
+//! The entry keeps its position; consumers that pop must *refresh*
+//! stale entries when they surface at the heap top ([`is_stale`] →
+//! recompute → [`set`]). Since a stale priority is a lower bound, no
+//! smaller fresh entry can be hidden below it — refreshing only at the
+//! top is sound, and the observed pop sequence is identical to eager
+//! re-keying.
+//!
+//! [`mark_stale`]: IndexedHeap::mark_stale
+//! [`is_stale`]: IndexedHeap::is_stale
+//! [`set`]: IndexedHeap::set
 
-/// Min-heap over (key → priority) with in-place updates.
+/// Min-heap over (key → priority) with in-place updates and lazy
+/// (stale) entries.
 #[derive(Debug, Default)]
 pub struct IndexedHeap {
-    /// Heap array of (priority, key).
+    /// Heap array of (priority, key), ordered by (priority, key).
     heap: Vec<(f64, usize)>,
     /// `pos[key]` = index in `heap`, or `usize::MAX` when absent.
     pos: Vec<usize>,
+    /// `stale[key]`: the stored priority is a lower bound, not the
+    /// truth. Only meaningful for present keys.
+    stale: Vec<bool>,
+    /// Number of present keys currently marked stale.
+    nstale: usize,
 }
 
 const ABSENT: usize = usize::MAX;
+
+/// Lexicographic (priority, key) comparison. NaN priorities are
+/// rejected at insertion, so `<` on the floats is a total order here.
+#[inline]
+fn lt(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
 
 impl IndexedHeap {
     /// An empty heap.
@@ -39,16 +81,29 @@ impl IndexedHeap {
         self.pos.get(key).is_some_and(|&p| p != ABSENT)
     }
 
-    /// Smallest priority and its key, if any.
+    /// Smallest (priority, key) entry, if any. May be stale — check
+    /// [`is_stale`](Self::is_stale) before trusting the priority.
     pub fn peek(&self) -> Option<(f64, usize)> {
         self.heap.first().copied()
     }
 
-    /// Inserts or updates `key` with `priority`.
+    /// The stored priority of `key`, if present.
+    pub fn priority(&self, key: usize) -> Option<f64> {
+        let &p = self.pos.get(key)?;
+        (p != ABSENT).then(|| self.heap[p].0)
+    }
+
+    /// Inserts or updates `key` with `priority`, clearing any stale
+    /// mark: after `set`, the stored priority is the truth.
     pub fn set(&mut self, key: usize, priority: f64) {
         debug_assert!(!priority.is_nan());
         if key >= self.pos.len() {
             self.pos.resize(key + 1, ABSENT);
+            self.stale.resize(key + 1, false);
+        }
+        if self.stale[key] {
+            self.stale[key] = false;
+            self.nstale -= 1;
         }
         let p = self.pos[key];
         if p == ABSENT {
@@ -58,7 +113,7 @@ impl IndexedHeap {
         } else {
             let old = self.heap[p].0;
             self.heap[p].0 = priority;
-            if priority < old {
+            if lt((priority, key), (old, key)) {
                 self.sift_up(p);
             } else {
                 self.sift_down(p);
@@ -66,11 +121,46 @@ impl IndexedHeap {
         }
     }
 
+    /// Marks a present `key` as stale: its stored priority is no longer
+    /// exact but remains a **lower bound** on the true priority (the
+    /// caller must guarantee the true value only moved up, e.g. a rate
+    /// decrease pushing a completion later). Returns `true` when the
+    /// key was present and not already stale.
+    pub fn mark_stale(&mut self, key: usize) -> bool {
+        if !self.contains(key) || self.stale[key] {
+            return false;
+        }
+        self.stale[key] = true;
+        self.nstale += 1;
+        true
+    }
+
+    /// True when `key` is present and marked stale.
+    pub fn is_stale(&self, key: usize) -> bool {
+        self.stale.get(key).copied().unwrap_or(false) && self.contains(key)
+    }
+
+    /// Number of present keys currently marked stale.
+    pub fn stale_count(&self) -> usize {
+        self.nstale
+    }
+
+    /// Keys currently marked stale, in unspecified order. Used to
+    /// flush lazy entries before a checkpoint (O(n) scan — pausing is
+    /// rare, popping is not).
+    pub fn stale_keys(&self) -> impl Iterator<Item = usize> + '_ {
+        self.heap.iter().map(|&(_, k)| k).filter(|&k| self.stale[k])
+    }
+
     /// Removes `key` if present.
     pub fn remove(&mut self, key: usize) {
         let Some(&p) = self.pos.get(key) else { return };
         if p == ABSENT {
             return;
+        }
+        if self.stale[key] {
+            self.stale[key] = false;
+            self.nstale -= 1;
         }
         let last = self.heap.len() - 1;
         self.heap.swap(p, last);
@@ -85,32 +175,38 @@ impl IndexedHeap {
         }
     }
 
-    /// Pops the minimum (priority, key).
+    /// Pops the minimum (priority, key). Callers running the lazy
+    /// discipline must refresh stale tops first; popping a stale entry
+    /// would deliver a lower bound as if it were the true priority.
     pub fn pop(&mut self) -> Option<(f64, usize)> {
         let (prio, key) = *self.heap.first()?;
+        debug_assert!(!self.stale[key], "popping a stale heap entry");
         self.remove(key);
         Some((prio, key))
     }
 
     /// The raw heap array in its internal order.
     ///
-    /// Checkpoint support: under equal priorities, which entry `pop`
-    /// yields depends on the array layout, so snapshots must capture it
-    /// verbatim and restore with [`from_raw`](Self::from_raw) — not
-    /// re-insert entries, which could permute ties.
+    /// Checkpoint support: snapshots capture the array verbatim and
+    /// restore with [`from_raw`](Self::from_raw) so the layout — part
+    /// of the engine's raw state — survives bit-identically. All
+    /// entries must be fresh (stale flags are lazy-evaluation state,
+    /// not simulation state; the engine flushes them before pausing).
     pub fn raw(&self) -> &[(f64, usize)] {
+        debug_assert_eq!(self.nstale, 0, "raw capture with stale entries");
         &self.heap
     }
 
     /// Rebuilds a heap from a raw array captured by [`raw`](Self::raw).
-    /// Validates the min-heap invariant and key uniqueness.
+    /// Validates the (priority, key) min-heap invariant and key
+    /// uniqueness. All restored entries are fresh.
     pub fn from_raw(heap: Vec<(f64, usize)>) -> Result<Self, String> {
         let mut pos = Vec::new();
         for (i, &(p, key)) in heap.iter().enumerate() {
             if p.is_nan() {
                 return Err(format!("heap restore: NaN priority for key {key}"));
             }
-            if i > 0 && heap[(i - 1) / 2].0 > p {
+            if i > 0 && lt((p, key), heap[(i - 1) / 2]) {
                 return Err(format!("heap restore: order violated at index {i}"));
             }
             if key >= pos.len() {
@@ -121,13 +217,14 @@ impl IndexedHeap {
             }
             pos[key] = i;
         }
-        Ok(IndexedHeap { heap, pos })
+        let stale = vec![false; pos.len()];
+        Ok(IndexedHeap { heap, pos, stale, nstale: 0 })
     }
 
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.heap[i].0 < self.heap[parent].0 {
+            if lt(self.heap[i], self.heap[parent]) {
                 self.heap.swap(i, parent);
                 self.pos[self.heap[i].1] = i;
                 self.pos[self.heap[parent].1] = parent;
@@ -143,10 +240,10 @@ impl IndexedHeap {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut smallest = i;
-            if l < self.heap.len() && self.heap[l].0 < self.heap[smallest].0 {
+            if l < self.heap.len() && lt(self.heap[l], self.heap[smallest]) {
                 smallest = l;
             }
-            if r < self.heap.len() && self.heap[r].0 < self.heap[smallest].0 {
+            if r < self.heap.len() && lt(self.heap[r], self.heap[smallest]) {
                 smallest = r;
             }
             if smallest == i {
@@ -175,6 +272,20 @@ mod tests {
         assert_eq!(h.pop(), Some((5.0, 3)));
         assert_eq!(h.pop(), Some((9.0, 7)));
         assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_in_key_order() {
+        // Total (priority, key) order: layout-independent tie-breaking.
+        let mut h = IndexedHeap::new();
+        for k in [9usize, 3, 12, 1, 7] {
+            h.set(k, 4.0);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, k)) = h.pop() {
+            seen.push(k);
+        }
+        assert_eq!(seen, vec![1, 3, 7, 9, 12]);
     }
 
     #[test]
@@ -220,6 +331,83 @@ mod tests {
     }
 
     #[test]
+    fn stale_marks_and_refresh() {
+        let mut h = IndexedHeap::new();
+        h.set(0, 1.0);
+        h.set(1, 2.0);
+        assert!(h.mark_stale(0));
+        assert!(!h.mark_stale(0), "already stale");
+        assert!(!h.mark_stale(42), "absent");
+        assert_eq!(h.stale_count(), 1);
+        assert!(h.is_stale(0));
+        assert_eq!(h.peek(), Some((1.0, 0)), "stale entry keeps its lower bound");
+        // Refresh: the true priority moved up past key 1.
+        h.set(0, 3.0);
+        assert!(!h.is_stale(0));
+        assert_eq!(h.stale_count(), 0);
+        assert_eq!(h.pop(), Some((2.0, 1)));
+        assert_eq!(h.pop(), Some((3.0, 0)));
+    }
+
+    #[test]
+    fn stale_cleared_on_remove_and_listed_for_flush() {
+        let mut h = IndexedHeap::new();
+        for k in 0..4usize {
+            h.set(k, k as f64);
+        }
+        h.mark_stale(1);
+        h.mark_stale(3);
+        let mut stale: Vec<usize> = h.stale_keys().collect();
+        stale.sort_unstable();
+        assert_eq!(stale, vec![1, 3]);
+        h.remove(1);
+        assert_eq!(h.stale_count(), 1);
+        assert!(!h.is_stale(1));
+        h.set(3, 10.0);
+        assert_eq!(h.stale_count(), 0);
+    }
+
+    #[test]
+    fn lazy_pop_order_matches_eager() {
+        // Simulate lazy-vs-eager: true priorities are known; the lazy
+        // heap defers increases via mark_stale and refreshes at top.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut eager = IndexedHeap::new();
+        let mut lazy = IndexedHeap::new();
+        let mut truth = vec![0.0f64; 64];
+        for (k, t) in truth.iter_mut().enumerate() {
+            *t = rng.random_range(0.0..100.0);
+            eager.set(k, *t);
+            lazy.set(k, *t);
+        }
+        // Raise some priorities: eager re-keys, lazy only marks.
+        for _ in 0..40 {
+            let k = rng.random_range(0..truth.len());
+            let bump: f64 = rng.random_range(0.0..50.0);
+            truth[k] += bump;
+            eager.set(k, truth[k]);
+            lazy.mark_stale(k);
+        }
+        loop {
+            // Refresh the lazy top until it is fresh.
+            while let Some((_, k)) = lazy.peek() {
+                if lazy.is_stale(k) {
+                    lazy.set(k, truth[k]);
+                } else {
+                    break;
+                }
+            }
+            let a = eager.pop();
+            let b = lazy.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn raw_round_trip_preserves_tie_order() {
         let mut h = IndexedHeap::new();
         for (k, p) in [(3, 5.0), (1, 5.0), (7, 5.0), (2, 5.0), (9, 1.0)] {
@@ -239,6 +427,8 @@ mod tests {
         assert!(IndexedHeap::from_raw(vec![(2.0, 0), (1.0, 1)]).is_err());
         assert!(IndexedHeap::from_raw(vec![(1.0, 0), (2.0, 0)]).is_err());
         assert!(IndexedHeap::from_raw(vec![(f64::NAN, 0)]).is_err());
+        // Equal priorities with descending keys violate the total order.
+        assert!(IndexedHeap::from_raw(vec![(1.0, 5), (1.0, 2)]).is_err());
     }
 
     #[test]
@@ -261,12 +451,12 @@ mod tests {
                     reference.remove(&key);
                 }
             }
-            // Heap min equals reference min.
+            // Heap min equals reference min (priority, key).
             let want = reference
                 .iter()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(_, &p)| p);
-            assert_eq!(h.peek().map(|(p, _)| p), want);
+                .map(|(&k, &p)| (p, k))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert_eq!(h.peek(), want);
             assert_eq!(h.len(), reference.len());
         }
     }

@@ -57,8 +57,18 @@ pub struct KernelProfile {
     /// Timed events that were sleep expiries.
     pub sleep_events: u64,
     /// In-place completion-prediction updates (indexed-heap `set` or
-    /// `remove` after a rate change).
+    /// `remove` after a rate change). In the incremental kernel these
+    /// are the *eager* re-keys — predictions that moved earlier.
     pub completion_updates: u64,
+    /// Lazy re-keys: rate changes that only *marked* the prediction
+    /// stale because the true completion moved later (docs/KERNEL.md
+    /// §3). Each one is an O(log n) heap sift skipped.
+    pub lazy_rekeys: u64,
+    /// Stale entries that surfaced at the heap top and were refreshed
+    /// to their true prediction before popping. The gap between
+    /// `lazy_rekeys` and `stale_pops` is pure saved work: predictions
+    /// re-invalidated or completed without ever being re-keyed.
+    pub stale_pops: u64,
     /// Activity completions popped off the indexed heap.
     pub completion_pops: u64,
     /// Peak size of the completion heap (== peak running activities).

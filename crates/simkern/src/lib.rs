@@ -83,6 +83,8 @@ pub mod actor;
 pub mod idxheap;
 pub mod engine;
 pub mod error;
+pub mod evqueue;
+pub mod fxhash;
 pub mod kprof;
 pub mod lmm;
 pub mod netmodel;
@@ -92,7 +94,7 @@ pub mod slab;
 pub mod snapshot;
 
 pub use actor::{Actor, Ctx, Step, Wake};
-pub use engine::{Engine, MailboxKey, OpId, RunStatus};
+pub use engine::{Engine, KernelMode, MailboxKey, OpId, RunStatus};
 pub use kprof::{KernelProfile, WallPhases};
 pub use snapshot::EngineSnapshot;
 pub use error::{OpKind, SimError, WaitFor};

@@ -22,8 +22,35 @@
 //! which variables changed rate — on a large platform most of the system
 //! is untouched by any single event, which is what keeps replaying
 //! thousand-process traces tractable (the paper's Section 6.6 concern).
-//! [`System::solve`] remains as the full-system reference implementation;
-//! a property test checks both agree.
+//! [`System::solve`] remains as the full-system reference implementation.
+//!
+//! # Bit-identical partial solves
+//!
+//! The scale-invariance contract (docs/KERNEL.md §2) requires the
+//! incremental path to produce **bit-identical** rates to a full
+//! re-solve, so the engine's differential oracle can pin the fast kernel
+//! against the reference one. Two implementation rules make per-island
+//! filling reproduce global filling exactly:
+//!
+//! 1. **Canonical fill order.** Collected islands are sorted by slab id
+//!    before filling, and the full solve iterates slabs in id order, so
+//!    the per-constraint share-subtraction sequence — floating-point
+//!    subtraction is order-sensitive — is the same in both paths.
+//! 2. **Exact level comparisons.** An entity binds only when its ratio
+//!    or bound equals the current water level *exactly* (the level is a
+//!    min over those quantities, so at least one entity binds per
+//!    round and progress is guaranteed). With an epsilon slack, a
+//!    global solve could batch two islands whose levels differ by an
+//!    ulp into one round and assign the smaller level to both, while
+//!    per-island solves would assign each island its own level — an
+//!    ulp-level divergence that compounds. Exact comparisons make every
+//!    binding value a function of island-local state only.
+//!
+//! The hot path is also allocation-free: island collection and filling
+//! reuse scratch buffers owned by the [`System`], and each variable's
+//! constraint list is stored inline (up to [`INLINE_CNSTS`]) instead of
+//! in a heap `Vec` — activity churn is the kernel's allocation
+//! bottleneck at scale (docs/KERNEL.md §5).
 
 use crate::slab::Slab;
 
@@ -34,6 +61,55 @@ pub struct CnstId(pub usize);
 /// Identifier of a rate variable (activity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VarId(pub usize);
+
+/// Constraint-list entries stored inline before spilling to the heap.
+/// Covers every route shape in the bundled platforms (a compute crosses
+/// one constraint, a flat-cluster flow two NICs, a gdx cross-cabinet
+/// flow four links); longer routes fall back to a `Vec`.
+pub const INLINE_CNSTS: usize = 4;
+
+/// A variable's constraint list: inline array for the common case, heap
+/// spill for long routes. Replacing a per-variable `Vec` with this
+/// removes one allocation per posted activity — millions per replay.
+#[derive(Debug, Clone)]
+enum CnstList {
+    Inline { len: u8, ids: [usize; INLINE_CNSTS] },
+    Heap(Vec<usize>),
+}
+
+impl CnstList {
+    fn from_ids(cnsts: &[CnstId]) -> Self {
+        if cnsts.len() <= INLINE_CNSTS {
+            let mut ids = [0usize; INLINE_CNSTS];
+            for (slot, c) in ids.iter_mut().zip(cnsts) {
+                *slot = c.0;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            CnstList::Inline { len: cnsts.len() as u8, ids }
+        } else {
+            CnstList::Heap(cnsts.iter().map(|c| c.0).collect())
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        match self {
+            CnstList::Inline { len, ids } => &ids[..*len as usize],
+            CnstList::Heap(v) => v,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn get(&self, i: usize) -> usize {
+        self.as_slice()[i]
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Cnst {
@@ -54,8 +130,8 @@ struct Cnst {
 struct Var {
     /// Upper bound on the rate (`f64::INFINITY` when unbounded).
     bound: f64,
-    /// Constraints this variable crosses.
-    cnsts: Vec<CnstId>,
+    /// Constraints this variable crosses (inline up to [`INLINE_CNSTS`]).
+    cnsts: CnstList,
     /// Solved rate.
     value: f64,
     /// Scratch: fixed during the current solve.
@@ -72,10 +148,17 @@ struct Var {
 pub struct SolverStats {
     /// Non-trivial [`System::solve_dirty`] calls (dirty on entry).
     pub solves: u64,
+    /// Solves that re-solved a strict subset of the constraints — the
+    /// observable half of the scale-invariance claim (the other half is
+    /// [`constraints_skipped`](SolverStats::constraints_skipped)).
+    pub partial_solves: u64,
     /// Connected components (islands) re-solved across all solves.
     pub islands: u64,
     /// Constraints visited during island collection, summed.
     pub constraints_touched: u64,
+    /// Constraints *not* visited, summed over all solves: the work the
+    /// incremental path avoided relative to a full re-solve.
+    pub constraints_skipped: u64,
     /// Variables visited during island collection, summed.
     pub vars_touched: u64,
     /// Variables whose rate actually changed, summed.
@@ -93,6 +176,11 @@ pub struct System {
     dirty_free_vars: Vec<usize>,
     dirty: bool,
     stats: SolverStats,
+    /// Scratch reused across solves (hot path is allocation-free).
+    scratch_vars: Vec<usize>,
+    scratch_cnsts: Vec<usize>,
+    scratch_queue: Vec<usize>,
+    scratch_old: Vec<f64>,
 }
 
 impl System {
@@ -141,12 +229,14 @@ impl System {
     }
 
     /// Registers an activity's rate variable crossing `cnsts`, capped at
-    /// `bound` (use `f64::INFINITY` for no cap).
-    pub fn new_variable(&mut self, bound: f64, cnsts: Vec<CnstId>) -> VarId {
+    /// `bound` (use `f64::INFINITY` for no cap). The slice is copied
+    /// inline (up to [`INLINE_CNSTS`] entries) — callers can reuse a
+    /// scratch buffer instead of allocating a `Vec` per activity.
+    pub fn new_variable(&mut self, bound: f64, cnsts: &[CnstId]) -> VarId {
         assert!(bound > 0.0, "variable bound must be positive, got {bound}");
         let id = self.vars.insert(Var {
             bound,
-            cnsts: cnsts.clone(),
+            cnsts: CnstList::from_ids(cnsts),
             value: 0.0,
             fixed: false,
             visited: false,
@@ -155,7 +245,7 @@ impl System {
             self.dirty_free_vars.push(id);
             self.dirty = true;
         } else {
-            for c in &cnsts {
+            for c in cnsts {
                 self.cnsts[c.0].vars.push(id);
                 self.mark_cnst_dirty(c.0);
             }
@@ -170,12 +260,12 @@ impl System {
             .try_remove(id.0)
             // panics: kernel invariant; violation means simulator state corruption
             .expect("remove_variable: variable already removed");
-        for c in &var.cnsts {
-            let vars = &mut self.cnsts[c.0].vars;
+        for &c in var.cnsts.as_slice() {
+            let vars = &mut self.cnsts[c].vars;
             if let Some(pos) = vars.iter().position(|&v| v == id.0) {
                 vars.swap_remove(pos);
             }
-            self.mark_cnst_dirty(c.0);
+            self.mark_cnst_dirty(c);
         }
         self.dirty = true;
     }
@@ -189,13 +279,14 @@ impl System {
     pub fn set_bound(&mut self, id: VarId, bound: f64) {
         assert!(bound > 0.0);
         self.vars[id.0].bound = bound;
-        let cnsts = self.vars[id.0].cnsts.clone();
-        if cnsts.is_empty() {
+        if self.vars[id.0].cnsts.is_empty() {
             self.dirty_free_vars.push(id.0);
             self.dirty = true;
         } else {
-            for c in cnsts {
-                self.mark_cnst_dirty(c.0);
+            let n = self.vars[id.0].cnsts.len();
+            for i in 0..n {
+                let c = self.vars[id.0].cnsts.get(i);
+                self.mark_cnst_dirty(c);
             }
         }
     }
@@ -251,7 +342,7 @@ impl System {
                 .map(|s| {
                     s.map(|v| VarSnap {
                         bound: v.bound,
-                        cnsts: v.cnsts.iter().map(|c| c.0).collect(),
+                        cnsts: v.cnsts.as_slice().to_vec(),
                         value: v.value,
                     })
                 })
@@ -286,7 +377,9 @@ impl System {
                 .map(|s| {
                     s.as_ref().map(|v| Var {
                         bound: v.bound,
-                        cnsts: v.cnsts.iter().map(|&c| CnstId(c)).collect(),
+                        cnsts: CnstList::from_ids(
+                            &v.cnsts.iter().map(|&c| CnstId(c)).collect::<Vec<_>>(),
+                        ),
                         value: v.value,
                         fixed: false,
                         visited: false,
@@ -301,7 +394,7 @@ impl System {
                 let var = vars.get(v).ok_or_else(|| {
                     format!("lmm restore: constraint {c} references missing variable {v}")
                 })?;
-                if !var.cnsts.iter().any(|x| x.0 == c) {
+                if !var.cnsts.as_slice().contains(&c) {
                     return Err(format!(
                         "lmm restore: constraint {c} lists variable {v} but not vice versa"
                     ));
@@ -312,11 +405,10 @@ impl System {
             if var.bound.is_nan() || var.bound <= 0.0 {
                 return Err(format!("lmm restore: variable {v} has non-positive bound"));
             }
-            for c in &var.cnsts {
-                if !cnsts.contains(c.0) {
+            for &c in var.cnsts.as_slice() {
+                if !cnsts.contains(c) {
                     return Err(format!(
-                        "lmm restore: variable {v} references missing constraint {}",
-                        c.0
+                        "lmm restore: variable {v} references missing constraint {c}"
                     ));
                 }
             }
@@ -328,6 +420,10 @@ impl System {
             dirty_free_vars: Vec::new(),
             dirty: false,
             stats: SolverStats::default(),
+            scratch_vars: Vec::new(),
+            scratch_cnsts: Vec::new(),
+            scratch_queue: Vec::new(),
+            scratch_old: Vec::new(),
         })
     }
 
@@ -336,7 +432,8 @@ impl System {
 
     /// Re-solves only the islands touched since the last solve. Appends
     /// to `changed` every variable whose rate changed (including freshly
-    /// created ones).
+    /// created ones). Untouched islands keep their cached rates — no
+    /// work is spent on them at all.
     pub fn solve_dirty(&mut self, changed: &mut Vec<VarId>) {
         if !self.dirty {
             return;
@@ -356,12 +453,19 @@ impl System {
             }
         }
 
-        // Collect the islands reachable from dirty constraints.
+        // Collect the islands reachable from dirty constraints. The
+        // scratch buffers are owned by the system, so a solve performs
+        // no allocation once they have grown to the workload's island
+        // size. Iteration is by index (not by cloning adjacency lists):
+        // a slab lookup per edge beats a heap allocation per node.
+        let mut comp_vars = std::mem::take(&mut self.scratch_vars);
+        let mut comp_cnsts = std::mem::take(&mut self.scratch_cnsts);
+        let mut queue = std::mem::take(&mut self.scratch_queue);
+        comp_vars.clear();
+        comp_cnsts.clear();
+        queue.clear();
         let seeds = std::mem::take(&mut self.dirty_cnsts);
-        let mut comp_vars: Vec<usize> = Vec::new();
-        let mut comp_cnsts: Vec<usize> = Vec::new();
-        let mut queue: Vec<usize> = Vec::new();
-        for seed in seeds {
+        for &seed in &seeds {
             let Some(cn) = self.cnsts.get_mut(seed) else { continue };
             cn.queued_dirty = false;
             if cn.visited {
@@ -372,31 +476,48 @@ impl System {
             queue.push(seed);
             while let Some(c) = queue.pop() {
                 comp_cnsts.push(c);
-                let vars = self.cnsts[c].vars.clone();
-                for v in vars {
-                    let var = &mut self.vars[v];
-                    if var.visited {
+                let nvars = self.cnsts[c].vars.len();
+                for i in 0..nvars {
+                    let v = self.cnsts[c].vars[i];
+                    if self.vars[v].visited {
                         continue;
                     }
-                    var.visited = true;
+                    self.vars[v].visited = true;
                     comp_vars.push(v);
-                    let vcnsts = var.cnsts.clone();
-                    for vc in vcnsts {
-                        let cn = &mut self.cnsts[vc.0];
+                    let ncn = self.vars[v].cnsts.len();
+                    for j in 0..ncn {
+                        let vc = self.vars[v].cnsts.get(j);
+                        let cn = &mut self.cnsts[vc];
                         if !cn.visited {
                             cn.visited = true;
-                            queue.push(vc.0);
+                            queue.push(vc);
                         }
                     }
                 }
             }
         }
+        let mut seeds = seeds;
+        seeds.clear();
+        self.dirty_cnsts = seeds;
 
         self.stats.constraints_touched += comp_cnsts.len() as u64;
+        self.stats.constraints_skipped +=
+            (self.cnsts.len() - comp_cnsts.len()) as u64;
+        if comp_cnsts.len() < self.cnsts.len() {
+            self.stats.partial_solves += 1;
+        }
         self.stats.vars_touched += comp_vars.len() as u64;
 
+        // Canonical fill order (docs/KERNEL.md §2): sorting by slab id
+        // makes the island fill bit-identical to the full-system fill,
+        // whose slab iteration is id-ordered.
+        comp_vars.sort_unstable();
+        comp_cnsts.sort_unstable();
+
         // Solve the collected sub-system.
-        let old: Vec<f64> = comp_vars.iter().map(|&v| self.vars[v].value).collect();
+        let mut old = std::mem::take(&mut self.scratch_old);
+        old.clear();
+        old.extend(comp_vars.iter().map(|&v| self.vars[v].value));
         self.fill(&comp_vars, &comp_cnsts);
         for (&v, &before) in comp_vars.iter().zip(&old) {
             if self.vars[v].value != before {
@@ -414,10 +535,18 @@ impl System {
             self.cnsts[c].visited = false;
             self.cnsts[c].queued_dirty = false;
         }
+
+        self.scratch_vars = comp_vars;
+        self.scratch_cnsts = comp_cnsts;
+        self.scratch_queue = queue;
+        self.scratch_old = old;
     }
 
     /// Computes the max-min fair allocation of the whole system
     /// (reference implementation; `solve_dirty` is the incremental one).
+    /// Produces bit-identical rates to a sequence of island solves over
+    /// the same state — see the module docs for the two rules that make
+    /// that hold.
     pub fn solve(&mut self) {
         self.dirty = false;
         self.dirty_cnsts.clear();
@@ -439,6 +568,10 @@ impl System {
 
     /// Progressive filling over the given sub-system. Variables without
     /// constraints in the list keep `value = bound` behaviour.
+    ///
+    /// `vars` and `cnsts` must be sorted ascending by id — the caller
+    /// guarantees canonical order so partial and full solves subtract
+    /// shares in the same sequence (bit-identity rule 1).
     fn fill(&mut self, vars: &[usize], cnsts: &[usize]) {
         // Reset scratch state.
         for &c in cnsts {
@@ -457,9 +590,10 @@ impl System {
             var.fixed = false;
             var.value = 0.0;
             unfixed += 1;
-            let vcnsts = var.cnsts.clone();
-            for c in vcnsts {
-                self.cnsts[c.0].nactive += 1;
+            let ncn = self.vars[v].cnsts.len();
+            for j in 0..ncn {
+                let c = self.vars[v].cnsts.get(j);
+                self.cnsts[c].nactive += 1;
             }
         }
 
@@ -480,7 +614,10 @@ impl System {
             }
             debug_assert!(level.is_finite(), "no binding entity for unfixed variables");
 
-            // Fix every variable bound at `level`.
+            // Fix every variable bound at `level`. The comparisons are
+            // exact (bit-identity rule 2): the level is itself a min
+            // over these quantities, so the min-achieving entity binds
+            // and each round makes progress.
             let mut progressed = false;
             for &v in vars {
                 let binds = {
@@ -488,10 +625,10 @@ impl System {
                     if var.fixed {
                         continue;
                     }
-                    var.bound <= level * (1.0 + 1e-12)
-                        || var.cnsts.iter().any(|c| {
-                            let cn = &self.cnsts[c.0];
-                            cn.remaining / cn.nactive as f64 <= level * (1.0 + 1e-12)
+                    var.bound <= level
+                        || var.cnsts.as_slice().iter().any(|&c| {
+                            let cn = &self.cnsts[c];
+                            cn.remaining / cn.nactive as f64 <= level
                         })
                 };
                 if !binds {
@@ -506,9 +643,10 @@ impl System {
                     var.fixed = true;
                 }
                 unfixed -= 1;
-                let vcnsts = self.vars[v].cnsts.clone();
-                for c in vcnsts {
-                    let cn = &mut self.cnsts[c.0];
+                let ncn = self.vars[v].cnsts.len();
+                for j in 0..ncn {
+                    let c = self.vars[v].cnsts.get(j);
+                    let cn = &mut self.cnsts[c];
                     cn.remaining = (cn.remaining - value).max(0.0);
                     cn.nactive -= 1;
                 }
@@ -569,7 +707,7 @@ mod tests {
     fn single_variable_gets_full_capacity() {
         let mut s = System::new();
         let c = s.new_constraint(100.0);
-        let v = s.new_variable(f64::INFINITY, vec![c]);
+        let v = s.new_variable(f64::INFINITY, &[c]);
         s.solve();
         assert!(close(s.rate(v), 100.0));
     }
@@ -579,7 +717,7 @@ mod tests {
         let mut s = System::new();
         let c = s.new_constraint(90.0);
         let vs: Vec<_> =
-            (0..3).map(|_| s.new_variable(f64::INFINITY, vec![c])).collect();
+            (0..3).map(|_| s.new_variable(f64::INFINITY, &[c])).collect();
         s.solve();
         for v in vs {
             assert!(close(s.rate(v), 30.0));
@@ -590,8 +728,8 @@ mod tests {
     fn bound_caps_share_and_releases_capacity() {
         let mut s = System::new();
         let c = s.new_constraint(100.0);
-        let slow = s.new_variable(10.0, vec![c]);
-        let fast = s.new_variable(f64::INFINITY, vec![c]);
+        let slow = s.new_variable(10.0, &[c]);
+        let fast = s.new_variable(f64::INFINITY, &[c]);
         s.solve();
         assert!(close(s.rate(slow), 10.0));
         // The other flow picks up the slack.
@@ -605,9 +743,9 @@ mod tests {
         let mut s = System::new();
         let a = s.new_constraint(1.0);
         let b = s.new_constraint(1.0);
-        let long = s.new_variable(f64::INFINITY, vec![a, b]);
-        let sa = s.new_variable(f64::INFINITY, vec![a]);
-        let sb = s.new_variable(f64::INFINITY, vec![b]);
+        let long = s.new_variable(f64::INFINITY, &[a, b]);
+        let sa = s.new_variable(f64::INFINITY, &[a]);
+        let sb = s.new_variable(f64::INFINITY, &[b]);
         s.solve();
         assert!(close(s.rate(long), 0.5));
         assert!(close(s.rate(sa), 0.5));
@@ -619,9 +757,9 @@ mod tests {
         let mut s = System::new();
         let narrow = s.new_constraint(1.0);
         let wide = s.new_constraint(10.0);
-        let f1 = s.new_variable(f64::INFINITY, vec![narrow, wide]);
-        let f2 = s.new_variable(f64::INFINITY, vec![narrow, wide]);
-        let f3 = s.new_variable(f64::INFINITY, vec![wide]);
+        let f1 = s.new_variable(f64::INFINITY, &[narrow, wide]);
+        let f2 = s.new_variable(f64::INFINITY, &[narrow, wide]);
+        let f3 = s.new_variable(f64::INFINITY, &[wide]);
         s.solve();
         assert!(close(s.rate(f1), 0.5));
         assert!(close(s.rate(f2), 0.5));
@@ -631,7 +769,7 @@ mod tests {
     #[test]
     fn unconstrained_variable_takes_its_bound() {
         let mut s = System::new();
-        let v = s.new_variable(42.0, vec![]);
+        let v = s.new_variable(42.0, &[]);
         s.solve();
         assert!(close(s.rate(v), 42.0));
     }
@@ -640,8 +778,8 @@ mod tests {
     fn remove_variable_redistributes() {
         let mut s = System::new();
         let c = s.new_constraint(100.0);
-        let v1 = s.new_variable(f64::INFINITY, vec![c]);
-        let v2 = s.new_variable(f64::INFINITY, vec![c]);
+        let v1 = s.new_variable(f64::INFINITY, &[c]);
+        let v2 = s.new_variable(f64::INFINITY, &[c]);
         s.solve();
         assert!(close(s.rate(v1), 50.0));
         s.remove_variable(v2);
@@ -654,16 +792,28 @@ mod tests {
     fn cpu_with_cores_and_per_core_bound() {
         let mut s = System::new();
         let cpu = s.new_constraint(4e9);
-        let t: Vec<_> = (0..2).map(|_| s.new_variable(1e9, vec![cpu])).collect();
+        let t: Vec<_> = (0..2).map(|_| s.new_variable(1e9, &[cpu])).collect();
         s.solve();
         for &v in &t {
             assert!(close(s.rate(v), 1e9));
         }
-        let more: Vec<_> = (0..4).map(|_| s.new_variable(1e9, vec![cpu])).collect();
+        let more: Vec<_> = (0..4).map(|_| s.new_variable(1e9, &[cpu])).collect();
         s.solve();
         for &v in t.iter().chain(more.iter()) {
             assert!(close(s.rate(v), 4e9 / 6.0));
         }
+    }
+
+    #[test]
+    fn long_route_spills_to_heap_and_still_solves() {
+        let mut s = System::new();
+        let cnsts: Vec<CnstId> =
+            (0..INLINE_CNSTS + 3).map(|_| s.new_constraint(10.0)).collect();
+        let long = s.new_variable(f64::INFINITY, &cnsts);
+        let short = s.new_variable(f64::INFINITY, &[cnsts[0]]);
+        s.solve();
+        assert!(close(s.rate(long), 5.0));
+        assert!(close(s.rate(short), 5.0));
     }
 
     #[test]
@@ -681,9 +831,9 @@ mod tests {
         let mut s = System::new();
         let ca = s.new_constraint(100.0);
         let cb = s.new_constraint(50.0);
-        let v1 = s.new_variable(f64::INFINITY, vec![ca, cb]);
-        let v2 = s.new_variable(30.0, vec![ca]);
-        let v3 = s.new_variable(f64::INFINITY, vec![cb]);
+        let v1 = s.new_variable(f64::INFINITY, &[ca, cb]);
+        let v2 = s.new_variable(30.0, &[ca]);
+        let v3 = s.new_variable(f64::INFINITY, &[cb]);
         let mut changed = Vec::new();
         s.solve_dirty(&mut changed);
         // Shape the internal layout with a removal + reuse.
@@ -698,8 +848,8 @@ mod tests {
 
         // Future evolution must match bit-for-bit: add a variable to
         // both systems and compare every solved rate exactly.
-        let n1 = s.new_variable(f64::INFINITY, vec![ca, cb]);
-        let n2 = r.new_variable(f64::INFINITY, vec![ca, cb]);
+        let n1 = s.new_variable(f64::INFINITY, &[ca, cb]);
+        let n2 = r.new_variable(f64::INFINITY, &[ca, cb]);
         assert_eq!(n1, n2, "slab index reuse must match");
         let mut ch1 = Vec::new();
         let mut ch2 = Vec::new();
@@ -714,7 +864,7 @@ mod tests {
     fn snapshot_refuses_dirty_system() {
         let mut s = System::new();
         let c = s.new_constraint(10.0);
-        s.new_variable(f64::INFINITY, vec![c]);
+        s.new_variable(f64::INFINITY, &[c]);
         assert!(s.is_dirty());
         assert!(s.export_snapshot().is_err());
     }
@@ -737,14 +887,14 @@ mod tests {
     fn solve_dirty_reports_changed_vars() {
         let mut s = System::new();
         let c = s.new_constraint(100.0);
-        let v1 = s.new_variable(f64::INFINITY, vec![c]);
+        let v1 = s.new_variable(f64::INFINITY, &[c]);
         let mut changed = Vec::new();
         s.solve_dirty(&mut changed);
         assert_eq!(changed, vec![v1]);
         assert!(close(s.rate(v1), 100.0));
 
         changed.clear();
-        let v2 = s.new_variable(f64::INFINITY, vec![c]);
+        let v2 = s.new_variable(f64::INFINITY, &[c]);
         s.solve_dirty(&mut changed);
         changed.sort_by_key(|v| v.0);
         assert_eq!(changed, vec![v1, v2]);
@@ -762,13 +912,13 @@ mod tests {
         let mut s = System::new();
         let ca = s.new_constraint(10.0);
         let cb = s.new_constraint(20.0);
-        let va = s.new_variable(f64::INFINITY, vec![ca]);
-        let vb = s.new_variable(f64::INFINITY, vec![cb]);
+        let va = s.new_variable(f64::INFINITY, &[ca]);
+        let vb = s.new_variable(f64::INFINITY, &[cb]);
         let mut changed = Vec::new();
         s.solve_dirty(&mut changed);
         changed.clear();
         // Adding a second var on island A must not report island B.
-        let va2 = s.new_variable(f64::INFINITY, vec![ca]);
+        let va2 = s.new_variable(f64::INFINITY, &[ca]);
         s.solve_dirty(&mut changed);
         changed.sort_by_key(|v| v.0);
         assert_eq!(changed, vec![va, va2]);
@@ -776,7 +926,26 @@ mod tests {
     }
 
     #[test]
-    fn incremental_matches_full_solve_on_random_systems() {
+    fn partial_solve_counters_account_for_skipped_constraints() {
+        let mut s = System::new();
+        let ca = s.new_constraint(10.0);
+        let cb = s.new_constraint(20.0);
+        s.new_variable(f64::INFINITY, &[ca]);
+        s.new_variable(f64::INFINITY, &[cb]);
+        let mut changed = Vec::new();
+        s.solve_dirty(&mut changed); // both islands dirty: not partial
+        changed.clear();
+        s.new_variable(f64::INFINITY, &[ca]);
+        s.solve_dirty(&mut changed); // only island A dirty: partial
+        let st = s.stats();
+        assert_eq!(st.solves, 2);
+        assert_eq!(st.partial_solves, 1);
+        assert_eq!(st.constraints_skipped, 1, "island B skipped once");
+        assert_eq!(st.constraints_touched, 3);
+    }
+
+    #[test]
+    fn incremental_matches_full_solve_bit_identically() {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
         for _ in 0..50 {
@@ -806,7 +975,7 @@ mod tests {
                     } else {
                         rng.random_range(0.1..50.0)
                     };
-                    vars.push(inc.new_variable(bound, cs));
+                    vars.push(inc.new_variable(bound, &cs));
                 }
                 if rng.random_bool(0.5) {
                     changed.clear();
@@ -815,13 +984,15 @@ mod tests {
             }
             changed.clear();
             inc.solve_dirty(&mut changed);
-            // Full solve from the same state must agree.
+            // Full solve from the same state must agree bit-for-bit
+            // (docs/KERNEL.md §2: canonical order + exact levels).
             let incremental: Vec<f64> = vars.iter().map(|&v| inc.rate(v)).collect();
             inc.solve();
             let full: Vec<f64> = vars.iter().map(|&v| inc.rate(v)).collect();
             for (a, b) in incremental.iter().zip(&full) {
-                assert!(
-                    close(*a, *b),
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
                     "incremental {a} vs full {b} (vars {})",
                     vars.len()
                 );

@@ -55,7 +55,7 @@ impl KernelReport {
         out.push_str(&format!(",\"actions_replayed\":{}", self.actions_replayed));
         out.push_str(&format!(",\"simulated_time\":{}", self.simulated_time));
         out.push_str(&format!(
-            ",\n\"engine\":{{\"actor_steps\":{},\"ops_completed\":{},\"heap_pushes\":{},\"heap_pops\":{},\"heap_peak\":{},\"latency_events\":{},\"sleep_events\":{},\"completion_updates\":{},\"completion_pops\":{},\"completions_peak\":{},\"activities_peak\":{}}}",
+            ",\n\"engine\":{{\"actor_steps\":{},\"ops_completed\":{},\"heap_pushes\":{},\"heap_pops\":{},\"heap_peak\":{},\"latency_events\":{},\"sleep_events\":{},\"completion_updates\":{},\"lazy_rekeys\":{},\"stale_pops\":{},\"completion_pops\":{},\"completions_peak\":{},\"activities_peak\":{}}}",
             p.actor_steps,
             p.ops_completed,
             p.heap_pushes,
@@ -64,13 +64,21 @@ impl KernelReport {
             p.latency_events,
             p.sleep_events,
             p.completion_updates,
+            p.lazy_rekeys,
+            p.stale_pops,
             p.completion_pops,
             p.completions_peak,
             p.activities_peak
         ));
         out.push_str(&format!(
-            ",\n\"solver\":{{\"solves\":{},\"islands\":{},\"constraints_touched\":{},\"vars_touched\":{},\"rate_changes\":{}}}",
-            s.solves, s.islands, s.constraints_touched, s.vars_touched, s.rate_changes
+            ",\n\"solver\":{{\"solves\":{},\"partial_solves\":{},\"islands\":{},\"constraints_touched\":{},\"constraints_skipped\":{},\"vars_touched\":{},\"rate_changes\":{}}}",
+            s.solves,
+            s.partial_solves,
+            s.islands,
+            s.constraints_touched,
+            s.constraints_skipped,
+            s.vars_touched,
+            s.rate_changes
         ));
         out.push_str(&format!(
             ",\n\"derived\":{{\"constraints_per_solve\":{},\"vars_per_solve\":{},\"islands_per_solve\":{},\"solves_per_op\":{},\"heap_ops_per_op\":{},\"completion_updates_per_op\":{},\"rate_changes_per_solve\":{}}}}}\n",
@@ -121,10 +129,12 @@ impl KernelReport {
             self.num_ranks, self.actions_replayed, self.simulated_time
         ));
         out.push_str(&format!(
-            "  solver: {} solves, {} islands, {:.2} constraints/solve, {:.2} vars/solve, {} rate changes\n",
+            "  solver: {} solves ({} partial), {} islands, {:.2} constraints/solve ({} skipped), {:.2} vars/solve, {} rate changes\n",
             s.solves,
+            s.partial_solves,
             s.islands,
             ratio(s.constraints_touched, s.solves),
+            s.constraints_skipped,
             ratio(s.vars_touched, s.solves),
             s.rate_changes
         ));
@@ -133,8 +143,8 @@ impl KernelReport {
             p.heap_pushes, p.heap_pops, p.heap_peak, p.latency_events, p.sleep_events
         ));
         out.push_str(&format!(
-            "  completions: {} in-place updates, {} pops, peak {} active (slab peak {})\n",
-            p.completion_updates, p.completion_pops, p.completions_peak, p.activities_peak
+            "  completions: {} eager updates, {} lazy re-keys ({} refreshed at top), {} pops, peak {} active (slab peak {})\n",
+            p.completion_updates, p.lazy_rekeys, p.stale_pops, p.completion_pops, p.completions_peak, p.activities_peak
         ));
         if w.total_s > 0.0 {
             out.push_str(&format!(

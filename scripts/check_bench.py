@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Benchmark regression gate (docs/BENCHMARKS.md).
 
-Usage: check_bench.py FRESH.json BASELINE.json
+Usage: check_bench.py FRESH.json BASELINE.json [--kprof KPROF.json]
 
 Compares a freshly produced BENCH_*.json against the committed
 baseline:
@@ -16,7 +16,24 @@ baseline:
      sink <= 10% (docs/OBSERVABILITY.md) — skipped when the detached
      wall is under MIN_OVERHEAD_WALL seconds, where timer noise
      dominates any real ratio;
-  4. envelope sanity: same bench name, non-empty runs, finite positive
+  4. for replay records: kernel scale-invariance (docs/KERNEL.md §2) —
+     the sweep must carry at least one >= 128-rank row in both the LU.B
+     and PAIRS families, and the max-rank PAIRS row must sustain
+     >= PAIRS_FLOOR x the x8 PAIRS rate. PAIRS islands are two NICs at
+     every machine size, so this ratio isolates kernel overhead; the
+     measured residual fall (0.56x at x1024 vs x8 on the reference
+     container, with algorithmic counters exactly flat) is working-set
+     growth, hence the 0.5 floor rather than a literal-flatness 0.8+.
+     The LU.B family also gets a x8->x64 floor at the paper-comparable
+     sizes (its >= 128-rank rows are exempt: LU's wavefront couples
+     flows into contention islands that grow with the machine, so the
+     model, not the kernel, dominates there — see docs/KERNEL.md);
+  5. with --kprof: the kernel self-profile must prove the incremental
+     solver was on — the partial-solve counters must exist (a renamed
+     or dropped counter fails loudly, exit 2), partial_solves must be
+     positive, and every >= 128-rank run must skip >= half of the
+     system's constraints per solve on average;
+  6. envelope sanity: same bench name, non-empty runs, finite positive
      peak.
 
 Exit status: 0 pass, 1 regression, 2 usage/parse error.
@@ -32,6 +49,10 @@ SPEEDUP_MIN_JOBS = 4
 NOOP_CEIL = 1.02
 TIMERES_CEIL = 1.10
 MIN_OVERHEAD_WALL = 0.03
+PAIRS_FLOOR = 0.5
+LU_PAPER_FLOOR = 0.5
+SWEEP_MIN_RANKS = 128
+SKIP_FRACTION_FLOOR = 0.5
 
 
 def load(path):
@@ -71,11 +92,119 @@ def require(run, key, path):
     return run[key]
 
 
+def family_rates(runs, family, path):
+    """`(nproc, records_per_sec)` rows of one sweep family, rank-sorted.
+
+    Labels look like `"LU.B x 8"` / `"PAIRS x 1024"`; the suffix is the
+    rank count.
+    """
+    out = []
+    for run in runs:
+        label = require(run, "label", path)
+        head, sep, tail = label.rpartition(" x ")
+        if not sep or head != family:
+            continue
+        try:
+            nproc = int(tail)
+        except ValueError:
+            print(f"check_bench: {path}: unparsable rank count in {label!r}", file=sys.stderr)
+            sys.exit(2)
+        out.append((nproc, require(run, "records_per_sec", path)))
+    return sorted(out)
+
+
+def check_flatness(rates, family, floor, label_hi, failed):
+    """Gates the last row's rate against the first row's."""
+    (lo_n, lo_r), (hi_n, hi_r) = rates[0], rates[-1]
+    ratio = hi_r / lo_r if lo_r > 0 else 0.0
+    verdict = "OK" if ratio >= floor else "FAIL"
+    print(
+        f"[replay] {family} {label_hi}: x{hi_n} sustains {ratio:.2f}x of the "
+        f"x{lo_n} rate (floor {floor}x): {verdict}"
+    )
+    return failed or ratio < floor
+
+
+def check_replay_sweep(fresh, path, failed):
+    """Gate 4: scale-invariance rows and ratios (docs/KERNEL.md §2)."""
+    lu = family_rates(fresh["runs"], "LU.B", path)
+    pairs = family_rates(fresh["runs"], "PAIRS", path)
+    max_rank = 0
+    for family, rates in (("LU.B", lu), ("PAIRS", pairs)):
+        if not rates:
+            print(f"check_bench: {path}: no {family!r} sweep rows", file=sys.stderr)
+            sys.exit(2)
+        max_rank = max(max_rank, rates[-1][0])
+        if rates[-1][0] < SWEEP_MIN_RANKS:
+            print(
+                f"check_bench: {path}: {family} sweep stops at x{rates[-1][0]} — "
+                f"the sweep must include a >= x{SWEEP_MIN_RANKS} row "
+                "(pass --max-ranks >= 128 to the fig9 bin)",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+    failed = check_flatness(pairs, "PAIRS", PAIRS_FLOOR, "kernel flatness", failed)
+    lu_paper = [r for r in lu if r[0] <= 64]
+    if len(lu_paper) >= 2:
+        failed = check_flatness(lu_paper, "LU.B", LU_PAPER_FLOOR, "paper-size flatness", failed)
+    return failed
+
+
+def check_kprof(path, failed):
+    """Gate 5: the self-profile proves the incremental solver ran."""
+    doc = load(path)
+    runs = doc.get("runs")
+    if not runs:
+        print(f"check_bench: {path}: missing or empty runs", file=sys.stderr)
+        sys.exit(2)
+    total_partial = 0
+    for run in runs:
+        ranks = require(run, "num_ranks", path)
+        if "solver" not in run:
+            print(f"check_bench: {path}: run x{ranks} missing solver section", file=sys.stderr)
+            sys.exit(2)
+        solver = run["solver"]
+        for key in ("solves", "partial_solves", "constraints_touched", "constraints_skipped"):
+            if key not in solver:
+                print(
+                    f"check_bench: {path}: run x{ranks} solver section missing "
+                    f"{key!r} (partial-solve counters renamed or dropped? "
+                    "the incremental-kernel gate cannot run without them)",
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+        total_partial += solver["partial_solves"]
+        touched, skipped = solver["constraints_touched"], solver["constraints_skipped"]
+        if ranks >= SWEEP_MIN_RANKS:
+            frac = skipped / (touched + skipped) if touched + skipped > 0 else 0.0
+            verdict = "OK" if frac >= SKIP_FRACTION_FLOOR else "FAIL"
+            print(
+                f"[kprof] x{ranks}: partial solves skip {frac:.1%} of constraints "
+                f"(floor {SKIP_FRACTION_FLOOR:.0%}): {verdict}"
+            )
+            if frac < SKIP_FRACTION_FLOOR:
+                failed = True
+    verdict = "OK" if total_partial > 0 else "FAIL"
+    print(f"[kprof] {total_partial} partial solves across the sweep (> 0): {verdict}")
+    if total_partial == 0:
+        failed = True
+    return failed
+
+
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    kprof_path = None
+    if "--kprof" in argv:
+        i = argv.index("--kprof")
+        if i + 1 >= len(argv):
+            print(__doc__.strip(), file=sys.stderr)
+            sys.exit(2)
+        kprof_path = argv[i + 1]
+        del argv[i : i + 2]
+    if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    fresh_path, base_path = sys.argv[1], sys.argv[2]
+    fresh_path, base_path = argv[0], argv[1]
     fresh, base = load(fresh_path), load(base_path)
     sane(fresh, fresh_path)
     sane(base, base_path)
@@ -120,6 +249,11 @@ def main():
                 f"[ingest] {label}: speedup check skipped "
                 f"({jobs} job(s) < {SPEEDUP_MIN_JOBS})"
             )
+
+    if fresh["bench"] == "replay":
+        failed = check_replay_sweep(fresh, fresh_path, failed)
+    if kprof_path is not None:
+        failed = check_kprof(kprof_path, failed)
 
     if fresh["bench"] == "replay" and "observer_overhead" in fresh:
         o = fresh["observer_overhead"]

@@ -277,10 +277,11 @@ KPROF_KEYS = ("schema", "num_ranks", "actions_replayed", "simulated_time",
 
 KPROF_ENGINE = ("actor_steps", "ops_completed", "heap_pushes", "heap_pops",
                 "heap_peak", "latency_events", "sleep_events",
-                "completion_updates", "completion_pops", "completions_peak",
-                "activities_peak")
+                "completion_updates", "lazy_rekeys", "stale_pops",
+                "completion_pops", "completions_peak", "activities_peak")
 
-KPROF_SOLVER = ("solves", "islands", "constraints_touched", "vars_touched",
+KPROF_SOLVER = ("solves", "partial_solves", "islands",
+                "constraints_touched", "constraints_skipped", "vars_touched",
                 "rate_changes")
 
 
@@ -301,6 +302,13 @@ def check_kprof_doc(doc, path):
     if engine["heap_pops"] > engine["heap_pushes"]:
         fail(f"{path}: heap pops {engine['heap_pops']} exceed pushes "
              f"{engine['heap_pushes']}")
+    if engine["stale_pops"] > engine["lazy_rekeys"]:
+        fail(f"{path}: stale pops {engine['stale_pops']} exceed lazy "
+             f"re-keys {engine['lazy_rekeys']}")
+    solver = doc.get("solver")
+    if solver["partial_solves"] > solver["solves"]:
+        fail(f"{path}: partial solves {solver['partial_solves']} exceed "
+             f"solves {solver['solves']}")
     if doc.get("actions_replayed", 0) > 0 and engine["ops_completed"] == 0:
         fail(f"{path}: actions replayed but ops_completed == 0")
     derived = doc.get("derived")

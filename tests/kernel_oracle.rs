@@ -1,0 +1,161 @@
+//! Differential oracle for the scale-invariant replay kernel
+//! (docs/KERNEL.md).
+//!
+//! The engine ships two kernel implementations behind
+//! [`titr::simkern::KernelMode`]: the `Reference` kernel (full LMM
+//! solve after every state change, eager completion re-keying, binary
+//! event heap) and the `Incremental` kernel (dirty-island partial
+//! solves, lazy completion re-keying, pairing-heap event queue). The
+//! incremental kernel's entire claim is that it produces the **same
+//! simulation, bit for bit** — not "close enough": simulated times and
+//! the full completion-ordered timeline must be identical down to the
+//! last float bit on every workload. These tests enforce that claim on
+//! the paper's LU benchmark plus the repo's other generators (ring,
+//! stencil, allreduce-heavy CG) under all three network models, and on
+//! randomized balanced traces via proptest.
+
+use proptest::prelude::*;
+use titr::npb::ring::RingConfig;
+use titr::npb::stencil::StencilConfig;
+use titr::npb::{CgConfig, Class, LuConfig};
+use titr::platform::desc::PlatformDesc;
+use titr::platform::presets;
+use titr::replay::collectives::CollectiveAlgo;
+use titr::replay::{replay_memory, ReplayConfig};
+use titr::simkern::netmodel::NetworkConfig;
+use titr::simkern::resource::HostId;
+use titr::simkern::KernelMode;
+use titr::trace::{Action, TiTrace};
+
+/// A replay outcome reduced to exactly-comparable integers: the
+/// simulated time's bit pattern, the action count, and the timeline as
+/// `(actor, tag, start_bits, end_bits, volume_bits)` rows in delivery
+/// order. Two kernels agree iff these are `==`.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    simulated_time_bits: u64,
+    actions_replayed: u64,
+    timeline: Vec<(usize, u32, u64, u64, u64)>,
+}
+
+fn replay_fingerprint(trace: &TiTrace, cfg: &ReplayConfig) -> Fingerprint {
+    let nproc = trace.num_processes();
+    let desc = PlatformDesc::single(presets::bordereau_one_core(nproc));
+    let hosts: Vec<HostId> = (0..nproc as u32).map(HostId).collect();
+    let out = replay_memory(trace, desc.build(), &hosts, cfg).expect("replay succeeds");
+    Fingerprint {
+        simulated_time_bits: out.simulated_time.to_bits(),
+        actions_replayed: out.actions_replayed,
+        timeline: out
+            .records
+            .expect("collect_records was set")
+            .iter()
+            .map(|r| (r.actor, r.tag, r.start.to_bits(), r.end.to_bits(), r.volume.to_bits()))
+            .collect(),
+    }
+}
+
+/// Replays `trace` under both kernels and asserts the fingerprints are
+/// identical. Returns the (shared) simulated time so callers can add
+/// workload-specific sanity checks.
+fn assert_modes_agree(trace: &TiTrace, network: NetworkConfig, algo: CollectiveAlgo) -> f64 {
+    let cfg = |kernel| ReplayConfig {
+        network: network.clone(),
+        algo,
+        collect_records: true,
+        kernel_profile: false,
+        kernel,
+    };
+    let reference = replay_fingerprint(trace, &cfg(KernelMode::Reference));
+    let incremental = replay_fingerprint(trace, &cfg(KernelMode::Incremental));
+    assert!(!reference.timeline.is_empty(), "oracle replayed an empty timeline");
+    assert_eq!(
+        reference, incremental,
+        "incremental kernel diverged from the full-solve reference"
+    );
+    f64::from_bits(reference.simulated_time_bits)
+}
+
+#[test]
+fn ring_agrees_across_kernels_and_networks() {
+    let trace = RingConfig { nproc: 8, iters: 6, flops: 2e6, bytes: 8e5 }.trace();
+    for network in
+        [NetworkConfig::mpi_cluster(), NetworkConfig::default(), NetworkConfig::constant()]
+    {
+        let t = assert_modes_agree(&trace, network, CollectiveAlgo::Binomial);
+        assert!(t > 0.0);
+    }
+}
+
+#[test]
+fn stencil_agrees_across_kernels() {
+    let cfg = StencilConfig { n: 256, px: 2, py: 2, iters: 8, check_every: 2, ..Default::default() };
+    let t = assert_modes_agree(&cfg.trace(), NetworkConfig::mpi_cluster(), CollectiveAlgo::Binomial);
+    assert!(t > 0.0);
+}
+
+#[test]
+fn allreduce_heavy_cg_agrees_across_kernels() {
+    let cfg = CgConfig::new(Class::S, 8).with_niter(2);
+    let trace = titr::npb::program_trace(&cfg.program(), 8);
+    for algo in [CollectiveAlgo::Binomial, CollectiveAlgo::Flat] {
+        let t = assert_modes_agree(&trace, NetworkConfig::mpi_cluster(), algo);
+        assert!(t > 0.0);
+    }
+}
+
+#[test]
+fn lu_agrees_across_kernels() {
+    let cfg = LuConfig::new(Class::S, 8).with_itmax(3);
+    let trace = titr::npb::program_trace(&cfg.program(), 8);
+    let t = assert_modes_agree(&trace, NetworkConfig::mpi_cluster(), CollectiveAlgo::Binomial);
+    assert!(t > 0.0);
+}
+
+/// Same balanced-trace generator contract as `proptests.rs`: every send
+/// is matched, per-pair ordering is FIFO, every Irecv is waited on.
+fn balanced_trace(nproc: usize, ops: &[(usize, usize, u32, bool)]) -> TiTrace {
+    let mut t = TiTrace::new(nproc);
+    for r in 0..nproc {
+        t.push(r, Action::CommSize { nproc });
+    }
+    for &(src, dst, vol, nonblocking) in ops {
+        let src = src % nproc;
+        let dst = dst % nproc;
+        if src == dst {
+            t.push(src, Action::Compute { flops: vol as f64 });
+            continue;
+        }
+        let bytes = vol as f64;
+        t.push(src, Action::Send { dst, bytes });
+        if nonblocking {
+            t.push(dst, Action::Irecv { src, bytes: None });
+            t.push(dst, Action::Wait);
+        } else {
+            t.push(dst, Action::Recv { src, bytes: None });
+        }
+    }
+    for r in 0..nproc {
+        t.push(r, Action::Barrier);
+    }
+    t
+}
+
+proptest! {
+    /// Random balanced traces replay bit-identically under both
+    /// kernels — times and full timelines. This is the adversarial leg
+    /// of the oracle: arbitrary message graphs, mixed blocking and
+    /// nonblocking receives, degenerate volumes.
+    #[test]
+    fn random_traces_agree_across_kernels(
+        nproc in 2usize..6,
+        ops in proptest::collection::vec(
+            (0usize..8, 0usize..8, 1u32..2_000_000, proptest::bool::ANY),
+            1..50,
+        ),
+    ) {
+        let t = balanced_trace(nproc, &ops);
+        let time = assert_modes_agree(&t, NetworkConfig::mpi_cluster(), CollectiveAlgo::Binomial);
+        prop_assert!(time.is_finite() && time > 0.0);
+    }
+}
