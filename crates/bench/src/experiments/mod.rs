@@ -8,6 +8,7 @@ pub mod ingest;
 pub mod kprof;
 pub mod largetrace;
 pub mod observer;
+pub mod scale;
 pub mod serve;
 pub mod table2;
 pub mod table3;

@@ -195,6 +195,46 @@ pub fn write_ingest_json(
     w.flush()
 }
 
+/// Writes memory-governance scale records as `BENCH_scale.json`:
+/// `{"bench":name,"peak_records_per_sec":…,"runs":[…]}` — the same
+/// envelope as [`write_bench_json`], with per-run store size, budget,
+/// governor segment peak and process peak RSS. `scripts/check_bench.py`
+/// gates segment peak against the budget, peak RSS against the cap,
+/// and RSS flatness across the ×4 store-length sweep.
+pub fn write_scale_json(
+    path: &Path,
+    name: &str,
+    records: &[crate::experiments::scale::ScaleRecord],
+) -> std::io::Result<()> {
+    use crate::experiments::scale::ScaleRecord;
+    let peak = records.iter().map(ScaleRecord::records_per_sec).fold(0.0, f64::max);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(w, "{{\"bench\":\"{name}\",\"peak_records_per_sec\":{peak},\"runs\":[")?;
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(
+            w,
+            "\n{{\"label\":\"{}\",\"ranks\":{},\"actions\":{},\"store_bytes\":{},\"budget_bytes\":{},\"segment_peak_bytes\":{},\"peak_rss_bytes\":{},\"rss_cap_bytes\":{},\"wall\":{},\"records_per_sec\":{},\"bytes_per_sec\":{},\"simulated_time\":{}}}",
+            r.label,
+            r.ranks,
+            r.actions,
+            r.store_bytes,
+            r.budget_bytes,
+            r.segment_peak_bytes,
+            r.peak_rss_bytes,
+            r.rss_cap_bytes,
+            r.wall,
+            r.records_per_sec(),
+            r.bytes_per_sec(),
+            r.simulated_time
+        )?;
+    }
+    writeln!(w, "\n]}}")?;
+    w.flush()
+}
+
 /// Writes serving records as `BENCH_serve.json`:
 /// `{"bench":name,"peak_records_per_sec":…,"runs":[…]}` — the same
 /// envelope as [`write_bench_json`] (so `scripts/check_bench.py` gates

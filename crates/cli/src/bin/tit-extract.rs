@@ -3,10 +3,17 @@
 //!
 //! ```text
 //! tit-extract --tau TAU_DIR --np N --out TI_DIR [--threads T] [--bundle FILE] [--arity K]
+//!             [--tib2 FILE [--seg-actions N]]
 //! ```
 //!
 //! `--jobs` is accepted as a synonym for `--threads` (`0` = one worker
 //! per CPU), matching `tit-replay`/`tit-lint`.
+//!
+//! `--tib2 FILE` additionally packs the extracted traces into a
+//! checksummed `TIB2` segmented store (docs/FORMATS.md), written
+//! atomically (tmp + rename — a crash never leaves a torn store
+//! behind). `--seg-actions N` overrides the segment size (default
+//! 4096 actions). Replay it with `tit-replay --store FILE`.
 
 use std::path::PathBuf;
 use tit_cli::Args;
@@ -14,7 +21,7 @@ use tit_extract::gather::{bundle, gather_plan};
 use tit_extract::tau2ti;
 
 const USAGE: &str =
-    "tit-extract --tau DIR --np N --out DIR [--threads T | --jobs T] [--bundle FILE] [--arity K] [--binary]";
+    "tit-extract --tau DIR --np N --out DIR [--threads T | --jobs T] [--bundle FILE] [--arity K] [--binary] [--tib2 FILE [--seg-actions N]]";
 
 fn main() {
     let args = Args::from_env();
@@ -55,6 +62,30 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("binary conversion failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Optional TIB2 segmented store (replayed with `tit-replay
+    // --store`); written atomically, parallel parse via --jobs.
+    if let Some(dest) = args.get("tib2") {
+        let seg_actions: usize = args.get_or("seg-actions", tit_core::tib2::DEFAULT_SEG_ACTIONS);
+        if seg_actions == 0 {
+            eprintln!("--seg-actions wants a positive action count\nusage: {USAGE}");
+            std::process::exit(2);
+        }
+        let dest = PathBuf::from(dest);
+        match tit_core::tib2::convert_dir_atomic(&out, np, &dest, seg_actions, threads) {
+            Ok(s) => println!(
+                "tib2 store:       {} ({} segments, {} bytes, fingerprint {:#018x})",
+                dest.display(),
+                s.segments,
+                s.bytes,
+                s.fingerprint
+            ),
+            Err(e) => {
+                eprintln!("tib2 conversion failed: {e}");
                 std::process::exit(1);
             }
         }

@@ -1,8 +1,9 @@
 //! Synthetic time-independent trace generator.
 //!
 //! ```text
-//! tit-gen --out DIR --np N --pattern ring|stencil|allreduce|lu
-//!         [--iters K] [--flops F] [--bytes B] [--class S|W|A|B|C]
+//! tit-gen (--out DIR | --tib2 FILE [--seg-actions N]) --np N
+//!         --pattern ring|stencil|allreduce|lu
+//!         [--iters K] [--flops F] [--bytes B] [--class S|W|A|B|C|D]
 //! ```
 //!
 //! Writes a per-process trace set (`trace_rank_N.txt` files) into
@@ -24,12 +25,27 @@
 //!
 //! Defaults: `--iters 1`, `--flops 1e6` per compute, `--bytes 1e4` per
 //! message. Exit codes: `0` success, `1` I/O failure, `2` usage error.
+//!
+//! # Streaming store output (`--tib2`)
+//!
+//! `--tib2 FILE` writes a checksummed `TIB2` segmented store
+//! (docs/FORMATS.md) instead of (or in addition to) the text trace
+//! set. The `lu` pattern **streams**: each rank's `LuStream` feeds the
+//! segmented writer op by op, so peak memory is O(one segment) however
+//! large the class — a class-D store can exceed memory by orders of
+//! magnitude and still generate in constant space. The store replays
+//! with `tit-replay --store FILE [--mem-budget BYTES]`, giving an
+//! arbitrarily large differential-test substrate with no trace-file
+//! intermediary. `--seg-actions N` sets the segment size (default
+//! 4096).
 
-use std::path::PathBuf;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 use tit_cli::Args;
-use tit_core::{Action, TiTrace};
+use tit_core::tib2::Tib2Summary;
+use tit_core::{Action, AtomicFile, CompactTrace, TiTrace, Tib2Writer};
 
-const USAGE: &str = "tit-gen --out DIR --np N --pattern ring|stencil|allreduce|lu [--iters K] [--flops F] [--bytes B] [--class S|W|A|B|C]";
+const USAGE: &str = "tit-gen (--out DIR | --tib2 FILE [--seg-actions N]) --np N --pattern ring|stencil|allreduce|lu [--iters K] [--flops F] [--bytes B] [--class S|W|A|B|C|D]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("{msg}\nusage: {USAGE}");
@@ -85,9 +101,44 @@ fn allreduce(np: usize, iters: usize, flops: f64, bytes: f64) -> TiTrace {
     t
 }
 
+/// Streams one rank program after another straight into a segmented
+/// writer — nothing is ever materialized, so a class-D LU store
+/// generates in O(one segment) memory.
+fn stream_tib2(
+    dest: &Path,
+    np: usize,
+    seg_actions: usize,
+    program: &dyn Fn(usize, usize) -> Box<dyn mpi_emul::ops::OpStream>,
+) -> std::io::Result<Tib2Summary> {
+    let af = AtomicFile::create(dest)?;
+    let mut w = Tib2Writer::new(BufWriter::with_capacity(1 << 16, af), seg_actions)?;
+    for rank in 0..np {
+        w.begin_rank()?;
+        let mut s = program(rank, np);
+        while let Some(op) = s.next_op() {
+            let mut a = npb::op_to_action(&op);
+            if let Action::CommSize { nproc } = &mut a {
+                *nproc = np;
+            }
+            w.push(&a)?;
+        }
+    }
+    let (out, summary) = w.finish()?;
+    out.into_inner().map_err(|e| std::io::Error::other(e.to_string()))?.commit()?;
+    Ok(summary)
+}
+
 fn main() {
     let args = Args::from_env();
-    let out = PathBuf::from(args.require("out", USAGE));
+    let out = args.get("out").map(PathBuf::from);
+    let tib2 = args.get("tib2").map(PathBuf::from);
+    if out.is_none() && tib2.is_none() {
+        usage_error("missing --out or --tib2");
+    }
+    let seg_actions: usize = args.get_or("seg-actions", tit_core::tib2::DEFAULT_SEG_ACTIONS);
+    if seg_actions == 0 {
+        usage_error("--seg-actions wants a positive action count");
+    }
     let np: usize = args.get_or("np", 0);
     if np == 0 {
         usage_error("missing --np");
@@ -100,61 +151,119 @@ fn main() {
     }
 
     let pattern = args.require("pattern", USAGE);
-    let mut trace = match pattern.as_str() {
-        "ring" => {
-            if np < 2 {
-                usage_error("--pattern ring needs --np >= 2");
-            }
-            ring(np, iters, flops, bytes)
+    let lu_cfg = if pattern == "lu" {
+        if np < 2 || !np.is_power_of_two() {
+            usage_error("--pattern lu needs a power-of-two --np >= 2");
         }
-        "stencil" => {
-            if np < 3 {
-                usage_error("--pattern stencil needs --np >= 3");
-            }
-            stencil(np, iters, flops, bytes)
+        let class: npb::Class = match args.get_or("class", "S".to_string()).parse() {
+            Ok(c) => c,
+            Err(e) => usage_error(&e),
+        };
+        let mut cfg = npb::LuConfig::new(class, np);
+        if args.get("iters").is_some() {
+            cfg = cfg.with_itmax(iters);
         }
-        "allreduce" => allreduce(np, iters, flops, bytes),
-        "lu" => {
-            if np < 2 || !np.is_power_of_two() {
-                usage_error("--pattern lu needs a power-of-two --np >= 2");
-            }
-            let class: npb::Class = match args.get_or("class", "S".to_string()).parse() {
-                Ok(c) => c,
-                Err(e) => usage_error(&e),
-            };
-            let mut cfg = npb::LuConfig::new(class, np);
-            if args.get("iters").is_some() {
-                cfg = cfg.with_itmax(iters);
-            }
-            npb::program_trace(&cfg.program(), np)
-        }
-        other => usage_error(&format!("unknown pattern {other:?}")),
+        Some(cfg)
+    } else {
+        None
     };
-    // Collectives (and tit-replay/tit-analyze) need the communicator
-    // size declared before anything else; the LU stream declares its
-    // own.
-    if pattern != "lu" {
-        for rank in (0..np).rev() {
-            trace.actions[rank].insert(0, Action::CommSize { nproc: np });
+
+    // LU streams straight into the store; everything else (and any
+    // text output) materializes first — those patterns are small.
+    let trace = if out.is_some() || (tib2.is_some() && lu_cfg.is_none()) {
+        let mut trace = match pattern.as_str() {
+            "ring" => {
+                if np < 2 {
+                    usage_error("--pattern ring needs --np >= 2");
+                }
+                ring(np, iters, flops, bytes)
+            }
+            "stencil" => {
+                if np < 3 {
+                    usage_error("--pattern stencil needs --np >= 3");
+                }
+                stencil(np, iters, flops, bytes)
+            }
+            "allreduce" => allreduce(np, iters, flops, bytes),
+            "lu" => {
+                // panics: lu_cfg was just built for the lu pattern
+                npb::program_trace(&lu_cfg.unwrap().program(), np)
+            }
+            other => usage_error(&format!("unknown pattern {other:?}")),
+        };
+        // Collectives (and tit-replay/tit-analyze) need the
+        // communicator size declared before anything else; the LU
+        // stream declares its own.
+        if pattern != "lu" {
+            for rank in (0..np).rev() {
+                trace.actions[rank].insert(0, Action::CommSize { nproc: np });
+            }
+        }
+        Some(trace)
+    } else {
+        if !["ring", "stencil", "allreduce", "lu"].contains(&pattern.as_str()) {
+            usage_error(&format!("unknown pattern {pattern:?}"));
+        }
+        if pattern == "ring" && np < 2 {
+            usage_error("--pattern ring needs --np >= 2");
+        }
+        if pattern == "stencil" && np < 3 {
+            usage_error("--pattern stencil needs --np >= 3");
+        }
+        None
+    };
+
+    if let Some(dest) = &tib2 {
+        let result = match (&lu_cfg, &trace) {
+            // The streaming path: LuStream → Tib2Writer, op by op.
+            (Some(cfg), _) => stream_tib2(dest, np, seg_actions, &cfg.program()),
+            (None, Some(t)) => match CompactTrace::from_trace(t) {
+                Ok(ct) => tit_core::tib2::write_compact_atomic(dest, &ct, seg_actions),
+                Err(e) => {
+                    eprintln!("cannot pack trace: {e}");
+                    std::process::exit(1);
+                }
+            },
+            // panics: non-lu with --tib2 always materializes above
+            (None, None) => unreachable!("non-lu --tib2 without a trace"),
+        };
+        match result {
+            Ok(s) => println!(
+                "tib2 store:       {} ({} ranks, {} actions, {} segments, {} bytes, fingerprint {:#018x})",
+                dest.display(),
+                s.ranks,
+                s.actions,
+                s.segments,
+                s.bytes,
+                s.fingerprint
+            ),
+            Err(e) => {
+                eprintln!("cannot write store {}: {e}", dest.display());
+                std::process::exit(1);
+            }
         }
     }
 
-    if let Err(e) = std::fs::create_dir_all(&out) {
-        eprintln!("cannot create {}: {e}", out.display());
-        std::process::exit(1);
-    }
-    match trace.save_per_process(&out) {
-        Ok(files) => {
-            println!(
-                "wrote {} ({} files, {} actions, pattern {pattern})",
-                out.display(),
-                files.len(),
-                trace.num_actions()
-            );
-        }
-        Err(e) => {
-            eprintln!("cannot write trace set: {e}");
+    if let Some(out) = &out {
+        // panics: --out always materializes the trace above
+        let trace = trace.as_ref().unwrap();
+        if let Err(e) = std::fs::create_dir_all(out) {
+            eprintln!("cannot create {}: {e}", out.display());
             std::process::exit(1);
+        }
+        match trace.save_per_process(out) {
+            Ok(files) => {
+                println!(
+                    "wrote {} ({} files, {} actions, pattern {pattern})",
+                    out.display(),
+                    files.len(),
+                    trace.num_actions()
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot write trace set: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

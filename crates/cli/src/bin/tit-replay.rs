@@ -70,6 +70,24 @@
 //! chaos harness uses to simulate crashes). Checkpointing requires the
 //! serial path (`--jobs 1`).
 //!
+//! # Segmented stores (`--store`, DESIGN.md §5i)
+//!
+//! `--store FILE` replays a `TIB2` segmented store (docs/FORMATS.md)
+//! instead of a trace directory: segments fault in on demand with
+//! O(ranks + resident segments) peak memory, every segment is
+//! checksum-verified before a byte of it reaches the kernel, and the
+//! simulated time is bit-identical to the `--trace-dir` path. `--np`
+//! is optional (the store knows its rank count) and must match when
+//! given. `--mem-budget BYTES` (suffixes `K`/`M`/`G` accepted) puts a
+//! hard cap on resident decoded segments: the cache evicts and
+//! re-faults under pressure, and an unmeetable cap is a typed refusal
+//! — never an OOM kill. The run self-reports its peak RSS (`VmHWM`)
+//! next to the budget. Checkpoints taken with `--store` embed the
+//! store's footer hash: `--resume` refuses a store whose content
+//! changed, not just a different platform. With `--degraded`, damaged
+//! segments are trimmed at segment granularity using the footer
+//! index's exact per-segment action counts.
+//!
 //! # Degraded mode
 //!
 //! `--degraded` replays whatever a damaged trace directory still
@@ -86,20 +104,22 @@
 
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use tit_cli::Args;
-use tit_core::{AtomicFile, Budget};
+use tit_core::{AtomicFile, Budget, MemBudget, Tib2Store};
 use tit_platform::deployment::Deployment;
 use tit_platform::desc::PlatformDesc;
 use tit_platform::presets;
 use tit_replay::collectives::CollectiveAlgo;
 use tit_replay::{
     replay_compact_observed, replay_files_checkpointed, replay_files_degraded,
-    replay_files_observed, resume_files, tags, CheckpointPolicy, CheckpointedStatus,
-    DegradationReason, PauseReason, ReplayConfig,
+    replay_files_observed, replay_store_checkpointed, replay_store_degraded,
+    replay_store_observed, resume_files, tags, CheckpointPolicy, CheckpointedStatus,
+    DegradationReason, PauseReason, ReplayCheckpoint, ReplayConfig,
 };
 use titobs::{KernelReport, Metrics, Profile, TimeResolved, Timeline, TimelineFormat, WindowSpec};
 
-const USAGE: &str = "tit-replay --trace-dir DIR --np N [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--kernel incremental|reference] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--time-resolved FILE] [--time-resolved-csv FILE] [--window SECS] [--kernel-profile FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
+const USAGE: &str = "tit-replay (--trace-dir DIR --np N | --store FILE [--mem-budget BYTES]) [--platform FILE] [--deploy FILE] [--nodes N] [--collectives binomial|flat] [--network mpi|flow|constant] [--kernel incremental|reference] [--timed-trace FILE] [--timeline FILE] [--profile [FILE]] [--metrics FILE] [--time-resolved FILE] [--time-resolved-csv FILE] [--window SECS] [--kernel-profile FILE] [--paje FILE] [--lint] [--jobs N] [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] [--max-wall SECS] [--stop-after-checkpoints K] [--degraded]";
 
 /// Exit code for partial success: a watchdog pause or a degraded
 /// replay that lost actions.
@@ -138,11 +158,54 @@ fn write_atomic_or_die(path: &str, contents: &str) {
 
 fn main() {
     let args = Args::from_env();
-    let dir = PathBuf::from(args.require("trace-dir", USAGE));
-    let np: usize = args.get_or("np", 0);
-    if np == 0 {
-        usage_error("missing --np");
+    // Input selection: a per-rank trace directory or a TIB2 store.
+    let store_path = args.get("store").map(str::to_owned);
+    if store_path.is_some() && args.get("trace-dir").is_some() {
+        usage_error("--store and --trace-dir are mutually exclusive");
     }
+    let dir = match &store_path {
+        Some(_) => PathBuf::new(),
+        None => PathBuf::from(args.require("trace-dir", USAGE)),
+    };
+    let store = store_path.as_ref().map(|p| {
+        match Tib2Store::open(Path::new(p)) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                // Fail closed: a store whose footer index does not
+                // verify has no trustworthy salvage map.
+                eprintln!("cannot open store {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    let np: usize = match &store {
+        Some(s) => {
+            let n = s.num_ranks();
+            let given: usize = args.get_or("np", n);
+            if given != n {
+                usage_error(&format!("--np {given} does not match the store's {n} rank(s)"));
+            }
+            n
+        }
+        None => {
+            let np = args.get_or("np", 0);
+            if np == 0 {
+                usage_error("missing --np");
+            }
+            np
+        }
+    };
+    let mem_budget: Option<u64> = args.get("mem-budget").map(|s| {
+        match tit_cli::parse_byte_size(s) {
+            Ok(v) if v > 0 => v,
+            Ok(_) => usage_error("--mem-budget wants a positive byte size"),
+            Err(e) => usage_error(&e),
+        }
+    });
+    if mem_budget.is_some() && store.is_none() {
+        usage_error("--mem-budget needs --store (directory replays stream at O(ranks) anyway)");
+    }
+    let budget = Arc::new(mem_budget.map_or_else(MemBudget::unlimited, MemBudget::new));
 
     // Robustness-mode flags and their interactions (exit 2 on misuse).
     let degraded = args.has_flag("degraded");
@@ -178,6 +241,12 @@ fn main() {
     }
     if degraded && (args.has_flag("lint") || args.get("lint").is_some()) {
         usage_error("--lint refuses damaged traces; it cannot be combined with --degraded");
+    }
+    if store.is_some() && jobs != 1 {
+        usage_error("--store streams segments on demand; --jobs applies to --trace-dir only");
+    }
+    if store.is_some() && (args.has_flag("lint") || args.get("lint").is_some()) {
+        usage_error("--lint analyzes a trace directory; it is not available with --store");
     }
 
     // Time-resolved metrics and kernel self-profiling flags.
@@ -343,7 +412,13 @@ fn main() {
     let mut paje_records = None;
     let mut kernel_profile_data = None;
     let (sim_time, actions, wall) = if degraded {
-        let out = match replay_files_degraded(&dir, np, platform, &hosts, &cfg, extra) {
+        let result = match &store {
+            Some(s) => {
+                replay_store_degraded(s, Arc::clone(&budget), platform, &hosts, &cfg, extra)
+            }
+            None => replay_files_degraded(&dir, np, platform, &hosts, &cfg, extra),
+        };
+        let out = match result {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("replay failed: {e}");
@@ -384,7 +459,27 @@ fn main() {
         }
         (out.simulated_time, out.actions_replayed, out.wall_time)
     } else if checkpointing {
-        let result = if let Some(ckfile) = &resume {
+        let result = if let Some(s) = &store {
+            // Store checkpoints are keyed on the footer hash: resume
+            // refuses a store whose content changed.
+            let ck = resume.as_ref().map(|f| match ReplayCheckpoint::load(Path::new(f)) {
+                Ok(ck) => ck,
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    std::process::exit(1);
+                }
+            });
+            replay_store_checkpointed(
+                s,
+                Arc::clone(&budget),
+                platform,
+                &hosts,
+                &cfg,
+                extra,
+                policy.as_ref(),
+                ck.as_ref(),
+            )
+        } else if let Some(ckfile) = &resume {
             resume_files(&dir, np, platform, &hosts, &cfg, extra, Path::new(ckfile), policy.as_ref())
         } else {
             // panics: `checkpointing` implies one of the two is set
@@ -422,7 +517,12 @@ fn main() {
     } else {
         // `--jobs 1` (the default) streams each file during the replay;
         // any other value takes the parallel ingestion fast path.
-        let result = if jobs == 1 {
+        let result = if let Some(s) = &store {
+            metrics.incr("store.bytes", s.file_len());
+            metrics.incr("store.actions", s.num_actions());
+            metrics.set_note("store.fingerprint", &format!("{:#018x}", s.fingerprint()));
+            replay_store_observed(s, Arc::clone(&budget), platform, &hosts, &cfg, extra)
+        } else if jobs == 1 {
             replay_files_observed(&dir, np, platform, &hosts, &cfg, extra)
         } else {
             let loaded =
@@ -455,6 +555,26 @@ fn main() {
     println!("simulated time:   {sim_time:.6} s");
     println!("actions replayed: {actions}");
     println!("simulation wall:  {:.3} s", wall.as_secs_f64());
+    if store.is_some() {
+        // Self-report ground truth (the kernel's VmHWM high-water
+        // mark), not the cache's own accounting, next to the cap.
+        metrics.set_value("mem.segment_peak", budget.peak() as f64);
+        if let Some(cap) = mem_budget {
+            metrics.set_value("mem.budget", cap as f64);
+        }
+        if let Some(peak) = tit_core::rss::peak_rss_bytes() {
+            metrics.set_value("mem.peak_rss", peak as f64);
+            match mem_budget {
+                Some(cap) => println!(
+                    "peak rss:         {:.1} MiB (segment budget {:.1} MiB, segment peak {:.1} MiB)",
+                    peak as f64 / (1 << 20) as f64,
+                    cap as f64 / (1 << 20) as f64,
+                    budget.peak() as f64 / (1 << 20) as f64,
+                ),
+                None => println!("peak rss:         {:.1} MiB", peak as f64 / (1 << 20) as f64),
+            }
+        }
+    }
 
     // The observer fanout was consumed (and dropped) by the replay, so
     // the timelines are the sole owners of their writers: finish each

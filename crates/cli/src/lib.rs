@@ -120,6 +120,27 @@ pub fn parse_mode(s: &str) -> Result<mpi_emul::AcquisitionMode, String> {
     Err(format!("unknown acquisition mode {s:?} (expected R, F-x, S-y, SF-u,v)"))
 }
 
+/// Parses a byte size with an optional binary-power suffix:
+/// `4096`, `64K`, `512M`, `2G`, `1T` — case-insensitive, with an
+/// optional trailing `B`/`iB` (`512MiB` ≡ `512MB` ≡ `512M`).
+pub fn parse_byte_size(s: &str) -> Result<u64, String> {
+    let t = s.trim().to_ascii_lowercase();
+    let t = t.strip_suffix("ib").unwrap_or(&t);
+    let t = t.strip_suffix('b').unwrap_or(t);
+    let (digits, shift) = match t.as_bytes().last() {
+        Some(b'k') => (&t[..t.len() - 1], 10u32),
+        Some(b'm') => (&t[..t.len() - 1], 20),
+        Some(b'g') => (&t[..t.len() - 1], 30),
+        Some(b't') => (&t[..t.len() - 1], 40),
+        _ => (t, 0),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad byte size {s:?} (expected e.g. 4096, 64K, 512M, 2G)"))?;
+    n.checked_mul(1u64 << shift).ok_or_else(|| format!("byte size {s:?} overflows u64"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +167,23 @@ mod tests {
     fn trailing_flag() {
         let a = args("--np 4 --profile");
         assert!(a.has_flag("profile"));
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("4096").unwrap(), 4096);
+        assert_eq!(parse_byte_size("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_byte_size("512M").unwrap(), 512 << 20);
+        assert_eq!(parse_byte_size("512MiB").unwrap(), 512 << 20);
+        assert_eq!(parse_byte_size("512mb").unwrap(), 512 << 20);
+        assert_eq!(parse_byte_size("2G").unwrap(), 2u64 << 30);
+        assert_eq!(parse_byte_size(" 1T ").unwrap(), 1u64 << 40);
+        assert_eq!(parse_byte_size("123B").unwrap(), 123);
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("M").is_err());
+        assert!(parse_byte_size("1.5G").is_err());
+        assert!(parse_byte_size("99999999999999999999G").is_err());
+        assert!(parse_byte_size("-1M").is_err());
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub mod tag {
 }
 
 /// Peer-slot sentinel for actions without a peer rank.
-const NO_PEER: u32 = u32::MAX;
+pub(crate) const NO_PEER: u32 = u32::MAX;
 
 /// Why a trace cannot be interned into a [`CompactTrace`].
 ///
@@ -314,67 +314,120 @@ impl CompactTrace {
     }
 
     fn encode(&mut self, a: &Action) -> Result<(u32, u32, f64), CompactError> {
-        fn peer(p: Pid) -> Result<u32, CompactError> {
-            match u32::try_from(p) {
-                Ok(v) if v != NO_PEER => Ok(v),
-                _ => Err(CompactError::PeerTooLarge { value: p }),
-            }
-        }
-        fn finite(v: f64) -> Result<f64, CompactError> {
-            if v.is_nan() {
-                Err(CompactError::NanVolume)
-            } else {
-                Ok(v)
-            }
-        }
-        let mut second = |vcomp: f64| -> Result<u32, CompactError> {
-            let idx = u32::try_from(self.aux.len())
-                .ok()
-                .filter(|&v| v != NO_PEER)
-                .ok_or(CompactError::TooManyReduces)?;
-            self.aux.push(finite(vcomp)?);
-            Ok(idx)
-        };
-        Ok(match *a {
-            Action::Compute { flops } => (tag::COMPUTE, NO_PEER, finite(flops)?),
-            Action::Send { dst, bytes } => (tag::SEND, peer(dst)?, finite(bytes)?),
-            Action::Isend { dst, bytes } => (tag::ISEND, peer(dst)?, finite(bytes)?),
-            Action::Recv { src, bytes } => {
-                (tag::RECV, peer(src)?, bytes.map_or(Ok(f64::NAN), finite)?)
-            }
-            Action::Irecv { src, bytes } => {
-                (tag::IRECV, peer(src)?, bytes.map_or(Ok(f64::NAN), finite)?)
-            }
-            Action::Bcast { bytes } => (tag::BCAST, NO_PEER, finite(bytes)?),
-            Action::Reduce { vcomm, vcomp } => (tag::REDUCE, second(vcomp)?, finite(vcomm)?),
-            Action::AllReduce { vcomm, vcomp } => {
-                (tag::ALLREDUCE, second(vcomp)?, finite(vcomm)?)
-            }
-            Action::Barrier => (tag::BARRIER, NO_PEER, 0.0),
-            Action::CommSize { nproc } => (tag::COMM_SIZE, peer(nproc)?, 0.0),
-            Action::Wait => (tag::WAIT, NO_PEER, 0.0),
-        })
+        encode_parts(a, &mut self.aux)
     }
 
     fn decode(&self, i: usize) -> Action {
-        let peer = self.peers[i] as usize;
-        let vol = self.vols[i];
-        let opt_vol = if vol.is_nan() { None } else { Some(vol) };
-        match self.tags[i] {
-            tag::COMPUTE => Action::Compute { flops: vol },
-            tag::SEND => Action::Send { dst: peer, bytes: vol },
-            tag::ISEND => Action::Isend { dst: peer, bytes: vol },
-            tag::RECV => Action::Recv { src: peer, bytes: opt_vol },
-            tag::IRECV => Action::Irecv { src: peer, bytes: opt_vol },
-            tag::BCAST => Action::Bcast { bytes: vol },
-            tag::REDUCE => Action::Reduce { vcomm: vol, vcomp: self.aux[peer] },
-            tag::ALLREDUCE => Action::AllReduce { vcomm: vol, vcomp: self.aux[peer] },
-            tag::BARRIER => Action::Barrier,
-            tag::COMM_SIZE => Action::CommSize { nproc: peer },
-            tag::WAIT => Action::Wait,
-            // panics: `tags` only ever holds ids produced by `encode`
-            other => unreachable!("uninterned tag {other}"),
+        decode_parts(self.tags[i], self.peers[i], self.vols[i], &self.aux)
+    }
+
+    /// Appends pre-interned columns (a TIB2 segment, see
+    /// [`crate::tib2`]) to the most recently opened rank, rebasing the
+    /// segment-local `reduce`/`allReduce` side-table indices onto this
+    /// trace's global side table. Fails only when the combined side
+    /// table outgrows the `u32` index range.
+    pub fn append_segment(
+        &mut self,
+        seg: &crate::tib2::SegmentColumns,
+    ) -> Result<(), CompactError> {
+        if self.offsets.len() == 1 {
+            self.begin_process();
         }
+        let end = self.aux.len() + seg.aux.len();
+        if end > NO_PEER as usize {
+            return Err(CompactError::TooManyReduces);
+        }
+        let base = self.aux.len() as u32;
+        for i in 0..seg.tags.len() {
+            let t = seg.tags[i];
+            let peer = if t == tag::REDUCE || t == tag::ALLREDUCE {
+                seg.peers[i] + base
+            } else {
+                seg.peers[i]
+            };
+            self.tags.push(t);
+            self.peers.push(peer);
+            self.vols.push(seg.vols[i]);
+        }
+        self.aux.extend_from_slice(&seg.aux);
+        // panics: offsets always holds at least the opening boundary
+        *self.offsets.last_mut().unwrap() += seg.tags.len();
+        Ok(())
+    }
+}
+
+/// Encodes one action into its interned `(tag, peer, volume)` triple,
+/// appending any secondary volume to `aux` — the peer slot of a
+/// `reduce`/`allReduce` entry is the side-table index it landed at.
+/// Shared by [`CompactTrace`] and the TIB2 segment writer (which passes
+/// a segment-local side table).
+pub(crate) fn encode_parts(
+    a: &Action,
+    aux: &mut Vec<f64>,
+) -> Result<(u32, u32, f64), CompactError> {
+    fn peer(p: Pid) -> Result<u32, CompactError> {
+        match u32::try_from(p) {
+            Ok(v) if v != NO_PEER => Ok(v),
+            _ => Err(CompactError::PeerTooLarge { value: p }),
+        }
+    }
+    fn finite(v: f64) -> Result<f64, CompactError> {
+        if v.is_nan() {
+            Err(CompactError::NanVolume)
+        } else {
+            Ok(v)
+        }
+    }
+    let mut second = |vcomp: f64| -> Result<u32, CompactError> {
+        let idx = u32::try_from(aux.len())
+            .ok()
+            .filter(|&v| v != NO_PEER)
+            .ok_or(CompactError::TooManyReduces)?;
+        aux.push(finite(vcomp)?);
+        Ok(idx)
+    };
+    Ok(match *a {
+        Action::Compute { flops } => (tag::COMPUTE, NO_PEER, finite(flops)?),
+        Action::Send { dst, bytes } => (tag::SEND, peer(dst)?, finite(bytes)?),
+        Action::Isend { dst, bytes } => (tag::ISEND, peer(dst)?, finite(bytes)?),
+        Action::Recv { src, bytes } => {
+            (tag::RECV, peer(src)?, bytes.map_or(Ok(f64::NAN), finite)?)
+        }
+        Action::Irecv { src, bytes } => {
+            (tag::IRECV, peer(src)?, bytes.map_or(Ok(f64::NAN), finite)?)
+        }
+        Action::Bcast { bytes } => (tag::BCAST, NO_PEER, finite(bytes)?),
+        Action::Reduce { vcomm, vcomp } => (tag::REDUCE, second(vcomp)?, finite(vcomm)?),
+        Action::AllReduce { vcomm, vcomp } => {
+            (tag::ALLREDUCE, second(vcomp)?, finite(vcomm)?)
+        }
+        Action::Barrier => (tag::BARRIER, NO_PEER, 0.0),
+        Action::CommSize { nproc } => (tag::COMM_SIZE, peer(nproc)?, 0.0),
+        Action::Wait => (tag::WAIT, NO_PEER, 0.0),
+    })
+}
+
+/// The exact inverse of [`encode_parts`] for one entry. `aux` is the
+/// side table the entry's `reduce`/`allReduce` index points into.
+/// Callers must have validated the tag and index (the compact arrays
+/// by construction, TIB2 segments at read time).
+pub(crate) fn decode_parts(tag_id: u32, peer: u32, vol: f64, aux: &[f64]) -> Action {
+    let peer = peer as usize;
+    let opt_vol = if vol.is_nan() { None } else { Some(vol) };
+    match tag_id {
+        tag::COMPUTE => Action::Compute { flops: vol },
+        tag::SEND => Action::Send { dst: peer, bytes: vol },
+        tag::ISEND => Action::Isend { dst: peer, bytes: vol },
+        tag::RECV => Action::Recv { src: peer, bytes: opt_vol },
+        tag::IRECV => Action::Irecv { src: peer, bytes: opt_vol },
+        tag::BCAST => Action::Bcast { bytes: vol },
+        tag::REDUCE => Action::Reduce { vcomm: vol, vcomp: aux[peer] },
+        tag::ALLREDUCE => Action::AllReduce { vcomm: vol, vcomp: aux[peer] },
+        tag::BARRIER => Action::Barrier,
+        tag::COMM_SIZE => Action::CommSize { nproc: peer },
+        tag::WAIT => Action::Wait,
+        // panics: callers only pass ids produced by `encode_parts`
+        other => unreachable!("uninterned tag {other}"),
     }
 }
 

@@ -45,7 +45,10 @@ pub mod graph;
 pub mod ingest;
 pub mod json;
 pub mod lru;
+pub mod membudget;
+pub mod rss;
 pub mod stats;
+pub mod tib2;
 pub mod trace;
 pub mod validate;
 
@@ -55,6 +58,8 @@ pub use compact::{CompactError, CompactTrace};
 pub use deadline::{Budget, Deadline};
 pub use graph::{CycleError, Dag, DagBuilder, NodeId};
 pub use lru::Lru;
+pub use membudget::{MemBudget, MemoryExceeded};
+pub use tib2::{SegmentColumns, StoreError, Tib2Store, Tib2Writer};
 pub use ingest::{load_compact_exact, load_exact, load_per_process_jobs, IngestError};
 pub use binfmt::{BinaryTraceReader, BinaryTraceWriter};
 pub use codec::{format_action, parse_line, ParseError};

@@ -1,0 +1,218 @@
+//! Hard memory-budget governance for segment residency.
+//!
+//! The §6.5 argument is only honest if replay memory is *bounded*, not
+//! merely small: a 32.5 GiB trace on a 16 GiB node must either fit the
+//! declared envelope or fail with a typed error — never an OOM kill
+//! half-way through a campaign. [`MemBudget`] is that envelope: a hard
+//! byte cap that residency is charged against before any allocation is
+//! made. The replay layer's segment cache charges a segment's decoded
+//! size before reading it, evicts least-recently-touched unpinned
+//! segments to make room, and when nothing is evictable surfaces
+//! [`MemoryExceeded`] — the caller learns exactly how far over the
+//! budget the working set is (`tit-replay --mem-budget`).
+//!
+//! Charging is lock-free (a compare-exchange loop on the resident
+//! counter), so concurrent replay workers can fault segments without
+//! serializing on the governor. The peak-resident high-water mark is
+//! tracked for the scale benchmark's flat-memory assertion
+//! (`BENCH_scale.json`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A charge was refused: granting `requested` more bytes on top of
+/// `resident` would exceed `budget`, and the caller had nothing left
+/// to evict. Replay surfaces this as a typed error instead of letting
+/// the allocator run into the kernel's OOM killer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryExceeded {
+    /// The configured hard cap in bytes.
+    pub budget: u64,
+    /// Bytes the refused charge asked for.
+    pub requested: u64,
+    /// Bytes resident (pinned + cached) at refusal time.
+    pub resident: u64,
+}
+
+impl std::fmt::Display for MemoryExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget exceeded: {} bytes requested with {} of {} resident \
+             (working set needs at least {} bytes — raise --mem-budget)",
+            self.requested,
+            self.resident,
+            self.budget,
+            self.resident + self.requested
+        )
+    }
+}
+
+impl std::error::Error for MemoryExceeded {}
+
+/// A hard byte cap with charge/release accounting and a peak
+/// high-water mark.
+#[derive(Debug)]
+pub struct MemBudget {
+    cap: u64,
+    resident: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemBudget {
+    /// A governor with a hard cap of `cap` bytes.
+    #[must_use]
+    pub fn new(cap: u64) -> Self {
+        MemBudget { cap, resident: AtomicU64::new(0), peak: AtomicU64::new(0) }
+    }
+
+    /// A governor that never refuses (cap `u64::MAX`) — accounting and
+    /// peak tracking still run, so even unbudgeted replays report their
+    /// segment working set.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// The configured cap in bytes.
+    #[must_use]
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// True when built with [`MemBudget::unlimited`].
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.cap == u64::MAX
+    }
+
+    /// Bytes currently charged.
+    #[must_use]
+    pub fn resident(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`MemBudget::resident`] over the governor's
+    /// lifetime.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Books `bytes` against the cap, or refuses with the exact
+    /// shortfall. Refusal changes nothing; the caller may evict and
+    /// retry.
+    pub fn try_charge(&self, bytes: u64) -> Result<(), MemoryExceeded> {
+        let mut cur = self.resident.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > self.cap {
+                return Err(MemoryExceeded {
+                    budget: self.cap,
+                    requested: bytes,
+                    resident: cur,
+                });
+            }
+            match self.resident.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Returns `bytes` to the budget (saturating: releasing more than
+    /// was charged clamps at zero rather than wrapping).
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.resident.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.resident.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_peak() {
+        let b = MemBudget::new(100);
+        b.try_charge(60).unwrap();
+        b.try_charge(40).unwrap();
+        assert_eq!(b.resident(), 100);
+        assert_eq!(b.peak(), 100);
+        b.release(60);
+        assert_eq!(b.resident(), 40);
+        assert_eq!(b.peak(), 100);
+        b.try_charge(30).unwrap();
+        assert_eq!(b.peak(), 100);
+    }
+
+    #[test]
+    fn refusal_is_exact_and_side_effect_free() {
+        let b = MemBudget::new(100);
+        b.try_charge(80).unwrap();
+        let err = b.try_charge(30).unwrap_err();
+        assert_eq!(err, MemoryExceeded { budget: 100, requested: 30, resident: 80 });
+        assert_eq!(b.resident(), 80, "refusal must not book anything");
+        assert!(err.to_string().contains("110 bytes"), "{err}");
+    }
+
+    #[test]
+    fn release_saturates() {
+        let b = MemBudget::new(10);
+        b.try_charge(5).unwrap();
+        b.release(100);
+        assert_eq!(b.resident(), 0);
+    }
+
+    #[test]
+    fn unlimited_never_refuses_but_still_accounts() {
+        let b = MemBudget::unlimited();
+        assert!(b.is_unlimited());
+        b.try_charge(u64::MAX / 2).unwrap();
+        b.try_charge(u64::MAX / 2).unwrap();
+        assert!(b.peak() > 0);
+    }
+
+    #[test]
+    fn concurrent_charges_never_exceed_cap() {
+        let b = std::sync::Arc::new(MemBudget::new(1000));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = std::sync::Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut granted = 0u64;
+                for _ in 0..1000 {
+                    if b.try_charge(7).is_ok() {
+                        granted += 7;
+                        assert!(b.resident() <= 1000);
+                        b.release(7);
+                    }
+                }
+                granted
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.resident(), 0);
+        assert!(b.peak() <= 1000);
+    }
+}

@@ -1,0 +1,63 @@
+//! Resident-set-size introspection for memory-budget accounting.
+//!
+//! The `--mem-budget` governor ([`crate::membudget`]) bounds what the
+//! replayer *charges*; this module reads back what the kernel actually
+//! *granted*, so the CLI self-report and the scale benchmark can assert
+//! "peak RSS stayed under the cap" against ground truth instead of
+//! internal bookkeeping.
+//!
+//! Linux-only by nature (`/proc/self/status` and `/proc/self/statm`);
+//! on other platforms every probe returns `None` and callers print
+//! nothing rather than lying.
+
+/// Peak resident set size (`VmHWM`) of the calling process in bytes,
+/// or `None` when `/proc` is unavailable or unparseable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    status_kib("VmHWM:").map(|kib| kib * 1024)
+}
+
+/// Current resident set size in bytes: `VmRSS` from
+/// `/proc/self/status`, falling back to `/proc/self/statm` (resident
+/// pages × 4 KiB, the fixed page size on every platform we target).
+pub fn current_rss_bytes() -> Option<u64> {
+    if let Some(kib) = status_kib("VmRSS:") {
+        return Some(kib * 1024);
+    }
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// Extracts a `kB` field from `/proc/self/status` by line prefix.
+fn status_kib(prefix: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(prefix))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_sane_on_linux() {
+        // The test suite runs on Linux: both probes must answer, peak
+        // must dominate current, and a live process is at least a page.
+        let peak = peak_rss_bytes().expect("/proc/self/status VmHWM");
+        let cur = current_rss_bytes().expect("VmRSS or statm");
+        assert!(peak >= 4096, "peak {peak}");
+        assert!(cur >= 4096, "current {cur}");
+        assert!(peak >= cur / 2, "peak {peak} vs current {cur}");
+    }
+
+    #[test]
+    fn peak_rss_tracks_allocation() {
+        let before = peak_rss_bytes().unwrap();
+        // Touch 32 MiB so the high-water mark provably moves if it was
+        // ever going to (it may already be higher from other tests).
+        let v = vec![7u8; 32 << 20];
+        assert_eq!(v[31 << 20], 7);
+        let after = peak_rss_bytes().unwrap();
+        assert!(after >= before, "{after} < {before}");
+    }
+}

@@ -17,6 +17,18 @@
 //! * **short transfer** — the bundle itself is cut mid-entry, as if a
 //!   gather transfer was dropped partway.
 //!
+//! For `TIB2` segmented stores (docs/FORMATS.md) three more families
+//! damage the store at the granularity its checksums defend:
+//!
+//! * **segment flip** — one bit of a random segment's header+payload
+//!   region flips (must surface as a typed `SegmentDamaged` naming
+//!   that rank/segment/offset, or trim exactly that segment in
+//!   degraded mode);
+//! * **torn segment** — a segment's tail is zeroed from a random point,
+//!   as if a write tore mid-segment (same detection obligation);
+//! * **truncated footer** — the file loses part of its footer index or
+//!   trailer (the store must refuse to open, fail-closed).
+//!
 //! [`Flaky`] additionally models *transient* failures (the first `n`
 //! attempts of an operation fail with `Interrupted`) to exercise the
 //! bounded retry of [`crate::error::with_retry`].
@@ -116,6 +128,57 @@ pub enum Fault {
         /// Actually transferred size, bytes.
         to: u64,
     },
+    /// One bit of a `TIB2` segment flipped in place.
+    SegmentFlip {
+        /// The damaged store.
+        path: PathBuf,
+        /// Rank owning the damaged segment.
+        rank: usize,
+        /// Segment index within the rank.
+        segment: usize,
+        /// Absolute byte offset of the flip.
+        offset: u64,
+        /// Bit index within that byte.
+        bit: u8,
+    },
+    /// A `TIB2` segment's tail was zeroed — a torn write.
+    TornSegment {
+        /// The damaged store.
+        path: PathBuf,
+        /// Rank owning the damaged segment.
+        rank: usize,
+        /// Segment index within the rank.
+        segment: usize,
+        /// Absolute byte offset where the tear starts.
+        offset: u64,
+        /// Bytes zeroed from there to the segment's end.
+        zeroed: u64,
+    },
+    /// A `TIB2` store lost part of its footer index or trailer.
+    TruncatedFooter {
+        /// The damaged store.
+        path: PathBuf,
+        /// Size before, bytes.
+        from: u64,
+        /// Size after, bytes.
+        to: u64,
+    },
+}
+
+/// Flips bit `bit` of the byte at `offset` of `path`, in place.
+fn flip_bit_at(path: &Path, offset: u64, bit: u8) -> Result<(), PipelineError> {
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| PipelineError::io(path, e))?;
+    f.seek(SeekFrom::Start(offset)).map_err(|e| PipelineError::io(path, e))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).map_err(|e| PipelineError::io(path, e))?;
+    b[0] ^= 1 << bit;
+    f.seek(SeekFrom::Start(offset)).map_err(|e| PipelineError::io(path, e))?;
+    f.write_all(&b).map_err(|e| PipelineError::io(path, e))?;
+    Ok(())
 }
 
 /// Seeded injector. Every method consumes randomness from the same
@@ -156,17 +219,7 @@ impl Injector {
         }
         let offset = self.rng.below(len);
         let bit = (self.rng.below(8)) as u8;
-        let mut f = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .map_err(|e| PipelineError::io(path, e))?;
-        f.seek(SeekFrom::Start(offset)).map_err(|e| PipelineError::io(path, e))?;
-        let mut b = [0u8; 1];
-        f.read_exact(&mut b).map_err(|e| PipelineError::io(path, e))?;
-        b[0] ^= 1 << bit;
-        f.seek(SeekFrom::Start(offset)).map_err(|e| PipelineError::io(path, e))?;
-        f.write_all(&b).map_err(|e| PipelineError::io(path, e))?;
+        flip_bit_at(path, offset, bit)?;
         Ok(Fault::BitFlip { path: path.to_path_buf(), offset, bit })
     }
 
@@ -203,6 +256,97 @@ impl Injector {
             .map_err(|e| PipelineError::io(bundle, e))?;
         f.set_len(keep).map_err(|e| PipelineError::io(bundle, e))?;
         Ok(Fault::ShortTransfer { path: bundle.to_path_buf(), from: len, to: keep })
+    }
+
+    /// Picks a uniformly random segment of an opened `TIB2` store.
+    /// Consumes exactly one draw, keeping the damage stream's
+    /// determinism independent of store geometry.
+    fn pick_segment(
+        &mut self,
+        store: &tit_core::Tib2Store,
+    ) -> Result<(usize, usize, tit_core::tib2::SegMeta), PipelineError> {
+        let mut flat = Vec::new();
+        for rank in 0..store.num_ranks() {
+            for seg in 0..store.num_segments(rank) {
+                flat.push((rank, seg));
+            }
+        }
+        if flat.is_empty() {
+            return Err(PipelineError::io(
+                store.path(),
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "store has no segments"),
+            ));
+        }
+        let (rank, seg) = flat[self.rng.below(flat.len() as u64) as usize];
+        // panics: (rank, seg) was enumerated from this store's index
+        let meta = *store.segment_meta(rank, seg).unwrap();
+        Ok((rank, seg, meta))
+    }
+
+    /// Flips one random bit inside a random segment's checksummed
+    /// region (16-byte header + payload) of the `TIB2` store at
+    /// `store`. Detection obligation: a strict replay must fail closed
+    /// with `SegmentDamaged` naming this rank/segment, a degraded one
+    /// must trim at most from this segment on.
+    pub fn flip_segment_bit(&mut self, store: &Path) -> Result<Fault, PipelineError> {
+        let s = tit_core::Tib2Store::open(store)
+            .map_err(|e| PipelineError::io(store, std::io::Error::other(e.to_string())))?;
+        let (rank, segment, meta) = self.pick_segment(&s)?;
+        drop(s);
+        let span = 16 + u64::from(meta.payload_len);
+        let offset = meta.offset + self.rng.below(span);
+        let bit = self.rng.below(8) as u8;
+        flip_bit_at(store, offset, bit)?;
+        Ok(Fault::SegmentFlip { path: store.to_path_buf(), rank, segment, offset, bit })
+    }
+
+    /// Zeroes a random segment's tail from a random interior point — a
+    /// write that tore mid-segment. At least one byte is zeroed; the
+    /// segment header may survive intact, the checksum cannot.
+    pub fn tear_segment(&mut self, store: &Path) -> Result<Fault, PipelineError> {
+        let s = tit_core::Tib2Store::open(store)
+            .map_err(|e| PipelineError::io(store, std::io::Error::other(e.to_string())))?;
+        let (rank, segment, meta) = self.pick_segment(&s)?;
+        drop(s);
+        let span = 16 + u64::from(meta.payload_len);
+        let start = meta.offset + self.rng.below(span);
+        let zeroed = meta.offset + span - start;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(store)
+            .map_err(|e| PipelineError::io(store, e))?;
+        f.seek(SeekFrom::Start(start)).map_err(|e| PipelineError::io(store, e))?;
+        // Write in one shot: segments are small (seg_actions-bounded).
+        f.write_all(&vec![0u8; zeroed as usize]).map_err(|e| PipelineError::io(store, e))?;
+        Ok(Fault::TornSegment { path: store.to_path_buf(), rank, segment, offset: start, zeroed })
+    }
+
+    /// Cuts the store inside its footer index or trailer: the segments
+    /// all survive, the index describing them does not. The store must
+    /// refuse to open (fail-closed) — without a trusted index there is
+    /// no salvage map, so there is no degraded replay either.
+    pub fn truncate_footer(&mut self, store: &Path) -> Result<Fault, PipelineError> {
+        let s = tit_core::Tib2Store::open(store)
+            .map_err(|e| PipelineError::io(store, std::io::Error::other(e.to_string())))?;
+        let mut segments_end = 8u64; // head length; empty stores have no segments
+        for rank in 0..s.num_ranks() {
+            for seg in 0..s.num_segments(rank) {
+                // panics: (rank, seg) ranges over this store's index
+                let m = s.segment_meta(rank, seg).unwrap();
+                segments_end = segments_end.max(m.offset + 16 + u64::from(m.payload_len));
+            }
+        }
+        let from = s.file_len();
+        drop(s);
+        // Keep all segment bytes, lose a nonempty tail of the footer.
+        let span = from - segments_end; // footer + trailer, always > 0
+        let keep = segments_end + self.rng.below(span);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(store)
+            .map_err(|e| PipelineError::io(store, e))?;
+        f.set_len(keep).map_err(|e| PipelineError::io(store, e))?;
+        Ok(Fault::TruncatedFooter { path: store.to_path_buf(), from, to: keep })
     }
 
     /// Sweeps the per-rank traces `0..nproc` under `dir`, applying each
@@ -376,7 +520,10 @@ mod tests {
                     Fault::Truncated { path, .. }
                     | Fault::BitFlip { path, .. }
                     | Fault::DroppedRank { path, .. }
-                    | Fault::ShortTransfer { path, .. } => *path = strip(path),
+                    | Fault::ShortTransfer { path, .. }
+                    | Fault::SegmentFlip { path, .. }
+                    | Fault::TornSegment { path, .. }
+                    | Fault::TruncatedFooter { path, .. } => *path = strip(path),
                 }
             }
             reports.push(faults);
@@ -421,5 +568,88 @@ mod tests {
         });
         assert_eq!(out.unwrap(), "through");
         assert_eq!(calls, 3);
+    }
+
+    /// A small multi-segment store to damage.
+    fn write_store(dir: &Path, tag: &str) -> PathBuf {
+        use tit_core::{Action, CompactTrace, TiTrace};
+        let np = 3;
+        let mut t = TiTrace::new(np);
+        for r in 0..np {
+            t.push(r, Action::CommSize { nproc: np });
+            for i in 0..200 {
+                t.push(r, Action::Compute { flops: 1e5 + i as f64 });
+                t.push(r, Action::Send { dst: (r + 1) % np, bytes: 64.0 });
+                t.push(r, Action::Recv { src: (r + np - 1) % np, bytes: None });
+            }
+        }
+        let ct = CompactTrace::from_trace(&t).unwrap();
+        let dest = dir.join(format!("{tag}.tib2"));
+        tit_core::tib2::write_compact_atomic(&dest, &ct, 64).unwrap();
+        dest
+    }
+
+    #[test]
+    fn segment_flip_is_deterministic_and_detected() {
+        let dir = tmp("segflip");
+        let a = write_store(&dir, "a");
+        let b = write_store(&dir, "b");
+        let fa = Injector::new(11).flip_segment_bit(&a).unwrap();
+        let fb = Injector::new(11).flip_segment_bit(&b).unwrap();
+        // Same seed, same store bytes → identical damage.
+        let Fault::SegmentFlip { rank, segment, offset, bit, .. } = fa else {
+            panic!("wrong fault kind: {fa:?}");
+        };
+        assert!(
+            matches!(fb, Fault::SegmentFlip { rank: r, segment: s, offset: o, bit: bt, .. }
+                if r == rank && s == segment && o == offset && bt == bit),
+            "{fb:?}"
+        );
+        // The named segment — and only it — fails verification.
+        let s = tit_core::Tib2Store::open(&a).unwrap();
+        let errs = s.verify();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(
+            matches!(&errs[0], tit_core::StoreError::SegmentDamaged { rank: r, segment: sg, .. }
+                if *r == rank && *sg == segment),
+            "{:?}",
+            errs[0]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_segment_fails_checksum() {
+        let dir = tmp("tear");
+        let p = write_store(&dir, "t");
+        let f = Injector::new(23).tear_segment(&p).unwrap();
+        let Fault::TornSegment { rank, segment, zeroed, .. } = f else {
+            panic!("wrong fault kind: {f:?}");
+        };
+        assert!(zeroed >= 1);
+        let s = tit_core::Tib2Store::open(&p).unwrap();
+        assert!(
+            matches!(s.verify_segment(rank, segment),
+                Err(tit_core::StoreError::SegmentDamaged { .. })),
+            "torn segment must fail its checksum"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_footer_fails_open() {
+        let dir = tmp("footcut");
+        let p = write_store(&dir, "f");
+        let f = Injector::new(37).truncate_footer(&p).unwrap();
+        let Fault::TruncatedFooter { from, to, .. } = f else {
+            panic!("wrong fault kind: {f:?}");
+        };
+        assert!(to < from);
+        let err = tit_core::Tib2Store::open(&p).unwrap_err();
+        assert!(
+            matches!(err, tit_core::StoreError::FooterDamaged { .. }),
+            "expected FooterDamaged, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -43,6 +43,13 @@ pub enum DegradationReason {
     /// The file exists but its tail is unparseable (truncation or bit
     /// rot); only the leading parseable prefix is replayed.
     TrimmedTail,
+    /// A TIB2 store segment failed verification (checksum mismatch,
+    /// short read, contradictory header); the rank is replayed up to
+    /// the last verified segment boundary. Segment granularity means
+    /// one flipped bit costs `seg_actions` actions of one rank, not the
+    /// whole rank (`lines_trimmed` counts the trimmed actions exactly,
+    /// from the footer index).
+    DamagedSegment,
 }
 
 impl std::fmt::Display for DegradationReason {
@@ -50,6 +57,7 @@ impl std::fmt::Display for DegradationReason {
         f.write_str(match self {
             DegradationReason::MissingFile => "missing-file",
             DegradationReason::TrimmedTail => "trimmed-tail",
+            DegradationReason::DamagedSegment => "damaged-segment",
         })
     }
 }

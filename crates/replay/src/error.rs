@@ -51,6 +51,15 @@ pub enum ReplayError {
         /// What was wrong, naming the file where known.
         detail: String,
     },
+    /// A TIB2 segmented store failed verification: damaged footer, a
+    /// segment whose checksum does not match the footer's record
+    /// (naming rank, segment and byte offset), or a short read. The
+    /// replay fails closed — no unverified bytes reach the kernel.
+    Store(tit_core::tib2::StoreError),
+    /// The segment working set needed more bytes than `--mem-budget`
+    /// grants and nothing was left to evict. A typed refusal, never an
+    /// OOM kill; the error names the exact shortfall.
+    Memory(tit_core::membudget::MemoryExceeded),
 }
 
 impl ReplayError {
@@ -60,6 +69,9 @@ impl ReplayError {
             ReplayError::MissingRank { rank, .. } | ReplayError::Trace { rank, .. } => {
                 Some(*rank)
             }
+            ReplayError::Store(tit_core::tib2::StoreError::SegmentDamaged {
+                rank, ..
+            }) => Some(*rank),
             ReplayError::Sim(SimError::ActorFailure { actor, .. } | SimError::Protocol {
 actor, .. }) => Some(*actor),
             _ => None,
@@ -84,6 +96,8 @@ impl std::fmt::Display for ReplayError {
             }
             ReplayError::Sim(e) => write!(f, "{e}"),
             ReplayError::Checkpoint { detail } => write!(f, "checkpoint: {detail}"),
+            ReplayError::Store(e) => write!(f, "{e}"),
+            ReplayError::Memory(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +107,8 @@ impl std::error::Error for ReplayError {
         match self {
             ReplayError::MissingRank { source, .. } => Some(source),
             ReplayError::Sim(e) => Some(e),
+            ReplayError::Store(e) => Some(e),
+            ReplayError::Memory(e) => Some(e),
             _ => None,
         }
     }

@@ -26,6 +26,7 @@ pub mod process;
 pub mod request;
 pub mod resume;
 pub mod simulator;
+pub mod store;
 pub mod tags;
 
 pub use degraded::{
@@ -38,11 +39,16 @@ pub use request::{
     RequestPolicy, RequestStatus,
 };
 pub use resume::{
-    replay_files_checkpointed, resume_files, CheckpointPolicy, CheckpointedOutcome,
-    CheckpointedStatus, PauseReason, ReplayCheckpoint,
+    keyed_fingerprint, replay_files_checkpointed, resume_files, run_checkpointed,
+    run_checkpointed_keyed, CheckpointPolicy, CheckpointedOutcome, CheckpointedStatus,
+    PauseReason, ReplayCheckpoint,
 };
 pub use simulator::{
     replay_binary_files, replay_compact, replay_compact_observed, replay_files,
     replay_files_jobs, replay_files_observed, replay_memory, replay_memory_observed,
     ReplayConfig, ReplayOutcome,
+};
+pub use store::{
+    replay_store, replay_store_checkpointed, replay_store_degraded, replay_store_observed,
+    store_sources, SegmentCache, SegmentedSource,
 };

@@ -525,6 +525,20 @@ fn open_file_sources(dir: &Path, nproc: usize) -> Result<Vec<Box<dyn ActionSourc
     Ok(sources)
 }
 
+/// Combines the platform/config fingerprint with a trace-content salt
+/// (e.g. a TIB2 store's footer hash, [`tit_core::Tib2Store::fingerprint`]).
+/// A salt of `0` means "no trace binding" and leaves the fingerprint
+/// unchanged, so plain-file checkpoints stay readable across versions.
+pub fn keyed_fingerprint(fp: u64, trace_salt: u64) -> u64 {
+    if trace_salt == 0 {
+        return fp;
+    }
+    let mut e = Enc::new();
+    e.u64(fp);
+    e.u64(trace_salt);
+    fnv1a(&e.finish())
+}
+
 /// Replays sources under a checkpoint policy, optionally resuming from
 /// a prior checkpoint. The core loop: run to the next safe point where
 /// a checkpoint is due (action quota or watchdog), export + write, and
@@ -538,10 +552,30 @@ pub fn run_checkpointed(
     policy: Option<&CheckpointPolicy>,
     resume: Option<&ReplayCheckpoint>,
 ) -> Result<CheckpointedOutcome, ReplayError> {
+    run_checkpointed_keyed(sources, platform, hosts, cfg, extra, policy, resume, 0)
+}
+
+/// [`run_checkpointed`] with the checkpoint fingerprint additionally
+/// keyed on `trace_salt` ([`keyed_fingerprint`]). Store-backed replays
+/// pass the TIB2 footer hash here, so a checkpoint refuses to resume
+/// against a store whose content changed — not just a different
+/// platform or config. `trace_salt == 0` is exactly [`run_checkpointed`].
+// One parameter per pipeline input, mirroring run_checkpointed plus the salt.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed_keyed(
+    sources: Vec<Box<dyn ActionSource>>,
+    platform: Platform,
+    hosts: &[HostId],
+    cfg: &ReplayConfig,
+    extra: Option<Box<dyn Observer>>,
+    policy: Option<&CheckpointPolicy>,
+    resume: Option<&ReplayCheckpoint>,
+    trace_salt: u64,
+) -> Result<CheckpointedOutcome, ReplayError> {
     if sources.len() != hosts.len() {
         return Err(ReplayError::Deployment { procs: sources.len(), hosts: hosts.len() });
     }
-    let fp = fingerprint(&platform, cfg, sources.len());
+    let fp = keyed_fingerprint(fingerprint(&platform, cfg, sources.len()), trace_salt);
     let mut engine = Engine::new(platform);
     engine.set_network_config(cfg.network.clone());
     if let Some(obs) = extra {
@@ -844,6 +878,57 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, ReplayError::Checkpoint { .. }), "{err}");
         assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn keyed_fingerprint_binds_trace_content() {
+        // Salt 0 is the identity, so legacy checkpoints stay valid.
+        assert_eq!(keyed_fingerprint(0xdead_beef, 0), 0xdead_beef);
+        // Distinct salts separate, and keying is not a plain XOR/add.
+        let a = keyed_fingerprint(0xdead_beef, 1);
+        let b = keyed_fingerprint(0xdead_beef, 2);
+        assert_ne!(a, b);
+        assert_ne!(a, 0xdead_beef ^ 1);
+        assert_ne!(a, 0xdead_beef + 1);
+    }
+
+    #[test]
+    fn keyed_checkpoint_refuses_other_salt() {
+        let d = tmp_dir("salt");
+        busy_trace(1).save_per_process(&d).unwrap();
+        let (p1, hosts) = mycluster(4);
+        let ckpath = d.join("state.tick");
+        let policy = CheckpointPolicy {
+            path: ckpath.clone(),
+            every_actions: 3,
+            max_wall: Budget::unlimited(),
+            stop_after_checkpoints: Some(1),
+        };
+        let srcs = open_file_sources(&d, 4).unwrap();
+        let first = run_checkpointed_keyed(
+            srcs, p1, &hosts, &plain_cfg(), None, Some(&policy), None, 0x5eed,
+        )
+        .unwrap();
+        assert!(matches!(first.status, CheckpointedStatus::Paused { .. }));
+        let ck = ReplayCheckpoint::load(&ckpath).unwrap();
+        // Same platform/config, different store content → refused.
+        let (p2, _) = mycluster(4);
+        let srcs = open_file_sources(&d, 4).unwrap();
+        let err = run_checkpointed_keyed(
+            srcs, p2, &hosts, &plain_cfg(), None, None, Some(&ck), 0x0bad,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ReplayError::Checkpoint { .. }), "{err}");
+        // The matching salt resumes and finishes.
+        let (p3, _) = mycluster(4);
+        let srcs = open_file_sources(&d, 4).unwrap();
+        let done = run_checkpointed_keyed(
+            srcs, p3, &hosts, &plain_cfg(), None, None, Some(&ck), 0x5eed,
+        )
+        .unwrap();
+        assert!(done.resumed);
+        assert!(matches!(done.status, CheckpointedStatus::Finished { .. }));
         std::fs::remove_dir_all(&d).unwrap();
     }
 

@@ -77,7 +77,7 @@ impl Observer for SharedCollector {
     }
 }
 
-fn run(
+pub(crate) fn run(
     sources: Vec<Box<dyn ActionSource>>,
     platform: Platform,
     hosts: &[HostId],

@@ -21,7 +21,7 @@
 
 use std::path::Path;
 use std::sync::{Arc, Mutex};
-use tit_core::{load_compact_exact, CompactTrace, Lru};
+use tit_core::{load_compact_exact, CompactTrace, Lru, Tib2Store};
 use tit_extract::error::{with_retry, PipelineError, RetryPolicy};
 
 /// The daemon's trace cache.
@@ -74,6 +74,77 @@ impl TraceCache {
     }
 }
 
+/// The daemon's `TIB2` store-handle cache.
+///
+/// Opening a store verifies head, trailer and footer; the handle then
+/// serves any number of requests with segment reads verified lazily.
+/// The LRU is keyed by the request's trace reference key, but every
+/// hit is revalidated against the file's *content* fingerprint
+/// ([`Tib2Store::read_fingerprint`], a 24-byte trailer read): a store
+/// atomically replaced on disk is noticed and reopened, never served
+/// stale — the cache behaves as if keyed on the footer hash, without
+/// having to open the file to compute the key.
+pub struct StoreCache {
+    lru: Mutex<Lru<u64, Arc<Tib2Store>>>,
+    retry: RetryPolicy,
+}
+
+impl StoreCache {
+    /// A cache holding at most `cap` open stores, opening under
+    /// `retry`.
+    #[must_use]
+    pub fn new(cap: usize, retry: RetryPolicy) -> Self {
+        StoreCache { lru: Mutex::new(Lru::new(cap)), retry }
+    }
+
+    /// Cached store handles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        // panics: mutex poisoned only if another thread already panicked
+        self.lru.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the open store for `key`, opening (with bounded retry)
+    /// and interning it on a miss or when the on-disk content changed.
+    /// The boolean is `true` on a revalidated cache hit.
+    pub fn get_or_open(
+        &self,
+        key: u64,
+        path: &Path,
+    ) -> Result<(Arc<Tib2Store>, bool), PipelineError> {
+        // panics: mutex poisoned only if another thread already panicked
+        let cached = self.lru.lock().unwrap().get(&key);
+        if let Some(s) = cached {
+            // Content revalidation outside the lock: one 24-byte read.
+            if Tib2Store::read_fingerprint(path).is_ok_and(|fp| fp == s.fingerprint()) {
+                return Ok((s, true));
+            }
+        }
+        let what = format!("open store {}", path.display());
+        let store = with_retry(&self.retry, &what, |_attempt| {
+            Tib2Store::open(path).map_err(|e| match e {
+                tit_core::StoreError::Io { path, source } => PipelineError::io(&path, source),
+                // Verification failures are permanent, not transient
+                // I/O: surface them as InvalidData, never retried.
+                other => PipelineError::io(
+                    path,
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+                ),
+            })
+        })?;
+        let store = Arc::new(store);
+        // panics: mutex poisoned only if another thread already panicked
+        self.lru.lock().unwrap().insert(key, Arc::clone(&store));
+        Ok((store, false))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +190,70 @@ mod tests {
             .unwrap_err();
         assert!(!err.is_transient());
         assert!(cache.is_empty(), "failures are not cached");
+    }
+
+    fn write_store(path: &Path, np: usize, iters: usize) -> u64 {
+        let mut t = tit_core::TiTrace::new(np);
+        for r in 0..np {
+            t.push(r, Action::CommSize { nproc: np });
+            for _ in 0..iters {
+                t.push(r, Action::Compute { flops: 1e6 });
+                t.push(r, Action::Send { dst: (r + 1) % np, bytes: 1e6 });
+                t.push(r, Action::Recv { src: (r + np - 1) % np, bytes: None });
+            }
+        }
+        let ct = tit_core::CompactTrace::from_trace(&t).unwrap();
+        tit_core::tib2::write_compact_atomic(path, &ct, 8).unwrap().fingerprint
+    }
+
+    #[test]
+    fn store_hit_is_a_refcount_bump() {
+        let d = tmp("store-hit");
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("a.tib2");
+        write_store(&p, 3, 4);
+        let cache = StoreCache::new(4, RetryPolicy::default());
+        let (s1, hit1) = cache.get_or_open(9, &p).unwrap();
+        let (s2, hit2) = cache.get_or_open(9, &p).unwrap();
+        assert!(!hit1 && hit2);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn replaced_store_is_reopened_not_served_stale() {
+        let d = tmp("store-swap");
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("a.tib2");
+        let fp1 = write_store(&p, 3, 4);
+        let cache = StoreCache::new(4, RetryPolicy::default());
+        let (s1, _) = cache.get_or_open(9, &p).unwrap();
+        assert_eq!(s1.fingerprint(), fp1);
+        // Same path, new content (atomic replace, like a re-extract).
+        let fp2 = write_store(&p, 3, 5);
+        assert_ne!(fp1, fp2);
+        let (s2, hit) = cache.get_or_open(9, &p).unwrap();
+        assert!(!hit, "content change must be a miss");
+        assert_eq!(s2.fingerprint(), fp2);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn damaged_store_is_a_permanent_error() {
+        let d = tmp("store-bad");
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("a.tib2");
+        write_store(&p, 2, 3);
+        // Cut the trailer: open must fail closed, and not be retried
+        // into success.
+        let len = std::fs::metadata(&p).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&p).unwrap().set_len(len - 4).unwrap();
+        let cache = StoreCache::new(4, RetryPolicy::default());
+        let err = cache.get_or_open(1, &p).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(&d);
     }
 
     #[test]

@@ -27,7 +27,10 @@ use crate::accesslog::{AccessLog, Spans};
 use crate::json::{obj, Json};
 use crate::proto::{PlatformKind, ReplayRequest};
 use crate::queue::Admission;
-use crate::{cache::TraceCache, ServerConfig};
+use crate::{
+    cache::{StoreCache, TraceCache},
+    ServerConfig,
+};
 use simkern::resource::HostId;
 use simkern::Platform;
 use std::io::Write;
@@ -75,6 +78,8 @@ pub struct Shared {
     pub cfg: ServerConfig,
     /// The interned-trace cache.
     pub cache: TraceCache,
+    /// The open `TIB2` store-handle cache (content-revalidated hits).
+    pub stores: StoreCache,
     /// The admission queue.
     pub queue: Admission<Job>,
     /// serve.* counters and gauges.
@@ -122,6 +127,37 @@ pub fn build_platform(req: &ReplayRequest) -> (Platform, Vec<HostId>) {
         None => Deployment::round_robin(&desc.host_names(), req.np).host_ids(&platform),
     };
     (platform, hosts)
+}
+
+/// The request's trace, whichever reference form named it.
+enum Loaded {
+    /// A fully-interned compact trace (the `trace_dir` reference).
+    Compact(Arc<tit_core::CompactTrace>),
+    /// An open segmented store (the `store` reference).
+    Store(Arc<tit_core::Tib2Store>),
+}
+
+/// Per-rank sources over a segmented store: a fresh per-job
+/// [`tit_replay::SegmentCache`] (unbounded — admission control, not a
+/// byte cap, is the daemon's memory governor) shared by the kept
+/// ranks, an empty stream per dropped rank.
+fn build_store_sources(
+    store: &Arc<tit_core::Tib2Store>,
+    req: &ReplayRequest,
+) -> Vec<Box<dyn ActionSource>> {
+    let cache = Arc::new(tit_replay::SegmentCache::new(
+        Arc::clone(store),
+        Arc::new(tit_core::MemBudget::unlimited()),
+    ));
+    (0..req.np)
+        .map(|rank| {
+            if req.drop_ranks.contains(&rank) {
+                Box::new(VecSource::new(Vec::new())) as Box<dyn ActionSource>
+            } else {
+                Box::new(tit_replay::SegmentedSource::new(Arc::clone(&cache), rank))
+            }
+        })
+        .collect()
 }
 
 /// Per-rank sources: a shared-trace cursor per kept rank, an empty
@@ -243,16 +279,43 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> JobEnd {
     // Deadline check up front: a request that spent its whole budget
     // queued returns a zero-work partial without starting the engine.
     let t_load = std::time::Instant::now();
-    let trace = match shared.cache.get_or_load(req.trace_key(), &req.trace_dir, req.np) {
-        Ok((trace, hit)) => {
-            shared
-                .metrics
-                .incr(if hit { "serve.cache_hits" } else { "serve.cache_misses" }, 1);
-            trace
+    let loaded = if let Some(store_path) = &req.store {
+        match shared.stores.get_or_open(req.trace_key(), store_path) {
+            Ok((store, hit)) => {
+                shared
+                    .metrics
+                    .incr(if hit { "serve.cache_hits" } else { "serve.cache_misses" }, 1);
+                if store.num_ranks() != req.np {
+                    shared.metrics.incr("serve.errors", 1);
+                    return JobEnd::Responded(error_response(
+                        &req.id,
+                        "trace_load",
+                        &format!(
+                            "store has {} rank(s), request says np={}",
+                            store.num_ranks(),
+                            req.np
+                        ),
+                    ));
+                }
+                Loaded::Store(store)
+            }
+            Err(e) => {
+                shared.metrics.incr("serve.errors", 1);
+                return JobEnd::Responded(error_response(&req.id, "trace_load", &e.to_string()));
+            }
         }
-        Err(e) => {
-            shared.metrics.incr("serve.errors", 1);
-            return JobEnd::Responded(error_response(&req.id, "trace_load", &e.to_string()));
+    } else {
+        match shared.cache.get_or_load(req.trace_key(), &req.trace_dir, req.np) {
+            Ok((trace, hit)) => {
+                shared
+                    .metrics
+                    .incr(if hit { "serve.cache_hits" } else { "serve.cache_misses" }, 1);
+                Loaded::Compact(trace)
+            }
+            Err(e) => {
+                shared.metrics.incr("serve.errors", 1);
+                return JobEnd::Responded(error_response(&req.id, "trace_load", &e.to_string()));
+            }
         }
     };
     job.load_s += t_load.elapsed().as_secs_f64();
@@ -265,10 +328,14 @@ fn run_job(shared: &Arc<Shared>, job: &mut Job) -> JobEnd {
     };
     let preempt_eligible = job.preemptions < shared.cfg.max_preemptions;
     let preempt = preempt_eligible.then_some(&shared.pressure);
+    let (sources, actions_expected) = match &loaded {
+        Loaded::Compact(trace) => (build_sources(trace, req), trace.num_actions() as u64),
+        Loaded::Store(store) => (build_store_sources(store, req), store.num_actions()),
+    };
     let t_replay = std::time::Instant::now();
     let outcome = run_request(
-        build_sources(&trace, req),
-        trace.num_actions() as u64,
+        sources,
+        actions_expected,
         platform,
         &hosts,
         &req.replay_config(),
@@ -341,6 +408,7 @@ mod tests {
         let cfg = ServerConfig::default();
         Arc::new(Shared {
             cache: TraceCache::new(cfg.cache_cap, RetryPolicy::default()),
+            stores: StoreCache::new(cfg.cache_cap, RetryPolicy::default()),
             queue: Admission::new(cfg.queue_cap),
             metrics: Metrics::new(),
             pressure: AtomicBool::new(false),
@@ -489,6 +557,7 @@ mod tests {
         let cfg = ServerConfig { slice_actions: 3, ..ServerConfig::default() };
         let sh = Arc::new(Shared {
             cache: TraceCache::new(cfg.cache_cap, RetryPolicy::default()),
+            stores: StoreCache::new(cfg.cache_cap, RetryPolicy::default()),
             queue: Admission::new(cfg.queue_cap),
             metrics: Metrics::new(),
             pressure: AtomicBool::new(true),

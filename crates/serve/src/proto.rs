@@ -60,8 +60,14 @@ pub enum NetworkKind {
 pub struct ReplayRequest {
     /// Client-chosen tag echoed back in the response (defaults empty).
     pub id: String,
-    /// Per-process trace directory (the trace reference).
+    /// Per-process trace directory (the trace reference). Empty when
+    /// the request names a [`store`](Self::store) instead.
     pub trace_dir: PathBuf,
+    /// `TIB2` segmented store file, the alternative trace reference:
+    /// the daemon keeps an LRU of open, footer-verified handles
+    /// ([`crate::cache::StoreCache`]) and streams segments on demand
+    /// instead of interning the whole trace.
+    pub store: Option<PathBuf>,
     /// Ranks the trace carries.
     pub np: usize,
     /// Nodes of the platform variant (defaults to `np`).
@@ -106,11 +112,18 @@ impl ReplayRequest {
     }
 
     /// Cache key for the trace reference: FNV-1a-64 over the canonical
-    /// `dir '\0' np` string (the same hash family as the `TICK1`
-    /// container checksum).
+    /// `path '\0' np` string (the same hash family as the `TICK1`
+    /// container checksum). Store references prepend a domain tag so a
+    /// directory and a store at the same path never collide.
     #[must_use]
     pub fn trace_key(&self) -> u64 {
-        let mut bytes = self.trace_dir.to_string_lossy().into_owned().into_bytes();
+        let mut bytes = Vec::new();
+        if let Some(store) = &self.store {
+            bytes.extend_from_slice(b"tib2\0");
+            bytes.extend_from_slice(store.to_string_lossy().as_bytes());
+        } else {
+            bytes.extend_from_slice(self.trace_dir.to_string_lossy().as_bytes());
+        }
         bytes.push(0);
         bytes.extend_from_slice(&(self.np as u64).to_le_bytes());
         tit_core::checkpoint::fnv1a(&bytes)
@@ -175,7 +188,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 }
 
 fn parse_replay(v: &Json) -> Result<ReplayRequest, String> {
-    let trace_dir = field_str(v, "trace_dir")?.ok_or("replay needs \"trace_dir\"")?;
+    let store = field_str(v, "store")?;
+    let trace_dir = match (&store, field_str(v, "trace_dir")?) {
+        (Some(_), Some(_)) => {
+            return Err("\"store\" and \"trace_dir\" are mutually exclusive".into())
+        }
+        (Some(_), None) => String::new(),
+        (None, Some(d)) => d,
+        (None, None) => return Err("replay needs \"trace_dir\" or \"store\"".into()),
+    };
     let np = field_count(v, "np")?.ok_or("replay needs \"np\"")? as usize;
     if np == 0 || np > MAX_NP {
         return Err(format!("\"np\" must be in 1..={MAX_NP}"));
@@ -223,6 +244,7 @@ fn parse_replay(v: &Json) -> Result<ReplayRequest, String> {
     Ok(ReplayRequest {
         id: field_str(v, "id")?.unwrap_or_default(),
         trace_dir: PathBuf::from(trace_dir),
+        store: store.map(PathBuf::from),
         np,
         nodes,
         platform,

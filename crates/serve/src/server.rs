@@ -53,6 +53,7 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             cache: TraceCache::new(cfg.cache_cap, tit_extract::RetryPolicy::default()),
+            stores: crate::cache::StoreCache::new(cfg.cache_cap, tit_extract::RetryPolicy::default()),
             queue: Admission::new(cfg.queue_cap),
             metrics: Metrics::new(),
             pressure: AtomicBool::new(cfg.force_preempt),

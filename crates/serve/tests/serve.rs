@@ -256,6 +256,55 @@ fn drain_finishes_backlog_flushes_metrics_and_exits() {
 }
 
 #[test]
+fn store_requests_match_trace_dir_and_fail_closed_when_damaged() {
+    let d = scratch("store");
+    write_ring(&d, 3, 6);
+    // The same trace, interned as a segmented store.
+    let store = d.join("ring.tib2");
+    let trace = tit_core::load_compact_exact(&d, 3, 1).unwrap();
+    tit_core::tib2::write_compact_atomic(&store, &trace, 8).unwrap();
+
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut c = Client::connect(server.port());
+    let dir = d.display().to_string();
+    let sp = store.display().to_string();
+
+    let via_dir = c.roundtrip(&format!(
+        "{{\"op\":\"replay\",\"id\":\"x\",\"trace_dir\":{dir:?},\"np\":3}}"
+    ));
+    let via_store =
+        c.roundtrip(&format!("{{\"op\":\"replay\",\"id\":\"x\",\"store\":{sp:?},\"np\":3}}"));
+    assert_eq!(field(&via_store, "status"), Some("ok"), "{via_store}");
+    assert_eq!(via_dir, via_store, "store replay must be payload-identical to trace_dir");
+
+    // A second request is a (revalidated) handle-cache hit.
+    let again =
+        c.roundtrip(&format!("{{\"op\":\"replay\",\"id\":\"x\",\"store\":{sp:?},\"np\":3}}"));
+    assert_eq!(again, via_store);
+    assert!(server.shared().metrics.counter("serve.cache_hits") >= 1);
+
+    // An np mismatch is a typed load error, not a crash.
+    let bad_np =
+        c.roundtrip(&format!("{{\"op\":\"replay\",\"id\":\"n\",\"store\":{sp:?},\"np\":4}}"));
+    assert_eq!(field(&bad_np, "status"), Some("error"), "{bad_np}");
+    assert_eq!(field(&bad_np, "code"), Some("trace_load"), "{bad_np}");
+
+    // Flip a payload byte: the damaged segment must fail the request
+    // closed (typed error), never return a silently wrong time.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&store, &bytes).unwrap();
+    let damaged =
+        c.roundtrip(&format!("{{\"op\":\"replay\",\"id\":\"d\",\"store\":{sp:?},\"np\":3}}"));
+    assert_eq!(field(&damaged, "status"), Some("error"), "{damaged}");
+
+    server.drain();
+    server.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
 fn replay_after_drain_is_refused_as_draining() {
     let server = Server::start(ServerConfig::default()).unwrap();
     let mut c = Client::connect(server.port());

@@ -33,7 +33,15 @@ baseline:
      or dropped counter fails loudly, exit 2), partial_solves must be
      positive, and every >= 128-rank run must skip >= half of the
      system's constraints per solve on average;
-  6. envelope sanity: same bench name, non-empty runs, finite positive
+  6. for scale records (the TIB2 memory-governance sweep): every run's
+     governor segment peak must sit within its budget and its process
+     peak RSS within the stated cap, and the largest run's RSS must be
+     <= RSS_FLAT_CEIL x the smallest run's while the store grows —
+     replay memory must follow the budget, not the trace length (runs
+     execute smallest-first, so the monotone VmHWM cannot launder a
+     spill). RSS gates are skipped, loudly, when the emitter could not
+     read /proc (peak_rss_bytes == 0);
+  7. envelope sanity: same bench name, non-empty runs, finite positive
      peak.
 
 Exit status: 0 pass, 1 regression, 2 usage/parse error.
@@ -53,6 +61,7 @@ PAIRS_FLOOR = 0.5
 LU_PAPER_FLOOR = 0.5
 SWEEP_MIN_RANKS = 128
 SKIP_FRACTION_FLOOR = 0.5
+RSS_FLAT_CEIL = 1.5
 
 
 def load(path):
@@ -191,6 +200,49 @@ def check_kprof(path, failed):
     return failed
 
 
+def check_scale(fresh, path, failed):
+    """Gate 6: budget adherence and RSS flatness (DESIGN.md §5i)."""
+    runs = sorted(fresh["runs"], key=lambda r: require(r, "store_bytes", path))
+    rss_readable = True
+    for run in runs:
+        label = require(run, "label", path)
+        seg = require(run, "segment_peak_bytes", path)
+        budget = require(run, "budget_bytes", path)
+        verdict = "OK" if seg <= budget else "FAIL"
+        print(
+            f"[scale] {label}: segment peak {seg / 2**20:.1f} MiB within "
+            f"budget {budget / 2**20:.1f} MiB: {verdict}"
+        )
+        if seg > budget:
+            failed = True
+        rss = require(run, "peak_rss_bytes", path)
+        cap = require(run, "rss_cap_bytes", path)
+        if rss == 0:
+            rss_readable = False
+            print(f"[scale] {label}: RSS gate skipped (emitter could not read /proc)")
+            continue
+        verdict = "OK" if rss <= cap else "FAIL"
+        print(
+            f"[scale] {label}: peak RSS {rss / 2**20:.1f} MiB within "
+            f"cap {cap / 2**20:.1f} MiB: {verdict}"
+        )
+        if rss > cap:
+            failed = True
+    if rss_readable and len(runs) >= 2:
+        lo, hi = runs[0], runs[-1]
+        lo_rss = lo["peak_rss_bytes"]
+        ratio = hi["peak_rss_bytes"] / lo_rss if lo_rss > 0 else 0.0
+        growth = hi["store_bytes"] / max(lo["store_bytes"], 1)
+        verdict = "OK" if ratio <= RSS_FLAT_CEIL else "FAIL"
+        print(
+            f"[scale] RSS flatness: x{growth:.0f} store grows RSS {ratio:.2f}x "
+            f"(ceiling {RSS_FLAT_CEIL}x): {verdict}"
+        )
+        if ratio > RSS_FLAT_CEIL:
+            failed = True
+    return failed
+
+
 def main():
     argv = sys.argv[1:]
     kprof_path = None
@@ -249,6 +301,9 @@ def main():
                 f"[ingest] {label}: speedup check skipped "
                 f"({jobs} job(s) < {SPEEDUP_MIN_JOBS})"
             )
+
+    if fresh["bench"] == "scale":
+        failed = check_scale(fresh, fresh_path, failed)
 
     if fresh["bench"] == "replay":
         failed = check_replay_sweep(fresh, fresh_path, failed)
